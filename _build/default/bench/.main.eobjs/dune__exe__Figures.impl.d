@@ -1,0 +1,1 @@
+bench/figures.ml: Apps Cricket Float Format List Oncrpc Printf Simnet Unikernel

@@ -1,0 +1,1 @@
+bench/main.ml: Apps Array Bechamel_suite Figures List Printf Sys

@@ -1,0 +1,179 @@
+(* Bechamel microbenchmarks: real host-time cost of the simulation
+   pipeline, one Test.make per paper table/figure (the virtual-time numbers
+   those experiments report are produced by Figures; these measure how fast
+   the reproduction itself runs). *)
+
+open Bechamel
+open Toolkit
+
+let make_env () =
+  let engine = Simnet.Engine.create () in
+  let server =
+    Cricket.Server.create ~memory_capacity:(1 lsl 24)
+      ~clock:(Cudasim.Context.engine_clock engine) ()
+  in
+  Cudasim.Context.set_functional (Cricket.Server.context server) false;
+  Cricket.Local.connect server
+
+let test_table1 =
+  Test.make ~name:"table1/config-table"
+    (Staged.stage (fun () -> ignore (Unikernel.Config.table1_rows ())))
+
+let test_fig5a =
+  let client = make_env () in
+  let image = Cubin.Image.of_registry [ Gpusim.Kernels.matrix_mul_name ] in
+  let modul = Cricket.Client.module_load client (Cubin.Image.build image) in
+  let func =
+    Cricket.Client.get_function client ~modul
+      ~name:Gpusim.Kernels.matrix_mul_name
+  in
+  let d = Cricket.Client.malloc client 4096 in
+  Test.make ~name:"fig5a/launch-roundtrip"
+    (Staged.stage (fun () ->
+         Cricket.Client.launch client func
+           ~grid:{ Cricket.Client.x = 10; y = 10; z = 1 }
+           ~block:{ Cricket.Client.x = 32; y = 32; z = 1 }
+           [|
+             Gpusim.Kernels.Ptr (Int64.to_int d);
+             Gpusim.Kernels.Ptr (Int64.to_int d);
+             Gpusim.Kernels.Ptr (Int64.to_int d);
+             Gpusim.Kernels.I32 16l;
+             Gpusim.Kernels.I32 16l;
+           |]))
+
+let test_fig5b =
+  let engine = Simnet.Engine.create () in
+  let ctx =
+    Cudasim.Context.create ~memory_capacity:(1 lsl 24)
+      (Cudasim.Context.engine_clock engine)
+  in
+  let h = Cudasim.Cusolver.create ctx in
+  let n = 64 in
+  let d_a =
+    match Cudasim.Api.malloc ctx (Int64.of_int (4 * n * n)) with
+    | Ok p -> p
+    | Error _ -> assert false
+  in
+  let d_ipiv =
+    match Cudasim.Api.malloc ctx (Int64.of_int (4 * n)) with
+    | Ok p -> p
+    | Error _ -> assert false
+  in
+  (* non-singular input regenerated per run via the diagonal *)
+  Test.make ~name:"fig5b/sgetrf-64"
+    (Staged.stage (fun () ->
+         let b = Bytes.make (4 * n * n) '\000' in
+         for i = 0 to n - 1 do
+           Bytes.set_int32_le b (4 * ((i * n) + i)) (Int32.bits_of_float 4.0)
+         done;
+         ignore (Cudasim.Api.memcpy_h2d ctx ~dst:d_a b);
+         ignore
+           (Cudasim.Cusolver.sgetrf ctx ~handle:h ~m:n ~n ~a:d_a ~lda:n
+              ~workspace:0L ~ipiv:d_ipiv)))
+
+let test_fig5c =
+  let m = Gpusim.Memory.create ~capacity:(1 lsl 22) in
+  let data = Gpusim.Memory.alloc m (1 lsl 20) in
+  let bins = Gpusim.Memory.alloc m 1024 in
+  let k = Option.get (Gpusim.Kernels.find Gpusim.Kernels.histogram256_name) in
+  Test.make ~name:"fig5c/histogram-1MiB"
+    (Staged.stage (fun () ->
+         k.Gpusim.Kernels.execute m
+           {
+             Gpusim.Kernels.grid = { Gpusim.Kernels.x = 240; y = 1; z = 1 };
+             block = { Gpusim.Kernels.x = 192; y = 1; z = 1 };
+             shared_mem = 0;
+             args =
+               [|
+                 Gpusim.Kernels.Ptr bins; Gpusim.Kernels.Ptr data;
+                 Gpusim.Kernels.I32 (Int32.of_int (1 lsl 20));
+               |];
+           }))
+
+let test_fig6 =
+  let client = make_env () in
+  Test.make ~name:"fig6/rpc-roundtrip"
+    (Staged.stage (fun () -> ignore (Cricket.Client.get_device_count client)))
+
+let test_fig7 =
+  let client = make_env () in
+  let d = Cricket.Client.malloc client (1 lsl 20) in
+  let payload = Bytes.create (1 lsl 20) in
+  Test.make ~name:"fig7/memcpy-1MiB-roundtrip"
+    (Staged.stage (fun () -> Cricket.Client.memcpy_h2d client ~dst:d payload))
+
+let test_xdr =
+  let enc = Xdr.Encode.create () in
+  Test.make ~name:"substrate/xdr-encode-1KiB"
+    (Staged.stage
+       (let payload = Bytes.create 1024 in
+        fun () ->
+          Xdr.Encode.reset enc;
+          Xdr.Encode.uint32 enc 42l;
+          Xdr.Encode.opaque enc payload))
+
+let test_record =
+  Test.make ~name:"substrate/record-marking-64KiB"
+    (Staged.stage
+       (let payload = String.make 65536 'x' in
+        fun () -> ignore (Oncrpc.Record.to_wire ~fragment_size:8192 payload)))
+
+let test_lzss =
+  let image =
+    Cubin.Image.build ~compress:false
+      (Cubin.Image.of_registry [ Gpusim.Kernels.matrix_mul_name ])
+  in
+  Test.make ~name:"substrate/lzss-compress-cubin"
+    (Staged.stage (fun () -> ignore (Cubin.Lzss.compress image)))
+
+let test_netcost =
+  let native = Simnet.Hostprofile.bare_metal_linux in
+  Test.make ~name:"substrate/netcost-eval"
+    (Staged.stage (fun () ->
+         ignore
+           (Simnet.Netcost.one_way_time ~sender:native ~receiver:native
+              ~link:Simnet.Link.ethernet_100g (1 lsl 20))))
+
+let test_sched =
+  let jobs =
+    List.init 100 (fun i ->
+        {
+          Cricket.Sched.client = Printf.sprintf "c%d" (i mod 8);
+          arrival = Simnet.Time.us (i * 13);
+          duration = Simnet.Time.us 100;
+          priority = i mod 3;
+        })
+  in
+  Test.make ~name:"substrate/scheduler-100-jobs"
+    (Staged.stage (fun () ->
+         ignore (Cricket.Sched.schedule Cricket.Sched.Round_robin jobs)))
+
+let all_tests =
+  [
+    test_table1; test_fig5a; test_fig5b; test_fig5c; test_fig6; test_fig7;
+    test_xdr; test_record; test_lzss; test_netcost; test_sched;
+  ]
+
+let run () =
+  print_endline "\n== Bechamel microbenchmarks (host time of the simulation pipeline) ==";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  let grouped = Test.make_grouped ~name:"repro" ~fmt:"%s %s" all_tests in
+  let raw = Benchmark.all cfg instances grouped in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold (fun name result acc -> (name, result) :: acc) results []
+    |> List.sort compare
+  in
+  Printf.printf "%-40s %16s\n" "benchmark" "ns/run";
+  List.iter
+    (fun (name, result) ->
+      match Analyze.OLS.estimates result with
+      | Some (est :: _) -> Printf.printf "%-40s %16.1f\n" name est
+      | _ -> Printf.printf "%-40s %16s\n" name "n/a")
+    rows

@@ -1,0 +1,132 @@
+(* Benchmark harness entry point.
+
+   With no arguments, regenerates every table and figure of the paper's
+   evaluation section at paper scale, then the ablations, then the
+   Bechamel microbenchmarks. Pass experiment names to run a subset:
+
+     dune exec bench/main.exe                     # everything
+     dune exec bench/main.exe -- fig6a fig7a      # subset
+     dune exec bench/main.exe -- --quick          # reduced iteration counts
+     dune exec bench/main.exe -- bechamel         # only the microbenches *)
+
+let quick = ref false
+
+let experiments : (string * string * (unit -> unit)) list =
+  [
+    ("table1", "Table 1: configuration matrix", fun () -> Figures.table1 ());
+    ( "fig5a",
+      "Figure 5a: matrixMul execution time",
+      fun () ->
+        ignore (Figures.fig5a ?iterations:(if !quick then Some 5_000 else None) ()) );
+    ( "fig5b",
+      "Figure 5b: cuSolverDn_LinearSolver execution time",
+      fun () ->
+        ignore (Figures.fig5b ?iterations:(if !quick then Some 100 else None) ()) );
+    ( "fig5c",
+      "Figure 5c: histogram execution time",
+      fun () ->
+        ignore (Figures.fig5c ?iterations:(if !quick then Some 2_000 else None) ()) );
+    ( "fig5-stats",
+      "Section 4.1: per-application API calls and transfer volumes",
+      fun () -> ignore (Figures.fig5_stats ()) );
+    ( "fig6a",
+      "Figure 6a: cudaGetDeviceCount latency",
+      fun () ->
+        ignore
+          (Figures.fig6 Apps.Micro.Get_device_count
+             ?calls:(if !quick then Some 10_000 else None) ()) );
+    ( "fig6b",
+      "Figure 6b: cudaMalloc/cudaFree latency",
+      fun () ->
+        ignore
+          (Figures.fig6 Apps.Micro.Malloc_free
+             ?calls:(if !quick then Some 10_000 else None) ()) );
+    ( "fig6c",
+      "Figure 6c: kernel launch latency",
+      fun () ->
+        ignore
+          (Figures.fig6 Apps.Micro.Kernel_launch
+             ?calls:(if !quick then Some 10_000 else None) ()) );
+    ( "fig7a",
+      "Figure 7a: device-to-host bandwidth",
+      fun () ->
+        ignore
+          (Figures.fig7 Apps.Bandwidth.Device_to_host
+             ?total_bytes:(if !quick then Some (128 lsl 20) else None) ()) );
+    ( "fig7b",
+      "Figure 7b: host-to-device bandwidth",
+      fun () ->
+        ignore
+          (Figures.fig7 Apps.Bandwidth.Host_to_device
+             ?total_bytes:(if !quick then Some (128 lsl 20) else None) ()) );
+    ( "ablation-offloads",
+      "Ablation: VM bulk offloads disabled (section 4.2)",
+      fun () ->
+        ignore
+          (Figures.ablation_offloads
+             ?total_bytes:(if !quick then Some (128 lsl 20) else None) ()) );
+    ( "ablation-fragsize",
+      "Ablation: RPC record fragment size",
+      fun () -> ignore (Figures.ablation_fragsize ()) );
+    ( "ablation-transfer",
+      "Ablation: memory-transfer strategies",
+      fun () -> ignore (Figures.ablation_transfer ()) );
+    ( "ablation-scheduler",
+      "Ablation: GPU-sharing scheduler policies",
+      fun () -> ignore (Figures.ablation_scheduler ()) );
+    ( "ablation-futures",
+      "Projection: unikernel TSO and vDPA (section 5 future work)",
+      fun () ->
+        ignore
+          (Figures.ablation_futures
+             ?total_bytes:(if !quick then Some (64 lsl 20) else None) ()) );
+    ( "ablation-multitenant",
+      "Multi-tenant GPU sharing across unikernels",
+      fun () -> ignore (Figures.ablation_multitenant ()) );
+    ( "proc-profile",
+      "Server-side per-procedure call profile",
+      fun () -> ignore (Figures.proc_profile ()) );
+    ("bechamel", "Bechamel microbenchmarks", Bechamel_suite.run);
+  ]
+
+let usage () =
+  print_endline "usage: main.exe [--quick] [experiment ...]";
+  print_endline "experiments:";
+  List.iter
+    (fun (name, doc, _) -> Printf.printf "  %-20s %s\n" name doc)
+    experiments
+
+let () =
+  let args =
+    Array.to_list Sys.argv |> List.tl
+    |> List.filter (fun a ->
+           match a with
+           | "--quick" ->
+               quick := true;
+               false
+           | "--help" | "-h" ->
+               usage ();
+               exit 0
+           | _ -> true)
+  in
+  let selected =
+    match args with
+    | [] -> experiments
+    | names ->
+        List.map
+          (fun name ->
+            match List.find_opt (fun (n, _, _) -> n = name) experiments with
+            | Some e -> e
+            | None ->
+                Printf.eprintf "unknown experiment %S\n" name;
+                usage ();
+                exit 1)
+          names
+  in
+  Printf.printf
+    "Cricket-unikernel reproduction benchmarks%s\n\
+     All times are deterministic virtual-time results from the simulation \
+     model\n\
+     (see DESIGN.md and EXPERIMENTS.md).\n"
+    (if !quick then " (quick mode)" else "");
+  List.iter (fun (_, _, run) -> run ()) selected

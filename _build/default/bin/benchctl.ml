@@ -1,0 +1,237 @@
+(* benchctl: run individual paper experiments from the command line with
+   explicit workload parameters — a finer-grained interface than
+   bench/main.exe's all-at-once mode. *)
+
+open Cmdliner
+
+let config_conv =
+  let parse s =
+    match Unikernel.Config.find s with
+    | Some c -> Ok c
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown config %S (C, Rust, \"Linux VM\", \
+                              Unikraft, Hermit)" s))
+  in
+  let print ppf c = Format.pp_print_string ppf c.Unikernel.Config.name in
+  Arg.conv (parse, print)
+
+let configs_arg =
+  Arg.(value & opt_all config_conv Unikernel.Config.all
+       & info [ "c"; "config" ] ~docv:"CONFIG"
+           ~doc:"Configuration(s) to run (repeatable; default: all five).")
+
+let report configs run =
+  List.iter
+    (fun cfg ->
+      let m = run cfg in
+      Format.printf "%a@." Unikernel.Runner.pp_measurement m)
+    configs
+
+(* --- table1 --- *)
+
+let table1_cmd =
+  Cmd.v (Cmd.info "table1" ~doc:"print the configuration matrix (Table 1)")
+    Term.(
+      const (fun () ->
+          Printf.printf "%-9s %-5s %-12s %-10s %s\n" "Name" "app" "OS"
+            "Hypervisor" "Network";
+          List.iter print_endline (Unikernel.Config.table1_rows ()))
+      $ const ())
+
+(* --- apps --- *)
+
+let iterations_arg default =
+  Arg.(value & opt int default
+       & info [ "n"; "iterations" ] ~docv:"N" ~doc:"Iteration count.")
+
+let verify_arg =
+  Arg.(value & flag
+       & info [ "verify" ]
+           ~doc:"Run functionally and verify numerics (slower; uses a \
+                 reduced iteration count).")
+
+let matrixmul_cmd =
+  let run configs iterations verify =
+    report configs (fun cfg ->
+        let params = { Apps.Matrix_mul.paper with Apps.Matrix_mul.iterations } in
+        if verify then
+          Unikernel.Runner.run ~functional:true cfg
+            (Apps.Matrix_mul.run ~verify:true
+               { params with Apps.Matrix_mul.iterations = min iterations 5 })
+        else
+          Unikernel.Runner.run ~functional:false cfg
+            (Apps.Matrix_mul.run ~verify:false params))
+  in
+  Cmd.v (Cmd.info "matrixmul" ~doc:"run the matrixMul proxy app (Fig. 5a)")
+    Term.(const run $ configs_arg $ iterations_arg 100_000 $ verify_arg)
+
+let solver_cmd =
+  let run configs iterations verify =
+    report configs (fun cfg ->
+        let params =
+          { Apps.Linear_solver.paper with Apps.Linear_solver.iterations }
+        in
+        if verify then
+          Unikernel.Runner.run ~functional:true cfg
+            (Apps.Linear_solver.run ~verify:true
+               { params with Apps.Linear_solver.iterations = 1 })
+        else
+          Unikernel.Runner.run ~functional:false cfg
+            (Apps.Linear_solver.run ~verify:false params))
+  in
+  Cmd.v
+    (Cmd.info "solver" ~doc:"run the cuSolverDn_LinearSolver proxy app (Fig. 5b)")
+    Term.(const run $ configs_arg $ iterations_arg 1_000 $ verify_arg)
+
+let histogram_cmd =
+  let run configs iterations verify =
+    report configs (fun cfg ->
+        let params = { Apps.Histogram.paper with Apps.Histogram.iterations } in
+        if verify then
+          Unikernel.Runner.run ~functional:true cfg
+            (Apps.Histogram.run ~verify:true
+               { params with Apps.Histogram.iterations = min iterations 3 })
+        else
+          Unikernel.Runner.run ~functional:false cfg
+            (Apps.Histogram.run ~verify:false params))
+  in
+  Cmd.v (Cmd.info "histogram" ~doc:"run the histogram proxy app (Fig. 5c)")
+    Term.(const run $ configs_arg $ iterations_arg 40_000 $ verify_arg)
+
+(* --- micro --- *)
+
+let micro_cmd =
+  let which_conv =
+    Arg.enum
+      [ ("getdevicecount", Apps.Micro.Get_device_count);
+        ("mallocfree", Apps.Micro.Malloc_free);
+        ("launch", Apps.Micro.Kernel_launch) ]
+  in
+  let which_arg =
+    Arg.(required & pos 0 (some which_conv) None
+         & info [] ~docv:"WHICH" ~doc:"getdevicecount | mallocfree | launch")
+  in
+  let run configs which calls =
+    List.iter
+      (fun cfg ->
+        let result = ref None in
+        let (_ : Unikernel.Runner.measurement) =
+          Unikernel.Runner.run ~functional:false cfg (fun env ->
+              result := Some (Apps.Micro.run ~calls which env))
+        in
+        match !result with
+        | Some r ->
+            Printf.printf "%-9s %s x %d: %s (%.2f us/call)\n"
+              cfg.Unikernel.Config.name
+              (Apps.Micro.which_to_string which)
+              calls
+              (Format.asprintf "%a" Simnet.Time.pp r.Apps.Micro.elapsed)
+              (r.Apps.Micro.ns_per_call /. 1e3)
+        | None -> ())
+      configs
+  in
+  Cmd.v (Cmd.info "micro" ~doc:"CUDA API micro-benchmarks (Fig. 6)")
+    Term.(
+      const run $ configs_arg $ which_arg
+      $ Arg.(value & opt int 100_000
+             & info [ "calls" ] ~docv:"N" ~doc:"Number of calls."))
+
+(* --- bandwidth --- *)
+
+let bandwidth_cmd =
+  let run configs mib =
+    List.iter
+      (fun cfg ->
+        let result = ref None in
+        let (_ : Unikernel.Runner.measurement) =
+          Unikernel.Runner.run ~functional:false cfg (fun env ->
+              result := Some (Apps.Bandwidth.run ~verify:false env))
+        in
+        ignore mib;
+        match !result with
+        | Some (h2d, d2h) ->
+            Printf.printf "%-9s H2D %8.1f MiB/s   D2H %8.1f MiB/s\n"
+              cfg.Unikernel.Config.name h2d.Apps.Bandwidth.mib_per_s
+              d2h.Apps.Bandwidth.mib_per_s
+        | None -> ())
+      configs
+  in
+  Cmd.v (Cmd.info "bandwidth" ~doc:"bandwidthTest port (Fig. 7)")
+    Term.(
+      const run $ configs_arg
+      $ Arg.(value & opt int 512
+             & info [ "mib" ] ~docv:"MIB" ~doc:"Total transfer size in MiB."))
+
+(* --- multitenant --- *)
+
+let multitenant_cmd =
+  let policy_conv =
+    Arg.enum
+      [ ("fifo", Cricket.Sched.Fifo); ("rr", Cricket.Sched.Round_robin);
+        ("priority", Cricket.Sched.Priority) ]
+  in
+  let run policy tenants steps =
+    let work _ =
+      List.init steps (fun _ (client : Cricket.Client.t) ->
+          let d = Cricket.Client.malloc client (1 lsl 16) in
+          Cricket.Client.memset client ~ptr:d ~value:0 ~len:(1 lsl 16);
+          Cricket.Client.free client d)
+    in
+    let specs =
+      List.init tenants (fun i ->
+          {
+            Unikernel.Multitenant.name = Printf.sprintf "uk%d" i;
+            config = Unikernel.Config.hermit;
+            priority = (if i = 0 then 5 else 1);
+            work = work i;
+          })
+    in
+    let report = Unikernel.Multitenant.run ~policy ~functional:false specs in
+    Format.printf "%a" Unikernel.Multitenant.pp_report report
+  in
+  Cmd.v
+    (Cmd.info "multitenant"
+       ~doc:"N unikernel tenants sharing one Cricket server")
+    Term.(
+      const run
+      $ Arg.(value & opt policy_conv Cricket.Sched.Round_robin
+             & info [ "policy" ] ~docv:"POLICY" ~doc:"fifo | rr | priority")
+      $ Arg.(value & opt int 4 & info [ "tenants" ] ~docv:"N")
+      $ Arg.(value & opt int 20 & info [ "steps" ] ~docv:"N"
+             ~doc:"GPU work items per tenant."))
+
+(* --- trace --- *)
+
+let trace_cmd =
+  let run iterations =
+    let engine = Simnet.Engine.create () in
+    let server =
+      Cricket.Server.create ~clock:(Cudasim.Context.engine_clock engine) ()
+    in
+    Cricket.Trace.set_enabled (Cricket.Server.trace server) true;
+    Cudasim.Context.set_functional (Cricket.Server.context server) false;
+    let client = Cricket.Local.connect server in
+    Apps.Matrix_mul.run ~verify:false
+      { Apps.Matrix_mul.default with Apps.Matrix_mul.iterations }
+      { Unikernel.Runner.client; engine; cfg = Unikernel.Config.rust_native;
+        server };
+    List.iter
+      (fun e -> Format.printf "%a@." Cricket.Trace.pp_entry e)
+      (Cricket.Trace.entries (Cricket.Server.trace server))
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"trace the RPC stream of a short matrixMul run (virtual              timestamps, per-call durations)")
+    Term.(
+      const run
+      $ Arg.(value & opt int 5 & info [ "n"; "iterations" ] ~docv:"N"))
+
+let main =
+  Cmd.group
+    (Cmd.info "benchctl" ~doc:"run individual paper experiments")
+    [ table1_cmd; matrixmul_cmd; solver_cmd; histogram_cmd; micro_cmd;
+      bandwidth_cmd; multitenant_cmd; trace_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,89 @@
+(* The Cricket server daemon: listens on a real TCP socket and executes
+   forwarded CUDA calls against the simulated GPU node, exactly as the
+   original Cricket server fronts the physical GPUs. A portmapper service
+   is co-hosted so clients can discover the program. *)
+
+let run port checkpoint_dir devices verbose =
+  if verbose then begin
+    Logs.set_reporter (Logs_fmt.reporter ());
+    Logs.set_level (Some Logs.Debug)
+  end;
+  let engine = Simnet.Engine.create () in
+  let device_list =
+    match devices with
+    | [] -> Gpusim.Device.gpu_node
+    | names ->
+        List.map
+          (fun name ->
+            match String.lowercase_ascii name with
+            | "a100" -> Gpusim.Device.a100
+            | "t4" -> Gpusim.Device.t4
+            | "p40" -> Gpusim.Device.p40
+            | other ->
+                Printf.eprintf "unknown device %S (a100|t4|p40)\n" other;
+                exit 1)
+          names
+  in
+  let server =
+    Cricket.Server.create ~devices:device_list ~checkpoint_dir
+      ~clock:(Cudasim.Context.engine_clock engine)
+      ()
+  in
+  let rpc = Cricket.Server.rpc_server server in
+  let pm = Oncrpc.Portmap.create () in
+  Oncrpc.Portmap.attach pm rpc;
+  let tcp = Oncrpc.Server.serve_tcp rpc ~port () in
+  let bound = Oncrpc.Server.tcp_port tcp in
+  ignore
+    (Oncrpc.Portmap.set pm
+       { Oncrpc.Portmap.prog = Rpcl.Specs.cricket_program_number;
+         vers = Rpcl.Specs.cricket_version_number;
+         prot = Oncrpc.Portmap.prot_tcp; port = bound });
+  Printf.printf "cricket-server: listening on 127.0.0.1:%d\n" bound;
+  Printf.printf "cricket-server: program 0x%x version %d\n"
+    Rpcl.Specs.cricket_program_number Rpcl.Specs.cricket_version_number;
+  List.iter
+    (fun d -> Printf.printf "cricket-server: device %s\n" d.Gpusim.Device.name)
+    device_list;
+  Printf.printf "cricket-server: checkpoints under %s\n%!" checkpoint_dir;
+  (* serve until interrupted *)
+  let stop = Mutex.create () in
+  Mutex.lock stop;
+  (try
+     Sys.set_signal Sys.sigint
+       (Sys.Signal_handle (fun _ -> Mutex.unlock stop));
+     Sys.set_signal Sys.sigterm
+       (Sys.Signal_handle (fun _ -> Mutex.unlock stop))
+   with Invalid_argument _ -> ());
+  Mutex.lock stop;
+  print_endline "cricket-server: shutting down";
+  Oncrpc.Server.shutdown_tcp tcp
+
+open Cmdliner
+
+let port =
+  Arg.(value & opt int 0
+       & info [ "p"; "port" ] ~docv:"PORT"
+           ~doc:"TCP port to listen on (0 picks a free port).")
+
+let checkpoint_dir =
+  Arg.(value & opt string "."
+       & info [ "checkpoint-dir" ] ~docv:"DIR"
+           ~doc:"Directory for checkpoint/restore files.")
+
+let devices =
+  Arg.(value & opt_all string []
+       & info [ "device" ] ~docv:"NAME"
+           ~doc:"GPU to expose (a100, t4, p40; repeatable). Default: the \
+                 evaluation node (a100 + 2x t4 + p40).")
+
+let verbose =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log RPC activity.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "cricket_server"
+       ~doc:"Cricket GPU-forwarding server over ONC RPC / TCP")
+    Term.(const run $ port $ checkpoint_dir $ devices $ verbose)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,82 @@
+(* rpclgen: the rpcgen analogue. Compiles an RPCL interface specification
+   to OCaml client stubs, XDR codecs and a server dispatch skeleton. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let run input builtin print_spec emit_mli output =
+  let name, source =
+    match (builtin, input) with
+    | Some b, _ -> (
+        match List.assoc_opt b Rpcl.Specs.builtins with
+        | Some src -> (b, src)
+        | None ->
+            Printf.eprintf "rpclgen: unknown builtin %S (available: %s)\n" b
+              (String.concat ", " (List.map fst Rpcl.Specs.builtins));
+            exit 1)
+    | None, Some path -> (Filename.basename path, read_file path)
+    | None, None ->
+        prerr_endline "rpclgen: provide an input file or --builtin NAME";
+        exit 1
+  in
+  if print_spec then print_string source
+  else begin
+    let generated =
+      try
+        let env = Rpcl.Check.check (Rpcl.Parser.parse source) in
+        if emit_mli then Rpcl.Codegen.generate_mli ~source_name:name env
+        else Rpcl.Codegen.generate ~source_name:name env
+      with
+      | Rpcl.Lexer.Lex_error (msg, pos) ->
+          Printf.eprintf "rpclgen: %s: lexical error: %s at %s\n" name msg
+            (Format.asprintf "%a" Rpcl.Ast.pp_position pos);
+          exit 1
+      | Rpcl.Parser.Parse_error (msg, pos) ->
+          Printf.eprintf "rpclgen: %s: parse error: %s at %s\n" name msg
+            (Format.asprintf "%a" Rpcl.Ast.pp_position pos);
+          exit 1
+      | Rpcl.Check.Semantic_error msg ->
+          Printf.eprintf "rpclgen: %s: semantic error: %s\n" name msg;
+          exit 1
+    in
+    match output with
+    | None -> print_string generated
+    | Some path ->
+        let oc = open_out_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () -> output_string oc generated)
+  end
+
+open Cmdliner
+
+let input =
+  Arg.(value & pos 0 (some file) None & info [] ~docv:"SPEC.x"
+         ~doc:"RPCL specification file to compile.")
+
+let builtin =
+  Arg.(value & opt (some string) None & info [ "builtin" ] ~docv:"NAME"
+         ~doc:"Use a built-in specification (e.g. $(b,cricket)) instead of a file.")
+
+let print_spec =
+  Arg.(value & flag & info [ "print-spec" ]
+         ~doc:"Print the RPCL source instead of generating code.")
+
+let emit_mli =
+  Arg.(value & flag & info [ "mli" ]
+         ~doc:"Generate the interface (.mli) instead of the implementation.")
+
+let output =
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+         ~doc:"Write generated OCaml to $(docv) (default: stdout).")
+
+let cmd =
+  let doc = "generate OCaml RPC stubs from RPCL specifications" in
+  Cmd.v
+    (Cmd.info "rpclgen" ~doc)
+    Term.(const run $ input $ builtin $ print_spec $ emit_mli $ output)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/bandwidth.ml: Apps Array List Printf Simnet Sys Unikernel

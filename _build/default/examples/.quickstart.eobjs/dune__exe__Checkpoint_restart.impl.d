@@ -1,0 +1,1 @@
+examples/checkpoint_restart.ml: Bytes Cricket Cubin Cudasim Filename Gpusim Int32 Int64 Printf Simnet Sys

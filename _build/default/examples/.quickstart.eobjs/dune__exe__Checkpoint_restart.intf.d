@@ -1,0 +1,1 @@
+examples/checkpoint_restart.mli:

@@ -1,0 +1,1 @@
+examples/conjugate_gradient.ml: Apps Array Cricket Cudasim Float Format Gpusim Int32 Int64 Printf Simnet Sys

@@ -1,0 +1,1 @@
+examples/conjugate_gradient.mli:

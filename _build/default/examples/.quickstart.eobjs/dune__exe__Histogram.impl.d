@@ -1,0 +1,1 @@
+examples/histogram.ml: Apps Array Format List Printf Simnet Sys Unikernel

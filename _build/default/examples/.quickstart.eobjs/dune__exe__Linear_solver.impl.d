@@ -1,0 +1,1 @@
+examples/linear_solver.ml: Apps Array Format List Printf Sys Unikernel

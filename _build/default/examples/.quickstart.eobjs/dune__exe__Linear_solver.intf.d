@@ -1,0 +1,1 @@
+examples/linear_solver.mli:

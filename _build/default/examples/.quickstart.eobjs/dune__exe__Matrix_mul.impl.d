@@ -1,0 +1,1 @@
+examples/matrix_mul.ml: Apps Array Format List Printf Sys Unikernel

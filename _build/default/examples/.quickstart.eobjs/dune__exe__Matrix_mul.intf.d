@@ -1,0 +1,1 @@
+examples/matrix_mul.mli:

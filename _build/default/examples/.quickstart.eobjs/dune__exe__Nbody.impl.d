@@ -1,0 +1,1 @@
+examples/nbody.ml: Apps Array Cricket Cubin Cudasim Float Gpusim Int32 Int64 List Printf Simnet Sys Unikernel

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bytes Cricket Cubin Cudasim Float Format Gpusim Int32 Int64 Printf Simnet

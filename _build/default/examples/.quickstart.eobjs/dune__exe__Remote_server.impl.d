@@ -1,0 +1,1 @@
+examples/remote_server.ml: Bytes Cricket Cubin Cudasim Float Gpusim Int32 Int64 Oncrpc Printf Rpcl Simnet

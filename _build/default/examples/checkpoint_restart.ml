@@ -1,0 +1,84 @@
+(* Checkpoint / restart (§3.3, §5): snapshot the Cricket server's entire
+   GPU state mid-application, destroy the state, restore it, and show the
+   application continues to a correct result — the mechanism that lets a
+   cluster operator reorganize which unikernels use which GPU at runtime.
+
+     dune exec examples/checkpoint_restart.exe *)
+
+let () =
+  let dir = Filename.get_temp_dir_name () in
+  let engine = Simnet.Engine.create () in
+  let server =
+    Cricket.Server.create ~checkpoint_dir:dir
+      ~clock:(Cudasim.Context.engine_clock engine) ()
+  in
+  let client = Cricket.Local.connect server in
+
+  (* a running "application": accumulating sums on the GPU *)
+  let n = 4096 in
+  let image =
+    Cubin.Image.of_registry
+      [ Gpusim.Kernels.saxpy_name; Gpusim.Kernels.reduce_sum_name ]
+  in
+  let modul = Cricket.Client.module_load client (Cubin.Image.build image) in
+  let saxpy =
+    Cricket.Client.get_function client ~modul ~name:Gpusim.Kernels.saxpy_name
+  in
+  let reduce =
+    Cricket.Client.get_function client ~modul
+      ~name:Gpusim.Kernels.reduce_sum_name
+  in
+  let d_x = Cricket.Client.malloc client (4 * n) in
+  let d_acc = Cricket.Client.malloc client (4 * n) in
+  let d_out = Cricket.Client.malloc client 4 in
+  let ones = Bytes.create (4 * n) in
+  for i = 0 to n - 1 do
+    Bytes.set_int32_le ones (4 * i) (Int32.bits_of_float 1.0)
+  done;
+  Cricket.Client.memcpy_h2d client ~dst:d_x ones;
+  Cricket.Client.memset client ~ptr:d_acc ~value:0 ~len:(4 * n);
+  let step () =
+    Cricket.Client.launch client saxpy
+      ~grid:{ Cricket.Client.x = (n + 255) / 256; y = 1; z = 1 }
+      ~block:{ Cricket.Client.x = 256; y = 1; z = 1 }
+      [|
+        Gpusim.Kernels.F32 1.0;
+        Gpusim.Kernels.Ptr (Int64.to_int d_x);
+        Gpusim.Kernels.Ptr (Int64.to_int d_acc);
+        Gpusim.Kernels.I32 (Int32.of_int n);
+      |]
+  in
+  let current_sum () =
+    Cricket.Client.launch client reduce
+      ~grid:{ Cricket.Client.x = 1; y = 1; z = 1 }
+      ~block:{ Cricket.Client.x = 256; y = 1; z = 1 }
+      [|
+        Gpusim.Kernels.Ptr (Int64.to_int d_acc);
+        Gpusim.Kernels.Ptr (Int64.to_int d_out);
+        Gpusim.Kernels.I32 (Int32.of_int n);
+      |];
+    Cricket.Client.device_synchronize client;
+    let b = Cricket.Client.memcpy_d2h client ~src:d_out ~len:4 in
+    Int32.float_of_bits (Bytes.get_int32_le b 0)
+  in
+
+  for _ = 1 to 10 do step () done;
+  Printf.printf "after 10 steps: sum = %.0f (expected %d)\n" (current_sum ())
+    (10 * n);
+
+  print_endline "checkpointing server-side GPU state...";
+  Cricket.Client.checkpoint client "example.ckpt";
+
+  (* catastrophe: the accumulator is wiped *)
+  Cricket.Client.memset client ~ptr:d_acc ~value:0 ~len:(4 * n);
+  Printf.printf "after wipe: sum = %.0f\n" (current_sum ());
+
+  print_endline "restoring...";
+  Cricket.Client.restore client "example.ckpt";
+  Printf.printf "after restore: sum = %.0f (state recovered)\n" (current_sum ());
+
+  (* and the application continues where it left off *)
+  for _ = 1 to 10 do step () done;
+  Printf.printf "after 10 more steps: sum = %.0f (expected %d)\n"
+    (current_sum ()) (20 * n);
+  Sys.remove (Filename.concat dir "example.ckpt")

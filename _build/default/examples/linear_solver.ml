@@ -1,0 +1,29 @@
+(* The cuSolverDn_LinearSolver proxy application (Fig. 5b): LU-factorize
+   and solve a dense 900x900 system on the remote GPU through Cricket,
+   checking the residual.
+
+     dune exec examples/linear_solver.exe            # 5 iterations, n=900
+     dune exec examples/linear_solver.exe -- 200 300 # 200 iterations, n=300 *)
+
+let () =
+  let iterations =
+    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 5
+  in
+  let n = if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 900 in
+  let params = { Apps.Linear_solver.n; iterations } in
+  Printf.printf "cuSolverDn_LinearSolver: LU %dx%d, %d iterations\n\n" n n
+    iterations;
+  (* one functional iteration verifies the residual *)
+  ignore
+    (Unikernel.Runner.run ~functional:true Unikernel.Config.rust_native
+       (Apps.Linear_solver.run ~verify:true
+          { params with Apps.Linear_solver.iterations = 1 }));
+  Printf.printf "residual check passed (n = %d)\n\n" n;
+  List.iter
+    (fun cfg ->
+      let m =
+        Unikernel.Runner.run ~functional:false cfg
+          (Apps.Linear_solver.run ~verify:false params)
+      in
+      Format.printf "%a@." Unikernel.Runner.pp_measurement m)
+    Unikernel.Config.all

@@ -1,0 +1,30 @@
+(* The matrixMul proxy application (Fig. 5a) across all five evaluated
+   host configurations, GNU-time style end-to-end measurement.
+
+     dune exec examples/matrix_mul.exe              # small default workload
+     dune exec examples/matrix_mul.exe -- 10000     # custom iteration count *)
+
+let () =
+  let iterations =
+    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 1_000
+  in
+  let params = { Apps.Matrix_mul.default with Apps.Matrix_mul.iterations } in
+  Printf.printf
+    "matrixMul: C(%dx%d) = A(%dx%d) x B(%dx%d), %d iterations\n\n"
+    params.Apps.Matrix_mul.ha params.Apps.Matrix_mul.wb
+    params.Apps.Matrix_mul.ha params.Apps.Matrix_mul.wa
+    params.Apps.Matrix_mul.wa params.Apps.Matrix_mul.wb iterations;
+  (* verify the numerics once on a small functional run *)
+  ignore
+    (Unikernel.Runner.run ~functional:true Unikernel.Config.rust_native
+       (Apps.Matrix_mul.run ~verify:true
+          { params with Apps.Matrix_mul.iterations = 2 }));
+  print_endline "numerics verified against the CPU reference\n";
+  List.iter
+    (fun cfg ->
+      let m =
+        Unikernel.Runner.run ~functional:false cfg
+          (Apps.Matrix_mul.run ~verify:false params)
+      in
+      Format.printf "%a@." Unikernel.Runner.pp_measurement m)
+    Unikernel.Config.all

@@ -1,0 +1,108 @@
+(* GPU-state migration between Cricket servers (§5: "runtime
+   reorganization of tasks through checkpoint/restart ... large-scale
+   deployments of unikernels in heterogeneous clusters").
+
+   An application runs against GPU node A; the operator checkpoints A,
+   moves the state file to GPU node B, restores there, and the application
+   reconnects to B and continues — device pointers and loaded kernel
+   modules survive because the checkpoint captures the full allocator and
+   module state.
+
+     dune exec examples/migration.exe *)
+
+let step client saxpy d_x d_acc n =
+  Cricket.Client.launch client saxpy
+    ~grid:{ Cricket.Client.x = (n + 255) / 256; y = 1; z = 1 }
+    ~block:{ Cricket.Client.x = 256; y = 1; z = 1 }
+    [|
+      Gpusim.Kernels.F32 1.0;
+      Gpusim.Kernels.Ptr (Int64.to_int d_x);
+      Gpusim.Kernels.Ptr (Int64.to_int d_acc);
+      Gpusim.Kernels.I32 (Int32.of_int n);
+    |]
+
+let sum_of client reduce d_acc d_out n =
+  Cricket.Client.launch client reduce
+    ~grid:{ Cricket.Client.x = 1; y = 1; z = 1 }
+    ~block:{ Cricket.Client.x = 256; y = 1; z = 1 }
+    [|
+      Gpusim.Kernels.Ptr (Int64.to_int d_acc);
+      Gpusim.Kernels.Ptr (Int64.to_int d_out);
+      Gpusim.Kernels.I32 (Int32.of_int n);
+    |];
+  Cricket.Client.device_synchronize client;
+  let b = Cricket.Client.memcpy_d2h client ~src:d_out ~len:4 in
+  Int32.float_of_bits (Bytes.get_int32_le b 0)
+
+let () =
+  let dir = Filename.get_temp_dir_name () in
+  let n = 4096 in
+  let image =
+    Cubin.Image.of_registry
+      [ Gpusim.Kernels.saxpy_name; Gpusim.Kernels.reduce_sum_name ]
+  in
+  let module_bytes = Cubin.Image.build image in
+
+  (* --- GPU node A --- *)
+  let engine_a = Simnet.Engine.create () in
+  let node_a =
+    Cricket.Server.create ~checkpoint_dir:dir
+      ~clock:(Cudasim.Context.engine_clock engine_a) ()
+  in
+  let client_a = Cricket.Local.connect node_a in
+  let modul = Cricket.Client.module_load client_a module_bytes in
+  let saxpy =
+    Cricket.Client.get_function client_a ~modul ~name:Gpusim.Kernels.saxpy_name
+  in
+  let reduce =
+    Cricket.Client.get_function client_a ~modul
+      ~name:Gpusim.Kernels.reduce_sum_name
+  in
+  let d_x = Cricket.Client.malloc client_a (4 * n) in
+  let d_acc = Cricket.Client.malloc client_a (4 * n) in
+  let d_out = Cricket.Client.malloc client_a 4 in
+  let ones = Bytes.create (4 * n) in
+  for i = 0 to n - 1 do
+    Bytes.set_int32_le ones (4 * i) (Int32.bits_of_float 1.0)
+  done;
+  Cricket.Client.memcpy_h2d client_a ~dst:d_x ones;
+  Cricket.Client.memset client_a ~ptr:d_acc ~value:0 ~len:(4 * n);
+  for _ = 1 to 7 do step client_a saxpy d_x d_acc n done;
+  Printf.printf "node A: after 7 steps, sum = %.0f\n"
+    (sum_of client_a reduce d_acc d_out n);
+
+  print_endline "operator: checkpointing node A and migrating the state file";
+  Cricket.Client.checkpoint client_a "migrate.ckpt";
+  Cricket.Client.close client_a;
+
+  (* --- GPU node B: a different server instance, same checkpoint dir
+     (in a real cluster the file moves over the network) --- *)
+  let engine_b = Simnet.Engine.create () in
+  let node_b =
+    Cricket.Server.create ~checkpoint_dir:dir
+      ~clock:(Cudasim.Context.engine_clock engine_b) ()
+  in
+  let client_b = Cricket.Local.connect node_b in
+  Cricket.Client.restore client_b "migrate.ckpt";
+  print_endline "node B: state restored";
+
+  (* The client reconstructs its local metadata by reloading the module
+     bytes it shipped originally (handles for device memory and functions
+     are preserved by the checkpoint). *)
+  let modul_b = Cricket.Client.module_load client_b module_bytes in
+  let saxpy_b =
+    Cricket.Client.get_function client_b ~modul:modul_b
+      ~name:Gpusim.Kernels.saxpy_name
+  in
+  let reduce_b =
+    Cricket.Client.get_function client_b ~modul:modul_b
+      ~name:Gpusim.Kernels.reduce_sum_name
+  in
+  Printf.printf "node B: sum after migration = %.0f (expected %d)\n"
+    (sum_of client_b reduce_b d_acc d_out n)
+    (7 * n);
+  for _ = 1 to 3 do step client_b saxpy_b d_x d_acc n done;
+  Printf.printf "node B: after 3 more steps, sum = %.0f (expected %d)\n"
+    (sum_of client_b reduce_b d_acc d_out n)
+    (10 * n);
+  Sys.remove (Filename.concat dir "migrate.ckpt")

@@ -1,0 +1,125 @@
+(* N-body gravity simulation through Cricket — a compute-bound workload at
+   the opposite end of the spectrum from the paper's I/O-intensive proxy
+   apps. With long-running O(n²) kernels, the unikernel overhead almost
+   vanishes, which is exactly the paper's conclusion: "our approach is
+   best suited to GPU applications that have long-running, high-workload
+   GPU kernels".
+
+     dune exec examples/nbody.exe             # 16384 bodies, 25 steps
+     dune exec examples/nbody.exe -- 2048 50  # small: back to call-bound *)
+
+let body_floats n =
+  (* deterministic plummer-ish cloud; (x,y,z,mass) *)
+  let state = ref 424242 in
+  let next () =
+    let x = !state in
+    let x = x lxor (x lsl 13) land 0x3fffffff in
+    let x = x lxor (x lsr 17) in
+    let x = x lxor (x lsl 5) land 0x3fffffff in
+    state := x;
+    (Float.of_int (x land 0xfffff) /. Float.of_int 0xfffff) -. 0.5
+  in
+  Array.init (4 * n) (fun i ->
+      match i mod 4 with 3 -> 1.0 /. Float.of_int n | _ -> next ())
+
+let f32_bytes = Apps.Workload.f32_bytes
+let f32_array = Apps.Workload.f32_array
+
+let momentum pos_bytes vel_bytes n =
+  let pos = f32_array pos_bytes and vel = f32_array vel_bytes in
+  let px = ref 0.0 and py = ref 0.0 and pz = ref 0.0 in
+  for i = 0 to n - 1 do
+    let m = pos.((4 * i) + 3) in
+    px := !px +. (m *. vel.(4 * i));
+    py := !py +. (m *. vel.((4 * i) + 1));
+    pz := !pz +. (m *. vel.((4 * i) + 2))
+  done;
+  Float.sqrt ((!px *. !px) +. (!py *. !py) +. (!pz *. !pz))
+
+let run_config cfg n steps =
+  Unikernel.Runner.run ~functional:false cfg (fun env ->
+      let client = env.Unikernel.Runner.client in
+      let d_pos = Cricket.Client.malloc client (16 * n) in
+      let d_vel = Cricket.Client.malloc client (16 * n) in
+      Cricket.Client.memcpy_h2d client ~dst:d_pos
+        (f32_bytes (body_floats n));
+      Cricket.Client.memset client ~ptr:d_vel ~value:0 ~len:(16 * n);
+      let modul = Apps.Workload.load_standard_module client in
+      let image = Cubin.Image.of_registry [ Gpusim.Kernels.nbody_name ] in
+      let m2 = Cricket.Client.module_load client (Cubin.Image.build image) in
+      ignore modul;
+      let kernel =
+        Cricket.Client.get_function client ~modul:m2
+          ~name:Gpusim.Kernels.nbody_name
+      in
+      for _ = 1 to steps do
+        Cricket.Client.launch client kernel
+          ~grid:{ Cricket.Client.x = (n + 255) / 256; y = 1; z = 1 }
+          ~block:{ Cricket.Client.x = 256; y = 1; z = 1 }
+          [|
+            Gpusim.Kernels.Ptr (Int64.to_int d_pos);
+            Gpusim.Kernels.Ptr (Int64.to_int d_vel);
+            Gpusim.Kernels.F32 0.001;
+            Gpusim.Kernels.I32 (Int32.of_int n);
+          |]
+      done;
+      Cricket.Client.device_synchronize client)
+
+let () =
+  let n = if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 16384 in
+  let steps = if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 25 in
+  Printf.printf "n-body: %d bodies, %d steps (O(n^2) kernels)\n\n" n steps;
+
+  (* physics sanity check on a small functional run: total momentum of an
+     isolated system starting at rest stays ~0 *)
+  let engine = Simnet.Engine.create () in
+  let server =
+    Cricket.Server.create ~clock:(Cudasim.Context.engine_clock engine) ()
+  in
+  let client = Cricket.Local.connect server in
+  let small = 256 in
+  let d_pos = Cricket.Client.malloc client (16 * small) in
+  let d_vel = Cricket.Client.malloc client (16 * small) in
+  Cricket.Client.memcpy_h2d client ~dst:d_pos (f32_bytes (body_floats small));
+  Cricket.Client.memset client ~ptr:d_vel ~value:0 ~len:(16 * small);
+  let image = Cubin.Image.of_registry [ Gpusim.Kernels.nbody_name ] in
+  let modul = Cricket.Client.module_load client (Cubin.Image.build image) in
+  let kernel =
+    Cricket.Client.get_function client ~modul ~name:Gpusim.Kernels.nbody_name
+  in
+  for _ = 1 to 5 do
+    Cricket.Client.launch client kernel
+      ~grid:{ Cricket.Client.x = 1; y = 1; z = 1 }
+      ~block:{ Cricket.Client.x = 256; y = 1; z = 1 }
+      [|
+        Gpusim.Kernels.Ptr (Int64.to_int d_pos);
+        Gpusim.Kernels.Ptr (Int64.to_int d_vel);
+        Gpusim.Kernels.F32 0.001;
+        Gpusim.Kernels.I32 (Int32.of_int small);
+      |]
+  done;
+  Cricket.Client.device_synchronize client;
+  let p =
+    momentum
+      (Cricket.Client.memcpy_d2h client ~src:d_pos ~len:(16 * small))
+      (Cricket.Client.memcpy_d2h client ~src:d_vel ~len:(16 * small))
+      small
+  in
+  Printf.printf "momentum drift after 5 steps: |p| = %.2e %s\n\n" p
+    (if p < 1e-3 then "(conserved)" else "(UNEXPECTED)");
+
+  (* compute-bound: virtualization overhead nearly disappears *)
+  Printf.printf "%-9s %12s %14s\n" "config" "time" "vs native";
+  let rust =
+    Simnet.Time.to_float_s
+      (run_config Unikernel.Config.rust_native n steps).Unikernel.Runner.elapsed
+  in
+  List.iter
+    (fun cfg ->
+      let t =
+        Simnet.Time.to_float_s
+          (run_config cfg n steps).Unikernel.Runner.elapsed
+      in
+      Printf.printf "%-9s %11.3fs %13.2fx\n" cfg.Unikernel.Config.name t
+        (t /. rust))
+    Unikernel.Config.all

@@ -1,0 +1,80 @@
+(* Quickstart: the minimal Cricket GPU application.
+
+   Starts an in-process Cricket server fronting the simulated GPU node,
+   connects a client, allocates device memory, uploads data, launches a
+   kernel loaded from a (compressed) cubin module, and reads the result
+   back — the full pipeline of Figure 3 in the paper.
+
+     dune exec examples/quickstart.exe *)
+
+let () =
+  (* 1. a Cricket server on the GPU node (virtual clock drives GPU time) *)
+  let engine = Simnet.Engine.create () in
+  let server =
+    Cricket.Server.create ~clock:(Cudasim.Context.engine_clock engine) ()
+  in
+  (* 2. a client; Local.connect wires it over an in-process RPC transport.
+     (See remote_server.ml for real TCP sockets.) *)
+  let client = Cricket.Local.connect server in
+
+  Printf.printf "GPUs visible through Cricket: %d\n"
+    (Cricket.Client.get_device_count client);
+  let props = Cricket.Client.get_device_properties client 0 in
+  Printf.printf "Device 0: %s (%d SMs)\n" props.Cricket.Client.name
+    props.Cricket.Client.multi_processor_count;
+
+  (* 3. device memory, with lifetime tracking (no use-after-free) *)
+  let n = 1 lsl 16 in
+  Cricket.Lifetime.with_buffer client (4 * n) (fun d_x ->
+      Cricket.Lifetime.with_buffer client (4 * n) (fun d_y ->
+          let floats v =
+            let b = Bytes.create (4 * n) in
+            for i = 0 to n - 1 do
+              Bytes.set_int32_le b (4 * i) (Int32.bits_of_float (v i))
+            done;
+            b
+          in
+          Cricket.Lifetime.upload d_x (floats (fun i -> Float.of_int i));
+          Cricket.Lifetime.upload d_y (floats (fun _ -> 1.0));
+
+          (* 4. load a kernel module: built client-side as a compressed
+             cubin, decompressed and indexed by the server (§3.3) *)
+          let image = Cubin.Image.of_registry [ Gpusim.Kernels.saxpy_name ] in
+          let modul =
+            Cricket.Client.module_load client
+              (Cubin.Image.build ~compress:true image)
+          in
+          let saxpy =
+            Cricket.Client.get_function client ~modul
+              ~name:Gpusim.Kernels.saxpy_name
+          in
+
+          (* 5. launch: y <- 2x + y *)
+          Cricket.Client.launch client saxpy
+            ~grid:{ Cricket.Client.x = (n + 255) / 256; y = 1; z = 1 }
+            ~block:{ Cricket.Client.x = 256; y = 1; z = 1 }
+            [|
+              Gpusim.Kernels.F32 2.0;
+              Gpusim.Kernels.Ptr (Int64.to_int (Cricket.Lifetime.ptr d_x));
+              Gpusim.Kernels.Ptr (Int64.to_int (Cricket.Lifetime.ptr d_y));
+              Gpusim.Kernels.I32 (Int32.of_int n);
+            |];
+          Cricket.Client.device_synchronize client;
+
+          (* 6. read back and verify *)
+          let result = Cricket.Lifetime.download d_y in
+          let ok = ref true in
+          for i = 0 to n - 1 do
+            let v = Int32.float_of_bits (Bytes.get_int32_le result (4 * i)) in
+            if v <> (2.0 *. Float.of_int i) +. 1.0 then ok := false
+          done;
+          Printf.printf "saxpy over %d elements: %s\n" n
+            (if !ok then "verified" else "WRONG");
+          Cricket.Client.module_unload client modul));
+
+  Printf.printf "API calls: %d, sent %d bytes, received %d bytes\n"
+    (Cricket.Client.api_calls client)
+    (Cricket.Client.bytes_to_server client)
+    (Cricket.Client.bytes_from_server client);
+  Printf.printf "Virtual time elapsed on the simulated cluster: %s\n"
+    (Format.asprintf "%a" Simnet.Time.pp (Simnet.Engine.now engine))

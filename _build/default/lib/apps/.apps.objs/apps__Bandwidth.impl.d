@@ -1,0 +1,1 @@
+lib/apps/bandwidth.ml: Bytes Cricket Float Simnet Unikernel Workload

@@ -1,0 +1,1 @@
+lib/apps/bandwidth.mli: Simnet Unikernel

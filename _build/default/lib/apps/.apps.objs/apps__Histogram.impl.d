@@ -1,0 +1,1 @@
+lib/apps/histogram.ml: Array Bytes Char Cricket Gpusim Int32 Int64 Printf Unikernel Workload

@@ -1,0 +1,1 @@
+lib/apps/histogram.mli: Unikernel

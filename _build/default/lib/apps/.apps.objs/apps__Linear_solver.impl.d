@@ -1,0 +1,1 @@
+lib/apps/linear_solver.ml: Array Cricket Float Printf Unikernel Workload

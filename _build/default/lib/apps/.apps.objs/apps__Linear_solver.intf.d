@@ -1,0 +1,1 @@
+lib/apps/linear_solver.mli: Unikernel

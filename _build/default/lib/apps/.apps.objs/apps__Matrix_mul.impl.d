@@ -1,0 +1,1 @@
+lib/apps/matrix_mul.ml: Array Cricket Float Gpusim Int32 Int64 Printf Unikernel Workload

@@ -1,0 +1,1 @@
+lib/apps/matrix_mul.mli: Unikernel

@@ -1,0 +1,1 @@
+lib/apps/micro.ml: Cricket Float Gpusim Int64 Simnet Unikernel Workload

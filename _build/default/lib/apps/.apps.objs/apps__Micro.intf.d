@@ -1,0 +1,1 @@
+lib/apps/micro.mli: Simnet Unikernel

@@ -1,0 +1,1 @@
+lib/apps/workload.ml: Array Bytes Char Cricket Cubin Float Gpusim Int32

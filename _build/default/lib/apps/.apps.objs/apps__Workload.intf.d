@@ -1,0 +1,1 @@
+lib/apps/workload.mli: Cricket

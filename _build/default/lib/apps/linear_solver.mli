@@ -1,0 +1,22 @@
+(** Port of the cuSolverDn_LinearSolver proxy application (Fig. 5b).
+
+    Each iteration uploads a dense system, LU-factorizes it with
+    cusolverDnSgetrf (partial pivoting), solves with cusolverDnSgetrs, and
+    reads the solution back. The matrix is uploaded twice per iteration (a
+    second copy is kept for the residual check, as the sample does), giving
+    the paper's profile of ≈20 API calls and ≈6.4 MB transferred per
+    iteration — ≈6.07 GiB over 1000 iterations. *)
+
+type params = {
+  n : int;  (** system size *)
+  iterations : int;
+}
+
+val default : params
+(** 900 × 900, 20 iterations. *)
+
+val paper : params
+(** 900 × 900, 1000 iterations. *)
+
+val run : ?verify:bool -> params -> Unikernel.Runner.env -> unit
+(** [verify] checks the residual ‖Ax − b‖∞ of the first iteration. *)

@@ -1,0 +1,69 @@
+type params = { ha : int; wa : int; wb : int; iterations : int }
+
+let default = { ha = 320; wa = 320; wb = 640; iterations = 300 }
+let paper = { default with iterations = 100_000 }
+
+let block = 32
+
+let run ?(verify = true) p (env : Unikernel.Runner.env) =
+  if p.ha mod block <> 0 || p.wb mod block <> 0 then
+    invalid_arg "matrixMul: dimensions must be multiples of 32";
+  let client = env.Unikernel.Runner.client in
+  let valcst_a = 1.0 and valcst_b = 0.01 in
+  (* host-side input preparation: the sample fills with constants, so the
+     cost is a plain memory fill, identical for the C and Rust ports *)
+  Cricket.Client.charge_host client ((p.ha * p.wa) + (p.wa * p.wb));
+  let h_a = Workload.fill_constant (p.ha * p.wa) valcst_a in
+  let h_b = Workload.fill_constant (p.wa * p.wb) valcst_b in
+  ignore (Cricket.Client.get_device_count client);
+  ignore (Cricket.Client.get_device_properties client 0);
+  Cricket.Client.set_device client 0;
+  let bytes_a = 4 * p.ha * p.wa in
+  let bytes_b = 4 * p.wa * p.wb in
+  let bytes_c = 4 * p.ha * p.wb in
+  let d_a = Cricket.Client.malloc client bytes_a in
+  let d_b = Cricket.Client.malloc client bytes_b in
+  let d_c = Cricket.Client.malloc client bytes_c in
+  Cricket.Client.memcpy_h2d client ~dst:d_a (Workload.f32_bytes h_a);
+  Cricket.Client.memcpy_h2d client ~dst:d_b (Workload.f32_bytes h_b);
+  let modul = Workload.load_standard_module client in
+  let func =
+    Workload.get_kernel client ~modul Gpusim.Kernels.matrix_mul_name
+  in
+  let grid =
+    { Cricket.Client.x = p.wb / block; y = p.ha / block; z = 1 }
+  in
+  let blk = { Cricket.Client.x = block; y = block; z = 1 } in
+  let start = Cricket.Client.event_create client in
+  let stop = Cricket.Client.event_create client in
+  Cricket.Client.event_record client ~event:start ~stream:0L;
+  for _ = 1 to p.iterations do
+    Cricket.Client.launch client func ~grid ~block:blk
+      [|
+        Gpusim.Kernels.Ptr (Int64.to_int d_c);
+        Gpusim.Kernels.Ptr (Int64.to_int d_a);
+        Gpusim.Kernels.Ptr (Int64.to_int d_b);
+        Gpusim.Kernels.I32 (Int32.of_int p.wa);
+        Gpusim.Kernels.I32 (Int32.of_int p.wb);
+      |]
+  done;
+  Cricket.Client.event_record client ~event:stop ~stream:0L;
+  Cricket.Client.device_synchronize client;
+  ignore (Cricket.Client.event_elapsed_ms client ~start ~stop);
+  let result = Cricket.Client.memcpy_d2h client ~src:d_c ~len:bytes_c in
+  if verify then begin
+    let c = Workload.f32_array result in
+    let expected = Float.of_int p.wa *. valcst_a *. valcst_b in
+    Array.iteri
+      (fun i v ->
+        if not (Workload.approx_equal ~tolerance:1e-3 v expected) then
+          failwith
+            (Printf.sprintf "matrixMul: C[%d] = %f, expected %f" i v expected))
+      c
+  end;
+  Cricket.Client.event_destroy client start;
+  Cricket.Client.event_destroy client stop;
+  Cricket.Client.free client d_a;
+  Cricket.Client.free client d_b;
+  Cricket.Client.free client d_c;
+  Cricket.Client.module_unload client modul

@@ -1,0 +1,22 @@
+(** Port of the CUDA-samples matrixMul proxy application (Fig. 5a).
+
+    C(hA×wB) = A(hA×wA) × B(wA×wB), launched [iterations] times through
+    Cricket. Matches the sample's profile: ~1 kernel launch per iteration
+    plus a few dozen setup calls, ~2 MiB of memory transfers total. *)
+
+type params = {
+  ha : int;  (** rows of A (and C) *)
+  wa : int;  (** cols of A = rows of B *)
+  wb : int;  (** cols of B (and C) *)
+  iterations : int;
+}
+
+val default : params
+(** The sample's defaults: 320 × 320 × 640. *)
+
+val paper : params
+(** The paper's configuration: default dims, 100 000 iterations. *)
+
+val run : ?verify:bool -> params -> Unikernel.Runner.env -> unit
+(** Raises [Failure] if [verify] (default true) and the result is wrong.
+    Only verify on functional runs. *)

@@ -1,0 +1,68 @@
+type which = Get_device_count | Malloc_free | Kernel_launch
+
+let which_to_string = function
+  | Get_device_count -> "cudaGetDeviceCount"
+  | Malloc_free -> "cudaMalloc/cudaFree"
+  | Kernel_launch -> "kernel launch"
+
+type result = {
+  which : which;
+  calls : int;
+  elapsed : Simnet.Time.t;
+  ns_per_call : float;
+}
+
+let run ?(calls = 100_000) which (env : Unikernel.Runner.env) =
+  let client = env.Unikernel.Runner.client in
+  let engine = env.Unikernel.Runner.engine in
+  ignore (Cricket.Client.get_device_count client);
+  let measure body =
+    let t0 = Simnet.Engine.now engine in
+    body ();
+    Simnet.Time.sub (Simnet.Engine.now engine) t0
+  in
+  let elapsed =
+    match which with
+    | Get_device_count ->
+        measure (fun () ->
+            for _ = 1 to calls do
+              ignore (Cricket.Client.get_device_count client)
+            done)
+    | Malloc_free ->
+        measure (fun () ->
+            for _ = 1 to calls do
+              let p = Cricket.Client.malloc client 1048576 in
+              Cricket.Client.free client p
+            done)
+    | Kernel_launch ->
+        let d = Cricket.Client.malloc client 4096 in
+        let modul = Workload.load_standard_module client in
+        let func =
+          Workload.get_kernel client ~modul Gpusim.Kernels.fill_name
+        in
+        let grid = { Cricket.Client.x = 1; y = 1; z = 1 } in
+        let blk = { Cricket.Client.x = 256; y = 1; z = 1 } in
+        let args =
+          [|
+            Gpusim.Kernels.Ptr (Int64.to_int d);
+            Gpusim.Kernels.F32 1.0;
+            Gpusim.Kernels.I32 1024l;
+          |]
+        in
+        let elapsed =
+          measure (fun () ->
+              for _ = 1 to calls do
+                Cricket.Client.launch client func ~grid ~block:blk args
+              done;
+              Cricket.Client.device_synchronize client)
+        in
+        Cricket.Client.free client d;
+        Cricket.Client.module_unload client modul;
+        elapsed
+  in
+  {
+    which;
+    calls;
+    elapsed;
+    ns_per_call = Int64.to_float elapsed /. Float.of_int calls;
+  }

@@ -1,0 +1,18 @@
+(** The §4.2 micro-benchmarks (Fig. 6): time for repeated calls of
+    cudaGetDeviceCount, alternating cudaMalloc/cudaFree, and kernel
+    launches. *)
+
+type which = Get_device_count | Malloc_free | Kernel_launch
+
+val which_to_string : which -> string
+
+type result = {
+  which : which;
+  calls : int;
+  elapsed : Simnet.Time.t;
+  ns_per_call : float;
+}
+
+val run : ?calls:int -> which -> Unikernel.Runner.env -> result
+(** [calls] defaults to 100 000 as in the paper. Malloc/free counts one
+    "call" per pair; kernel launch uses a tiny [fillKernel] grid. *)

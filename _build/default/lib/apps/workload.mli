@@ -1,0 +1,20 @@
+(** Shared helpers for the proxy applications: host-side buffers of f32
+    values, deterministic input generation, and kernel-module plumbing. *)
+
+val f32_bytes : float array -> bytes
+(** Little-endian f32 serialization (host memory layout). *)
+
+val f32_array : bytes -> float array
+
+val fill_constant : int -> float -> float array
+
+val xorshift_bytes : seed:int -> int -> bytes
+(** Deterministic pseudo-random byte stream (the Rust-port generator). *)
+
+val load_standard_module : Cricket.Client.t -> int64
+(** Build the repository's standard kernel cubin (all registry kernels,
+    compressed) and load it through the client. *)
+
+val get_kernel : Cricket.Client.t -> modul:int64 -> string -> Cricket.Client.func
+
+val approx_equal : ?tolerance:float -> float -> float -> bool

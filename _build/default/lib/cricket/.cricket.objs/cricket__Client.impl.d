@@ -1,0 +1,1 @@
+lib/cricket/client.ml: Bytes Cubin Cudasim Fun Gpusim Hashtbl Int64 List Oncrpc Proto

@@ -1,0 +1,1 @@
+lib/cricket/client.mli: Gpusim Oncrpc

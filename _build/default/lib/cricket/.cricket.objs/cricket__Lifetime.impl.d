@@ -1,0 +1,1 @@
+lib/cricket/lifetime.ml: Bytes Client Fun Int64 Printexc

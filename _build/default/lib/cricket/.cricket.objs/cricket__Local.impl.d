@@ -1,0 +1,1 @@
+lib/cricket/local.ml: Client List Oncrpc Server String

@@ -1,0 +1,1 @@
+lib/cricket/local.mli: Client Oncrpc Server

@@ -1,0 +1,1 @@
+lib/cricket/proto.ml: List Oncrpc Xdr

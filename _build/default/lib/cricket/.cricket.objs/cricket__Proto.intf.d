@@ -1,0 +1,1 @@
+lib/cricket/proto.mli: Oncrpc Xdr

@@ -1,0 +1,1 @@
+lib/cricket/sched.ml: Array Float Hashtbl List Simnet

@@ -1,0 +1,1 @@
+lib/cricket/sched.mli: Simnet

@@ -1,0 +1,1 @@
+lib/cricket/server.ml: Bytes Cudasim Filename Fun Gpusim Hashtbl Int64 Lazy List Oncrpc Option Printf Proto Rpcl Simnet String Trace

@@ -1,0 +1,1 @@
+lib/cricket/server.mli: Cudasim Gpusim Oncrpc Trace

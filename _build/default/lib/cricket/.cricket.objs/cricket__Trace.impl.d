@@ -1,0 +1,1 @@
+lib/cricket/trace.ml: Array Format List Simnet

@@ -1,0 +1,1 @@
+lib/cricket/trace.mli: Format Simnet

@@ -1,0 +1,1 @@
+lib/cricket/transfer.ml: Float Printexc Printf

@@ -1,0 +1,1 @@
+lib/cricket/transfer.mli:

@@ -1,0 +1,255 @@
+module P = Proto.Rpc_cd_prog_def_v1.Client
+
+type func = { handle : int64; info : Cubin.Image.kernel_info }
+
+type dim3 = Gpusim.Kernels.dim3 = { x : int; y : int; z : int }
+
+type t = {
+  rpc : Oncrpc.Client.t;
+  launch_extra_ns : int;
+  charge : int -> unit;
+  (* kernel metadata per loaded module, parsed client-side *)
+  modules : (int64, Cubin.Image.t) Hashtbl.t;
+  mutable memcpy_up : int;
+  mutable memcpy_down : int;
+}
+
+let create ?(launch_extra_ns = 0) ?(charge = fun _ -> ()) ?fragment_size
+    ~transport () =
+  {
+    rpc = P.create ?fragment_size ~transport ();
+    launch_extra_ns;
+    charge;
+    modules = Hashtbl.create 4;
+    memcpy_up = 0;
+    memcpy_down = 0;
+  }
+
+let close t = Oncrpc.Client.close t.rpc
+let api_calls t = (Oncrpc.Client.stats t.rpc).Oncrpc.Client.calls
+let bytes_to_server t = (Oncrpc.Client.stats t.rpc).Oncrpc.Client.bytes_sent
+
+let bytes_from_server t =
+  (Oncrpc.Client.stats t.rpc).Oncrpc.Client.bytes_received
+
+let charge_host t ns = t.charge ns
+let memcpy_bytes_up t = t.memcpy_up
+let memcpy_bytes_down t = t.memcpy_down
+
+let check err = Cudasim.Error.check (Cudasim.Error.of_code err)
+
+let check_void (r : Proto.void_result) = check r.Proto.err
+
+let check_int (r : Proto.int_result) =
+  check r.Proto.err;
+  r.Proto.data
+
+let check_u64 (r : Proto.u64_result) =
+  check r.Proto.err;
+  r.Proto.data
+
+let check_mem (r : Proto.mem_result) =
+  check r.Proto.err;
+  r.Proto.data
+
+let check_float (r : Proto.float_result) =
+  check r.Proto.err;
+  r.Proto.data
+
+(* --- device management --- *)
+
+let get_device_count t = check_int (P.rpc_cudaGetDeviceCount t.rpc ())
+let set_device t i = check_void (P.rpc_cudaSetDevice t.rpc i)
+let get_device t = check_int (P.rpc_cudaGetDevice t.rpc ())
+
+type device_properties = {
+  name : string;
+  total_global_mem : int64;
+  multi_processor_count : int;
+  clock_rate_khz : int;
+  compute_major : int;
+  compute_minor : int;
+  memory_bandwidth : int64;
+}
+
+let get_device_properties t i =
+  let r = P.rpc_cudaGetDeviceProperties t.rpc i in
+  check r.Proto.err;
+  let p = r.Proto.props in
+  {
+    name = p.Proto.name;
+    total_global_mem = p.Proto.total_global_mem;
+    multi_processor_count = p.Proto.multi_processor_count;
+    clock_rate_khz = p.Proto.clock_rate_khz;
+    compute_major = p.Proto.compute_major;
+    compute_minor = p.Proto.compute_minor;
+    memory_bandwidth = p.Proto.memory_bandwidth;
+  }
+
+let device_synchronize t = check_void (P.rpc_cudaDeviceSynchronize t.rpc ())
+let device_reset t = check_void (P.rpc_cudaDeviceReset t.rpc ())
+
+(* --- memory --- *)
+
+let malloc t size = check_u64 (P.rpc_cudaMalloc t.rpc (Int64.of_int size))
+let free t ptr = check_void (P.rpc_cudaFree t.rpc ptr)
+let memcpy_h2d t ~dst data =
+  t.memcpy_up <- t.memcpy_up + Bytes.length data;
+  check_void (P.rpc_cudaMemcpyHtoD t.rpc dst data)
+
+let memcpy_d2h t ~src ~len =
+  t.memcpy_down <- t.memcpy_down + len;
+  check_mem (P.rpc_cudaMemcpyDtoH t.rpc src (Int64.of_int len))
+
+let memcpy_d2d t ~dst ~src ~len =
+  check_void (P.rpc_cudaMemcpyDtoD t.rpc dst src (Int64.of_int len))
+
+let memset t ~ptr ~value ~len =
+  check_void (P.rpc_cudaMemset t.rpc ptr value (Int64.of_int len))
+
+let mem_get_info t =
+  let r = P.rpc_cudaMemGetInfo t.rpc () in
+  check r.Proto.err;
+  (r.Proto.free_bytes, r.Proto.total_bytes)
+
+(* --- streams and events --- *)
+
+let stream_create t = check_u64 (P.rpc_cudaStreamCreate t.rpc ())
+let stream_destroy t h = check_void (P.rpc_cudaStreamDestroy t.rpc h)
+let stream_synchronize t h = check_void (P.rpc_cudaStreamSynchronize t.rpc h)
+let event_create t = check_u64 (P.rpc_cudaEventCreate t.rpc ())
+let event_destroy t h = check_void (P.rpc_cudaEventDestroy t.rpc h)
+
+let event_record t ~event ~stream =
+  check_void (P.rpc_cudaEventRecord t.rpc event stream)
+
+let event_synchronize t h = check_void (P.rpc_cudaEventSynchronize t.rpc h)
+
+let event_elapsed_ms t ~start ~stop =
+  check_float (P.rpc_cudaEventElapsedTime t.rpc start stop)
+
+(* --- modules and launches --- *)
+
+let parse_module_metadata data =
+  if Cubin.Fatbin.is_fatbin data then begin
+    match Cubin.Fatbin.parse data with
+    | Error _ -> None
+    | Ok fatbin -> (
+        (* Keep metadata of the newest-arch image; the server picks per
+           device, but parameter layouts are identical across arches. *)
+        match fatbin.Cubin.Fatbin.images with
+        | [] -> None
+        | images -> (
+            let _, best =
+              List.fold_left
+                (fun ((bcc, _) as best) ((cc, img) : (int * int) * string) ->
+                  if cc > bcc then (cc, img) else best)
+                (List.hd images |> fun (cc, img) -> (cc, img))
+                images
+            in
+            match Cubin.Image.parse best with Ok i -> Some i | Error _ -> None))
+  end
+  else
+    match Cubin.Image.parse data with Ok i -> Some i | Error _ -> None
+
+let module_load t data =
+  match parse_module_metadata data with
+  | None -> raise (Cudasim.Error.Cuda_error Cudasim.Error.Invalid_value)
+  | Some image ->
+      let handle = check_u64 (P.rpc_cuModuleLoadData t.rpc (Bytes.of_string data)) in
+      Hashtbl.replace t.modules handle image;
+      handle
+
+let module_load_file t path =
+  let ic = open_in_bin path in
+  let data =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  module_load t data
+
+let module_unload t handle =
+  check_void (P.rpc_cuModuleUnload t.rpc handle);
+  Hashtbl.remove t.modules handle
+
+let get_function t ~modul ~name =
+  let info =
+    match Hashtbl.find_opt t.modules modul with
+    | None -> raise (Cudasim.Error.Cuda_error Cudasim.Error.Invalid_handle)
+    | Some image -> (
+        match Cubin.Image.find_kernel image name with
+        | None -> raise (Cudasim.Error.Cuda_error Cudasim.Error.Not_found)
+        | Some info -> info)
+  in
+  let handle = check_u64 (P.rpc_cuModuleGetFunction t.rpc modul name) in
+  { handle; info }
+
+let get_global t ~modul ~name =
+  let r = P.rpc_cuModuleGetGlobal t.rpc modul name in
+  check r.Proto.err;
+  (r.Proto.ptr, Int64.to_int r.Proto.size)
+
+let launch t func ~grid ~block ?(shared_mem = 0) ?(stream = 0L) args =
+  if t.launch_extra_ns > 0 then t.charge t.launch_extra_ns;
+  match Cubin.Image.pack_args func.info args with
+  | Error _ -> raise (Cudasim.Error.Cuda_error Cudasim.Error.Invalid_value)
+  | Ok params ->
+      check_void
+        (P.rpc_cuLaunchKernel t.rpc
+           {
+             Proto.function_handle = func.handle;
+             grid_x = grid.x;
+             grid_y = grid.y;
+             grid_z = grid.z;
+             block_x = block.x;
+             block_y = block.y;
+             block_z = block.z;
+             shared_mem_bytes = shared_mem;
+             stream;
+           }
+           params)
+
+(* --- cuBLAS / cuSOLVER --- *)
+
+let cublas_create t = check_u64 (P.rpc_cublasCreate t.rpc ())
+let cublas_destroy t h = check_void (P.rpc_cublasDestroy t.rpc h)
+
+let cublas_sgemm t ~handle ~m ~n ~k ~alpha ~a ~lda ~b ~ldb ~beta ~c ~ldc =
+  check_void
+    (P.rpc_cublasSgemm t.rpc
+       { Proto.handle; m; n; k; alpha; a; lda; b; ldb; beta; c; ldc })
+
+let cublas_sgemv t ~handle ~m ~n ~alpha ~a ~lda ~x ~incx ~beta ~y ~incy =
+  check_void
+    (P.rpc_cublasSgemv t.rpc
+       { Proto.handle; m; n; alpha; a; lda; x; incx; beta; y; incy })
+
+let cublas_sdot t ~handle ~n ~x ~incx ~y ~incy =
+  check_float (P.rpc_cublasSdot t.rpc { Proto.handle; n; x; incx; y; incy })
+
+let cublas_sscal t ~handle ~n ~alpha ~x ~incx =
+  check_void (P.rpc_cublasSscal t.rpc { Proto.handle; n; alpha; x; incx })
+
+let cublas_snrm2 t ~handle ~n ~x ~incx =
+  check_float (P.rpc_cublasSnrm2 t.rpc { Proto.handle; n; x; incx })
+
+let cusolver_create t = check_u64 (P.rpc_cusolverDnCreate t.rpc ())
+let cusolver_destroy t h = check_void (P.rpc_cusolverDnDestroy t.rpc h)
+
+let cusolver_sgetrf_buffer_size t ~handle ~m ~n ~a ~lda =
+  check_int
+    (P.rpc_cusolverDnSgetrf_bufferSize t.rpc { Proto.handle; m; n; a; lda })
+
+let cusolver_sgetrf t ~handle ~m ~n ~a ~lda ~workspace ~ipiv =
+  check_int
+    (P.rpc_cusolverDnSgetrf t.rpc { Proto.handle; m; n; a; lda; workspace; ipiv })
+
+let cusolver_sgetrs t ~handle ~n ~nrhs ~a ~lda ~ipiv ~b ~ldb =
+  check_int
+    (P.rpc_cusolverDnSgetrs t.rpc { Proto.handle; n; nrhs; a; lda; ipiv; b; ldb })
+
+(* --- checkpoint / restart --- *)
+
+let checkpoint t name = check_void (P.rpc_checkpoint t.rpc name)
+let restore t name = check_void (P.rpc_restore t.rpc name)

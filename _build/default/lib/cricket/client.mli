@@ -1,0 +1,158 @@
+(** Application-facing CUDA API forwarded through Cricket — the OCaml
+    analogue of the paper's RPC-Lib client.
+
+    All functions raise {!Cudasim.Error.Cuda_error} when the server reports
+    a CUDA error, and {!Oncrpc.Client.Rpc_error} / {!Oncrpc.Transport.Closed}
+    on protocol or connection failures.
+
+    Kernel launches work as in the paper's extension: the application loads
+    a compiled kernel module (cubin or fatbin) from bytes or a file, the
+    client parses the metadata locally to learn each kernel's parameter
+    layout, packs launch arguments into the exact buffer layout
+    [cuLaunchKernel] expects, and the module bytes travel to the server
+    once via [rpc_cuModuleLoadData].
+
+    The [?charge] hook receives client-side CPU nanoseconds (used by the
+    simulated-host runner to account application work such as C's slower
+    launch path); [?launch_extra_ns] models the extra compatibility logic
+    the C implementations run per kernel launch (§4.2: Rust is ≈6.3 %
+    faster on launches because it omits the [<<<...>>>] path). *)
+
+type t
+
+type func
+(** A kernel function handle plus its parameter metadata. *)
+
+type dim3 = Gpusim.Kernels.dim3 = { x : int; y : int; z : int }
+
+val create :
+  ?launch_extra_ns:int ->
+  ?charge:(int -> unit) ->
+  ?fragment_size:int ->
+  transport:Oncrpc.Transport.t ->
+  unit ->
+  t
+
+val close : t -> unit
+
+(** {1 Statistics (per paper §4.1: API calls and transferred bytes)} *)
+
+val api_calls : t -> int
+val bytes_to_server : t -> int
+val bytes_from_server : t -> int
+
+val memcpy_bytes_up : t -> int
+(** Payload bytes moved by [memcpy_h2d] — the paper's "memory transfers"
+    metric counts these, not RPC argument bytes. *)
+
+val memcpy_bytes_down : t -> int
+val charge_host : t -> int -> unit
+(** Account client-side CPU work (e.g. input-data generation). *)
+
+(** {1 Device management} *)
+
+val get_device_count : t -> int
+val set_device : t -> int -> unit
+val get_device : t -> int
+
+type device_properties = {
+  name : string;
+  total_global_mem : int64;
+  multi_processor_count : int;
+  clock_rate_khz : int;
+  compute_major : int;
+  compute_minor : int;
+  memory_bandwidth : int64;
+}
+
+val get_device_properties : t -> int -> device_properties
+val device_synchronize : t -> unit
+val device_reset : t -> unit
+
+(** {1 Memory} *)
+
+val malloc : t -> int -> int64
+val free : t -> int64 -> unit
+val memcpy_h2d : t -> dst:int64 -> bytes -> unit
+val memcpy_d2h : t -> src:int64 -> len:int -> bytes
+val memcpy_d2d : t -> dst:int64 -> src:int64 -> len:int -> unit
+val memset : t -> ptr:int64 -> value:int -> len:int -> unit
+val mem_get_info : t -> int64 * int64
+
+(** {1 Streams and events} *)
+
+val stream_create : t -> int64
+val stream_destroy : t -> int64 -> unit
+val stream_synchronize : t -> int64 -> unit
+val event_create : t -> int64
+val event_destroy : t -> int64 -> unit
+val event_record : t -> event:int64 -> stream:int64 -> unit
+val event_synchronize : t -> int64 -> unit
+val event_elapsed_ms : t -> start:int64 -> stop:int64 -> float
+
+(** {1 Kernel modules and launches} *)
+
+val module_load : t -> string -> int64
+(** Send a serialized cubin/fatbin to the server; parse metadata locally. *)
+
+val module_load_file : t -> string -> int64
+(** Read a module from disk first (the cubin-file flow the paper added). *)
+
+val module_unload : t -> int64 -> unit
+
+val get_function : t -> modul:int64 -> name:string -> func
+val get_global : t -> modul:int64 -> name:string -> int64 * int
+(** Device pointer and size of a module global. *)
+
+val launch :
+  t ->
+  func ->
+  grid:dim3 ->
+  block:dim3 ->
+  ?shared_mem:int ->
+  ?stream:int64 ->
+  Gpusim.Kernels.arg array ->
+  unit
+
+(** {1 cuBLAS / cuSOLVER} *)
+
+val cublas_create : t -> int64
+val cublas_destroy : t -> int64 -> unit
+
+val cublas_sgemm :
+  t -> handle:int64 -> m:int -> n:int -> k:int -> alpha:float -> a:int64 ->
+  lda:int -> b:int64 -> ldb:int -> beta:float -> c:int64 -> ldc:int -> unit
+
+val cublas_sgemv :
+  t -> handle:int64 -> m:int -> n:int -> alpha:float -> a:int64 -> lda:int ->
+  x:int64 -> incx:int -> beta:float -> y:int64 -> incy:int -> unit
+
+val cublas_sdot :
+  t -> handle:int64 -> n:int -> x:int64 -> incx:int -> y:int64 -> incy:int ->
+  float
+
+val cublas_sscal :
+  t -> handle:int64 -> n:int -> alpha:float -> x:int64 -> incx:int -> unit
+
+val cublas_snrm2 : t -> handle:int64 -> n:int -> x:int64 -> incx:int -> float
+
+val cusolver_create : t -> int64
+val cusolver_destroy : t -> int64 -> unit
+
+val cusolver_sgetrf_buffer_size :
+  t -> handle:int64 -> m:int -> n:int -> a:int64 -> lda:int -> int
+
+val cusolver_sgetrf :
+  t -> handle:int64 -> m:int -> n:int -> a:int64 -> lda:int ->
+  workspace:int64 -> ipiv:int64 -> int
+
+val cusolver_sgetrs :
+  t -> handle:int64 -> n:int -> nrhs:int -> a:int64 -> lda:int ->
+  ipiv:int64 -> b:int64 -> ldb:int -> int
+
+(** {1 Checkpoint / restart} *)
+
+val checkpoint : t -> string -> unit
+(** [checkpoint t name]: server writes its GPU state under [name]. *)
+
+val restore : t -> string -> unit

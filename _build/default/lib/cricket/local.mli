@@ -1,0 +1,17 @@
+(** In-process client↔server wiring.
+
+    Connects a {!Client} to a {!Server} without sockets or threads: client
+    writes are buffered, and each complete record is dispatched to the
+    server synchronously. Full record-marking framing still happens on the
+    "wire", so fragmentation code paths are exercised. This is the default
+    transport for tests, examples and the virtual-time benchmarks (where it
+    is wrapped by the cost-charging channel in the [unikernel] library). *)
+
+val transport : Server.t -> Oncrpc.Transport.t
+(** A fresh client-side transport whose peer is [server]. *)
+
+val transport_of_dispatch : (string -> string) -> Oncrpc.Transport.t
+(** Same, over any record-level dispatch function. *)
+
+val connect : Server.t -> Client.t
+(** [Client.create] over {!transport}. *)

@@ -1,0 +1,344 @@
+module P = Proto.Rpc_cd_prog_def_v1
+
+type t = {
+  rpc : Oncrpc.Server.t;
+  ctx : Cudasim.Context.t;
+  checkpoint_dir : string;
+  mutable calls : int;
+  per_proc : (int, int) Hashtbl.t;
+  trace : Trace.t;
+  mutable last_proc : int;
+  mutable last_arg_bytes : int;
+}
+
+let err_of = Cudasim.Error.code
+
+let void_result e : Proto.void_result = { Proto.err = err_of e }
+
+let int_result_ok v : Proto.int_result = { Proto.err = 0; data = v }
+
+let int_result e : Proto.int_result = { Proto.err = err_of e; data = 0 }
+
+let u64_result_ok v : Proto.u64_result = { Proto.err = 0; data = v }
+
+let u64_result e : Proto.u64_result = { Proto.err = err_of e; data = 0L }
+
+let mem_result_ok data : Proto.mem_result = { Proto.err = 0; data }
+
+let mem_result e : Proto.mem_result = { Proto.err = err_of e; data = Bytes.empty }
+
+let float_result_ok v : Proto.float_result = { Proto.err = 0; data = v }
+
+let float_result e : Proto.float_result = { Proto.err = err_of e; data = 0.0 }
+
+(* Checkpoint paths are confined to the configured directory. *)
+let resolve_checkpoint_path t name =
+  if String.length name = 0 || String.contains name '/' || name = ".." then
+    None
+  else Some (Filename.concat t.checkpoint_dir name)
+
+let implementation t : P.Server.implementation =
+  let ctx = t.ctx in
+  {
+    P.Server.rpc_cudaGetDeviceCount =
+      (fun () -> int_result_ok (Cudasim.Api.get_device_count ctx));
+    rpc_cudaSetDevice = (fun i -> void_result (Cudasim.Api.set_device ctx i));
+    rpc_cudaGetDevice = (fun () -> int_result_ok (Cudasim.Api.get_device ctx));
+    rpc_cudaGetDeviceProperties =
+      (fun i ->
+        match Cudasim.Api.get_device_properties ctx i with
+        | Ok p ->
+            {
+              Proto.err = 0;
+              props =
+                {
+                  Proto.name = p.Cudasim.Api.name;
+                  total_global_mem = p.Cudasim.Api.total_global_mem;
+                  multi_processor_count = p.Cudasim.Api.multi_processor_count;
+                  clock_rate_khz = p.Cudasim.Api.clock_rate_khz;
+                  compute_major = p.Cudasim.Api.compute_major;
+                  compute_minor = p.Cudasim.Api.compute_minor;
+                  memory_bandwidth = p.Cudasim.Api.memory_bandwidth;
+                };
+            }
+        | Error e ->
+            {
+              Proto.err = err_of e;
+              props =
+                {
+                  Proto.name = "";
+                  total_global_mem = 0L;
+                  multi_processor_count = 0;
+                  clock_rate_khz = 0;
+                  compute_major = 0;
+                  compute_minor = 0;
+                  memory_bandwidth = 0L;
+                };
+            });
+    rpc_cudaDeviceSynchronize =
+      (fun () -> void_result (Cudasim.Api.device_synchronize ctx));
+    rpc_cudaDeviceReset = (fun () -> void_result (Cudasim.Api.device_reset ctx));
+    rpc_cudaMalloc =
+      (fun size ->
+        match Cudasim.Api.malloc ctx size with
+        | Ok ptr -> u64_result_ok ptr
+        | Error e -> u64_result e);
+    rpc_cudaFree = (fun ptr -> void_result (Cudasim.Api.free ctx ptr));
+    rpc_cudaMemcpyHtoD =
+      (fun dst data -> void_result (Cudasim.Api.memcpy_h2d ctx ~dst data));
+    rpc_cudaMemcpyDtoH =
+      (fun src len ->
+        match Cudasim.Api.memcpy_d2h ctx ~src ~len with
+        | Ok data -> mem_result_ok data
+        | Error e -> mem_result e);
+    rpc_cudaMemcpyDtoD =
+      (fun dst src len -> void_result (Cudasim.Api.memcpy_d2d ctx ~dst ~src ~len));
+    rpc_cudaMemset =
+      (fun ptr value len -> void_result (Cudasim.Api.memset ctx ~ptr ~value ~len));
+    rpc_cudaMemGetInfo =
+      (fun () ->
+        let free_bytes, total_bytes = Cudasim.Api.mem_get_info ctx in
+        { Proto.err = 0; free_bytes; total_bytes });
+    rpc_cudaStreamCreate =
+      (fun () -> u64_result_ok (Cudasim.Api.stream_create ctx));
+    rpc_cudaStreamDestroy =
+      (fun h -> void_result (Cudasim.Api.stream_destroy ctx h));
+    rpc_cudaStreamSynchronize =
+      (fun h -> void_result (Cudasim.Api.stream_synchronize ctx h));
+    rpc_cudaEventCreate = (fun () -> u64_result_ok (Cudasim.Api.event_create ctx));
+    rpc_cudaEventDestroy =
+      (fun h -> void_result (Cudasim.Api.event_destroy ctx h));
+    rpc_cudaEventRecord =
+      (fun event stream -> void_result (Cudasim.Api.event_record ctx ~event ~stream));
+    rpc_cudaEventSynchronize =
+      (fun h -> void_result (Cudasim.Api.event_synchronize ctx h));
+    rpc_cudaEventElapsedTime =
+      (fun start stop ->
+        match Cudasim.Api.event_elapsed_ms ctx ~start ~stop with
+        | Ok ms -> float_result_ok ms
+        | Error e -> float_result e);
+    rpc_cuModuleLoadData =
+      (fun data ->
+        match Cudasim.Api.module_load_data ctx (Bytes.to_string data) with
+        | Ok h -> u64_result_ok h
+        | Error e -> u64_result e);
+    rpc_cuModuleUnload = (fun h -> void_result (Cudasim.Api.module_unload ctx h));
+    rpc_cuModuleGetFunction =
+      (fun modul name ->
+        match Cudasim.Api.module_get_function ctx ~modul ~name with
+        | Ok h -> u64_result_ok h
+        | Error e -> u64_result e);
+    rpc_cuModuleGetGlobal =
+      (fun modul name ->
+        match Cudasim.Api.module_get_global ctx ~modul ~name with
+        | Ok (ptr, size) -> { Proto.err = 0; ptr; size }
+        | Error e -> { Proto.err = err_of e; ptr = 0L; size = 0L });
+    rpc_cuLaunchKernel =
+      (fun (config : Proto.launch_config) params ->
+        let open Gpusim.Kernels in
+        void_result
+          (Cudasim.Api.launch_kernel ctx
+             {
+               Cudasim.Api.function_handle = config.Proto.function_handle;
+               grid =
+                 { x = config.Proto.grid_x; y = config.Proto.grid_y;
+                   z = config.Proto.grid_z };
+               block =
+                 { x = config.Proto.block_x; y = config.Proto.block_y;
+                   z = config.Proto.block_z };
+               shared_mem_bytes = config.Proto.shared_mem_bytes;
+               stream = config.Proto.stream;
+             }
+             ~params));
+    rpc_cublasCreate = (fun () -> u64_result_ok (Cudasim.Cublas.create ctx));
+    rpc_cublasDestroy = (fun h -> void_result (Cudasim.Cublas.destroy ctx h));
+    rpc_cublasSgemm =
+      (fun (a : Proto.sgemm_args) ->
+        void_result
+          (Cudasim.Cublas.sgemm ctx
+             {
+               Cudasim.Cublas.handle = a.Proto.handle;
+               m = a.Proto.m;
+               n = a.Proto.n;
+               k = a.Proto.k;
+               alpha = a.Proto.alpha;
+               a = a.Proto.a;
+               lda = a.Proto.lda;
+               b = a.Proto.b;
+               ldb = a.Proto.ldb;
+               beta = a.Proto.beta;
+               c = a.Proto.c;
+               ldc = a.Proto.ldc;
+             }));
+    rpc_cublasSgemv =
+      (fun (g : Proto.sgemv_args) ->
+        void_result
+          (Cudasim.Cublas.sgemv ctx
+             {
+               Cudasim.Cublas.gv_handle = g.Proto.handle;
+               gv_m = g.Proto.m;
+               gv_n = g.Proto.n;
+               gv_alpha = g.Proto.alpha;
+               gv_a = g.Proto.a;
+               gv_lda = g.Proto.lda;
+               gv_x = g.Proto.x;
+               gv_incx = g.Proto.incx;
+               gv_beta = g.Proto.beta;
+               gv_y = g.Proto.y;
+               gv_incy = g.Proto.incy;
+             }));
+    rpc_cublasSdot =
+      (fun (a : Proto.dot_args) ->
+        match
+          Cudasim.Cublas.sdot ctx ~handle:a.Proto.handle ~n:a.Proto.n
+            ~x:a.Proto.x ~incx:a.Proto.incx ~y:a.Proto.y ~incy:a.Proto.incy
+        with
+        | Ok v -> float_result_ok v
+        | Error e -> float_result e);
+    rpc_cublasSscal =
+      (fun (a : Proto.scal_args) ->
+        void_result
+          (Cudasim.Cublas.sscal ctx ~handle:a.Proto.handle ~n:a.Proto.n
+             ~alpha:a.Proto.alpha ~x:a.Proto.x ~incx:a.Proto.incx));
+    rpc_cublasSnrm2 =
+      (fun (a : Proto.nrm2_args) ->
+        match
+          Cudasim.Cublas.snrm2 ctx ~handle:a.Proto.handle ~n:a.Proto.n
+            ~x:a.Proto.x ~incx:a.Proto.incx
+        with
+        | Ok v -> float_result_ok v
+        | Error e -> float_result e);
+    rpc_cusolverDnCreate =
+      (fun () -> u64_result_ok (Cudasim.Cusolver.create ctx));
+    rpc_cusolverDnDestroy =
+      (fun h -> void_result (Cudasim.Cusolver.destroy ctx h));
+    rpc_cusolverDnSgetrf_bufferSize =
+      (fun (a : Proto.getrf_buffer_args) ->
+        match
+          Cudasim.Cusolver.sgetrf_buffer_size ctx ~handle:a.Proto.handle
+            ~m:a.Proto.m ~n:a.Proto.n ~a:a.Proto.a ~lda:a.Proto.lda
+        with
+        | Ok lwork -> int_result_ok lwork
+        | Error e -> int_result e);
+    rpc_cusolverDnSgetrf =
+      (fun (a : Proto.getrf_args) ->
+        match
+          Cudasim.Cusolver.sgetrf ctx ~handle:a.Proto.handle ~m:a.Proto.m
+            ~n:a.Proto.n ~a:a.Proto.a ~lda:a.Proto.lda
+            ~workspace:a.Proto.workspace ~ipiv:a.Proto.ipiv
+        with
+        | Ok info -> int_result_ok info
+        | Error e -> int_result e);
+    rpc_cusolverDnSgetrs =
+      (fun (a : Proto.getrs_args) ->
+        match
+          Cudasim.Cusolver.sgetrs ctx ~handle:a.Proto.handle ~n:a.Proto.n
+            ~nrhs:a.Proto.nrhs ~a:a.Proto.a ~lda:a.Proto.lda ~ipiv:a.Proto.ipiv
+            ~b:a.Proto.b ~ldb:a.Proto.ldb
+        with
+        | Ok info -> int_result_ok info
+        | Error e -> int_result e);
+    rpc_checkpoint =
+      (fun name ->
+        match resolve_checkpoint_path t name with
+        | None -> void_result Cudasim.Error.Invalid_value
+        | Some path -> (
+            match
+              let data = Cudasim.Context.checkpoint ctx in
+              let oc = open_out_bin path in
+              Fun.protect
+                ~finally:(fun () -> close_out_noerr oc)
+                (fun () -> output_string oc data)
+            with
+            | () -> void_result Cudasim.Error.Success
+            | exception Sys_error _ -> void_result Cudasim.Error.Unknown));
+    rpc_restore =
+      (fun name ->
+        match resolve_checkpoint_path t name with
+        | None -> void_result Cudasim.Error.Invalid_value
+        | Some path -> (
+            match
+              let ic = open_in_bin path in
+              Fun.protect
+                ~finally:(fun () -> close_in_noerr ic)
+                (fun () -> really_input_string ic (in_channel_length ic))
+            with
+            | exception Sys_error _ -> void_result Cudasim.Error.Unknown
+            | data -> (
+                match Cudasim.Context.restore ctx data with
+                | Ok () -> void_result Cudasim.Error.Success
+                | Error _ -> void_result Cudasim.Error.Unknown)));
+  }
+
+let create ?devices ?memory_capacity ?(checkpoint_dir = ".") ~clock () =
+  let ctx = Cudasim.Context.create ?devices ?memory_capacity clock in
+  let rpc = Oncrpc.Server.create ~name:"cricket" () in
+  let t =
+    { rpc; ctx; checkpoint_dir; calls = 0; per_proc = Hashtbl.create 64;
+      trace = Trace.create (); last_proc = -1; last_arg_bytes = 0 }
+  in
+  P.Server.register (implementation t) rpc;
+  Oncrpc.Server.set_observer rpc (fun ~prog:_ ~vers:_ ~proc ~arg_bytes ->
+      t.calls <- t.calls + 1;
+      t.last_proc <- proc;
+      t.last_arg_bytes <- arg_bytes;
+      Hashtbl.replace t.per_proc proc
+        (1 + Option.value ~default:0 (Hashtbl.find_opt t.per_proc proc)));
+  t
+
+(* procedure number -> name, from the RPCL spec itself *)
+let proc_names =
+  lazy
+    (let env = Rpcl.Check.check (Rpcl.Parser.parse Rpcl.Specs.cricket) in
+     let table = Hashtbl.create 64 in
+     List.iter
+       (fun (p : Rpcl.Ast.program_def) ->
+         List.iter
+           (fun (v : Rpcl.Ast.version_def) ->
+             List.iter
+               (fun (pr : Rpcl.Ast.procedure_def) ->
+                 Hashtbl.replace table
+                   (Int64.to_int (Rpcl.Check.resolve env pr.Rpcl.Ast.proc_number))
+                   pr.Rpcl.Ast.proc_name)
+               v.Rpcl.Ast.version_procedures)
+           p.Rpcl.Ast.program_versions)
+       (Rpcl.Check.programs env);
+     table)
+
+let proc_stats t =
+  Hashtbl.fold
+    (fun proc count acc ->
+      let name =
+        match Hashtbl.find_opt (Lazy.force proc_names) proc with
+        | Some n -> n
+        | None -> Printf.sprintf "proc_%d" proc
+      in
+      (name, count) :: acc)
+    t.per_proc []
+  |> List.sort (fun (na, a) (nb, b) ->
+         match compare b a with 0 -> compare na nb | c -> c)
+
+let rpc_server t = t.rpc
+let context t = t.ctx
+let trace t = t.trace
+
+let proc_name proc =
+  match Hashtbl.find_opt (Lazy.force proc_names) proc with
+  | Some n -> n
+  | None -> Printf.sprintf "proc_%d" proc
+
+let dispatch t request =
+  if not (Trace.enabled t.trace) then Oncrpc.Server.dispatch t.rpc request
+  else begin
+    let clock = Cudasim.Context.clock t.ctx in
+    t.last_proc <- -1;
+    let t0 = clock.Cudasim.Context.now () in
+    let reply = Oncrpc.Server.dispatch t.rpc request in
+    if t.last_proc >= 0 then
+      Trace.record t.trace ~now:t0 ~proc:t.last_proc
+        ~proc_name:(proc_name t.last_proc) ~arg_bytes:t.last_arg_bytes
+        ~duration:(Simnet.Time.sub (clock.Cudasim.Context.now ()) t0);
+    reply
+  end
+
+let calls_served t = t.calls

@@ -1,0 +1,42 @@
+(** The Cricket server: executes forwarded CUDA calls on the GPU node.
+
+    Binds the generated RPC dispatch skeleton ({!Proto.Rpc_cd_prog_def_v1})
+    to the {!Cudasim} API. One server owns one CUDA context (and thus the
+    node's GPUs); any number of client connections — local unikernels, VMs
+    or remote native processes — can share it, which is exactly the
+    flexible-GPU-assignment story of the paper.
+
+    The server never raises on malformed or failing CUDA calls: errors
+    travel back as CUDA error codes inside the result structs, and
+    RPC-protocol errors (bad procedure, garbage arguments) as RFC 5531
+    accepted-stat errors. *)
+
+type t
+
+val create :
+  ?devices:Gpusim.Device.t list ->
+  ?memory_capacity:int ->
+  ?checkpoint_dir:string ->
+  clock:Cudasim.Context.clock ->
+  unit ->
+  t
+(** [checkpoint_dir] (default ["."]) is where [rpc_checkpoint] writes
+    state files; paths in checkpoint RPCs are interpreted relative to it
+    and may not escape it. *)
+
+val rpc_server : t -> Oncrpc.Server.t
+(** The underlying RPC server, for attaching transports or a portmapper. *)
+
+val context : t -> Cudasim.Context.t
+val dispatch : t -> string -> string
+(** Request record → reply record (convenience re-export). *)
+
+val calls_served : t -> int
+
+val trace : t -> Trace.t
+(** Call-trace ring (disabled by default; see {!Trace.set_enabled}). *)
+
+val proc_stats : t -> (string * int) list
+(** Per-procedure call counts, most-called first. Procedure names are
+    resolved from the RPCL specification the stubs were generated from —
+    the same single source of truth. *)

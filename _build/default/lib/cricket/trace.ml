@@ -1,0 +1,48 @@
+type entry = {
+  seq : int;
+  proc : int;
+  proc_name : string;
+  arg_bytes : int;
+  at : Simnet.Time.t;
+  duration : Simnet.Time.t;
+}
+
+type t = {
+  ring : entry option array;
+  mutable next : int;  (* total recorded; ring slot is next mod capacity *)
+  mutable is_enabled : bool;
+}
+
+let create ?(capacity = 1024) () =
+  if capacity < 1 then invalid_arg "Trace.create: capacity";
+  { ring = Array.make capacity None; next = 0; is_enabled = false }
+
+let enabled t = t.is_enabled
+let set_enabled t v = t.is_enabled <- v
+
+let record t ~now ~proc ~proc_name ~arg_bytes ~duration =
+  if t.is_enabled then begin
+    let entry =
+      { seq = t.next; proc; proc_name; arg_bytes; at = now; duration }
+    in
+    t.ring.(t.next mod Array.length t.ring) <- Some entry;
+    t.next <- t.next + 1
+  end
+
+let entries t =
+  let capacity = Array.length t.ring in
+  let first = max 0 (t.next - capacity) in
+  List.init (t.next - first) (fun i ->
+      match t.ring.((first + i) mod capacity) with
+      | Some e -> e
+      | None -> assert false)
+
+let recorded t = t.next
+
+let clear t =
+  Array.fill t.ring 0 (Array.length t.ring) None;
+  t.next <- 0
+
+let pp_entry ppf e =
+  Format.fprintf ppf "#%d %a %s (%d arg bytes, %a)" e.seq Simnet.Time.pp e.at
+    e.proc_name e.arg_bytes Simnet.Time.pp e.duration

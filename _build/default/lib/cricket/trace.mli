@@ -1,0 +1,40 @@
+(** RPC call tracing.
+
+    A bounded ring of recent calls with virtual timestamps, procedure
+    names, argument sizes and dispatch durations. The original Cricket
+    keeps an API-call record to support checkpoint/restart and debugging;
+    here the trace also powers `benchctl`'s inspection output and the
+    tests' interleaving assertions in multi-tenant runs.
+
+    Recording is off by default and costs one branch per call when off. *)
+
+type entry = {
+  seq : int;  (** monotonically increasing per server *)
+  proc : int;
+  proc_name : string;
+  arg_bytes : int;
+  at : Simnet.Time.t;  (** virtual time when dispatch started *)
+  duration : Simnet.Time.t;  (** virtual time spent in the handler *)
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Ring capacity (default 1024, minimum 1). *)
+
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
+
+val record :
+  t -> now:Simnet.Time.t -> proc:int -> proc_name:string -> arg_bytes:int ->
+  duration:Simnet.Time.t -> unit
+
+val entries : t -> entry list
+(** Oldest first; at most [capacity] entries. *)
+
+val recorded : t -> int
+(** Total calls recorded since creation (may exceed capacity). *)
+
+val clear : t -> unit
+
+val pp_entry : Format.formatter -> entry -> unit

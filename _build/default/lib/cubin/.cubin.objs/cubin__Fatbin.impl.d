@@ -1,0 +1,1 @@
+lib/cubin/fatbin.ml: Buffer Char List Printf String

@@ -1,0 +1,1 @@
+lib/cubin/image.ml: Array Buffer Bytes Char Gpusim Int32 Int64 List Lzss Printf String

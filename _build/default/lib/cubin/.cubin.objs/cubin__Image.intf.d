@@ -1,0 +1,1 @@
+lib/cubin/image.mli: Gpusim

@@ -1,0 +1,1 @@
+lib/cubin/lzss.ml: Buffer Char Float Hashtbl List String

@@ -1,0 +1,1 @@
+lib/cubin/lzss.mli:

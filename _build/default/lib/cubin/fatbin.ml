@@ -1,0 +1,94 @@
+type t = { images : ((int * int) * string) list }
+
+let magic = "FATB"
+let format_version = 1
+
+let build t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf magic;
+  Buffer.add_char buf (Char.chr (format_version land 0xff));
+  Buffer.add_char buf (Char.chr (format_version lsr 8));
+  let count = List.length t.images in
+  Buffer.add_char buf (Char.chr (count land 0xff));
+  Buffer.add_char buf (Char.chr ((count lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr ((count lsr 16) land 0xff));
+  Buffer.add_char buf (Char.chr ((count lsr 24) land 0xff));
+  List.iter
+    (fun ((major, minor), image) ->
+      let w16 v =
+        Buffer.add_char buf (Char.chr (v land 0xff));
+        Buffer.add_char buf (Char.chr ((v lsr 8) land 0xff))
+      in
+      w16 major;
+      w16 minor;
+      let len = String.length image in
+      Buffer.add_char buf (Char.chr (len land 0xff));
+      Buffer.add_char buf (Char.chr ((len lsr 8) land 0xff));
+      Buffer.add_char buf (Char.chr ((len lsr 16) land 0xff));
+      Buffer.add_char buf (Char.chr ((len lsr 24) land 0xff));
+      Buffer.add_string buf image)
+    t.images;
+  Buffer.contents buf
+
+let parse s =
+  let pos = ref 0 in
+  let fail msg = Error msg in
+  let u8 () =
+    if !pos >= String.length s then None
+    else begin
+      let v = Char.code s.[!pos] in
+      incr pos;
+      Some v
+    end
+  in
+  let u16 () =
+    match (u8 (), u8 ()) with
+    | Some lo, Some hi -> Some (lo lor (hi lsl 8))
+    | _ -> None
+  in
+  let u32 () =
+    match (u16 (), u16 ()) with
+    | Some lo, Some hi -> Some (lo lor (hi lsl 16))
+    | _ -> None
+  in
+  if String.length s < 6 || String.sub s 0 4 <> magic then fail "bad magic"
+  else begin
+    pos := 4;
+    match u16 () with
+    | Some v when v = format_version -> (
+        match u32 () with
+        | None -> fail "truncated count"
+        | Some count -> (
+            let rec read_images n acc =
+              if n = 0 then Ok { images = List.rev acc }
+              else
+                match (u16 (), u16 (), u32 ()) with
+                | Some major, Some minor, Some len ->
+                    if !pos + len > String.length s then fail "truncated image"
+                    else begin
+                      let image = String.sub s !pos len in
+                      pos := !pos + len;
+                      read_images (n - 1) (((major, minor), image) :: acc)
+                    end
+                | _ -> fail "truncated image header"
+            in
+            match read_images count [] with
+            | Ok t when !pos = String.length s -> Ok t
+            | Ok _ -> fail "trailing bytes"
+            | Error e -> Error e))
+    | Some v -> fail (Printf.sprintf "unsupported version %d" v)
+    | None -> fail "truncated version"
+  end
+
+let best_image t ~cc:(want_major, want_minor) =
+  let candidates =
+    List.filter
+      (fun ((major, minor), _) ->
+        major < want_major || (major = want_major && minor <= want_minor))
+      t.images
+  in
+  match List.sort (fun (a, _) (b, _) -> compare b a) candidates with
+  | (_, image) :: _ -> Some image
+  | [] -> None
+
+let is_fatbin s = String.length s >= 4 && String.sub s 0 4 = magic

@@ -1,0 +1,22 @@
+(** Fat binary container: one kernel module per target architecture.
+
+    NVCC embeds several cubins (and PTX) for different compute
+    capabilities into a fat binary; the loader picks the best one the
+    device can run. Cricket's original kernel-loading path only handled fat
+    binaries embedded by nvcc's hidden init code; the paper added loading
+    standalone cubins via [cuModule]. We support both containers.
+
+    Layout: ["FATB", u16 version, u32 count, count × (u16 major, u16 minor,
+    u32 len, image bytes)]. *)
+
+type t = { images : ((int * int) * string) list }
+(** [(compute capability, serialized cubin image)]. *)
+
+val build : t -> string
+val parse : string -> (t, string) result
+
+val best_image : t -> cc:int * int -> string option
+(** The image with the highest architecture not exceeding [cc] — CUDA's
+    compatibility rule within a major architecture. *)
+
+val is_fatbin : string -> bool

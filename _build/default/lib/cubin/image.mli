@@ -1,0 +1,66 @@
+(** The cubin-analogue kernel module container.
+
+    An image carries exactly the metadata Cricket must extract server-side
+    to launch kernels sent by remote clients: kernel names, parameter
+    layouts (so packed parameter buffers can be deserialized), launch
+    bounds, and global variables. The payload may be LZSS-compressed; the
+    parser transparently decompresses, mirroring Cricket's
+    compressed-cubin support.
+
+    Binary layout (little-endian):
+    {v
+    "CBIN"  magic
+    u16     format version (1)
+    u16     flags (bit 0: payload compressed)
+    u32     payload length
+    payload:
+      u16 arch_major, u16 arch_minor
+      u32 kernel count, then per kernel:
+        str name | u8 param count | param type codes | u32 max_threads
+      u32 global count, then per global:
+        str name | u32 size | u8 has_init | init bytes
+      u32 code length | code bytes
+    v}
+    where [str] is a u16 length + bytes. *)
+
+type kernel_info = {
+  name : string;
+  params : Gpusim.Kernels.param list;
+  max_threads_per_block : int;
+}
+
+type global_info = { name : string; size : int; init : bytes option }
+
+type t = {
+  arch : int * int;  (** compute capability *)
+  kernels : kernel_info list;
+  globals : global_info list;
+  code : bytes;  (** opaque "SASS" payload *)
+}
+
+val build : ?compress:bool -> t -> string
+(** Serialize (compressed by default: NVCC ≥ 11 compresses by default). *)
+
+val parse : string -> (t, string) result
+val is_compressed : string -> bool
+(** Peek at the header flag without parsing; false for malformed input. *)
+
+val of_registry : ?arch:int * int -> string list -> t
+(** Build an image for named kernels, taking parameter metadata from the
+    {!Gpusim.Kernels} registry and synthesizing a code section. Raises
+    [Not_found] for an unregistered kernel name. *)
+
+val find_kernel : t -> string -> kernel_info option
+
+val param_buffer_size : kernel_info -> int
+(** Bytes of the packed (naturally aligned) launch-parameter buffer. *)
+
+val pack_args : kernel_info -> Gpusim.Kernels.arg array -> (bytes, string) result
+(** Client side: serialize launch arguments into the packed buffer laid out
+    per the kernel's parameter metadata (natural alignment, little-endian —
+    the layout [cuLaunchKernel] expects). [Error] on arity or type
+    mismatch. *)
+
+val unpack_args : kernel_info -> bytes -> (Gpusim.Kernels.arg array, string) result
+(** Server side: recover typed arguments from the packed buffer — the
+    metadata-driven deserialization Cricket performs before launching. *)

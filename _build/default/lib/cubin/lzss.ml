@@ -1,0 +1,143 @@
+let window_size = 4096
+let min_match = 3
+let max_match = 18
+
+(* Positions of recent 3-byte sequences, for match finding. *)
+let hash3 s i =
+  (Char.code s.[i] lsl 10) lxor (Char.code s.[i + 1] lsl 5)
+  lxor Char.code s.[i + 2]
+
+let compress input =
+  let n = String.length input in
+  if n = 0 then ""
+  else begin
+    let out = Buffer.create (n / 2) in
+    let chains : (int, int list) Hashtbl.t = Hashtbl.create 4096 in
+    let items = Buffer.create 16 in
+    let flags = ref 0 in
+    let item_count = ref 0 in
+    let flush_group () =
+      if !item_count > 0 then begin
+        Buffer.add_char out (Char.chr !flags);
+        Buffer.add_buffer out items;
+        Buffer.clear items;
+        flags := 0;
+        item_count := 0
+      end
+    in
+    let add_literal c =
+      Buffer.add_char items c;
+      incr item_count;
+      if !item_count = 8 then flush_group ()
+    in
+    let add_match ~distance ~length =
+      let token = ((distance - 1) lsl 4) lor (length - min_match) in
+      Buffer.add_char items (Char.chr ((token lsr 8) land 0xff));
+      Buffer.add_char items (Char.chr (token land 0xff));
+      flags := !flags lor (1 lsl !item_count);
+      incr item_count;
+      if !item_count = 8 then flush_group ()
+    in
+    let record_position i =
+      if i + min_match <= n then begin
+        let h = hash3 input i in
+        let previous =
+          match Hashtbl.find_opt chains h with Some l -> l | None -> []
+        in
+        (* keep chains short: matching is best-effort *)
+        let trimmed =
+          match previous with
+          | a :: b :: c :: _ -> [ i; a; b; c ]
+          | l -> i :: l
+        in
+        Hashtbl.replace chains h trimmed
+      end
+    in
+    let match_length pos candidate =
+      let limit = min max_match (n - pos) in
+      let rec extend k =
+        if k < limit && input.[candidate + k] = input.[pos + k] then
+          extend (k + 1)
+        else k
+      in
+      extend 0
+    in
+    let find_match pos =
+      if pos + min_match > n then None
+      else begin
+        let h = hash3 input pos in
+        let candidates =
+          match Hashtbl.find_opt chains h with Some l -> l | None -> []
+        in
+        List.fold_left
+          (fun best candidate ->
+            if pos - candidate >= 1 && pos - candidate <= window_size then begin
+              let len = match_length pos candidate in
+              match best with
+              | Some (_, best_len) when best_len >= len -> best
+              | _ when len >= min_match -> Some (pos - candidate, len)
+              | _ -> best
+            end
+            else best)
+          None candidates
+      end
+    in
+    let i = ref 0 in
+    while !i < n do
+      (match find_match !i with
+      | Some (distance, length) ->
+          add_match ~distance ~length;
+          for k = !i to !i + length - 1 do
+            record_position k
+          done;
+          i := !i + length
+      | None ->
+          add_literal input.[!i];
+          record_position !i;
+          incr i)
+    done;
+    flush_group ();
+    Buffer.contents out
+  end
+
+let decompress input =
+  let n = String.length input in
+  let out = Buffer.create (n * 2) in
+  let error msg = Error msg in
+  let rec group i =
+    if i >= n then Ok (Buffer.contents out)
+    else begin
+      let flags = Char.code input.[i] in
+      items (i + 1) flags 0
+    end
+  and items i flags k =
+    if k = 8 || i >= n then group i
+    else if flags land (1 lsl k) <> 0 then begin
+      if i + 1 >= n then error "truncated match token"
+      else begin
+        let token = (Char.code input.[i] lsl 8) lor Char.code input.[i + 1] in
+        let distance = (token lsr 4) + 1 in
+        let length = (token land 0xf) + min_match in
+        let produced = Buffer.length out in
+        if distance > produced then error "match before start of output"
+        else begin
+          (* byte-by-byte copy: matches may overlap their own output *)
+          for _ = 1 to length do
+            Buffer.add_char out (Buffer.nth out (Buffer.length out - distance))
+          done;
+          items (i + 2) flags (k + 1)
+        end
+      end
+    end
+    else begin
+      Buffer.add_char out input.[i];
+      items (i + 1) flags (k + 1)
+    end
+  in
+  group 0
+
+let ratio input =
+  if String.length input = 0 then 1.0
+  else
+    Float.of_int (String.length (compress input))
+    /. Float.of_int (String.length input)

@@ -1,0 +1,21 @@
+(** LZSS compression for kernel images.
+
+    NVCC can emit compressed cubins; Cricket had to implement a
+    decompression routine so the server can still extract kernel metadata
+    from them (the paper cites this as the cuda-fatbin-decompression
+    work). This module provides the equivalent for our module format: a
+    classic LZSS with a 4 KiB sliding window, 3–18-byte matches, and
+    flag-byte groups of eight items.
+
+    Wire format: groups of [flag byte + 8 items]; flag bit [i] (LSB first)
+    set means item [i] is a 2-byte match token [(distance - 1) << 4 |
+    (length - 3)] with distances in [1, 4096]; clear means a literal
+    byte. *)
+
+val compress : string -> string
+val decompress : string -> (string, string) result
+(** [Error] on truncated or malformed input (e.g. a match reaching before
+    the start of the output). *)
+
+val ratio : string -> float
+(** [compressed_size / original_size] (1.0 for empty input). *)

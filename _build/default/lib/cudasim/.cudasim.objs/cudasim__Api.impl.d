@@ -1,0 +1,1 @@
+lib/cudasim/api.ml: Bytes Context Cubin Error Float Gpusim Int64 List Simnet String

@@ -1,0 +1,1 @@
+lib/cudasim/api.mli: Context Error Gpusim Simnet

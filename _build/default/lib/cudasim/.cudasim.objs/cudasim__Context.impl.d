@@ -1,0 +1,1 @@
+lib/cudasim/context.ml: Array Cubin Error Gpusim Hashtbl List Marshal Printf Simnet

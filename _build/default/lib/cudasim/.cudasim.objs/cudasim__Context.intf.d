@@ -1,0 +1,1 @@
+lib/cudasim/context.mli: Cubin Error Gpusim Simnet

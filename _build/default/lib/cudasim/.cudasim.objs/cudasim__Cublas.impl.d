@@ -1,0 +1,1 @@
+lib/cudasim/cublas.ml: Api Context Error Float Gpusim Int64 Simnet

@@ -1,0 +1,1 @@
+lib/cudasim/cublas.mli: Context Error

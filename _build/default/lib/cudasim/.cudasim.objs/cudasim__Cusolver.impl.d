@@ -1,0 +1,1 @@
+lib/cudasim/cusolver.ml: Api Array Context Error Float Gpusim Int32 Int64

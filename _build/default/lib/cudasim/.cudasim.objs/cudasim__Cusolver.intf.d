@@ -1,0 +1,1 @@
+lib/cudasim/cusolver.mli: Context Error

@@ -1,0 +1,1 @@
+lib/cudasim/error.ml: Format Printexc

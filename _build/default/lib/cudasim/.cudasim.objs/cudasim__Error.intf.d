@@ -1,0 +1,1 @@
+lib/cudasim/error.mli: Format

@@ -1,0 +1,88 @@
+(** The CUDA runtime + driver API surface Cricket forwards.
+
+    Each function mirrors one RPC procedure of the Cricket protocol and is
+    what the Cricket server executes against the simulated GPUs. Results
+    are [(value, Error.t)]-style — never exceptions — so the server can
+    ship the error code back verbatim, as the real Cricket does.
+
+    Time accounting: every call charges a fixed driver-dispatch cost;
+    synchronous memcpys charge PCIe transfer time after draining the
+    device; kernel launches are asynchronous (enqueue only), exactly like
+    CUDA's default-stream semantics for small transfers vs. launches. *)
+
+module Time = Simnet.Time
+
+type device_properties = {
+  name : string;
+  total_global_mem : int64;
+  multi_processor_count : int;
+  clock_rate_khz : int;
+  compute_major : int;
+  compute_minor : int;
+  memory_bandwidth : int64;  (** bytes/s *)
+}
+
+(** {1 Device management} *)
+
+val get_device_count : Context.t -> int
+val set_device : Context.t -> int -> Error.t
+val get_device : Context.t -> int
+val get_device_properties : Context.t -> int -> (device_properties, Error.t) result
+val device_synchronize : Context.t -> Error.t
+val device_reset : Context.t -> Error.t
+
+(** {1 Memory} *)
+
+val malloc : Context.t -> int64 -> (int64, Error.t) result
+val free : Context.t -> int64 -> Error.t
+val memcpy_h2d : Context.t -> dst:int64 -> bytes -> Error.t
+val memcpy_d2h : Context.t -> src:int64 -> len:int64 -> (bytes, Error.t) result
+val memcpy_d2d : Context.t -> dst:int64 -> src:int64 -> len:int64 -> Error.t
+val memset : Context.t -> ptr:int64 -> value:int -> len:int64 -> Error.t
+val mem_get_info : Context.t -> int64 * int64
+(** (free, total). *)
+
+(** {1 Streams and events} *)
+
+val stream_create : Context.t -> int64
+val stream_destroy : Context.t -> int64 -> Error.t
+val stream_synchronize : Context.t -> int64 -> Error.t
+val event_create : Context.t -> int64
+val event_destroy : Context.t -> int64 -> Error.t
+val event_record : Context.t -> event:int64 -> stream:int64 -> Error.t
+val event_synchronize : Context.t -> int64 -> Error.t
+val event_elapsed_ms : Context.t -> start:int64 -> stop:int64 -> (float, Error.t) result
+
+(** {1 Module API (cubin loading — the paper's Cricket extension)} *)
+
+val module_load_data : Context.t -> string -> (int64, Error.t) result
+(** Accepts a standalone cubin image or a fat binary (best-arch image is
+    selected for the current device). Decompresses as needed, then binds
+    each kernel declared in the metadata to the registry. *)
+
+val module_unload : Context.t -> int64 -> Error.t
+val module_get_function : Context.t -> modul:int64 -> name:string -> (int64, Error.t) result
+val module_get_global : Context.t -> modul:int64 -> name:string -> (int64 * int64, Error.t) result
+(** Allocates device storage for the global on first access. *)
+
+type launch_config = {
+  function_handle : int64;
+  grid : Gpusim.Kernels.dim3;
+  block : Gpusim.Kernels.dim3;
+  shared_mem_bytes : int;
+  stream : int64;
+}
+
+val launch_kernel : Context.t -> launch_config -> params:bytes -> Error.t
+(** Unpacks [params] using the function's cubin metadata, then enqueues. *)
+
+(** {1 Cost constants (exposed for the benchmarks' documentation)} *)
+
+val dispatch_ns : int
+(** Fixed server-side driver dispatch cost charged per API call. *)
+
+val memcpy_overhead_ns : int
+
+val charge : Context.t -> int -> unit
+(** Advance the virtual clock by a CPU cost in nanoseconds (shared with the
+    cuBLAS/cuSOLVER layers). *)

@@ -1,0 +1,225 @@
+module Time = Simnet.Time
+
+type clock = { now : unit -> Time.t; advance_to : Time.t -> unit }
+
+let engine_clock engine =
+  {
+    now = (fun () -> Simnet.Engine.now engine);
+    advance_to = (fun t -> Simnet.Engine.advance_to engine t);
+  }
+
+type function_entry = {
+  module_handle : int;
+  info : Cubin.Image.kernel_info;
+  kernel : Gpusim.Kernels.t;
+}
+
+type t = {
+  gpus : Gpusim.Gpu.t array;
+  clock : clock;
+  mutable current_device : int;
+  mutable is_functional : bool;
+  modules : (int, string * Cubin.Image.t) Hashtbl.t;
+  functions : (int, function_entry) Hashtbl.t;
+  cublas : (int, unit) Hashtbl.t;
+  cusolver : (int, unit) Hashtbl.t;
+  globals : (int * string, int) Hashtbl.t;  (* (module, name) -> device ptr *)
+  mutable next_handle : int;
+}
+
+let create ?(devices = Gpusim.Device.gpu_node) ?memory_capacity clock =
+  if devices = [] then invalid_arg "Context.create: no devices";
+  {
+    gpus =
+      Array.of_list
+        (List.map (fun d -> Gpusim.Gpu.create ?memory_capacity d) devices);
+    clock;
+    current_device = 0;
+    is_functional = true;
+    modules = Hashtbl.create 8;
+    functions = Hashtbl.create 32;
+    cublas = Hashtbl.create 4;
+    cusolver = Hashtbl.create 4;
+    globals = Hashtbl.create 8;
+    next_handle = 0x100;
+  }
+
+let clock t = t.clock
+let device_count t = Array.length t.gpus
+let current t = t.current_device
+
+let set_current t i =
+  if i < 0 || i >= Array.length t.gpus then Error Error.Invalid_device
+  else begin
+    t.current_device <- i;
+    Ok ()
+  end
+
+let gpu t = t.gpus.(t.current_device)
+
+let gpu_at t i =
+  if i < 0 || i >= Array.length t.gpus then None else Some t.gpus.(i)
+
+let functional t = t.is_functional
+let set_functional t v = t.is_functional <- v
+
+let fresh_handle t =
+  let h = t.next_handle in
+  t.next_handle <- h + 1;
+  h
+
+let add_module t ~data ~image =
+  let h = fresh_handle t in
+  Hashtbl.add t.modules h (data, image);
+  h
+
+let find_module t h = Hashtbl.find_opt t.modules h
+
+let remove_module t h =
+  if Hashtbl.mem t.modules h then begin
+    Hashtbl.remove t.modules h;
+    let stale =
+      Hashtbl.fold
+        (fun fh entry acc -> if entry.module_handle = h then fh :: acc else acc)
+        t.functions []
+    in
+    List.iter (Hashtbl.remove t.functions) stale;
+    true
+  end
+  else false
+
+let add_function t entry =
+  let h = fresh_handle t in
+  Hashtbl.add t.functions h entry;
+  h
+
+let find_function t h = Hashtbl.find_opt t.functions h
+let find_global t key = Hashtbl.find_opt t.globals key
+let add_global t key ptr = Hashtbl.replace t.globals key ptr
+
+let add_cublas t =
+  let h = fresh_handle t in
+  Hashtbl.add t.cublas h ();
+  h
+
+let valid_cublas t h = Hashtbl.mem t.cublas h
+
+let remove_cublas t h =
+  if Hashtbl.mem t.cublas h then begin
+    Hashtbl.remove t.cublas h;
+    true
+  end
+  else false
+
+let add_cusolver t =
+  let h = fresh_handle t in
+  Hashtbl.add t.cusolver h ();
+  h
+
+let valid_cusolver t h = Hashtbl.mem t.cusolver h
+
+let remove_cusolver t h =
+  if Hashtbl.mem t.cusolver h then begin
+    Hashtbl.remove t.cusolver h;
+    true
+  end
+  else false
+
+(* --- checkpoint / restart --- *)
+
+type snapshot = {
+  snap_current : int;
+  snap_memories : string array;
+  snap_modules : (int * string) list;  (* handle, raw module data *)
+  snap_functions : (int * (int * string)) list;
+      (* fn handle -> (module handle, kernel name) *)
+  snap_cublas : int list;
+  snap_cusolver : int list;
+  snap_next_handle : int;
+}
+
+let checkpoint t =
+  (* Quiesce: let all queued GPU work finish before capturing memory. *)
+  let now =
+    Array.fold_left
+      (fun acc g -> max acc (Gpusim.Gpu.synchronize g ~now:(t.clock.now ())))
+      (t.clock.now ()) t.gpus
+  in
+  t.clock.advance_to now;
+  let snap =
+    {
+      snap_current = t.current_device;
+      snap_memories =
+        Array.map (fun g -> Gpusim.Memory.snapshot (Gpusim.Gpu.memory g)) t.gpus;
+      snap_modules =
+        Hashtbl.fold (fun h (data, _) acc -> (h, data) :: acc) t.modules [];
+      snap_functions =
+        Hashtbl.fold
+          (fun h entry acc ->
+            (h, (entry.module_handle, entry.info.Cubin.Image.name)) :: acc)
+          t.functions [];
+      snap_cublas = Hashtbl.fold (fun h () acc -> h :: acc) t.cublas [];
+      snap_cusolver = Hashtbl.fold (fun h () acc -> h :: acc) t.cusolver [];
+      snap_next_handle = t.next_handle;
+    }
+  in
+  Marshal.to_string snap []
+
+let restore t data =
+  match (Marshal.from_string data 0 : snapshot) with
+  | exception _ -> Error "unreadable checkpoint"
+  | snap ->
+      if Array.length snap.snap_memories <> Array.length t.gpus then
+        Error "checkpoint was taken on a different device configuration"
+      else begin
+        (* Rebuild module images first; abort cleanly if any is corrupt. *)
+        let rebuilt =
+          List.map
+            (fun (h, raw) ->
+              match Cubin.Image.parse raw with
+              | Ok image -> Ok (h, (raw, image))
+              | Error e -> Error (Printf.sprintf "module %d: %s" h e))
+            snap.snap_modules
+        in
+        match
+          List.find_opt (function Error _ -> true | Ok _ -> false) rebuilt
+        with
+        | Some (Error e) -> Error e
+        | Some (Ok _) -> assert false
+        | None ->
+            Array.iteri
+              (fun i g ->
+                Gpusim.Gpu.reset g;
+                let restored = Gpusim.Memory.restore snap.snap_memories.(i) in
+                (* splice restored memory into the gpu *)
+                Gpusim.Gpu.set_memory g restored)
+              t.gpus;
+            t.current_device <- snap.snap_current;
+            Hashtbl.reset t.modules;
+            List.iter
+              (function
+                | Ok (h, entry) -> Hashtbl.add t.modules h entry
+                | Error _ -> ())
+              rebuilt;
+            Hashtbl.reset t.functions;
+            List.iter
+              (fun (h, (module_handle, kernel_name)) ->
+                match
+                  ( Hashtbl.find_opt t.modules module_handle,
+                    Gpusim.Kernels.find kernel_name )
+                with
+                | Some (_, image), Some kernel -> (
+                    match Cubin.Image.find_kernel image kernel_name with
+                    | Some info ->
+                        Hashtbl.add t.functions h
+                          { module_handle; info; kernel }
+                    | None -> ())
+                | _ -> ())
+              snap.snap_functions;
+            Hashtbl.reset t.cublas;
+            List.iter (fun h -> Hashtbl.add t.cublas h ()) snap.snap_cublas;
+            Hashtbl.reset t.cusolver;
+            List.iter (fun h -> Hashtbl.add t.cusolver h ()) snap.snap_cusolver;
+            t.next_handle <- snap.snap_next_handle;
+            Ok ()
+      end

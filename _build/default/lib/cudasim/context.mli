@@ -1,0 +1,84 @@
+(** The server-side CUDA context: devices, loaded modules, library handles.
+
+    One context corresponds to one Cricket server process sitting on the
+    GPU node. It owns the simulated GPUs, tracks loaded kernel modules and
+    cuBLAS/cuSOLVER handles, and charges GPU/PCIe time through a caller
+    supplied virtual clock.
+
+    [functional] controls whether kernel implementations actually execute
+    (device memory mutated) or only account time. Benchmarks verify
+    numerics with it on, then disable it for the remaining thousands of
+    identical iterations — the cost models are data-independent, so virtual
+    timing is unaffected. *)
+
+module Time = Simnet.Time
+
+type clock = {
+  now : unit -> Time.t;
+  advance_to : Time.t -> unit;  (** never rewinds *)
+}
+
+val engine_clock : Simnet.Engine.t -> clock
+
+type function_entry = {
+  module_handle : int;
+  info : Cubin.Image.kernel_info;
+  kernel : Gpusim.Kernels.t;
+}
+
+type t
+
+val create :
+  ?devices:Gpusim.Device.t list ->
+  ?memory_capacity:int ->
+  clock ->
+  t
+(** Defaults to the evaluation machine's GPU node (A100 + 2×T4 + P40). *)
+
+val clock : t -> clock
+val device_count : t -> int
+val current : t -> int
+val set_current : t -> int -> (unit, Error.t) result
+val gpu : t -> Gpusim.Gpu.t
+(** The currently selected device. *)
+
+val gpu_at : t -> int -> Gpusim.Gpu.t option
+
+val functional : t -> bool
+val set_functional : t -> bool -> unit
+
+val fresh_handle : t -> int
+
+(** {1 Module / function tables} *)
+
+val add_module : t -> data:string -> image:Cubin.Image.t -> int
+val find_module : t -> int -> (string * Cubin.Image.t) option
+val remove_module : t -> int -> bool
+(** Also drops the module's functions. *)
+
+val add_function : t -> function_entry -> int
+val find_function : t -> int -> function_entry option
+
+val find_global : t -> int * string -> int option
+(** Device pointer already assigned to a module's global, if any. *)
+
+val add_global : t -> int * string -> int -> unit
+
+(** {1 Library handles} *)
+
+val add_cublas : t -> int
+val valid_cublas : t -> int -> bool
+val remove_cublas : t -> int -> bool
+val add_cusolver : t -> int
+val valid_cusolver : t -> int -> bool
+val remove_cusolver : t -> int -> bool
+
+(** {1 Checkpoint / restart} *)
+
+val checkpoint : t -> string
+(** Quiesces (synchronizes all devices, advancing the clock) and serializes
+    device memory, module and handle tables. *)
+
+val restore : t -> string -> (unit, string) result
+(** Replace this context's state with a checkpoint's. The clock keeps its
+    current value (restart happens later in virtual time). *)

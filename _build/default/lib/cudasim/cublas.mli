@@ -1,0 +1,63 @@
+(** cuBLAS subset: the dense SGEMM the proxy applications use.
+
+    Matrices are column-major with explicit leading dimensions, as in the
+    real library. Only the no-transpose case is exposed, which is what the
+    CUDA samples call. *)
+
+val create : Context.t -> int64
+(** cublasCreate: returns a handle. *)
+
+val destroy : Context.t -> int64 -> Error.t
+
+type sgemm_args = {
+  handle : int64;
+  m : int;
+  n : int;
+  k : int;
+  alpha : float;
+  a : int64;  (** device pointer, m×k, lda *)
+  lda : int;
+  b : int64;  (** k×n, ldb *)
+  ldb : int;
+  beta : float;
+  c : int64;  (** m×n, ldc *)
+  ldc : int;
+}
+
+val sgemm : Context.t -> sgemm_args -> Error.t
+(** C ← α·A·B + β·C (single precision, no transposition). Asynchronous:
+    enqueued on the default stream. *)
+
+(** {1 Level-1 / level-2 routines} *)
+
+type sgemv_args = {
+  gv_handle : int64;
+  gv_m : int;
+  gv_n : int;
+  gv_alpha : float;
+  gv_a : int64;  (** column-major m×n *)
+  gv_lda : int;
+  gv_x : int64;
+  gv_incx : int;
+  gv_beta : float;
+  gv_y : int64;
+  gv_incy : int;
+}
+
+val sgemv : Context.t -> sgemv_args -> Error.t
+(** y ← α·A·x + β·y (no transposition). *)
+
+val sdot :
+  Context.t -> handle:int64 -> n:int -> x:int64 -> incx:int -> y:int64 ->
+  incy:int -> (float, Error.t) result
+(** Σ xᵢ·yᵢ, returned to the host (default pointer mode). *)
+
+val sscal :
+  Context.t -> handle:int64 -> n:int -> alpha:float -> x:int64 -> incx:int ->
+  Error.t
+(** x ← α·x. *)
+
+val snrm2 :
+  Context.t -> handle:int64 -> n:int -> x:int64 -> incx:int ->
+  (float, Error.t) result
+(** ‖x‖₂. *)

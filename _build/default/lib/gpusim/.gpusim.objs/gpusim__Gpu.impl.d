@@ -1,0 +1,1 @@
+lib/gpusim/gpu.ml: Device Hashtbl Int64 Kernels Memory Simnet

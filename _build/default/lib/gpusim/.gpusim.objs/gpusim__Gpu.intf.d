@@ -1,0 +1,1 @@
+lib/gpusim/gpu.mli: Device Kernels Memory Simnet

@@ -1,0 +1,1 @@
+lib/gpusim/kernels.ml: Array Device Float Format Hashtbl Int32 List Memory Printexc

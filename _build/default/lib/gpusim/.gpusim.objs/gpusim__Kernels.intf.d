@@ -1,0 +1,1 @@
+lib/gpusim/kernels.mli: Device Memory

@@ -1,0 +1,1 @@
+lib/gpusim/memory.ml: Bytes Char Int Int32 Int64 List Map Marshal Printexc Printf String

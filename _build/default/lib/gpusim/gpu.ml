@@ -1,0 +1,115 @@
+module Time = Simnet.Time
+
+type t = {
+  device : Device.t;
+  mutable memory : Memory.t;
+  streams : (int, Time.t ref) Hashtbl.t;
+  events : (int, Time.t option ref) Hashtbl.t;
+  mutable next_handle : int;
+}
+
+let default_stream = 0
+let default_capacity_clamp = 2 lsl 30
+
+let create ?memory_capacity device =
+  let capacity =
+    match memory_capacity with
+    | Some c -> c
+    | None ->
+        let mem = device.Device.total_global_mem in
+        if Int64.compare mem (Int64.of_int default_capacity_clamp) > 0 then
+          default_capacity_clamp
+        else Int64.to_int mem
+  in
+  let t =
+    {
+      device;
+      memory = Memory.create ~capacity;
+      streams = Hashtbl.create 8;
+      events = Hashtbl.create 8;
+      next_handle = 1;
+    }
+  in
+  Hashtbl.add t.streams default_stream (ref Time.zero);
+  t
+
+let device t = t.device
+let memory t = t.memory
+
+let fresh_handle t =
+  let h = t.next_handle in
+  t.next_handle <- h + 1;
+  h
+
+let stream_create t =
+  let h = fresh_handle t in
+  Hashtbl.add t.streams h (ref Time.zero);
+  h
+
+let stream_ref t handle = Hashtbl.find t.streams handle
+
+let stream_destroy t handle =
+  if handle = default_stream then invalid_arg "cannot destroy default stream";
+  if not (Hashtbl.mem t.streams handle) then raise Not_found;
+  Hashtbl.remove t.streams handle
+
+let stream_valid t handle = Hashtbl.mem t.streams handle
+let stream_completion t handle = !(stream_ref t handle)
+
+let stream_synchronize t ~now handle =
+  let completion = stream_completion t handle in
+  if Time.compare completion now > 0 then completion else now
+
+let launch t ~now ?(stream = default_stream) kernel launch_params =
+  let sref = stream_ref t stream in
+  let start = if Time.compare !sref now > 0 then !sref else now in
+  let cost_ns = kernel.Kernels.cost t.device launch_params in
+  let completion =
+    Time.add start
+      (Time.add
+         (Time.ns t.device.Device.launch_overhead_ns)
+         (Time.of_float_ns cost_ns))
+  in
+  kernel.Kernels.execute t.memory launch_params;
+  sref := completion;
+  completion
+
+let synchronize t ~now =
+  Hashtbl.fold
+    (fun _ sref acc -> if Time.compare !sref acc > 0 then !sref else acc)
+    t.streams now
+
+let event_create t =
+  let h = fresh_handle t in
+  Hashtbl.add t.events h (ref None);
+  h
+
+let event_destroy t handle =
+  if not (Hashtbl.mem t.events handle) then raise Not_found;
+  Hashtbl.remove t.events handle
+
+let event_valid t handle = Hashtbl.mem t.events handle
+
+let event_record t ~now ~event ~stream =
+  let eref = Hashtbl.find t.events event in
+  let completion = stream_synchronize t ~now stream in
+  eref := Some completion
+
+let event_synchronize t ~now handle =
+  match !(Hashtbl.find t.events handle) with
+  | Some when_ -> if Time.compare when_ now > 0 then when_ else now
+  | None -> now
+
+let event_elapsed_ms t ~start ~stop =
+  match (!(Hashtbl.find t.events start), !(Hashtbl.find t.events stop)) with
+  | Some a, Some b -> Time.to_float_ms (Time.sub b a)
+  | _ -> raise Not_found
+
+let reset t =
+  Memory.reset t.memory;
+  Hashtbl.reset t.streams;
+  Hashtbl.reset t.events;
+  Hashtbl.add t.streams default_stream (ref Time.zero);
+  t.next_handle <- 1
+
+let set_memory t m = t.memory <- m

@@ -1,0 +1,74 @@
+(** One simulated GPU: device memory, streams, events, kernel execution.
+
+    The GPU is asynchronous relative to the host: each stream tracks the
+    virtual time at which its queued work completes. Launching executes the
+    kernel's side effects immediately (device memory is updated eagerly)
+    but time is accounted on the stream; synchronisation points return the
+    completion time so the caller (the Cricket server) can advance the
+    simulation clock. This mirrors the CUDA execution model closely enough
+    for the paper's workloads, which always synchronise before reading
+    results back. *)
+
+module Time = Simnet.Time
+
+type t
+
+val create : ?memory_capacity:int -> Device.t -> t
+(** [memory_capacity] defaults to the device's [total_global_mem] clamped
+    to 2 GiB to keep host memory bounded (the backing store only grows as
+    touched; allocations beyond the clamp fail with OOM, as on a smaller
+    device). *)
+
+val device : t -> Device.t
+val memory : t -> Memory.t
+
+(** {1 Streams} *)
+
+val default_stream : int
+(** Stream handle 0, always valid. *)
+
+val stream_create : t -> int
+val stream_destroy : t -> int -> unit
+(** Raises [Not_found] for an unknown handle. *)
+
+val stream_valid : t -> int -> bool
+
+val stream_completion : t -> int -> Time.t
+(** When this stream's queued work finishes. *)
+
+val stream_synchronize : t -> now:Time.t -> int -> Time.t
+(** Time at which the host resumes: [max now (stream_completion)]. *)
+
+(** {1 Kernel execution} *)
+
+val launch :
+  t -> now:Time.t -> ?stream:int -> Kernels.t -> Kernels.launch -> Time.t
+(** Enqueue and (eagerly) execute. Returns the stream's new completion
+    time. Raises [Not_found] for an unknown stream and
+    {!Kernels.Bad_args} for malformed arguments. *)
+
+val synchronize : t -> now:Time.t -> Time.t
+(** cudaDeviceSynchronize: completion time across all streams. *)
+
+(** {1 Events} *)
+
+val event_create : t -> int
+val event_destroy : t -> int -> unit
+val event_valid : t -> int -> bool
+
+val event_record : t -> now:Time.t -> event:int -> stream:int -> unit
+(** The event fires when the stream's currently-queued work completes. *)
+
+val event_synchronize : t -> now:Time.t -> int -> Time.t
+
+val event_elapsed_ms : t -> start:int -> stop:int -> float
+(** cudaEventElapsedTime. Raises [Not_found] if either event is unknown or
+    not yet recorded. *)
+
+(** {1 Whole-device operations} *)
+
+val reset : t -> unit
+(** cudaDeviceReset: drop all memory, streams and events. *)
+
+val set_memory : t -> Memory.t -> unit
+(** Replace the device's memory wholesale (checkpoint restore). *)

@@ -1,0 +1,236 @@
+type error =
+  | Out_of_memory of { requested : int; free : int }
+  | Invalid_pointer of int
+  | Double_free of int
+  | Out_of_bounds of { ptr : int; offset : int; len : int; alloc_size : int }
+
+exception Error of error
+
+let error_to_string = function
+  | Out_of_memory { requested; free } ->
+      Printf.sprintf "out of device memory: requested %d, free %d" requested free
+  | Invalid_pointer p -> Printf.sprintf "invalid device pointer 0x%x" p
+  | Double_free p -> Printf.sprintf "double free of device pointer 0x%x" p
+  | Out_of_bounds { ptr; offset; len; alloc_size } ->
+      Printf.sprintf
+        "out-of-bounds access: allocation 0x%x (size %d), offset %d, len %d"
+        ptr alloc_size offset len
+
+let () =
+  Printexc.register_printer (function
+    | Error e -> Some ("Gpusim.Memory.Error: " ^ error_to_string e)
+    | _ -> None)
+
+let fail e = raise (Error e)
+let base_address = 0x1000
+let alignment = 256
+
+module Imap = Map.Make (Int)
+
+type t = {
+  capacity : int;
+  mutable backing : Bytes.t;
+  mutable allocations : int Imap.t;  (* base -> size *)
+  mutable free_list : (int * int) list;  (* (base, size), sorted by base *)
+  mutable used : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Memory.create: capacity";
+  {
+    capacity;
+    backing = Bytes.create 4096;
+    allocations = Imap.empty;
+    free_list = [ (base_address, capacity) ];
+    used = 0;
+  }
+
+let used_bytes t = t.used
+let free_bytes t = t.capacity - t.used
+let total_bytes t = t.capacity
+let live_allocations t = Imap.cardinal t.allocations
+
+let round_up n = (n + alignment - 1) / alignment * alignment
+
+let alloc t n =
+  if n <= 0 then invalid_arg "Memory.alloc: size must be positive";
+  let size = round_up n in
+  let rec take acc = function
+    | [] -> fail (Out_of_memory { requested = n; free = free_bytes t })
+    | (base, avail) :: rest when avail >= size ->
+        let remaining =
+          if avail = size then rest else (base + size, avail - size) :: rest
+        in
+        t.free_list <- List.rev_append acc remaining;
+        t.allocations <- Imap.add base size t.allocations;
+        t.used <- t.used + size;
+        base
+    | range :: rest -> take (range :: acc) rest
+  in
+  take [] t.free_list
+
+(* Insert a range into the sorted free list, coalescing neighbours. *)
+let release t base size =
+  let rec insert = function
+    | [] -> [ (base, size) ]
+    | (b, s) :: rest when base + size = b -> (base, size + s) :: rest
+    | (b, s) :: rest when b + s = base -> insert_merge b (s + size) rest
+    | (b, s) :: rest when base < b -> (base, size) :: (b, s) :: rest
+    | range :: rest -> range :: insert rest
+  and insert_merge b s = function
+    | (b2, s2) :: rest when b + s = b2 -> (b, s + s2) :: rest
+    | rest -> (b, s) :: rest
+  in
+  t.free_list <- insert t.free_list
+
+let free t ptr =
+  match Imap.find_opt ptr t.allocations with
+  | Some size ->
+      t.allocations <- Imap.remove ptr t.allocations;
+      t.used <- t.used - size;
+      release t ptr size
+  | None ->
+      (* Distinguish never-allocated from already-freed: a pointer inside
+         the managed range that is not a live base is a double free if it
+         was plausibly a base (aligned), otherwise invalid. *)
+      if ptr >= base_address && ptr < base_address + t.capacity
+         && ptr mod alignment = 0
+      then fail (Double_free ptr)
+      else fail (Invalid_pointer ptr)
+
+let is_allocated t ptr = Imap.mem ptr t.allocations
+
+let allocation_size t ptr =
+  match Imap.find_opt ptr t.allocations with
+  | Some s -> s
+  | None -> fail (Invalid_pointer ptr)
+
+let find_allocation t addr =
+  match Imap.find_last_opt (fun base -> base <= addr) t.allocations with
+  | Some (base, size) when addr < base + size -> Some (base, size)
+  | _ -> None
+
+let ensure_backing t upto =
+  if upto > Bytes.length t.backing then begin
+    let capacity = ref (max 4096 (Bytes.length t.backing)) in
+    while !capacity < upto do
+      capacity := !capacity * 2
+    done;
+    let grown = Bytes.make !capacity '\000' in
+    Bytes.blit t.backing 0 grown 0 (Bytes.length t.backing);
+    t.backing <- grown
+  end
+
+let check_range t ptr len =
+  match find_allocation t ptr with
+  | None -> fail (Invalid_pointer ptr)
+  | Some (base, size) ->
+      if ptr + len > base + size then
+        fail (Out_of_bounds { ptr = base; offset = ptr - base; len;
+                              alloc_size = size })
+
+let write t ptr data =
+  let len = Bytes.length data in
+  if len > 0 then begin
+    check_range t ptr len;
+    ensure_backing t (ptr + len);
+    Bytes.blit data 0 t.backing ptr len
+  end
+
+let read t ptr len =
+  if len = 0 then Bytes.empty
+  else begin
+    check_range t ptr len;
+    ensure_backing t (ptr + len);
+    Bytes.sub t.backing ptr len
+  end
+
+let copy t ~src ~dst ~len =
+  if len > 0 then begin
+    check_range t src len;
+    check_range t dst len;
+    ensure_backing t (max (src + len) (dst + len));
+    Bytes.blit t.backing src t.backing dst len
+  end
+
+let memset t ptr byte len =
+  if len > 0 then begin
+    check_range t ptr len;
+    ensure_backing t (ptr + len);
+    Bytes.fill t.backing ptr len (Char.chr (byte land 0xff))
+  end
+
+(* Scalar accessors: backing-bound checked only (kernel semantics). *)
+
+let get_u8 t addr =
+  ensure_backing t (addr + 1);
+  Char.code (Bytes.get t.backing addr)
+
+let set_u8 t addr v =
+  ensure_backing t (addr + 1);
+  Bytes.set t.backing addr (Char.chr (v land 0xff))
+
+let get_i32 t addr =
+  ensure_backing t (addr + 4);
+  Bytes.get_int32_le t.backing addr
+
+let set_i32 t addr v =
+  ensure_backing t (addr + 4);
+  Bytes.set_int32_le t.backing addr v
+
+let get_f32 t addr = Int32.float_of_bits (get_i32 t addr)
+let set_f32 t addr v = set_i32 t addr (Int32.bits_of_float v)
+
+let get_f64 t addr =
+  ensure_backing t (addr + 8);
+  Int64.float_of_bits (Bytes.get_int64_le t.backing addr)
+
+let set_f64 t addr v =
+  ensure_backing t (addr + 8);
+  Bytes.set_int64_le t.backing addr (Int64.bits_of_float v)
+
+let reset t =
+  t.allocations <- Imap.empty;
+  t.free_list <- [ (base_address, t.capacity) ];
+  t.used <- 0;
+  Bytes.fill t.backing 0 (Bytes.length t.backing) '\000'
+
+(* Checkpoint format: capacity, allocation table, and each live
+   allocation's contents. *)
+type snapshot_data = {
+  snap_capacity : int;
+  snap_allocs : (int * int) list;
+  snap_free : (int * int) list;
+  snap_contents : (int * string) list;
+}
+
+let snapshot t =
+  let contents =
+    Imap.fold
+      (fun base size acc ->
+        ensure_backing t (base + size);
+        (base, Bytes.sub_string t.backing base size) :: acc)
+      t.allocations []
+  in
+  Marshal.to_string
+    {
+      snap_capacity = t.capacity;
+      snap_allocs = Imap.bindings t.allocations;
+      snap_free = t.free_list;
+      snap_contents = contents;
+    }
+    []
+
+let restore s =
+  let d : snapshot_data = Marshal.from_string s 0 in
+  let t = create ~capacity:d.snap_capacity in
+  t.allocations <-
+    List.fold_left (fun m (b, sz) -> Imap.add b sz m) Imap.empty d.snap_allocs;
+  t.free_list <- d.snap_free;
+  t.used <- List.fold_left (fun acc (_, sz) -> acc + sz) 0 d.snap_allocs;
+  List.iter
+    (fun (base, data) ->
+      ensure_backing t (base + String.length data);
+      Bytes.blit_string data 0 t.backing base (String.length data))
+    d.snap_contents;
+  t

@@ -1,0 +1,72 @@
+(** Simulated GPU device memory: allocator plus typed access.
+
+    Device pointers are plain integers in a private address space starting
+    at a non-zero base. The allocator is a first-fit free list with 256-byte
+    alignment (CUDA's allocation granularity guarantee) and full
+    bookkeeping, so invalid frees and double frees are detected — the
+    behaviour Cricket's client-side allocation wrapping relies on.
+
+    Bulk [read]/[write]/[copy]/[memset] are bounds-checked against the
+    owning allocation. Scalar accessors ([get_f32] …) used from inside
+    kernels are only checked against the backing store, mirroring how real
+    GPU kernels can address anywhere in device memory. *)
+
+type t
+
+type error =
+  | Out_of_memory of { requested : int; free : int }
+  | Invalid_pointer of int
+  | Double_free of int
+  | Out_of_bounds of { ptr : int; offset : int; len : int; alloc_size : int }
+
+exception Error of error
+
+val error_to_string : error -> string
+
+val create : capacity:int -> t
+(** [capacity] bounds the sum of live allocations; the backing store grows
+    lazily as addresses are touched. *)
+
+val alloc : t -> int -> int
+(** Allocate [n] bytes ([n > 0]); returns the device pointer. *)
+
+val free : t -> int -> unit
+val is_allocated : t -> int -> bool
+val allocation_size : t -> int -> int
+(** Size of the allocation starting exactly at this pointer. *)
+
+val find_allocation : t -> int -> (int * int) option
+(** [(base, size)] of the allocation containing an address, if any. *)
+
+val used_bytes : t -> int
+val free_bytes : t -> int
+val total_bytes : t -> int
+val live_allocations : t -> int
+
+(** {1 Bulk transfer (bounds-checked against the allocation)} *)
+
+val write : t -> int -> bytes -> unit
+val read : t -> int -> int -> bytes
+val copy : t -> src:int -> dst:int -> len:int -> unit
+val memset : t -> int -> int -> int -> unit
+(** [memset t ptr byte len]. *)
+
+(** {1 Scalar access (kernel use; backing-store checked)} *)
+
+val get_u8 : t -> int -> int
+val set_u8 : t -> int -> int -> unit
+val get_i32 : t -> int -> int32
+val set_i32 : t -> int -> int32 -> unit
+val get_f32 : t -> int -> float
+val set_f32 : t -> int -> float -> unit
+val get_f64 : t -> int -> float
+val set_f64 : t -> int -> float -> unit
+
+val reset : t -> unit
+(** Free everything (cudaDeviceReset). *)
+
+val snapshot : t -> string
+(** Serialize allocator state + live memory contents (for checkpoint). *)
+
+val restore : string -> t
+(** Rebuild from {!snapshot} output. *)

@@ -1,0 +1,1 @@
+lib/oncrpc/auth.ml: Bytes List String Xdr

@@ -1,0 +1,1 @@
+lib/oncrpc/auth.mli: Xdr

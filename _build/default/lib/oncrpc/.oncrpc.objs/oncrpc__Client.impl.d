@@ -1,0 +1,1 @@
+lib/oncrpc/client.ml: Auth Format Int32 Message Printexc Record String Transport Xdr

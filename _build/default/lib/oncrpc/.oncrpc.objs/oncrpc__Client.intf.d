@@ -1,0 +1,1 @@
+lib/oncrpc/client.mli: Auth Message Transport Xdr

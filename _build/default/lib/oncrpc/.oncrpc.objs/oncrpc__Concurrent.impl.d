@@ -1,0 +1,1 @@
+lib/oncrpc/concurrent.ml: Client Condition Fun Hashtbl Int32 Message Mutex Record Thread Transport Xdr

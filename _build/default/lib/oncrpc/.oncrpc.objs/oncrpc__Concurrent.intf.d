@@ -1,0 +1,1 @@
+lib/oncrpc/concurrent.mli: Transport Xdr

@@ -1,0 +1,1 @@
+lib/oncrpc/message.ml: Auth Format Int32 Xdr

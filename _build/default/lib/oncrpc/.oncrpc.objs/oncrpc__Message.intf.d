@@ -1,0 +1,1 @@
+lib/oncrpc/message.mli: Auth Format Xdr

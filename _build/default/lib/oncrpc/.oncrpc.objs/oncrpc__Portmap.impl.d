@@ -1,0 +1,1 @@
+lib/oncrpc/portmap.ml: Client List Server Xdr

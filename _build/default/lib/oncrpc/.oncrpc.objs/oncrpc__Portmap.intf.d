@@ -1,0 +1,1 @@
+lib/oncrpc/portmap.mli: Client Server

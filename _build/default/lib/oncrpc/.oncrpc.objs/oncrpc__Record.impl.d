@@ -1,0 +1,1 @@
+lib/oncrpc/record.ml: Buffer Bytes Char String Transport

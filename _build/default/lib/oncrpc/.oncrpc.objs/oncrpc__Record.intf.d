@@ -1,0 +1,1 @@
+lib/oncrpc/record.mli: Transport

@@ -1,0 +1,1 @@
+lib/oncrpc/server.ml: Auth Hashtbl List Logs Message Printexc Printf Record Thread Transport Unix Xdr

@@ -1,0 +1,1 @@
+lib/oncrpc/server.mli: Auth Message Transport Xdr

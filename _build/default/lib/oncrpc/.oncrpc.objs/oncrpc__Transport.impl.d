@@ -1,0 +1,1 @@
+lib/oncrpc/transport.ml: Buffer Bytes Condition Mutex Printexc Printf String Unix

@@ -1,0 +1,1 @@
+lib/oncrpc/transport.mli: Unix

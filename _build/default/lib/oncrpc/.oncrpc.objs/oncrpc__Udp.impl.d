@@ -1,0 +1,1 @@
+lib/oncrpc/udp.ml: Array Bytes Client Int32 Message Printexc Server String Thread Unix Xdr

@@ -1,0 +1,1 @@
+lib/oncrpc/udp.mli: Server Xdr

@@ -1,0 +1,110 @@
+type error =
+  | Call_rejected of Message.rejected
+  | Call_failed of Message.accept_stat
+  | Bad_reply of string
+
+exception Rpc_error of error
+
+let error_to_string = function
+  | Call_rejected r -> Format.asprintf "call denied: %a" Message.pp_rejected r
+  | Call_failed s -> Format.asprintf "call failed: %a" Message.pp_accept_stat s
+  | Bad_reply s -> "bad reply: " ^ s
+
+let () =
+  Printexc.register_printer (function
+    | Rpc_error e -> Some ("Oncrpc.Client.Rpc_error: " ^ error_to_string e)
+    | _ -> None)
+
+type stats = {
+  calls : int;
+  bytes_sent : int;
+  bytes_received : int;
+  wire_bytes_sent : int;
+  wire_bytes_received : int;
+}
+
+let empty_stats =
+  { calls = 0; bytes_sent = 0; bytes_received = 0; wire_bytes_sent = 0;
+    wire_bytes_received = 0 }
+
+type t = {
+  transport : Transport.t;
+  prog : int;
+  vers : int;
+  cred : Auth.t;
+  fragment_size : int;
+  mutable next_xid : int32;
+  mutable stats : stats;
+}
+
+let create ?(cred = Auth.none) ?(fragment_size = Record.default_fragment_size)
+    ?(first_xid = 1l) ~transport ~prog ~vers () =
+  { transport; prog; vers; cred; fragment_size; next_xid = first_xid;
+    stats = empty_stats }
+
+let wire_length ~fragment_size payload =
+  let fragments = max 1 ((payload + fragment_size - 1) / fragment_size) in
+  payload + (4 * fragments)
+
+let call t ~proc encode_args decode_results =
+  let xid = t.next_xid in
+  t.next_xid <- Int32.add t.next_xid 1l;
+  let enc = Xdr.Encode.create () in
+  Message.encode enc
+    (Message.call ~cred:t.cred ~xid ~prog:t.prog ~vers:t.vers ~proc ());
+  let header_len = Xdr.Encode.length enc in
+  encode_args enc;
+  let request = Xdr.Encode.to_string enc in
+  let args_len = String.length request - header_len in
+  Record.write ~fragment_size:t.fragment_size t.transport request;
+  (* Skip replies to abandoned xids; block for ours. *)
+  let rec await () =
+    let reply = Record.read t.transport in
+    let dec = Xdr.Decode.of_string reply in
+    let msg =
+      try Message.decode dec
+      with Xdr.Types.Error e ->
+        raise (Rpc_error (Bad_reply (Xdr.Types.error_to_string e)))
+    in
+    if msg.Message.xid <> xid then await ()
+    else begin
+      (match msg.Message.body with
+      | Message.Call _ -> raise (Rpc_error (Bad_reply "received a CALL"))
+      | Message.Reply (Message.Denied d) -> raise (Rpc_error (Call_rejected d))
+      | Message.Reply (Message.Accepted { stat = Message.Success; _ }) -> ()
+      | Message.Reply (Message.Accepted { stat; _ }) ->
+          raise (Rpc_error (Call_failed stat)));
+      (reply, dec)
+    end
+  in
+  let reply, dec = await () in
+  let results_start = Xdr.Decode.pos dec in
+  let result =
+    try
+      let r = decode_results dec in
+      Xdr.Decode.finish dec;
+      r
+    with Xdr.Types.Error e ->
+      raise (Rpc_error (Bad_reply (Xdr.Types.error_to_string e)))
+  in
+  let results_len = String.length reply - results_start in
+  let s = t.stats in
+  t.stats <-
+    {
+      calls = s.calls + 1;
+      bytes_sent = s.bytes_sent + args_len;
+      bytes_received = s.bytes_received + results_len;
+      wire_bytes_sent =
+        s.wire_bytes_sent
+        + wire_length ~fragment_size:t.fragment_size (String.length request);
+      wire_bytes_received =
+        s.wire_bytes_received
+        + wire_length ~fragment_size:Record.default_fragment_size
+            (String.length reply);
+    };
+  result
+
+let call_void t ~proc encode_args = call t ~proc encode_args Xdr.Decode.void
+let stats t = t.stats
+let reset_stats t = t.stats <- empty_stats
+let close t = t.transport.Transport.close ()

@@ -1,0 +1,143 @@
+type slot = {
+  slot_lock : Mutex.t;
+  slot_cond : Condition.t;
+  mutable reply : string option;  (* raw reply record *)
+  mutable failed : exn option;
+}
+
+type t = {
+  transport : Transport.t;
+  prog : int;
+  vers : int;
+  send_lock : Mutex.t;
+  table_lock : Mutex.t;
+  pending : (int32, slot) Hashtbl.t;
+  mutable next_xid : int32;
+  mutable alive : bool;
+  mutable receiver : Thread.t option;
+}
+
+let fail_all t exn =
+  Mutex.lock t.table_lock;
+  t.alive <- false;
+  Hashtbl.iter
+    (fun _ slot ->
+      Mutex.lock slot.slot_lock;
+      slot.failed <- Some exn;
+      Condition.signal slot.slot_cond;
+      Mutex.unlock slot.slot_lock)
+    t.pending;
+  Hashtbl.reset t.pending;
+  Mutex.unlock t.table_lock
+
+let receiver_loop t =
+  let rec loop () =
+    match Record.read_opt t.transport with
+    | None -> fail_all t Transport.Closed
+    | Some reply -> (
+        match Message.decode (Xdr.Decode.of_string reply) with
+        | exception Xdr.Types.Error _ -> loop () (* unparseable: skip *)
+        | msg -> (
+            Mutex.lock t.table_lock;
+            let slot = Hashtbl.find_opt t.pending msg.Message.xid in
+            Hashtbl.remove t.pending msg.Message.xid;
+            Mutex.unlock t.table_lock;
+            (match slot with
+            | Some slot ->
+                Mutex.lock slot.slot_lock;
+                slot.reply <- Some reply;
+                Condition.signal slot.slot_cond;
+                Mutex.unlock slot.slot_lock
+            | None -> (* reply to an abandoned call *) ());
+            loop ()))
+  in
+  try loop () with
+  | Transport.Closed -> fail_all t Transport.Closed
+  | e -> fail_all t e
+
+let create ~transport ~prog ~vers () =
+  let t =
+    {
+      transport;
+      prog;
+      vers;
+      send_lock = Mutex.create ();
+      table_lock = Mutex.create ();
+      pending = Hashtbl.create 16;
+      next_xid = 1l;
+      alive = true;
+      receiver = None;
+    }
+  in
+  t.receiver <- Some (Thread.create receiver_loop t);
+  t
+
+let outstanding t =
+  Mutex.lock t.table_lock;
+  let n = Hashtbl.length t.pending in
+  Mutex.unlock t.table_lock;
+  n
+
+let call t ~proc encode_args decode_results =
+  let slot =
+    { slot_lock = Mutex.create (); slot_cond = Condition.create ();
+      reply = None; failed = None }
+  in
+  (* register, then send under the write lock *)
+  Mutex.lock t.table_lock;
+  if not t.alive then begin
+    Mutex.unlock t.table_lock;
+    raise Transport.Closed
+  end;
+  let xid = t.next_xid in
+  t.next_xid <- Int32.add t.next_xid 1l;
+  Hashtbl.add t.pending xid slot;
+  Mutex.unlock t.table_lock;
+  let enc = Xdr.Encode.create () in
+  Message.encode enc
+    (Message.call ~xid ~prog:t.prog ~vers:t.vers ~proc ());
+  encode_args enc;
+  (match
+     Mutex.lock t.send_lock;
+     Fun.protect
+       ~finally:(fun () -> Mutex.unlock t.send_lock)
+       (fun () -> Record.write t.transport (Xdr.Encode.to_string enc))
+   with
+  | () -> ()
+  | exception e ->
+      Mutex.lock t.table_lock;
+      Hashtbl.remove t.pending xid;
+      Mutex.unlock t.table_lock;
+      raise e);
+  (* wait for the receiver to fill our slot *)
+  Mutex.lock slot.slot_lock;
+  while slot.reply = None && slot.failed = None do
+    Condition.wait slot.slot_cond slot.slot_lock
+  done;
+  let outcome = (slot.reply, slot.failed) in
+  Mutex.unlock slot.slot_lock;
+  match outcome with
+  | _, Some exn -> raise exn
+  | Some reply, None -> (
+      let dec = Xdr.Decode.of_string reply in
+      let msg = Message.decode dec in
+      match msg.Message.body with
+      | Message.Reply (Message.Accepted { stat = Message.Success; _ }) ->
+          let r = decode_results dec in
+          Xdr.Decode.finish dec;
+          r
+      | Message.Reply (Message.Accepted { stat; _ }) ->
+          raise (Client.Rpc_error (Client.Call_failed stat))
+      | Message.Reply (Message.Denied d) ->
+          raise (Client.Rpc_error (Client.Call_rejected d))
+      | Message.Call _ ->
+          raise (Client.Rpc_error (Client.Bad_reply "received a CALL")))
+  | None, None -> assert false
+
+let close t =
+  t.alive <- false;
+  t.transport.Transport.close ();
+  (match t.receiver with
+  | Some thread -> ( try Thread.join thread with _ -> ())
+  | None -> ());
+  fail_all t Transport.Closed

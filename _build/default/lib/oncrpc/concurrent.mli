@@ -1,0 +1,29 @@
+(** Thread-safe ONC RPC client with concurrent outstanding calls.
+
+    The plain {!Client} is synchronous — one call at a time, like RPC-Lib.
+    libtirpc additionally supports several threads sharing one connection
+    with interleaved replies matched by transaction id; this module
+    provides that: senders serialize on a lock, a dedicated receiver thread
+    demultiplexes replies to per-call mailboxes, and calls from any number
+    of threads proceed concurrently.
+
+    Used by the tests to demonstrate that reply matching by xid is what
+    makes connection sharing sound (replies may arrive in any order). *)
+
+type t
+
+val create : transport:Transport.t -> prog:int -> vers:int -> unit -> t
+(** Spawns the receiver thread. *)
+
+val call :
+  t -> proc:int -> (Xdr.Encode.t -> unit) -> (Xdr.Decode.t -> 'a) -> 'a
+(** Semantics of {!Client.call}; safe from any thread. Raises
+    {!Client.Rpc_error} on protocol failures and {!Transport.Closed} if the
+    connection dies while the call is outstanding. *)
+
+val outstanding : t -> int
+(** Calls currently awaiting replies. *)
+
+val close : t -> unit
+(** Close the transport and fail all outstanding calls with
+    {!Transport.Closed}; joins the receiver thread. *)

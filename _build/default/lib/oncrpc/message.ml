@@ -1,0 +1,173 @@
+let rpc_version = 2
+
+type auth_stat =
+  | Auth_badcred
+  | Auth_rejectedcred
+  | Auth_badverf
+  | Auth_rejectedverf
+  | Auth_tooweak
+  | Auth_invalidresp
+  | Auth_failed
+
+let auth_stat_code = function
+  | Auth_badcred -> 1
+  | Auth_rejectedcred -> 2
+  | Auth_badverf -> 3
+  | Auth_rejectedverf -> 4
+  | Auth_tooweak -> 5
+  | Auth_invalidresp -> 6
+  | Auth_failed -> 7
+
+let auth_stat_of_code = function
+  | 1 -> Auth_badcred
+  | 2 -> Auth_rejectedcred
+  | 3 -> Auth_badverf
+  | 4 -> Auth_rejectedverf
+  | 5 -> Auth_tooweak
+  | 6 -> Auth_invalidresp
+  | _ -> Auth_failed
+
+type call = {
+  prog : int;
+  vers : int;
+  proc : int;
+  cred : Auth.t;
+  verf : Auth.t;
+}
+
+type mismatch_info = { low : int; high : int }
+
+type accept_stat =
+  | Success
+  | Prog_unavail
+  | Prog_mismatch of mismatch_info
+  | Proc_unavail
+  | Garbage_args
+  | System_err
+
+type accepted = { verf : Auth.t; stat : accept_stat }
+type rejected = Rpc_mismatch of mismatch_info | Auth_error of auth_stat
+type reply = Accepted of accepted | Denied of rejected
+type body = Call of call | Reply of reply
+type t = { xid : int32; body : body }
+
+(* msg_type *)
+let msg_call = 0
+let msg_reply = 1
+
+(* reply_stat *)
+let msg_accepted = 0
+let msg_denied = 1
+
+let encode enc t =
+  Xdr.Encode.uint32 enc t.xid;
+  match t.body with
+  | Call c ->
+      Xdr.Encode.int enc msg_call;
+      Xdr.Encode.uint enc rpc_version;
+      Xdr.Encode.uint enc c.prog;
+      Xdr.Encode.uint enc c.vers;
+      Xdr.Encode.uint enc c.proc;
+      Auth.encode enc c.cred;
+      Auth.encode enc c.verf
+  | Reply (Accepted a) -> begin
+      Xdr.Encode.int enc msg_reply;
+      Xdr.Encode.int enc msg_accepted;
+      Auth.encode enc a.verf;
+      match a.stat with
+      | Success -> Xdr.Encode.int enc 0
+      | Prog_unavail -> Xdr.Encode.int enc 1
+      | Prog_mismatch { low; high } ->
+          Xdr.Encode.int enc 2;
+          Xdr.Encode.uint enc low;
+          Xdr.Encode.uint enc high
+      | Proc_unavail -> Xdr.Encode.int enc 3
+      | Garbage_args -> Xdr.Encode.int enc 4
+      | System_err -> Xdr.Encode.int enc 5
+    end
+  | Reply (Denied d) -> begin
+      Xdr.Encode.int enc msg_reply;
+      Xdr.Encode.int enc msg_denied;
+      match d with
+      | Rpc_mismatch { low; high } ->
+          Xdr.Encode.int enc 0;
+          Xdr.Encode.uint enc low;
+          Xdr.Encode.uint enc high
+      | Auth_error stat ->
+          Xdr.Encode.int enc 1;
+          Xdr.Encode.int enc (auth_stat_code stat)
+    end
+
+let decode_accept_stat dec =
+  match Xdr.Decode.int dec with
+  | 0 -> Success
+  | 1 -> Prog_unavail
+  | 2 ->
+      let low = Xdr.Decode.uint dec in
+      let high = Xdr.Decode.uint dec in
+      Prog_mismatch { low; high }
+  | 3 -> Proc_unavail
+  | 4 -> Garbage_args
+  | 5 -> System_err
+  | n -> Xdr.Types.fail (Xdr.Types.Invalid_union (Int32.of_int n))
+
+let decode dec =
+  let xid = Xdr.Decode.uint32 dec in
+  let mtype = Xdr.Decode.int dec in
+  if mtype = msg_call then begin
+    let rpcvers = Xdr.Decode.uint dec in
+    if rpcvers <> rpc_version then
+      Xdr.Types.fail (Xdr.Types.Invalid_enum (Int32.of_int rpcvers));
+    let prog = Xdr.Decode.uint dec in
+    let vers = Xdr.Decode.uint dec in
+    let proc = Xdr.Decode.uint dec in
+    let cred = Auth.decode dec in
+    let verf = Auth.decode dec in
+    { xid; body = Call { prog; vers; proc; cred; verf } }
+  end
+  else if mtype = msg_reply then begin
+    let rstat = Xdr.Decode.int dec in
+    if rstat = msg_accepted then begin
+      let verf = Auth.decode dec in
+      let stat = decode_accept_stat dec in
+      { xid; body = Reply (Accepted { verf; stat }) }
+    end
+    else if rstat = msg_denied then begin
+      match Xdr.Decode.int dec with
+      | 0 ->
+          let low = Xdr.Decode.uint dec in
+          let high = Xdr.Decode.uint dec in
+          { xid; body = Reply (Denied (Rpc_mismatch { low; high })) }
+      | 1 ->
+          let stat = auth_stat_of_code (Xdr.Decode.int dec) in
+          { xid; body = Reply (Denied (Auth_error stat)) }
+      | n -> Xdr.Types.fail (Xdr.Types.Invalid_union (Int32.of_int n))
+    end
+    else Xdr.Types.fail (Xdr.Types.Invalid_union (Int32.of_int rstat))
+  end
+  else Xdr.Types.fail (Xdr.Types.Invalid_union (Int32.of_int mtype))
+
+let call ?(cred = Auth.none) ?(verf = Auth.none) ~xid ~prog ~vers ~proc () =
+  { xid; body = Call { prog; vers; proc; cred; verf } }
+
+let reply_success ?(verf = Auth.none) ~xid () =
+  { xid; body = Reply (Accepted { verf; stat = Success }) }
+
+let reply_error ~xid stat =
+  { xid; body = Reply (Accepted { verf = Auth.none; stat }) }
+
+let reply_denied ~xid rejected = { xid; body = Reply (Denied rejected) }
+
+let pp_accept_stat ppf = function
+  | Success -> Format.pp_print_string ppf "SUCCESS"
+  | Prog_unavail -> Format.pp_print_string ppf "PROG_UNAVAIL"
+  | Prog_mismatch { low; high } ->
+      Format.fprintf ppf "PROG_MISMATCH(low=%d,high=%d)" low high
+  | Proc_unavail -> Format.pp_print_string ppf "PROC_UNAVAIL"
+  | Garbage_args -> Format.pp_print_string ppf "GARBAGE_ARGS"
+  | System_err -> Format.pp_print_string ppf "SYSTEM_ERR"
+
+let pp_rejected ppf = function
+  | Rpc_mismatch { low; high } ->
+      Format.fprintf ppf "RPC_MISMATCH(low=%d,high=%d)" low high
+  | Auth_error s -> Format.fprintf ppf "AUTH_ERROR(%d)" (auth_stat_code s)

@@ -1,0 +1,70 @@
+(** RPC message structures and codecs (RFC 5531 §9).
+
+    A message is a header followed by a procedure-specific payload (call
+    arguments or reply results). The codecs here handle only the header; the
+    payload is appended to / decoded from the same XDR stream by the caller,
+    exactly as generated rpcgen code does. *)
+
+val rpc_version : int
+(** Always 2. *)
+
+type auth_stat =
+  | Auth_badcred
+  | Auth_rejectedcred
+  | Auth_badverf
+  | Auth_rejectedverf
+  | Auth_tooweak
+  | Auth_invalidresp
+  | Auth_failed
+
+val auth_stat_code : auth_stat -> int
+val auth_stat_of_code : int -> auth_stat
+
+type call = {
+  prog : int;
+  vers : int;
+  proc : int;
+  cred : Auth.t;
+  verf : Auth.t;
+}
+
+type mismatch_info = { low : int; high : int }
+
+(** Why a call was accepted-but-failed, per [accept_stat]. [Success] carries
+    no payload here; results follow in the stream. *)
+type accept_stat =
+  | Success
+  | Prog_unavail
+  | Prog_mismatch of mismatch_info
+  | Proc_unavail
+  | Garbage_args
+  | System_err
+
+type accepted = { verf : Auth.t; stat : accept_stat }
+
+type rejected = Rpc_mismatch of mismatch_info | Auth_error of auth_stat
+
+type reply = Accepted of accepted | Denied of rejected
+
+type body = Call of call | Reply of reply
+
+type t = { xid : int32; body : body }
+
+val encode : Xdr.Encode.t -> t -> unit
+(** Encode the header; the payload (args/results) must be appended by the
+    caller when [body] is a [Call] or an [Accepted]/[Success] reply. *)
+
+val decode : Xdr.Decode.t -> t
+(** Decode the header, leaving the decoder positioned at the payload. *)
+
+(** {1 Convenience constructors} *)
+
+val call : ?cred:Auth.t -> ?verf:Auth.t -> xid:int32 -> prog:int -> vers:int ->
+  proc:int -> unit -> t
+
+val reply_success : ?verf:Auth.t -> xid:int32 -> unit -> t
+val reply_error : xid:int32 -> accept_stat -> t
+val reply_denied : xid:int32 -> rejected -> t
+
+val pp_accept_stat : Format.formatter -> accept_stat -> unit
+val pp_rejected : Format.formatter -> rejected -> unit

@@ -1,0 +1,89 @@
+let default_fragment_size = 1 lsl 20
+let max_fragment_size = 0x7fffffff
+let last_fragment_bit = 0x80000000
+
+let encode_header ~last len =
+  if len < 0 || len > max_fragment_size then invalid_arg "Record.encode_header";
+  let v = if last then len lor last_fragment_bit else len in
+  let b = Bytes.create 4 in
+  Bytes.set b 0 (Char.chr ((v lsr 24) land 0xff));
+  Bytes.set b 1 (Char.chr ((v lsr 16) land 0xff));
+  Bytes.set b 2 (Char.chr ((v lsr 8) land 0xff));
+  Bytes.set b 3 (Char.chr (v land 0xff));
+  Bytes.unsafe_to_string b
+
+let decode_header s =
+  if String.length s <> 4 then invalid_arg "Record.decode_header";
+  let v =
+    (Char.code s.[0] lsl 24)
+    lor (Char.code s.[1] lsl 16)
+    lor (Char.code s.[2] lsl 8)
+    lor Char.code s.[3]
+  in
+  (v land last_fragment_bit <> 0, v land max_fragment_size)
+
+let check_fragment_size n =
+  if n < 1 || n > max_fragment_size then
+    invalid_arg "Record: fragment_size out of range"
+
+(* Iterate over the [(off, len, last)] fragments of a message. *)
+let iter_fragments ~fragment_size msg f =
+  let total = String.length msg in
+  if total = 0 then f 0 0 true
+  else begin
+    let rec loop off =
+      let len = min fragment_size (total - off) in
+      let last = off + len >= total in
+      f off len last;
+      if not last then loop (off + len)
+    in
+    loop 0
+  end
+
+let write ?(fragment_size = default_fragment_size) t msg =
+  check_fragment_size fragment_size;
+  iter_fragments ~fragment_size msg (fun off len last ->
+      Transport.send_string t (encode_header ~last len);
+      t.Transport.send (Bytes.unsafe_of_string msg) off len)
+
+let to_wire ?(fragment_size = default_fragment_size) msg =
+  check_fragment_size fragment_size;
+  let buf = Buffer.create (String.length msg + 16) in
+  iter_fragments ~fragment_size msg (fun off len last ->
+      Buffer.add_string buf (encode_header ~last len);
+      Buffer.add_substring buf msg off len);
+  Buffer.contents buf
+
+let default_max_record_size = 1 lsl 30
+
+let read_fragments ?(max_record_size = default_max_record_size) t ~first_header =
+  let buf = Buffer.create 1024 in
+  let hdr = Bytes.create 4 in
+  let rec loop header =
+    let last, len = decode_header header in
+    if Buffer.length buf + len > max_record_size then
+      failwith "Oncrpc.Record.read: record exceeds max_record_size";
+    let frag = Bytes.create len in
+    Transport.recv_exact t frag 0 len;
+    Buffer.add_bytes buf frag;
+    if last then Buffer.contents buf
+    else begin
+      Transport.recv_exact t hdr 0 4;
+      loop (Bytes.to_string hdr)
+    end
+  in
+  loop first_header
+
+let read ?max_record_size t =
+  let hdr = Bytes.create 4 in
+  Transport.recv_exact t hdr 0 4;
+  read_fragments ?max_record_size t ~first_header:(Bytes.to_string hdr)
+
+let read_opt ?max_record_size t =
+  let hdr = Bytes.create 4 in
+  let n = t.Transport.recv hdr 0 4 in
+  if n = 0 then None
+  else begin
+    if n < 4 then Transport.recv_exact t hdr n (4 - n);
+    Some (read_fragments ?max_record_size t ~first_header:(Bytes.to_string hdr))
+  end

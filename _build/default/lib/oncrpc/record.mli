@@ -1,0 +1,43 @@
+(** RFC 5531 §11 record marking.
+
+    On stream transports every RPC message is sent as a {e record} composed
+    of one or more {e fragments}. Each fragment is preceded by a 4-byte
+    big-endian header whose most significant bit marks the last fragment of
+    the record and whose remaining 31 bits give the fragment length.
+
+    Multi-fragment support is load-bearing here: Cricket transfers GPU
+    memory inside RPC arguments, so records routinely exceed any reasonable
+    single-fragment limit. (The pre-existing Rust [onc_rpc] crate lacked
+    exactly this, which is why the paper built RPC-Lib.) *)
+
+val default_fragment_size : int
+(** Fragment payload size used when none is given (1 MiB). *)
+
+val max_fragment_size : int
+(** Protocol maximum for one fragment: [2^31 - 1] bytes. *)
+
+val write : ?fragment_size:int -> Transport.t -> string -> unit
+(** [write t msg] sends [msg] as a record, splitting it into fragments of at
+    most [fragment_size] bytes. An empty message is sent as a single empty
+    last fragment. Raises [Invalid_argument] if [fragment_size] is not in
+    [1 .. max_fragment_size]. *)
+
+val read : ?max_record_size:int -> Transport.t -> string
+(** [read t] reassembles the next record. Raises {!Transport.Closed} on end
+    of stream mid-record (or before any fragment), and [Failure] if the
+    accumulated record would exceed [max_record_size] (default 1 GiB). *)
+
+val read_opt : ?max_record_size:int -> Transport.t -> string option
+(** Like {!read} but returns [None] when the stream ends cleanly before the
+    first header byte — the normal way a peer hangs up between records. *)
+
+(** {1 Pure helpers (unit-testable without transports)} *)
+
+val encode_header : last:bool -> int -> string
+(** 4-byte fragment header. *)
+
+val decode_header : string -> bool * int
+(** [decode_header s] is [(last, length)]; [s] must be 4 bytes. *)
+
+val to_wire : ?fragment_size:int -> string -> string
+(** The exact bytes {!write} would put on the wire. *)

@@ -1,0 +1,189 @@
+let src = Logs.Src.create "oncrpc.server" ~doc:"ONC RPC server"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type handler = Xdr.Decode.t -> Xdr.Encode.t -> unit
+
+type service = { vers : int; procedures : (int, handler) Hashtbl.t }
+
+type t = {
+  name : string;
+  programs : (int, service list ref) Hashtbl.t;
+  mutable auth_check : Auth.t -> Message.auth_stat option;
+  mutable observer : prog:int -> vers:int -> proc:int -> arg_bytes:int -> unit;
+}
+
+let create ?(name = "oncrpc") () =
+  {
+    name;
+    programs = Hashtbl.create 8;
+    auth_check = (fun _ -> None);
+    observer = (fun ~prog:_ ~vers:_ ~proc:_ ~arg_bytes:_ -> ());
+  }
+
+let null_procedure (_ : Xdr.Decode.t) (_ : Xdr.Encode.t) = ()
+
+let register t ~prog ~vers procedures =
+  let services =
+    match Hashtbl.find_opt t.programs prog with
+    | Some l -> l
+    | None ->
+        let l = ref [] in
+        Hashtbl.add t.programs prog l;
+        l
+  in
+  let service =
+    match List.find_opt (fun s -> s.vers = vers) !services with
+    | Some s -> s
+    | None ->
+        let s = { vers; procedures = Hashtbl.create 32 } in
+        services := s :: !services;
+        s
+  in
+  if not (Hashtbl.mem service.procedures 0) then
+    Hashtbl.replace service.procedures 0 null_procedure;
+  List.iter
+    (fun (proc, h) -> Hashtbl.replace service.procedures proc h)
+    procedures
+
+let set_auth_check t f = t.auth_check <- f
+let set_observer t f = t.observer <- f
+
+let encode_reply msg results =
+  let enc = Xdr.Encode.create () in
+  Message.encode enc msg;
+  (match results with Some f -> f enc | None -> ());
+  Xdr.Encode.to_string enc
+
+let version_range services =
+  List.fold_left
+    (fun (lo, hi) s -> (min lo s.vers, max hi s.vers))
+    (max_int, min_int) services
+
+let dispatch t request =
+  let dec = Xdr.Decode.of_string request in
+  let msg =
+    try Message.decode dec
+    with Xdr.Types.Error e ->
+      failwith
+        (Printf.sprintf "%s: unparseable request: %s" t.name
+           (Xdr.Types.error_to_string e))
+  in
+  let xid = msg.Message.xid in
+  match msg.Message.body with
+  | Message.Reply _ ->
+      failwith (t.name ^ ": received a REPLY where a CALL was expected")
+  | Message.Call c -> (
+      match t.auth_check c.Message.cred with
+      | Some stat ->
+          encode_reply
+            (Message.reply_denied ~xid (Message.Auth_error stat))
+            None
+      | None -> (
+          match Hashtbl.find_opt t.programs c.Message.prog with
+          | None -> encode_reply (Message.reply_error ~xid Message.Prog_unavail) None
+          | Some services -> (
+              match
+                List.find_opt (fun s -> s.vers = c.Message.vers) !services
+              with
+              | None ->
+                  let low, high = version_range !services in
+                  encode_reply
+                    (Message.reply_error ~xid
+                       (Message.Prog_mismatch { low; high }))
+                    None
+              | Some service -> (
+                  match Hashtbl.find_opt service.procedures c.Message.proc with
+                  | None ->
+                      encode_reply
+                        (Message.reply_error ~xid Message.Proc_unavail)
+                        None
+                  | Some handler -> (
+                      t.observer ~prog:c.Message.prog ~vers:c.Message.vers
+                        ~proc:c.Message.proc
+                        ~arg_bytes:(Xdr.Decode.remaining dec);
+                      let results = Xdr.Encode.create () in
+                      match
+                        let () = handler dec results in
+                        Xdr.Decode.finish dec
+                      with
+                      | () ->
+                          encode_reply
+                            (Message.reply_success ~xid ())
+                            (Some
+                               (fun enc ->
+                                 Xdr.Encode.opaque_fixed enc
+                                   (Xdr.Encode.to_bytes results)))
+                      | exception Xdr.Types.Error e ->
+                          Log.debug (fun m ->
+                              m "%s: garbage args for proc %d: %s" t.name
+                                c.Message.proc
+                                (Xdr.Types.error_to_string e));
+                          encode_reply
+                            (Message.reply_error ~xid Message.Garbage_args)
+                            None
+                      | exception e ->
+                          Log.warn (fun m ->
+                              m "%s: handler for proc %d raised %s" t.name
+                                c.Message.proc (Printexc.to_string e));
+                          encode_reply
+                            (Message.reply_error ~xid Message.System_err)
+                            None)))))
+
+let serve_transport t transport =
+  let rec loop () =
+    match Record.read_opt transport with
+    | None -> ()
+    | Some request ->
+        let reply = dispatch t request in
+        Record.write transport reply;
+        loop ()
+  in
+  (try loop () with
+  | Transport.Closed -> ()
+  | e ->
+      Log.warn (fun m -> m "%s: connection error: %s" t.name (Printexc.to_string e)));
+  transport.Transport.close ()
+
+type tcp_server = {
+  fd : Unix.file_descr;
+  port : int;
+  mutable running : bool;
+  mutable accept_thread : Thread.t option;
+}
+
+let serve_tcp t ?(backlog = 16) ~port () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.listen fd backlog;
+  let port =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> assert false
+  in
+  let server = { fd; port; running = true; accept_thread = None } in
+  let accept_loop () =
+    while server.running do
+      match Unix.accept fd with
+      | conn, _ ->
+          let transport = Transport.of_fd conn in
+          ignore (Thread.create (fun () -> serve_transport t transport) ())
+      | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) ->
+          server.running <- false
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    done
+  in
+  server.accept_thread <- Some (Thread.create accept_loop ());
+  server
+
+let tcp_port s = s.port
+
+let shutdown_tcp s =
+  s.running <- false;
+  (try Unix.shutdown s.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+  (try Unix.close s.fd with Unix.Unix_error _ -> ());
+  (* The accept loop exits on the next failed accept. *)
+  match s.accept_thread with
+  | Some thread -> ( try Thread.join thread with _ -> ())
+  | None -> ()

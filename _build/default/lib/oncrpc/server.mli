@@ -1,0 +1,53 @@
+(** ONC RPC server: program registry and dispatch.
+
+    A server hosts any number of (program, version) services; each service
+    maps procedure numbers to handlers. Dispatch is a pure
+    request-record → reply-record function, so the same server instance can
+    be driven by a real TCP accept loop, an in-process {!Transport.loopback}
+    transport, or the simulated-network channel used by the benchmarks.
+
+    Error mapping follows RFC 5531: unknown program → [PROG_UNAVAIL],
+    version out of range → [PROG_MISMATCH], unknown procedure →
+    [PROC_UNAVAIL], argument decode failure → [GARBAGE_ARGS], handler
+    exception → [SYSTEM_ERR]. Procedure 0 of every service defaults to the
+    conventional NULL procedure when not registered explicitly. *)
+
+type handler = Xdr.Decode.t -> Xdr.Encode.t -> unit
+(** [handler args results] decodes arguments and encodes results. *)
+
+type t
+
+val create : ?name:string -> unit -> t
+
+val register : t -> prog:int -> vers:int -> (int * handler) list -> unit
+(** Register (or extend) a service. Later registrations of the same
+    procedure replace earlier ones. *)
+
+val set_auth_check : t -> (Auth.t -> Message.auth_stat option) -> unit
+(** Install a credential check; returning [Some stat] denies the call. *)
+
+val set_observer :
+  t -> (prog:int -> vers:int -> proc:int -> arg_bytes:int -> unit) -> unit
+(** Called once per successfully-parsed call before the handler runs. The
+    Cricket benchmarks use this to charge simulated server CPU time. *)
+
+val dispatch : t -> string -> string
+(** Map one request record to one reply record. Never raises for malformed
+    or unauthorized calls — those become protocol error replies. Raises
+    [Failure] only if the request is too broken to produce a reply (no
+    parseable xid). *)
+
+val serve_transport : t -> Transport.t -> unit
+(** Read records and reply until the peer closes. Exceptions other than a
+    clean close are logged and terminate the loop. *)
+
+(** {1 TCP serving (real sockets)} *)
+
+type tcp_server
+
+val serve_tcp : t -> ?backlog:int -> port:int -> unit -> tcp_server
+(** Bind [127.0.0.1:port] (port 0 picks a free port), start an accept loop
+    in a background thread, and serve each connection in its own thread. *)
+
+val tcp_port : tcp_server -> int
+val shutdown_tcp : tcp_server -> unit

@@ -1,0 +1,151 @@
+type t = {
+  send : bytes -> int -> int -> unit;
+  recv : bytes -> int -> int -> int;
+  close : unit -> unit;
+}
+
+exception Closed
+
+let () =
+  Printexc.register_printer (function
+    | Closed -> Some "Oncrpc.Transport.Closed"
+    | _ -> None)
+
+let send_string t s = t.send (Bytes.unsafe_of_string s) 0 (String.length s)
+
+let recv_exact t buf off len =
+  let rec loop off len =
+    if len > 0 then begin
+      let n = t.recv buf off len in
+      if n = 0 then raise Closed;
+      loop (off + n) (len - n)
+    end
+  in
+  loop off len
+
+(* One direction of an in-memory pipe: a growable byte queue guarded by a
+   mutex, with a condition to block readers until data or EOF arrives. *)
+module Byte_queue = struct
+  type q = {
+    mutable data : Buffer.t;
+    mutable closed : bool;
+    lock : Mutex.t;
+    cond : Condition.t;
+  }
+
+  let create () =
+    { data = Buffer.create 1024; closed = false; lock = Mutex.create ();
+      cond = Condition.create () }
+
+  let push q buf off len =
+    Mutex.lock q.lock;
+    if q.closed then begin
+      Mutex.unlock q.lock;
+      raise Closed
+    end;
+    Buffer.add_subbytes q.data buf off len;
+    Condition.signal q.cond;
+    Mutex.unlock q.lock
+
+  let pop q buf off len =
+    Mutex.lock q.lock;
+    while Buffer.length q.data = 0 && not q.closed do
+      Condition.wait q.cond q.lock
+    done;
+    let avail = Buffer.length q.data in
+    let n = min len avail in
+    if n > 0 then begin
+      Buffer.blit q.data 0 buf off n;
+      (* Buffer has no efficient drop-front; rebuild the remainder. *)
+      let rest = Buffer.sub q.data n (avail - n) in
+      Buffer.clear q.data;
+      Buffer.add_string q.data rest
+    end;
+    Mutex.unlock q.lock;
+    n
+
+  let close q =
+    Mutex.lock q.lock;
+    q.closed <- true;
+    Condition.broadcast q.cond;
+    Mutex.unlock q.lock
+end
+
+let pipe () =
+  let a_to_b = Byte_queue.create () and b_to_a = Byte_queue.create () in
+  let endpoint tx rx =
+    {
+      send = (fun buf off len -> Byte_queue.push tx buf off len);
+      recv = (fun buf off len -> Byte_queue.pop rx buf off len);
+      close =
+        (fun () ->
+          Byte_queue.close tx;
+          Byte_queue.close rx);
+    }
+  in
+  (endpoint a_to_b b_to_a, endpoint b_to_a a_to_b)
+
+let loopback ~peer =
+  let out = Buffer.create 1024 in
+  let pending = Buffer.create 1024 in
+  let closed = ref false in
+  let send buf off len =
+    if !closed then raise Closed;
+    Buffer.add_subbytes out buf off len
+  in
+  let recv buf off len =
+    if !closed then 0
+    else begin
+      if Buffer.length pending = 0 then begin
+        if Buffer.length out = 0 then raise Closed;
+        let request = Buffer.contents out in
+        Buffer.clear out;
+        Buffer.add_string pending (peer request)
+      end;
+      let avail = Buffer.length pending in
+      let n = min len avail in
+      Buffer.blit pending 0 buf off n;
+      let rest = Buffer.sub pending n (avail - n) in
+      Buffer.clear pending;
+      Buffer.add_string pending rest;
+      n
+    end
+  in
+  { send; recv; close = (fun () -> closed := true) }
+
+let of_fd fd =
+  let send buf off len =
+    let rec loop off len =
+      if len > 0 then begin
+        let n =
+          try Unix.write fd buf off len
+          with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+            raise Closed
+        in
+        loop (off + n) (len - n)
+      end
+    in
+    loop off len
+  in
+  let recv buf off len =
+    try Unix.read fd buf off len
+    with Unix.Unix_error (Unix.ECONNRESET, _, _) -> 0
+  in
+  let close () = try Unix.close fd with Unix.Unix_error _ -> () in
+  { send; recv; close }
+
+let tcp_connect ~host ~port =
+  let addr =
+    match Unix.getaddrinfo host (string_of_int port)
+            [ Unix.AI_SOCKTYPE Unix.SOCK_STREAM ] with
+    | { Unix.ai_addr; _ } :: _ -> ai_addr
+    | [] -> failwith (Printf.sprintf "tcp_connect: cannot resolve %s" host)
+  in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.connect fd addr;
+     Unix.setsockopt fd Unix.TCP_NODELAY true
+   with e ->
+     Unix.close fd;
+     raise e);
+  of_fd fd

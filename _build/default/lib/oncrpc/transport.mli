@@ -1,0 +1,51 @@
+(** Byte-stream transports for ONC RPC.
+
+    A transport is a reliable, ordered, bidirectional byte stream — the
+    abstraction RFC 5531 record marking runs on top of. Three families are
+    provided:
+
+    - {!pipe}: an in-process duplex pair usable from two threads;
+    - {!loopback}: a synchronous in-process client endpoint whose peer is a
+      callback invoked with each complete write "flush" — used to connect an
+      RPC client directly to an RPC server dispatch function in one thread
+      (this is how the simulated-network benchmarks run);
+    - {!of_fd} / TCP helpers: real sockets via [Unix].
+
+    Writes of [n] bytes either succeed completely or raise. Reads return at
+    least 1 byte unless the peer closed, in which case they return 0. *)
+
+type t = {
+  send : bytes -> int -> int -> unit;  (** [send buf off len] writes all. *)
+  recv : bytes -> int -> int -> int;
+      (** [recv buf off len] reads 1..len bytes; 0 means end of stream. *)
+  close : unit -> unit;
+}
+
+exception Closed
+(** Raised when sending on a transport whose peer is gone. *)
+
+val send_string : t -> string -> unit
+(** Write a whole string. *)
+
+val recv_exact : t -> bytes -> int -> int -> unit
+(** Read exactly [len] bytes or raise {!Closed} on premature end of
+    stream. *)
+
+val pipe : unit -> t * t
+(** Thread-safe in-memory duplex pair: bytes sent on one endpoint become
+    readable on the other. Closing either endpoint makes further reads on
+    the peer return the buffered data then 0. *)
+
+val loopback : peer:(string -> string) -> t
+(** [loopback ~peer] is a client-side transport for strictly
+    request/response protocols in a single thread. Bytes written are
+    buffered; the first [recv] after one or more sends passes the buffered
+    request bytes to [peer] and serves its return value as the read data.
+    [peer] receives whole request records because the RPC client always
+    writes a complete record before reading. *)
+
+val of_fd : Unix.file_descr -> t
+(** Transport over a connected socket or pipe fd. [close] closes the fd. *)
+
+val tcp_connect : host:string -> port:int -> t
+(** Connect a TCP socket (with TCP_NODELAY) and wrap it. *)

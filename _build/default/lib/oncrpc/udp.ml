@@ -1,0 +1,130 @@
+let max_datagram = 8960
+
+exception Timeout
+
+let () =
+  Printexc.register_printer (function
+    | Timeout -> Some "Oncrpc.Udp.Timeout"
+    | _ -> None)
+
+type client = {
+  fd : Unix.file_descr;
+  addr : Unix.sockaddr;
+  prog : int;
+  vers : int;
+  timeout_s : float;
+  retries : int;
+  mutable next_xid : int32;
+}
+
+let connect ?(timeout_s = 1.0) ?(retries = 3) ~host ~port ~prog ~vers () =
+  let inet_addr =
+    try Unix.inet_addr_of_string host
+    with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+  in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
+  { fd; addr = Unix.ADDR_INET (inet_addr, port); prog; vers; timeout_s;
+    retries; next_xid = 1l }
+
+let close_client t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let call t ~proc encode_args decode_results =
+  let xid = t.next_xid in
+  t.next_xid <- Int32.add t.next_xid 1l;
+  let enc = Xdr.Encode.create () in
+  Message.encode enc (Message.call ~xid ~prog:t.prog ~vers:t.vers ~proc ());
+  encode_args enc;
+  let request = Xdr.Encode.to_bytes enc in
+  if Bytes.length request > max_datagram then
+    invalid_arg "Oncrpc.Udp.call: arguments exceed max_datagram";
+  let reply_buf = Bytes.create 65536 in
+  (* send, then wait for our xid; resend on timeout *)
+  let rec attempt remaining =
+    if remaining <= 0 then raise Timeout;
+    ignore (Unix.sendto t.fd request 0 (Bytes.length request) [] t.addr);
+    let deadline = Unix.gettimeofday () +. t.timeout_s in
+    let rec await () =
+      let budget = deadline -. Unix.gettimeofday () in
+      if budget <= 0.0 then attempt (remaining - 1)
+      else begin
+        match Unix.select [ t.fd ] [] [] budget with
+        | [], _, _ -> attempt (remaining - 1)
+        | _ -> (
+            let n, _ = Unix.recvfrom t.fd reply_buf 0 65536 [] in
+            let dec = Xdr.Decode.of_bytes ~len:n reply_buf in
+            match Message.decode dec with
+            | exception Xdr.Types.Error _ -> await () (* garbage datagram *)
+            | msg when msg.Message.xid <> xid -> await () (* stale reply *)
+            | msg -> (
+                match msg.Message.body with
+                | Message.Reply (Message.Accepted { stat = Message.Success; _ })
+                  ->
+                    let r = decode_results dec in
+                    Xdr.Decode.finish dec;
+                    r
+                | Message.Reply (Message.Accepted { stat; _ }) ->
+                    raise (Client.Rpc_error (Client.Call_failed stat))
+                | Message.Reply (Message.Denied d) ->
+                    raise (Client.Rpc_error (Client.Call_rejected d))
+                | Message.Call _ ->
+                    raise (Client.Rpc_error (Client.Bad_reply "received CALL"))))
+      end
+    in
+    await ()
+  in
+  attempt (t.retries + 1)
+
+type server = {
+  sfd : Unix.file_descr;
+  sport : int;
+  mutable running : bool;
+  mutable thread : Thread.t option;
+}
+
+let serve rpc_server ~port:requested =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, requested));
+  let bound =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> assert false
+  in
+  let server = { sfd = fd; sport = bound; running = true; thread = None } in
+  let loop () =
+    let buf = Bytes.create 65536 in
+    while server.running do
+      match Unix.recvfrom fd buf 0 65536 [] with
+      | n, peer -> (
+          match Server.dispatch rpc_server (Bytes.sub_string buf 0 n) with
+          | reply ->
+              ignore
+                (Unix.sendto fd
+                   (Bytes.unsafe_of_string reply)
+                   0 (String.length reply) [] peer)
+          | exception _ -> (* unparseable datagram: drop, per the RFC *) ())
+      | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) ->
+          server.running <- false
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    done
+  in
+  server.thread <- Some (Thread.create loop ());
+  server
+
+let port s = s.sport
+
+let shutdown s =
+  s.running <- false;
+  (* closing the fd does not wake a thread blocked in recvfrom; poke the
+     loop with a junk datagram so it observes [running = false] *)
+  (try
+     let poke = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
+     ignore
+       (Unix.sendto poke (Bytes.create 1) 0 1 []
+          (Unix.ADDR_INET (Unix.inet_addr_loopback, s.sport)));
+     Unix.close poke
+   with Unix.Unix_error _ -> ());
+  (match s.thread with
+  | Some t -> ( try Thread.join t with _ -> ())
+  | None -> ());
+  try Unix.close s.sfd with Unix.Unix_error _ -> ()

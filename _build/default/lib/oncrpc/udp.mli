@@ -1,0 +1,50 @@
+(** ONC RPC over UDP (RFC 5531 §10).
+
+    Datagram transport: one message per datagram, no record marking. The
+    classic transport for the portmapper and for small idempotent calls.
+    Includes the standard client-side reliability shim — resend after a
+    timeout, up to a retry limit — since UDP gives no delivery guarantee.
+
+    Datagrams are limited to {!max_datagram}; Cricket's bulk transfers
+    need TCP's fragmented records, which is exactly why RPC-Lib is
+    TCP-based. Attempting a larger call raises [Invalid_argument]. *)
+
+val max_datagram : int
+(** 8960 bytes — a jumbo-frame-sized safe UDP payload. *)
+
+(** {1 Client} *)
+
+type client
+
+exception Timeout
+(** No reply after all retries. *)
+
+val connect :
+  ?timeout_s:float ->
+  ?retries:int ->
+  host:string ->
+  port:int ->
+  prog:int ->
+  vers:int ->
+  unit ->
+  client
+(** Defaults: 1 s timeout, 3 retries. *)
+
+val call :
+  client -> proc:int -> (Xdr.Encode.t -> unit) -> (Xdr.Decode.t -> 'a) -> 'a
+(** One remote call. Raises {!Timeout}, {!Oncrpc.Client.Rpc_error}-style
+    errors are raised as {!Client.Rpc_error}. Stale replies (wrong xid,
+    e.g. from a retried call) are discarded. *)
+
+val close_client : client -> unit
+
+(** {1 Server} *)
+
+type server
+
+val serve : Server.t -> port:int -> server
+(** Bind a UDP socket on [127.0.0.1:port] (0 picks a free port) and answer
+    each datagram with one reply datagram from a background thread. *)
+
+val port : server -> int
+val shutdown : server -> unit

@@ -1,0 +1,1 @@
+lib/rpcl/ast.ml: Format

@@ -1,0 +1,1 @@
+lib/rpcl/check.ml: Ast Format Hashtbl Int64 List Option Printexc Printf

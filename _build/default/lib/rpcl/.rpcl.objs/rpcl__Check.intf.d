@@ -1,0 +1,1 @@
+lib/rpcl/check.mli: Ast

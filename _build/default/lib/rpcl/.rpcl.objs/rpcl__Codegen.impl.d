@@ -1,0 +1,1 @@
+lib/rpcl/codegen.ml: Ast Buffer Check Int64 List Option Printf String

@@ -1,0 +1,1 @@
+lib/rpcl/codegen.mli: Ast Check

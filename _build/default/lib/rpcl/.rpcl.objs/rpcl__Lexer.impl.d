@@ -1,0 +1,1 @@
+lib/rpcl/lexer.ml: Ast Format Int64 List Printexc Printf String

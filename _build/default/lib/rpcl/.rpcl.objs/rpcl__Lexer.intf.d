@@ -1,0 +1,1 @@
+lib/rpcl/lexer.mli: Ast

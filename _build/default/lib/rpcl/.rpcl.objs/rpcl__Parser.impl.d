@@ -1,0 +1,1 @@
+lib/rpcl/parser.ml: Ast Format Lexer List Printexc

@@ -1,0 +1,1 @@
+lib/rpcl/parser.mli: Ast

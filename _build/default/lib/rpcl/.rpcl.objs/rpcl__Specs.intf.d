@@ -1,0 +1,1 @@
+lib/rpcl/specs.mli:

@@ -1,0 +1,88 @@
+type position = { line : int; col : int }
+
+let pp_position ppf p = Format.fprintf ppf "line %d, column %d" p.line p.col
+
+type value = Lit of int64 | Named of string
+
+type base_type =
+  | Int
+  | Uint
+  | Hyper
+  | Uhyper
+  | Float
+  | Double
+  | Bool
+  | Named_type of string
+
+type decl =
+  | Void
+  | Scalar of base_type * string
+  | Fixed_array of base_type * string * value
+  | Var_array of base_type * string * value option
+  | Fixed_opaque of string * value
+  | Var_opaque of string * value option
+  | String of string * value option
+  | Optional of base_type * string
+
+type enum_def = { enum_name : string; enum_items : (string * value) list }
+type struct_def = { struct_name : string; struct_fields : decl list }
+type union_case = { case_values : value list; case_decl : decl }
+
+type union_def = {
+  union_name : string;
+  union_discriminant : decl;
+  union_cases : union_case list;
+  union_default : decl option;
+}
+
+type typedef_def = { typedef_decl : decl }
+
+type procedure_def = {
+  proc_name : string;
+  proc_result : base_type option;
+  proc_args : base_type list;
+  proc_number : value;
+}
+
+type version_def = {
+  version_name : string;
+  version_number : value;
+  version_procedures : procedure_def list;
+}
+
+type program_def = {
+  program_name : string;
+  program_number : value;
+  program_versions : version_def list;
+}
+
+type definition =
+  | Const of string * int64
+  | Enum of enum_def
+  | Struct of struct_def
+  | Union of union_def
+  | Typedef of typedef_def
+  | Program of program_def
+
+type spec = definition list
+
+let decl_name = function
+  | Void -> None
+  | Scalar (_, n)
+  | Fixed_array (_, n, _)
+  | Var_array (_, n, _)
+  | Fixed_opaque (n, _)
+  | Var_opaque (n, _)
+  | String (n, _)
+  | Optional (_, n) ->
+      Some n
+
+let pp_base_type ppf = function
+  | Int -> Format.pp_print_string ppf "int"
+  | Uint -> Format.pp_print_string ppf "unsigned int"
+  | Hyper -> Format.pp_print_string ppf "hyper"
+  | Uhyper -> Format.pp_print_string ppf "unsigned hyper"
+  | Float -> Format.pp_print_string ppf "float"
+  | Double -> Format.pp_print_string ppf "double"
+  | Bool -> Format.pp_print_string ppf "bool"
+  | Named_type s -> Format.pp_print_string ppf s

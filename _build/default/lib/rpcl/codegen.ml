@@ -1,0 +1,509 @@
+(* ALL_CAPS names (enum items, consts) become snake_case; mixed-case names
+   (rpc_cudaGetDeviceCount) only need a lowercase first letter to be valid
+   OCaml value identifiers. *)
+let lowercase_ident s =
+  let all_caps =
+    String.for_all
+      (fun c -> (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_')
+      s
+  in
+  if all_caps then String.lowercase_ascii s else String.uncapitalize_ascii s
+let capitalize_ident s = String.capitalize_ascii s
+
+let ocaml_type_of_base = function
+  | Ast.Int | Ast.Uint -> "int"
+  | Ast.Hyper | Ast.Uhyper -> "int64"
+  | Ast.Float | Ast.Double -> "float"
+  | Ast.Bool -> "bool"
+  | Ast.Named_type name -> lowercase_ident name
+
+(* Expressions that encode/decode one base-typed value. [v] names the value
+   being encoded; decoders are expressions evaluating to the value. *)
+let encode_base ty v =
+  match ty with
+  | Ast.Int -> Printf.sprintf "Xdr.Encode.int enc %s" v
+  | Ast.Uint -> Printf.sprintf "Xdr.Encode.uint enc %s" v
+  | Ast.Hyper -> Printf.sprintf "Xdr.Encode.int64 enc %s" v
+  | Ast.Uhyper -> Printf.sprintf "Xdr.Encode.uint64 enc %s" v
+  | Ast.Float -> Printf.sprintf "Xdr.Encode.float32 enc %s" v
+  | Ast.Double -> Printf.sprintf "Xdr.Encode.float64 enc %s" v
+  | Ast.Bool -> Printf.sprintf "Xdr.Encode.bool enc %s" v
+  | Ast.Named_type name ->
+      Printf.sprintf "xdr_encode_%s enc %s" (lowercase_ident name) v
+
+let decode_base = function
+  | Ast.Int -> "Xdr.Decode.int dec"
+  | Ast.Uint -> "Xdr.Decode.uint dec"
+  | Ast.Hyper -> "Xdr.Decode.int64 dec"
+  | Ast.Uhyper -> "Xdr.Decode.uint64 dec"
+  | Ast.Float -> "Xdr.Decode.float32 dec"
+  | Ast.Double -> "Xdr.Decode.float64 dec"
+  | Ast.Bool -> "Xdr.Decode.bool dec"
+  | Ast.Named_type name -> Printf.sprintf "xdr_decode_%s dec" (lowercase_ident name)
+
+(* element encoders as functions, for arrays/options *)
+let encode_base_fn = function
+  | Ast.Int -> "Xdr.Encode.int"
+  | Ast.Uint -> "Xdr.Encode.uint"
+  | Ast.Hyper -> "Xdr.Encode.int64"
+  | Ast.Uhyper -> "Xdr.Encode.uint64"
+  | Ast.Float -> "Xdr.Encode.float32"
+  | Ast.Double -> "Xdr.Encode.float64"
+  | Ast.Bool -> "Xdr.Encode.bool"
+  | Ast.Named_type name -> Printf.sprintf "xdr_encode_%s" (lowercase_ident name)
+
+let decode_base_fn = function
+  | Ast.Int -> "Xdr.Decode.int"
+  | Ast.Uint -> "Xdr.Decode.uint"
+  | Ast.Hyper -> "Xdr.Decode.int64"
+  | Ast.Uhyper -> "Xdr.Decode.uint64"
+  | Ast.Float -> "Xdr.Decode.float32"
+  | Ast.Double -> "Xdr.Decode.float64"
+  | Ast.Bool -> "Xdr.Decode.bool"
+  | Ast.Named_type name -> Printf.sprintf "xdr_decode_%s" (lowercase_ident name)
+
+let ocaml_type_of_decl = function
+  | Ast.Void -> "unit"
+  | Ast.Scalar (ty, _) -> ocaml_type_of_base ty
+  | Ast.Fixed_array (ty, _, _) | Ast.Var_array (ty, _, _) ->
+      ocaml_type_of_base ty ^ " array"
+  | Ast.Fixed_opaque _ | Ast.Var_opaque _ -> "bytes"
+  | Ast.String _ -> "string"
+  | Ast.Optional (ty, _) -> ocaml_type_of_base ty ^ " option"
+
+let max_clause env = function
+  | Some v -> Printf.sprintf " ~max:%Ld" (Check.resolve env v)
+  | None -> ""
+
+(* encode declaration [d] whose OCaml value is expression [v] *)
+let encode_decl env d v =
+  match d with
+  | Ast.Void -> "()"
+  | Ast.Scalar (ty, _) -> encode_base ty v
+  | Ast.Fixed_array (ty, _, _) ->
+      Printf.sprintf "Xdr.Encode.array_fixed enc %s %s" (encode_base_fn ty) v
+  | Ast.Var_array (ty, _, m) ->
+      Printf.sprintf "Xdr.Encode.array%s enc %s %s" (max_clause env m)
+        (encode_base_fn ty) v
+  | Ast.Fixed_opaque (_, _) -> Printf.sprintf "Xdr.Encode.opaque_fixed enc %s" v
+  | Ast.Var_opaque (_, m) ->
+      Printf.sprintf "Xdr.Encode.opaque%s enc %s" (max_clause env m) v
+  | Ast.String (_, m) ->
+      Printf.sprintf "Xdr.Encode.string%s enc %s" (max_clause env m) v
+  | Ast.Optional (ty, _) ->
+      Printf.sprintf "Xdr.Encode.option enc %s %s" (encode_base_fn ty) v
+
+let decode_decl env d =
+  match d with
+  | Ast.Void -> "()"
+  | Ast.Scalar (ty, _) -> decode_base ty
+  | Ast.Fixed_array (ty, _, n) ->
+      Printf.sprintf "Xdr.Decode.array_fixed dec %s %Ld" (decode_base_fn ty)
+        (Check.resolve env n)
+  | Ast.Var_array (ty, _, m) ->
+      Printf.sprintf "Xdr.Decode.array%s dec %s" (max_clause env m)
+        (decode_base_fn ty)
+  | Ast.Fixed_opaque (_, n) ->
+      Printf.sprintf "Xdr.Decode.opaque_fixed dec %Ld" (Check.resolve env n)
+  | Ast.Var_opaque (_, m) ->
+      Printf.sprintf "Xdr.Decode.opaque%s dec" (max_clause env m)
+  | Ast.String (_, m) -> Printf.sprintf "Xdr.Decode.string%s dec" (max_clause env m)
+  | Ast.Optional (ty, _) ->
+      Printf.sprintf "Xdr.Decode.option dec %s" (decode_base_fn ty)
+
+let gen_const buf name v =
+  Printf.bprintf buf "let const_%s = %LdL\n" (lowercase_ident name) v
+
+let gen_enum buf env (e : Ast.enum_def) =
+  let name = lowercase_ident e.Ast.enum_name in
+  Printf.bprintf buf "(* enum %s *)\ntype %s = int\n" e.Ast.enum_name name;
+  List.iter
+    (fun (item, v) ->
+      Printf.bprintf buf "let %s = %Ld\n" (lowercase_ident item)
+        (Check.resolve env v))
+    e.Ast.enum_items;
+  let values =
+    List.map (fun (_, v) -> Int64.to_string (Check.resolve env v)) e.Ast.enum_items
+  in
+  Printf.bprintf buf
+    "let xdr_encode_%s enc (v : %s) = Xdr.Encode.enum enc v\n" name name;
+  Printf.bprintf buf
+    "let xdr_decode_%s dec : %s =\n  Xdr.Decode.enum dec ~check:(fun v -> \
+     List.mem v [%s])\n\n"
+    name name
+    (String.concat "; " values)
+
+let gen_typedef buf env (t : Ast.typedef_def) =
+  let d = t.Ast.typedef_decl in
+  match Ast.decl_name d with
+  | None -> ()
+  | Some raw_name ->
+      let name = lowercase_ident raw_name in
+      Printf.bprintf buf "(* typedef %s *)\ntype %s = %s\n" raw_name name
+        (ocaml_type_of_decl d);
+      Printf.bprintf buf "let xdr_encode_%s enc (v : %s) = %s\n" name name
+        (encode_decl env d "v");
+      Printf.bprintf buf "let xdr_decode_%s dec : %s = %s\n\n" name name
+        (decode_decl env d)
+
+let gen_struct buf env (s : Ast.struct_def) =
+  let name = lowercase_ident s.Ast.struct_name in
+  let fields =
+    List.filter_map
+      (fun d -> Option.map (fun n -> (lowercase_ident n, d)) (Ast.decl_name d))
+      s.Ast.struct_fields
+  in
+  Printf.bprintf buf "(* struct %s *)\ntype %s = {\n" s.Ast.struct_name name;
+  List.iter
+    (fun (fname, d) ->
+      Printf.bprintf buf "  %s : %s;\n" fname (ocaml_type_of_decl d))
+    fields;
+  Printf.bprintf buf "}\n";
+  Printf.bprintf buf "let xdr_encode_%s enc (v : %s) =\n" name name;
+  List.iter
+    (fun (fname, d) ->
+      Printf.bprintf buf "  %s;\n" (encode_decl env d ("v." ^ fname)))
+    fields;
+  Printf.bprintf buf "  ()\n";
+  Printf.bprintf buf "let xdr_decode_%s dec : %s =\n" name name;
+  List.iter
+    (fun (fname, d) ->
+      Printf.bprintf buf "  let %s = %s in\n" fname (decode_decl env d))
+    fields;
+  Printf.bprintf buf "  { %s }\n\n" (String.concat "; " (List.map fst fields))
+
+let union_ctor_name value_expr =
+  match value_expr with
+  | Ast.Named n -> capitalize_ident (lowercase_ident n)
+  | Ast.Lit n ->
+      if n >= 0L then Printf.sprintf "Case_%Ld" n
+      else Printf.sprintf "Case_neg_%Ld" (Int64.neg n)
+
+let gen_union buf env (u : Ast.union_def) =
+  let name = lowercase_ident u.Ast.union_name in
+  Printf.bprintf buf "(* union %s *)\ntype %s =\n" u.Ast.union_name name;
+  let arm_payload d =
+    match d with Ast.Void -> "" | _ -> " of " ^ ocaml_type_of_decl d
+  in
+  List.iter
+    (fun c ->
+      List.iter
+        (fun v ->
+          Printf.bprintf buf "  | %s%s\n" (union_ctor_name v)
+            (arm_payload c.Ast.case_decl))
+        c.Ast.case_values)
+    u.Ast.union_cases;
+  (match u.Ast.union_default with
+  | Some d -> Printf.bprintf buf "  | Default_case of int%s\n"
+                (match d with Ast.Void -> "" | _ -> " * " ^ ocaml_type_of_decl d)
+  | None -> ());
+  (* encoder *)
+  Printf.bprintf buf "let xdr_encode_%s enc (v : %s) =\n  match v with\n" name
+    name;
+  List.iter
+    (fun c ->
+      List.iter
+        (fun v ->
+          let disc = Check.resolve env v in
+          match c.Ast.case_decl with
+          | Ast.Void ->
+              Printf.bprintf buf
+                "  | %s -> Xdr.Encode.int enc %Ld\n" (union_ctor_name v) disc
+          | d ->
+              Printf.bprintf buf
+                "  | %s x -> Xdr.Encode.int enc %Ld; %s\n" (union_ctor_name v)
+                disc (encode_decl env d "x"))
+        c.Ast.case_values)
+    u.Ast.union_cases;
+  (match u.Ast.union_default with
+  | Some Ast.Void ->
+      Printf.bprintf buf "  | Default_case d -> Xdr.Encode.int enc d\n"
+  | Some d ->
+      Printf.bprintf buf "  | Default_case (d, x) -> Xdr.Encode.int enc d; %s\n"
+        (encode_decl env d "x")
+  | None -> ());
+  (* decoder *)
+  Printf.bprintf buf
+    "let xdr_decode_%s dec : %s =\n  match Xdr.Decode.int dec with\n" name name;
+  List.iter
+    (fun c ->
+      List.iter
+        (fun v ->
+          let disc = Check.resolve env v in
+          match c.Ast.case_decl with
+          | Ast.Void ->
+              Printf.bprintf buf "  | %Ld -> %s\n" disc (union_ctor_name v)
+          | d ->
+              Printf.bprintf buf "  | %Ld -> %s (%s)\n" disc (union_ctor_name v)
+                (decode_decl env d))
+        c.Ast.case_values)
+    u.Ast.union_cases;
+  (match u.Ast.union_default with
+  | Some Ast.Void -> Printf.bprintf buf "  | d -> Default_case d\n"
+  | Some d -> Printf.bprintf buf "  | d -> Default_case (d, %s)\n" (decode_decl env d)
+  | None ->
+      Printf.bprintf buf
+        "  | d -> Xdr.Types.fail (Xdr.Types.Invalid_union (Int32.of_int d))\n");
+  Printf.bprintf buf "\n"
+
+let gen_procedure_client buf env (p : Ast.procedure_def) =
+  let fname = lowercase_ident p.Ast.proc_name in
+  let proc = Check.resolve env p.Ast.proc_number in
+  let args = List.mapi (fun i ty -> (Printf.sprintf "a%d" i, ty)) p.Ast.proc_args in
+  let params =
+    match args with
+    | [] -> "()"
+    | _ ->
+        String.concat " "
+          (List.map
+             (fun (n, ty) -> Printf.sprintf "(%s : %s)" n (ocaml_type_of_base ty))
+             args)
+  in
+  let encode_body =
+    match args with
+    | [] -> "fun _enc -> ()"
+    | _ ->
+        "fun enc -> "
+        ^ String.concat "; " (List.map (fun (n, ty) -> encode_base ty n) args)
+  in
+  let decode_body =
+    match p.Ast.proc_result with
+    | None -> "Xdr.Decode.void"
+    | Some ty -> Printf.sprintf "(fun dec -> %s)" (decode_base ty)
+  in
+  Printf.bprintf buf
+    "    let %s t %s =\n      Oncrpc.Client.call t ~proc:%Ld (%s) %s\n" fname
+    params proc encode_body decode_body
+
+let gen_version buf env (prog : Ast.program_def) (v : Ast.version_def) =
+  let prog_num = Check.resolve env prog.Ast.program_number in
+  let vers_num = Check.resolve env v.Ast.version_number in
+  let module_name =
+    capitalize_ident (lowercase_ident prog.Ast.program_name)
+    ^ Printf.sprintf "_v%Ld" vers_num
+  in
+  Printf.bprintf buf "module %s = struct\n" module_name;
+  Printf.bprintf buf "  let program_number = %Ld\n" prog_num;
+  Printf.bprintf buf "  let version_number = %Ld\n\n" vers_num;
+  (* Client *)
+  Printf.bprintf buf "  module Client = struct\n";
+  Printf.bprintf buf "    type t = Oncrpc.Client.t\n";
+  Printf.bprintf buf
+    "    let create ?cred ?fragment_size ~transport () =\n\
+    \      Oncrpc.Client.create ?cred ?fragment_size ~transport ~prog:%Ld \
+     ~vers:%Ld ()\n"
+    prog_num vers_num;
+  List.iter (gen_procedure_client buf env) v.Ast.version_procedures;
+  Printf.bprintf buf "  end\n\n";
+  (* Server *)
+  Printf.bprintf buf "  module Server = struct\n";
+  Printf.bprintf buf "    type implementation = {\n";
+  List.iter
+    (fun p ->
+      let arg_tys =
+        match p.Ast.proc_args with
+        | [] -> [ "unit" ]
+        | l -> List.map ocaml_type_of_base l
+      in
+      let res_ty =
+        match p.Ast.proc_result with
+        | None -> "unit"
+        | Some ty -> ocaml_type_of_base ty
+      in
+      Printf.bprintf buf "      %s : %s -> %s;\n"
+        (lowercase_ident p.Ast.proc_name)
+        (String.concat " -> " arg_tys) res_ty)
+    v.Ast.version_procedures;
+  Printf.bprintf buf "    }\n";
+  Printf.bprintf buf
+    "    let register (impl : implementation) server =\n\
+    \      Oncrpc.Server.register server ~prog:%Ld ~vers:%Ld [\n"
+    prog_num vers_num;
+  List.iter
+    (fun p ->
+      let proc = Check.resolve env p.Ast.proc_number in
+      let fname = lowercase_ident p.Ast.proc_name in
+      let decodes =
+        match p.Ast.proc_args with
+        | [] -> [ "()" ]
+        | l -> List.map decode_base l
+      in
+      let binds =
+        List.mapi (fun i d -> Printf.sprintf "let a%d = %s in" i d) decodes
+      in
+      let apply =
+        String.concat " "
+          (List.mapi (fun i _ -> Printf.sprintf "a%d" i) decodes)
+      in
+      let encode_result =
+        match p.Ast.proc_result with
+        | None -> "ignore r"
+        | Some ty -> encode_base ty "r"
+      in
+      Printf.bprintf buf
+        "        (%Ld, (fun dec enc -> ignore dec; %s let r = impl.%s %s in \
+         ignore enc; %s));\n"
+        proc
+        (String.concat " " binds)
+        fname apply encode_result)
+    v.Ast.version_procedures;
+  Printf.bprintf buf "      ]\n  end\nend\n\n"
+
+let generate ?(source_name = "<rpcl>") env =
+  let buf = Buffer.create 8192 in
+  Printf.bprintf buf
+    "(* Generated by rpclgen from %s. Do not edit by hand. *)\n\n" source_name;
+  Printf.bprintf buf "[@@@warning \"-27-32-33-34-37-39\"]\n\n";
+  List.iter
+    (fun def ->
+      match def with
+      | Ast.Const (name, v) -> gen_const buf name v
+      | Ast.Enum e -> gen_enum buf env e
+      | Ast.Struct s -> gen_struct buf env s
+      | Ast.Union u -> gen_union buf env u
+      | Ast.Typedef t -> gen_typedef buf env t
+      | Ast.Program _ -> ())
+    (Check.spec env);
+  List.iter
+    (fun (p : Ast.program_def) ->
+      List.iter (fun v -> gen_version buf env p v) p.Ast.program_versions)
+    (Check.programs env);
+  Buffer.contents buf
+
+(* --- interface generation --- *)
+
+let sig_enum buf env (e : Ast.enum_def) =
+  let name = lowercase_ident e.Ast.enum_name in
+  Printf.bprintf buf "(** enum %s *)\ntype %s = int\n" e.Ast.enum_name name;
+  List.iter
+    (fun (item, v) ->
+      Printf.bprintf buf "val %s : int (* = %Ld *)\n" (lowercase_ident item)
+        (Check.resolve env v))
+    e.Ast.enum_items;
+  Printf.bprintf buf "val xdr_encode_%s : Xdr.Encode.t -> %s -> unit\n" name name;
+  Printf.bprintf buf "val xdr_decode_%s : Xdr.Decode.t -> %s\n\n" name name
+
+let sig_typedef buf (t : Ast.typedef_def) =
+  match Ast.decl_name t.Ast.typedef_decl with
+  | None -> ()
+  | Some raw ->
+      let name = lowercase_ident raw in
+      Printf.bprintf buf "type %s = %s\n" name
+        (ocaml_type_of_decl t.Ast.typedef_decl);
+      Printf.bprintf buf "val xdr_encode_%s : Xdr.Encode.t -> %s -> unit\n" name
+        name;
+      Printf.bprintf buf "val xdr_decode_%s : Xdr.Decode.t -> %s\n\n" name name
+
+let sig_struct buf (s : Ast.struct_def) =
+  let name = lowercase_ident s.Ast.struct_name in
+  Printf.bprintf buf "type %s = {\n" name;
+  List.iter
+    (fun d ->
+      match Ast.decl_name d with
+      | Some f ->
+          Printf.bprintf buf "  %s : %s;\n" (lowercase_ident f)
+            (ocaml_type_of_decl d)
+      | None -> ())
+    s.Ast.struct_fields;
+  Printf.bprintf buf "}\n";
+  Printf.bprintf buf "val xdr_encode_%s : Xdr.Encode.t -> %s -> unit\n" name name;
+  Printf.bprintf buf "val xdr_decode_%s : Xdr.Decode.t -> %s\n\n" name name
+
+let sig_union buf (u : Ast.union_def) =
+  let name = lowercase_ident u.Ast.union_name in
+  Printf.bprintf buf "type %s =\n" name;
+  let arm_payload d =
+    match d with Ast.Void -> "" | _ -> " of " ^ ocaml_type_of_decl d
+  in
+  List.iter
+    (fun c ->
+      List.iter
+        (fun v ->
+          Printf.bprintf buf "  | %s%s\n" (union_ctor_name v)
+            (arm_payload c.Ast.case_decl))
+        c.Ast.case_values)
+    u.Ast.union_cases;
+  (match u.Ast.union_default with
+  | Some d ->
+      Printf.bprintf buf "  | Default_case of int%s\n"
+        (match d with Ast.Void -> "" | _ -> " * " ^ ocaml_type_of_decl d)
+  | None -> ());
+  Printf.bprintf buf "val xdr_encode_%s : Xdr.Encode.t -> %s -> unit\n" name name;
+  Printf.bprintf buf "val xdr_decode_%s : Xdr.Decode.t -> %s\n\n" name name
+
+let sig_version buf env (prog : Ast.program_def) (v : Ast.version_def) =
+  let vers_num = Check.resolve env v.Ast.version_number in
+  let module_name =
+    capitalize_ident (lowercase_ident prog.Ast.program_name)
+    ^ Printf.sprintf "_v%Ld" vers_num
+  in
+  Printf.bprintf buf "module %s : sig\n" module_name;
+  Printf.bprintf buf "  val program_number : int\n";
+  Printf.bprintf buf "  val version_number : int\n\n";
+  Printf.bprintf buf "  module Client : sig\n";
+  Printf.bprintf buf "    type t = Oncrpc.Client.t\n";
+  Printf.bprintf buf
+    "    val create :\n\
+    \      ?cred:Oncrpc.Auth.t -> ?fragment_size:int ->\n\
+    \      transport:Oncrpc.Transport.t -> unit -> t\n";
+  List.iter
+    (fun (p : Ast.procedure_def) ->
+      let args =
+        match p.Ast.proc_args with
+        | [] -> [ "unit" ]
+        | l -> List.map ocaml_type_of_base l
+      in
+      let res =
+        match p.Ast.proc_result with
+        | None -> "unit"
+        | Some ty -> ocaml_type_of_base ty
+      in
+      Printf.bprintf buf "    val %s : t -> %s -> %s\n"
+        (lowercase_ident p.Ast.proc_name)
+        (String.concat " -> " args) res)
+    v.Ast.version_procedures;
+  Printf.bprintf buf "  end\n\n";
+  Printf.bprintf buf "  module Server : sig\n";
+  Printf.bprintf buf "    type implementation = {\n";
+  List.iter
+    (fun (p : Ast.procedure_def) ->
+      let args =
+        match p.Ast.proc_args with
+        | [] -> [ "unit" ]
+        | l -> List.map ocaml_type_of_base l
+      in
+      let res =
+        match p.Ast.proc_result with
+        | None -> "unit"
+        | Some ty -> ocaml_type_of_base ty
+      in
+      Printf.bprintf buf "      %s : %s -> %s;\n"
+        (lowercase_ident p.Ast.proc_name)
+        (String.concat " -> " args) res)
+    v.Ast.version_procedures;
+  Printf.bprintf buf "    }\n";
+  Printf.bprintf buf
+    "    val register : implementation -> Oncrpc.Server.t -> unit\n";
+  Printf.bprintf buf "  end\nend\n\n"
+
+let generate_mli ?(source_name = "<rpcl>") env =
+  let buf = Buffer.create 4096 in
+  Printf.bprintf buf
+    "(* Generated by rpclgen from %s. Do not edit by hand. *)\n\n" source_name;
+  List.iter
+    (fun def ->
+      match def with
+      | Ast.Const (name, v) ->
+          Printf.bprintf buf "val const_%s : int64 (* = %Ld *)\n\n"
+            (lowercase_ident name) v
+      | Ast.Enum e -> sig_enum buf env e
+      | Ast.Struct s -> sig_struct buf s
+      | Ast.Union u -> sig_union buf u
+      | Ast.Typedef t -> sig_typedef buf t
+      | Ast.Program _ -> ())
+    (Check.spec env);
+  List.iter
+    (fun (p : Ast.program_def) ->
+      List.iter (fun v -> sig_version buf env p v) p.Ast.program_versions)
+    (Check.programs env);
+  Buffer.contents buf

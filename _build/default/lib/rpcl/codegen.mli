@@ -1,0 +1,29 @@
+(** OCaml stub generation from a checked RPCL specification — the
+    counterpart of RPC-Lib's procedural macros (client side) and rpcgen's
+    [-S]/[-C] output (server side).
+
+    For every RPCL type, the generator emits an OCaml type plus
+    [xdr_encode_*] / [xdr_decode_*] functions over [Xdr.Encode.t] /
+    [Xdr.Decode.t]. For every program version it emits:
+
+    - a [Client] submodule with one typed function per procedure, built on
+      [Oncrpc.Client.call] — so a procedure listed in the specification is
+      immediately callable, with no hand-written code (the property the
+      paper highlights about RPC-Lib);
+    - a [Server] submodule with an [implementation] record (one field per
+      procedure) and a [register] function that installs handlers on an
+      [Oncrpc.Server.t].
+
+    Generated code depends only on the [xdr] and [oncrpc] libraries. *)
+
+val generate : ?source_name:string -> Check.env -> string
+(** Generate a complete OCaml compilation unit as text. *)
+
+val ocaml_type_of_base : Ast.base_type -> string
+(** Exposed for tests: the OCaml type used for an RPCL base type. *)
+
+val generate_mli : ?source_name:string -> Check.env -> string
+(** Generate the matching interface (.mli) for {!generate}'s output: typed
+    signatures for every codec, constant, enum item, client stub and server
+    registration. Compiling the pair validates that the generator's value
+    definitions have exactly their declared types. *)

@@ -1,0 +1,254 @@
+type token =
+  | IDENT of string
+  | NUMBER of int64
+  | KW_CONST
+  | KW_TYPEDEF
+  | KW_ENUM
+  | KW_STRUCT
+  | KW_UNION
+  | KW_SWITCH
+  | KW_CASE
+  | KW_DEFAULT
+  | KW_PROGRAM
+  | KW_VERSION
+  | KW_VOID
+  | KW_OPAQUE
+  | KW_STRING
+  | KW_INT
+  | KW_UNSIGNED
+  | KW_HYPER
+  | KW_FLOAT
+  | KW_DOUBLE
+  | KW_BOOL
+  | LBRACE
+  | RBRACE
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | LANGLE
+  | RANGLE
+  | STAR
+  | COMMA
+  | SEMI
+  | COLON
+  | EQUALS
+  | EOF
+
+exception Lex_error of string * Ast.position
+
+let () =
+  Printexc.register_printer (function
+    | Lex_error (msg, pos) ->
+        Some (Format.asprintf "Rpcl.Lexer.Lex_error: %s at %a" msg Ast.pp_position pos)
+    | _ -> None)
+
+let token_to_string = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | NUMBER n -> Printf.sprintf "number %Ld" n
+  | KW_CONST -> "'const'"
+  | KW_TYPEDEF -> "'typedef'"
+  | KW_ENUM -> "'enum'"
+  | KW_STRUCT -> "'struct'"
+  | KW_UNION -> "'union'"
+  | KW_SWITCH -> "'switch'"
+  | KW_CASE -> "'case'"
+  | KW_DEFAULT -> "'default'"
+  | KW_PROGRAM -> "'program'"
+  | KW_VERSION -> "'version'"
+  | KW_VOID -> "'void'"
+  | KW_OPAQUE -> "'opaque'"
+  | KW_STRING -> "'string'"
+  | KW_INT -> "'int'"
+  | KW_UNSIGNED -> "'unsigned'"
+  | KW_HYPER -> "'hyper'"
+  | KW_FLOAT -> "'float'"
+  | KW_DOUBLE -> "'double'"
+  | KW_BOOL -> "'bool'"
+  | LBRACE -> "'{'"
+  | RBRACE -> "'}'"
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | LBRACKET -> "'['"
+  | RBRACKET -> "']'"
+  | LANGLE -> "'<'"
+  | RANGLE -> "'>'"
+  | STAR -> "'*'"
+  | COMMA -> "','"
+  | SEMI -> "';'"
+  | COLON -> "':'"
+  | EQUALS -> "'='"
+  | EOF -> "end of input"
+
+let keyword_table =
+  [
+    ("const", KW_CONST); ("typedef", KW_TYPEDEF); ("enum", KW_ENUM);
+    ("struct", KW_STRUCT); ("union", KW_UNION); ("switch", KW_SWITCH);
+    ("case", KW_CASE); ("default", KW_DEFAULT); ("program", KW_PROGRAM);
+    ("version", KW_VERSION); ("void", KW_VOID); ("opaque", KW_OPAQUE);
+    ("string", KW_STRING); ("int", KW_INT); ("unsigned", KW_UNSIGNED);
+    ("hyper", KW_HYPER); ("float", KW_FLOAT); ("double", KW_DOUBLE);
+    ("bool", KW_BOOL);
+    (* 'long' and 'short' appear in real-world .x files as aliases of int *)
+    ("long", KW_INT); ("quadruple", KW_DOUBLE);
+  ]
+
+type state = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let position st = { Ast.line = st.line; col = st.col }
+
+let peek st = if st.pos >= String.length st.src then None else Some st.src.[st.pos]
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+      st.line <- st.line + 1;
+      st.col <- 1
+  | Some _ -> st.col <- st.col + 1
+  | None -> ());
+  st.pos <- st.pos + 1
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let rec skip_trivia st =
+  match peek st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance st;
+      skip_trivia st
+  | Some '#' | Some '%' ->
+      (* preprocessor directive / passthrough line: skip to end of line *)
+      let rec to_eol () =
+        match peek st with
+        | Some '\n' | None -> ()
+        | Some _ ->
+            advance st;
+            to_eol ()
+      in
+      to_eol ();
+      skip_trivia st
+  | Some '/' when st.pos + 1 < String.length st.src -> (
+      match st.src.[st.pos + 1] with
+      | '/' ->
+          let rec to_eol () =
+            match peek st with
+            | Some '\n' | None -> ()
+            | Some _ ->
+                advance st;
+                to_eol ()
+          in
+          to_eol ();
+          skip_trivia st
+      | '*' ->
+          let start = position st in
+          advance st;
+          advance st;
+          let rec to_close () =
+            match peek st with
+            | None -> raise (Lex_error ("unterminated comment", start))
+            | Some '*' when st.pos + 1 < String.length st.src
+                            && st.src.[st.pos + 1] = '/' ->
+                advance st;
+                advance st
+            | Some _ ->
+                advance st;
+                to_close ()
+          in
+          to_close ();
+          skip_trivia st
+      | _ -> ())
+  | _ -> ()
+
+let lex_number st =
+  let start = st.pos in
+  let pos = position st in
+  if peek st = Some '-' then advance st;
+  let hex =
+    peek st = Some '0'
+    && st.pos + 1 < String.length st.src
+    && (st.src.[st.pos + 1] = 'x' || st.src.[st.pos + 1] = 'X')
+  in
+  if hex then begin
+    advance st;
+    advance st
+  end;
+  let digit_ok c =
+    if hex then
+      is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+    else is_digit c
+  in
+  let rec consume () =
+    match peek st with
+    | Some c when digit_ok c ->
+        advance st;
+        consume ()
+    | _ -> ()
+  in
+  consume ();
+  let text = String.sub st.src start (st.pos - start) in
+  (* Int64.of_string understands the 0x prefix; '-0x..' needs splicing. *)
+  let text =
+    if String.length text > 1 && text.[0] = '-' && hex then
+      "-0x" ^ String.sub text 3 (String.length text - 3)
+    else text
+  in
+  match Int64.of_string_opt text with
+  | Some v -> NUMBER v
+  | None -> raise (Lex_error (Printf.sprintf "invalid number %S" text, pos))
+
+let next_token st =
+  skip_trivia st;
+  let pos = position st in
+  match peek st with
+  | None -> (EOF, pos)
+  | Some c ->
+      let tok =
+        if is_ident_start c then begin
+          let start = st.pos in
+          while (match peek st with Some c -> is_ident_char c | None -> false) do
+            advance st
+          done;
+          let text = String.sub st.src start (st.pos - start) in
+          match List.assoc_opt text keyword_table with
+          | Some kw -> kw
+          | None -> IDENT text
+        end
+        else if is_digit c || (c = '-' && st.pos + 1 < String.length st.src
+                               && is_digit st.src.[st.pos + 1]) then
+          lex_number st
+        else begin
+          advance st;
+          match c with
+          | '{' -> LBRACE
+          | '}' -> RBRACE
+          | '(' -> LPAREN
+          | ')' -> RPAREN
+          | '[' -> LBRACKET
+          | ']' -> RBRACKET
+          | '<' -> LANGLE
+          | '>' -> RANGLE
+          | '*' -> STAR
+          | ',' -> COMMA
+          | ';' -> SEMI
+          | ':' -> COLON
+          | '=' -> EQUALS
+          | c ->
+              raise (Lex_error (Printf.sprintf "unexpected character %C" c, pos))
+        end
+      in
+      (tok, pos)
+
+let tokenize src =
+  let st = { src; pos = 0; line = 1; col = 1 } in
+  let rec loop acc =
+    let tok, pos = next_token st in
+    if tok = EOF then List.rev ((tok, pos) :: acc)
+    else loop ((tok, pos) :: acc)
+  in
+  loop []

@@ -1,0 +1,50 @@
+(** Hand-written lexer for RPCL source.
+
+    Handles C-style [/* ... */] and line [//] comments, [%]-passthrough
+    lines and [#] preprocessor lines (both skipped), decimal / hex / octal
+    integer literals, identifiers, keywords and punctuation. Every token
+    carries its source position for diagnostics. *)
+
+type token =
+  | IDENT of string
+  | NUMBER of int64
+  | KW_CONST
+  | KW_TYPEDEF
+  | KW_ENUM
+  | KW_STRUCT
+  | KW_UNION
+  | KW_SWITCH
+  | KW_CASE
+  | KW_DEFAULT
+  | KW_PROGRAM
+  | KW_VERSION
+  | KW_VOID
+  | KW_OPAQUE
+  | KW_STRING
+  | KW_INT
+  | KW_UNSIGNED
+  | KW_HYPER
+  | KW_FLOAT
+  | KW_DOUBLE
+  | KW_BOOL
+  | LBRACE
+  | RBRACE
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | LANGLE
+  | RANGLE
+  | STAR
+  | COMMA
+  | SEMI
+  | COLON
+  | EQUALS
+  | EOF
+
+exception Lex_error of string * Ast.position
+
+val token_to_string : token -> string
+
+val tokenize : string -> (token * Ast.position) list
+(** Tokenize a whole RPCL source string; the last element is [EOF]. *)

@@ -1,0 +1,337 @@
+open Lexer
+
+exception Parse_error of string * Ast.position
+
+let () =
+  Printexc.register_printer (function
+    | Parse_error (msg, pos) ->
+        Some
+          (Format.asprintf "Rpcl.Parser.Parse_error: %s at %a" msg
+             Ast.pp_position pos)
+    | _ -> None)
+
+type state = { mutable tokens : (token * Ast.position) list }
+
+let peek st =
+  match st.tokens with
+  | (tok, pos) :: _ -> (tok, pos)
+  | [] -> (EOF, { Ast.line = 0; col = 0 })
+
+let advance st =
+  match st.tokens with _ :: rest -> st.tokens <- rest | [] -> ()
+
+let fail_at pos fmt = Format.kasprintf (fun msg -> raise (Parse_error (msg, pos))) fmt
+
+let expect st tok =
+  let got, pos = peek st in
+  if got = tok then advance st
+  else fail_at pos "expected %s, found %s" (token_to_string tok) (token_to_string got)
+
+let expect_ident st =
+  match peek st with
+  | IDENT s, _ ->
+      advance st;
+      s
+  | got, pos -> fail_at pos "expected identifier, found %s" (token_to_string got)
+
+let parse_value st =
+  match peek st with
+  | NUMBER n, _ ->
+      advance st;
+      Ast.Lit n
+  | IDENT s, _ ->
+      advance st;
+      Ast.Named s
+  | got, pos -> fail_at pos "expected constant, found %s" (token_to_string got)
+
+(* type-specifier, excluding opaque/string which only occur in declarations *)
+let parse_type_specifier st =
+  match peek st with
+  | KW_INT, _ ->
+      advance st;
+      Ast.Int
+  | KW_HYPER, _ ->
+      advance st;
+      Ast.Hyper
+  | KW_FLOAT, _ ->
+      advance st;
+      Ast.Float
+  | KW_DOUBLE, _ ->
+      advance st;
+      Ast.Double
+  | KW_BOOL, _ ->
+      advance st;
+      Ast.Bool
+  | KW_UNSIGNED, _ -> (
+      advance st;
+      match peek st with
+      | KW_INT, _ ->
+          advance st;
+          Ast.Uint
+      | KW_HYPER, _ ->
+          advance st;
+          Ast.Uhyper
+      | _ -> Ast.Uint (* bare "unsigned" *))
+  | (KW_STRUCT | KW_ENUM | KW_UNION), _ ->
+      (* "struct foo x" style reference *)
+      advance st;
+      Ast.Named_type (expect_ident st)
+  | IDENT s, _ ->
+      advance st;
+      Ast.Named_type s
+  | got, pos -> fail_at pos "expected type, found %s" (token_to_string got)
+
+(* declaration := "void" | type-spec decorated-name *)
+let parse_declaration st =
+  match peek st with
+  | KW_VOID, _ ->
+      advance st;
+      Ast.Void
+  | KW_OPAQUE, _ -> (
+      advance st;
+      let name = expect_ident st in
+      match peek st with
+      | LBRACKET, _ ->
+          advance st;
+          let v = parse_value st in
+          expect st RBRACKET;
+          Ast.Fixed_opaque (name, v)
+      | LANGLE, _ -> (
+          advance st;
+          match peek st with
+          | RANGLE, _ ->
+              advance st;
+              Ast.Var_opaque (name, None)
+          | _ ->
+              let v = parse_value st in
+              expect st RANGLE;
+              Ast.Var_opaque (name, Some v))
+      | got, pos ->
+          fail_at pos "opaque requires [n] or <n>, found %s" (token_to_string got))
+  | KW_STRING, _ -> (
+      advance st;
+      let name = expect_ident st in
+      expect st LANGLE;
+      match peek st with
+      | RANGLE, _ ->
+          advance st;
+          Ast.String (name, None)
+      | _ ->
+          let v = parse_value st in
+          expect st RANGLE;
+          Ast.String (name, Some v))
+  | _ -> (
+      let ty = parse_type_specifier st in
+      match peek st with
+      | STAR, _ ->
+          advance st;
+          Ast.Optional (ty, expect_ident st)
+      | _ -> (
+          let name = expect_ident st in
+          match peek st with
+          | LBRACKET, _ ->
+              advance st;
+              let v = parse_value st in
+              expect st RBRACKET;
+              Ast.Fixed_array (ty, name, v)
+          | LANGLE, _ -> (
+              advance st;
+              match peek st with
+              | RANGLE, _ ->
+                  advance st;
+                  Ast.Var_array (ty, name, None)
+              | _ ->
+                  let v = parse_value st in
+                  expect st RANGLE;
+                  Ast.Var_array (ty, name, Some v))
+          | _ -> Ast.Scalar (ty, name)))
+
+let parse_enum_body st =
+  expect st LBRACE;
+  let rec items acc =
+    let name = expect_ident st in
+    expect st EQUALS;
+    let v = parse_value st in
+    let acc = (name, v) :: acc in
+    match peek st with
+    | COMMA, _ ->
+        advance st;
+        items acc
+    | _ -> List.rev acc
+  in
+  let l = items [] in
+  expect st RBRACE;
+  l
+
+let parse_struct_body st =
+  expect st LBRACE;
+  let rec fields acc =
+    match peek st with
+    | RBRACE, _ -> List.rev acc
+    | _ ->
+        let d = parse_declaration st in
+        expect st SEMI;
+        fields (d :: acc)
+  in
+  let l = fields [] in
+  expect st RBRACE;
+  l
+
+let parse_union_body st =
+  expect st KW_SWITCH;
+  expect st LPAREN;
+  let discriminant = parse_declaration st in
+  expect st RPAREN;
+  expect st LBRACE;
+  let rec cases acc default =
+    match peek st with
+    | KW_CASE, _ ->
+        (* one or more "case v:" labels share a declaration *)
+        let rec labels acc_v =
+          expect st KW_CASE;
+          let v = parse_value st in
+          expect st COLON;
+          match peek st with
+          | KW_CASE, _ -> labels (v :: acc_v)
+          | _ -> List.rev (v :: acc_v)
+        in
+        let values = labels [] in
+        let d = parse_declaration st in
+        expect st SEMI;
+        cases ({ Ast.case_values = values; case_decl = d } :: acc) default
+    | KW_DEFAULT, pos ->
+        if default <> None then fail_at pos "duplicate default case";
+        advance st;
+        expect st COLON;
+        let d = parse_declaration st in
+        expect st SEMI;
+        cases acc (Some d)
+    | RBRACE, _ -> (List.rev acc, default)
+    | got, pos ->
+        fail_at pos "expected 'case', 'default' or '}', found %s"
+          (token_to_string got)
+  in
+  let case_list, default = cases [] None in
+  expect st RBRACE;
+  (discriminant, case_list, default)
+
+let parse_proc_result st =
+  match peek st with
+  | KW_VOID, _ ->
+      advance st;
+      None
+  | _ -> Some (parse_type_specifier st)
+
+let parse_procedure st =
+  let result = parse_proc_result st in
+  let name = expect_ident st in
+  expect st LPAREN;
+  let args =
+    match peek st with
+    | KW_VOID, _ ->
+        advance st;
+        []
+    | _ ->
+        let rec loop acc =
+          let ty = parse_type_specifier st in
+          match peek st with
+          | COMMA, _ ->
+              advance st;
+              loop (ty :: acc)
+          | _ -> List.rev (ty :: acc)
+        in
+        loop []
+  in
+  expect st RPAREN;
+  expect st EQUALS;
+  let number = parse_value st in
+  expect st SEMI;
+  { Ast.proc_name = name; proc_result = result; proc_args = args;
+    proc_number = number }
+
+let parse_version st =
+  expect st KW_VERSION;
+  let name = expect_ident st in
+  expect st LBRACE;
+  let rec procs acc =
+    match peek st with
+    | RBRACE, _ -> List.rev acc
+    | _ -> procs (parse_procedure st :: acc)
+  in
+  let procedures = procs [] in
+  expect st RBRACE;
+  expect st EQUALS;
+  let number = parse_value st in
+  expect st SEMI;
+  { Ast.version_name = name; version_number = number;
+    version_procedures = procedures }
+
+let parse_program st =
+  let name = expect_ident st in
+  expect st LBRACE;
+  let rec versions acc =
+    match peek st with
+    | RBRACE, _ -> List.rev acc
+    | _ -> versions (parse_version st :: acc)
+  in
+  let vs = versions [] in
+  expect st RBRACE;
+  expect st EQUALS;
+  let number = parse_value st in
+  expect st SEMI;
+  { Ast.program_name = name; program_number = number; program_versions = vs }
+
+let parse_definition st =
+  match peek st with
+  | KW_CONST, _ ->
+      advance st;
+      let name = expect_ident st in
+      expect st EQUALS;
+      let v =
+        match peek st with
+        | NUMBER n, _ ->
+            advance st;
+            n
+        | got, pos ->
+            fail_at pos "const requires a literal, found %s" (token_to_string got)
+      in
+      expect st SEMI;
+      Ast.Const (name, v)
+  | KW_ENUM, _ ->
+      advance st;
+      let name = expect_ident st in
+      let items = parse_enum_body st in
+      expect st SEMI;
+      Ast.Enum { Ast.enum_name = name; enum_items = items }
+  | KW_STRUCT, _ ->
+      advance st;
+      let name = expect_ident st in
+      let fields = parse_struct_body st in
+      expect st SEMI;
+      Ast.Struct { Ast.struct_name = name; struct_fields = fields }
+  | KW_UNION, _ ->
+      advance st;
+      let name = expect_ident st in
+      let discriminant, cases, default = parse_union_body st in
+      expect st SEMI;
+      Ast.Union
+        { Ast.union_name = name; union_discriminant = discriminant;
+          union_cases = cases; union_default = default }
+  | KW_TYPEDEF, _ ->
+      advance st;
+      let d = parse_declaration st in
+      expect st SEMI;
+      Ast.Typedef { Ast.typedef_decl = d }
+  | KW_PROGRAM, _ ->
+      advance st;
+      Ast.Program (parse_program st)
+  | got, pos -> fail_at pos "expected a definition, found %s" (token_to_string got)
+
+let parse src =
+  let st = { tokens = Lexer.tokenize src } in
+  let rec loop acc =
+    match peek st with
+    | EOF, _ -> List.rev acc
+    | _ -> loop (parse_definition st :: acc)
+  in
+  loop []

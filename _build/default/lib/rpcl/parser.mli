@@ -1,0 +1,11 @@
+(** Recursive-descent parser for RPCL.
+
+    Grammar follows RFC 5531 §12/§13 ("RPC Language") with the common
+    rpcgen extensions Cricket's specification uses: [unsigned] as shorthand
+    for [unsigned int], multiple procedure arguments, and line
+    passthrough/preprocessor directives (handled by the lexer). *)
+
+exception Parse_error of string * Ast.position
+
+val parse : string -> Ast.spec
+(** Parse RPCL source text. Raises {!Parse_error} or {!Lexer.Lex_error}. *)

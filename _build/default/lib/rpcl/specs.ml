@@ -1,0 +1,223 @@
+let cricket_program_number = 0x20000001
+let cricket_version_number = 1
+
+let cricket =
+  {x|
+/*
+ * Cricket GPU-forwarding RPC interface.
+ *
+ * Every CUDA API the Cricket server executes on behalf of remote clients
+ * is declared here. Client stubs and the server dispatch skeleton are
+ * generated from this file; adding a procedure makes it immediately
+ * callable from applications.
+ */
+
+const RPC_CD_PROG = 0x20000001;
+
+enum cuda_error {
+    CUDA_SUCCESS                 = 0,
+    CUDA_ERROR_INVALID_VALUE     = 1,
+    CUDA_ERROR_MEMORY_ALLOCATION = 2,
+    CUDA_ERROR_INVALID_DEVICE    = 101,
+    CUDA_ERROR_INVALID_HANDLE    = 400,
+    CUDA_ERROR_NOT_FOUND         = 500,
+    CUDA_ERROR_NOT_READY         = 600,
+    CUDA_ERROR_LAUNCH_FAILURE    = 719,
+    CUDA_ERROR_UNKNOWN           = 999
+};
+
+/* Bulk payloads (kernel images, memcpy data, packed kernel parameters). */
+typedef opaque mem_data<>;
+typedef string str_t<4096>;
+
+struct void_result   { int err; };
+struct int_result    { int err; int data; };
+struct u64_result    { int err; unsigned hyper data; };
+struct float_result  { int err; float data; };
+struct mem_result    { int err; mem_data data; };
+
+struct meminfo_result {
+    int err;
+    unsigned hyper free_bytes;
+    unsigned hyper total_bytes;
+};
+
+struct device_properties {
+    str_t name;
+    unsigned hyper total_global_mem;
+    int multi_processor_count;
+    int clock_rate_khz;
+    int compute_major;
+    int compute_minor;
+    unsigned hyper memory_bandwidth;
+};
+
+struct prop_result {
+    int err;
+    device_properties props;
+};
+
+struct global_result {
+    int err;
+    unsigned hyper ptr;
+    unsigned hyper size;
+};
+
+/* cuLaunchKernel: the packed parameter buffer travels separately as
+ * mem_data, laid out according to the kernel's cubin metadata. */
+struct launch_config {
+    unsigned hyper function_handle;
+    unsigned int grid_x;
+    unsigned int grid_y;
+    unsigned int grid_z;
+    unsigned int block_x;
+    unsigned int block_y;
+    unsigned int block_z;
+    unsigned int shared_mem_bytes;
+    unsigned hyper stream;
+};
+
+struct sgemm_args {
+    unsigned hyper handle;
+    int m;
+    int n;
+    int k;
+    float alpha;
+    unsigned hyper a;
+    int lda;
+    unsigned hyper b;
+    int ldb;
+    float beta;
+    unsigned hyper c;
+    int ldc;
+};
+
+struct sgemv_args {
+    unsigned hyper handle;
+    int m;
+    int n;
+    float alpha;
+    unsigned hyper a;
+    int lda;
+    unsigned hyper x;
+    int incx;
+    float beta;
+    unsigned hyper y;
+    int incy;
+};
+
+struct dot_args {
+    unsigned hyper handle;
+    int n;
+    unsigned hyper x;
+    int incx;
+    unsigned hyper y;
+    int incy;
+};
+
+struct scal_args {
+    unsigned hyper handle;
+    int n;
+    float alpha;
+    unsigned hyper x;
+    int incx;
+};
+
+struct nrm2_args {
+    unsigned hyper handle;
+    int n;
+    unsigned hyper x;
+    int incx;
+};
+
+struct getrf_buffer_args {
+    unsigned hyper handle;
+    int m;
+    int n;
+    unsigned hyper a;
+    int lda;
+};
+
+struct getrf_args {
+    unsigned hyper handle;
+    int m;
+    int n;
+    unsigned hyper a;
+    int lda;
+    unsigned hyper workspace;
+    unsigned hyper ipiv;
+};
+
+struct getrs_args {
+    unsigned hyper handle;
+    int n;
+    int nrhs;
+    unsigned hyper a;
+    int lda;
+    unsigned hyper ipiv;
+    unsigned hyper b;
+    int ldb;
+};
+
+program RPC_CD_PROG_DEF {
+    version RPC_CD_VERS {
+        /* device management */
+        int_result   rpc_cudaGetDeviceCount(void)                    = 1;
+        void_result  rpc_cudaSetDevice(int)                          = 2;
+        int_result   rpc_cudaGetDevice(void)                         = 3;
+        prop_result  rpc_cudaGetDeviceProperties(int)                = 4;
+        void_result  rpc_cudaDeviceSynchronize(void)                 = 5;
+        void_result  rpc_cudaDeviceReset(void)                       = 6;
+
+        /* memory management */
+        u64_result     rpc_cudaMalloc(unsigned hyper)                          = 10;
+        void_result    rpc_cudaFree(unsigned hyper)                            = 11;
+        void_result    rpc_cudaMemcpyHtoD(unsigned hyper, mem_data)            = 12;
+        mem_result     rpc_cudaMemcpyDtoH(unsigned hyper, unsigned hyper)      = 13;
+        void_result    rpc_cudaMemcpyDtoD(unsigned hyper, unsigned hyper,
+                                          unsigned hyper)                      = 14;
+        void_result    rpc_cudaMemset(unsigned hyper, int, unsigned hyper)     = 15;
+        meminfo_result rpc_cudaMemGetInfo(void)                                = 16;
+
+        /* streams and events */
+        u64_result   rpc_cudaStreamCreate(void)                          = 20;
+        void_result  rpc_cudaStreamDestroy(unsigned hyper)               = 21;
+        void_result  rpc_cudaStreamSynchronize(unsigned hyper)           = 22;
+        u64_result   rpc_cudaEventCreate(void)                           = 23;
+        void_result  rpc_cudaEventDestroy(unsigned hyper)                = 24;
+        void_result  rpc_cudaEventRecord(unsigned hyper, unsigned hyper) = 25;
+        void_result  rpc_cudaEventSynchronize(unsigned hyper)            = 26;
+        float_result rpc_cudaEventElapsedTime(unsigned hyper,
+                                              unsigned hyper)            = 27;
+
+        /* module API: kernels loaded from (possibly compressed) cubins */
+        u64_result    rpc_cuModuleLoadData(mem_data)                    = 30;
+        void_result   rpc_cuModuleUnload(unsigned hyper)                = 31;
+        u64_result    rpc_cuModuleGetFunction(unsigned hyper, str_t)    = 32;
+        global_result rpc_cuModuleGetGlobal(unsigned hyper, str_t)      = 33;
+        void_result   rpc_cuLaunchKernel(launch_config, mem_data)       = 34;
+
+        /* cuBLAS */
+        u64_result   rpc_cublasCreate(void)               = 40;
+        void_result  rpc_cublasDestroy(unsigned hyper)    = 41;
+        void_result  rpc_cublasSgemm(sgemm_args)          = 42;
+        void_result  rpc_cublasSgemv(sgemv_args)          = 43;
+        float_result rpc_cublasSdot(dot_args)             = 44;
+        void_result  rpc_cublasSscal(scal_args)           = 45;
+        float_result rpc_cublasSnrm2(nrm2_args)           = 46;
+
+        /* cuSOLVER dense */
+        u64_result   rpc_cusolverDnCreate(void)                        = 50;
+        void_result  rpc_cusolverDnDestroy(unsigned hyper)             = 51;
+        int_result   rpc_cusolverDnSgetrf_bufferSize(getrf_buffer_args) = 52;
+        int_result   rpc_cusolverDnSgetrf(getrf_args)                  = 53;
+        int_result   rpc_cusolverDnSgetrs(getrs_args)                  = 54;
+
+        /* checkpoint / restart of the server-side GPU state */
+        void_result  rpc_checkpoint(str_t) = 60;
+        void_result  rpc_restore(str_t)    = 61;
+    } = 1;
+} = 0x20000001;
+|x}
+
+let builtins = [ ("cricket", cricket) ]

@@ -1,0 +1,20 @@
+(** Built-in RPCL specifications.
+
+    {!cricket} is the Cricket CUDA-forwarding interface: the RPCL
+    description of every CUDA API procedure the Cricket server exposes,
+    mirroring the role of [cpu_rpc_prot.x] in the original Cricket code
+    base. It is the single source of truth: the [cricket] library's
+    protocol stubs are generated from it at build time by [rpclgen], so a
+    procedure added here becomes callable from client code with no further
+    implementation — the property the paper highlights about RPC-Lib. *)
+
+val cricket : string
+(** RPCL source of the Cricket GPU-forwarding protocol. *)
+
+val cricket_program_number : int
+(** The RPC program number declared in {!cricket} (0x20000001). *)
+
+val cricket_version_number : int
+
+val builtins : (string * string) list
+(** Name → source mapping for [rpclgen --builtin]. *)

@@ -1,0 +1,1 @@
+lib/simnet/engine.ml: Heap Time

@@ -1,0 +1,1 @@
+lib/simnet/heap.ml: Array Int64

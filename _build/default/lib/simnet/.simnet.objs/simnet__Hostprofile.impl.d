@@ -1,0 +1,1 @@
+lib/simnet/hostprofile.ml: Format Offload

@@ -1,0 +1,1 @@
+lib/simnet/netcost.ml: Float Hostprofile Link Offload Time

@@ -1,0 +1,1 @@
+lib/simnet/netcost.mli: Hostprofile Link Time

@@ -1,0 +1,1 @@
+lib/simnet/offload.ml: Format Fun List String

@@ -1,0 +1,1 @@
+lib/simnet/random_variate.ml: Float Int64 List Time

@@ -1,0 +1,1 @@
+lib/simnet/random_variate.mli: Time

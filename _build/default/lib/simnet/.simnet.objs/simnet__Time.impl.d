@@ -1,0 +1,1 @@
+lib/simnet/time.ml: Float Format Int64

@@ -1,0 +1,1 @@
+lib/simnet/virtio.ml: List Queue

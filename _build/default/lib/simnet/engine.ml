@@ -1,0 +1,36 @@
+type t = { mutable clock : Time.t; queue : (unit -> unit) Heap.t }
+
+let create () = { clock = Time.zero; queue = Heap.create () }
+let now t = t.clock
+
+let advance t d =
+  if Time.compare d Time.zero < 0 then invalid_arg "Engine.advance: negative";
+  t.clock <- Time.add t.clock d
+
+let advance_to t instant =
+  if Time.compare instant t.clock > 0 then t.clock <- instant
+
+let schedule_at t due fn = Heap.push t.queue ~priority:due fn
+let schedule_after t delay fn = schedule_at t (Time.add t.clock delay) fn
+let pending t = Heap.length t.queue
+
+let step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some (due, fn) ->
+      advance_to t due;
+      fn ();
+      true
+
+let run t = while step t do () done
+
+let run_until t deadline =
+  let rec loop () =
+    match Heap.peek t.queue with
+    | Some (due, _) when Time.compare due deadline <= 0 ->
+        ignore (step t);
+        loop ()
+    | _ -> ()
+  in
+  loop ();
+  advance_to t deadline

@@ -1,0 +1,77 @@
+type 'a entry = { priority : int64; seq : int; value : 'a }
+
+type 'a t = {
+  mutable entries : 'a entry array;  (* slots [0, size) are live *)
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { entries = [||]; size = 0; next_seq = 0 }
+let length t = t.size
+let is_empty t = t.size = 0
+
+let less a b =
+  match Int64.compare a.priority b.priority with
+  | 0 -> a.seq < b.seq
+  | c -> c < 0
+
+let swap t i j =
+  let tmp = t.entries.(i) in
+  t.entries.(i) <- t.entries.(j);
+  t.entries.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if less t.entries.(i) t.entries.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let left = (2 * i) + 1 and right = (2 * i) + 2 in
+  let smallest = ref i in
+  if left < t.size && less t.entries.(left) t.entries.(!smallest) then
+    smallest := left;
+  if right < t.size && less t.entries.(right) t.entries.(!smallest) then
+    smallest := right;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let ensure_capacity t filler =
+  if t.size >= Array.length t.entries then begin
+    let capacity = max 16 (2 * Array.length t.entries) in
+    let grown = Array.make capacity filler in
+    Array.blit t.entries 0 grown 0 t.size;
+    t.entries <- grown
+  end
+
+let push t ~priority value =
+  let entry = { priority; seq = t.next_seq; value } in
+  ensure_capacity t entry;
+  t.entries.(t.size) <- entry;
+  t.next_seq <- t.next_seq + 1;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.entries.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.entries.(0) <- t.entries.(t.size);
+      sift_down t 0
+    end;
+    Some (top.priority, top.value)
+  end
+
+let peek t =
+  if t.size = 0 then None else Some (t.entries.(0).priority, t.entries.(0).value)
+
+let clear t =
+  t.entries <- [||];
+  t.size <- 0

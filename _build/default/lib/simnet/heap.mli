@@ -1,0 +1,21 @@
+(** Array-backed binary min-heap, the event queue of {!Engine}.
+
+    Entries are ordered by a caller-supplied priority (an [int64], the
+    event's due time) with a monotonically increasing sequence number as a
+    tie-breaker, so events scheduled for the same instant pop in insertion
+    order — a property the deterministic benchmarks rely on. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> priority:int64 -> 'a -> unit
+
+val pop : 'a t -> (int64 * 'a) option
+(** Remove and return the minimum (earliest, then oldest) entry. *)
+
+val peek : 'a t -> (int64 * 'a) option
+
+val clear : 'a t -> unit

@@ -1,0 +1,31 @@
+type t = {
+  tso : bool;
+  tx_checksum : bool;
+  rx_checksum : bool;
+  scatter_gather : bool;
+  mrg_rxbuf : bool;
+  gro : bool;
+}
+
+let all =
+  { tso = true; tx_checksum = true; rx_checksum = true; scatter_gather = true;
+    mrg_rxbuf = true; gro = true }
+
+let none =
+  { tso = false; tx_checksum = false; rx_checksum = false;
+    scatter_gather = false; mrg_rxbuf = false; gro = false }
+
+let disable_bulk t =
+  { t with tso = false; tx_checksum = false; scatter_gather = false }
+
+let pp ppf t =
+  let flag name v = if v then Some name else None in
+  let on =
+    List.filter_map Fun.id
+      [
+        flag "tso" t.tso; flag "tx-csum" t.tx_checksum;
+        flag "rx-csum" t.rx_checksum; flag "sg" t.scatter_gather;
+        flag "mrg-rxbuf" t.mrg_rxbuf; flag "gro" t.gro;
+      ]
+  in
+  Format.fprintf ppf "[%s]" (String.concat " " on)

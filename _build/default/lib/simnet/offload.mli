@@ -1,0 +1,30 @@
+(** NIC / virtio-net offload feature sets.
+
+    These are the hardware-offload capabilities §4.2 of the paper
+    identifies as the decisive difference between the Linux VM and the
+    unikernels: TCP segmentation offload, transmit/receive checksum offload
+    (VIRTIO_NET_F_CSUM / VIRTIO_NET_F_GUEST_CSUM), scatter-gather transmit
+    and mergeable receive buffers (VIRTIO_NET_F_MRG_RXBUF). *)
+
+type t = {
+  tso : bool;  (** TCP segmentation offload: guest hands over 64 KiB frames *)
+  tx_checksum : bool;  (** checksum computed by NIC/host on transmit *)
+  rx_checksum : bool;  (** checksum verified by NIC/host on receive *)
+  scatter_gather : bool;  (** no coalescing copy before transmit *)
+  mrg_rxbuf : bool;  (** mergeable receive buffers: fewer, larger rx batches *)
+  gro : bool;
+      (** receive coalescing (GRO/LRO): the stack traverses one aggregate
+          instead of every wire packet — present in Linux guests, absent in
+          the unikernel stacks *)
+}
+
+val all : t
+(** Everything on — a ConnectX-5 under native Linux. *)
+
+val none : t
+
+val disable_bulk : t -> t
+(** Turn off TSO, tx checksum and scatter-gather — the §4.2 ablation that
+    drops the Linux VM to ≈924 MiB/s host-to-device. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,51 @@
+type t = { mutable state : int64 }
+
+let create ~seed =
+  let seed64 = Int64.of_int seed in
+  { state = (if Int64.equal seed64 0L then 0x9e3779b97f4a7c15L else seed64) }
+
+(* xorshift64* *)
+let next_u64 t =
+  let x = t.state in
+  let x = Int64.logxor x (Int64.shift_left x 13) in
+  let x = Int64.logxor x (Int64.shift_right_logical x 7) in
+  let x = Int64.logxor x (Int64.shift_left x 17) in
+  t.state <- x;
+  Int64.mul x 0x2545F4914F6CDD1DL
+
+let uniform t =
+  (* top 53 bits to a double in [0, 1) *)
+  let bits = Int64.shift_right_logical (next_u64 t) 11 in
+  Int64.to_float bits /. 9007199254740992.0 (* 2^53 *)
+
+let uniform_int t bound =
+  if bound <= 0 then invalid_arg "Random_variate.uniform_int";
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next_u64 t) 1)
+                  (Int64.of_int bound))
+
+let exponential t ~mean =
+  if mean <= 0.0 then invalid_arg "Random_variate.exponential";
+  let u = 1.0 -. uniform t (* in (0, 1] *) in
+  -.mean *. Float.log u
+
+let pareto t ~shape ~scale ~max =
+  if shape <= 0.0 || scale <= 0.0 || max <= scale then
+    invalid_arg "Random_variate.pareto";
+  (* inverse CDF of the bounded Pareto *)
+  let u = uniform t in
+  let la = Float.pow scale shape and ha = Float.pow max shape in
+  Float.pow
+    (-.((u *. ha) -. (u *. la) -. ha) /. (ha *. la))
+    (-1.0 /. shape)
+
+let poisson_arrivals t ~mean_gap ~count =
+  if count < 0 then invalid_arg "Random_variate.poisson_arrivals";
+  let mean = Int64.to_float mean_gap in
+  let rec build at n acc =
+    if n = 0 then List.rev acc
+    else begin
+      let at = Time.add at (Time.of_float_ns (exponential t ~mean)) in
+      build at (n - 1) (at :: acc)
+    end
+  in
+  build Time.zero count []

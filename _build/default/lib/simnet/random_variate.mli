@@ -1,0 +1,31 @@
+(** Deterministic random variates for workload generation.
+
+    A small, explicitly-seeded xorshift64* generator with the variate
+    transforms benchmark workloads need (uniform, exponential
+    inter-arrivals for Poisson processes, bounded Pareto for heavy-tailed
+    job sizes). Purely functional state threading is avoided on purpose —
+    a generator is a mutable cursor — but everything is reproducible from
+    the seed, keeping the benchmarks bit-deterministic. *)
+
+type t
+
+val create : seed:int -> t
+(** Equal seeds yield equal streams; seed 0 is remapped internally. *)
+
+val uniform : t -> float
+(** In [0, 1). *)
+
+val uniform_int : t -> int -> int
+(** In [0, bound); [bound > 0]. *)
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed with the given mean ([mean > 0]) — the
+    inter-arrival time of a Poisson process. *)
+
+val pareto : t -> shape:float -> scale:float -> max:float -> float
+(** Bounded Pareto: heavy-tailed in [scale, max]. [shape > 0],
+    [0 < scale < max]. *)
+
+val poisson_arrivals : t -> mean_gap:Time.t -> count:int -> Time.t list
+(** [count] absolute arrival instants starting from time zero with
+    exponential gaps of the given mean. Sorted ascending. *)

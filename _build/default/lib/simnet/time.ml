@@ -1,0 +1,21 @@
+type t = int64
+
+let zero = 0L
+let ns n = Int64.of_int n
+let us n = Int64.mul (Int64.of_int n) 1_000L
+let ms n = Int64.mul (Int64.of_int n) 1_000_000L
+let s n = Int64.mul (Int64.of_int n) 1_000_000_000L
+let of_float_ns f = Int64.of_float (Float.round f)
+let add = Int64.add
+let sub = Int64.sub
+let compare = Int64.compare
+let to_float_s t = Int64.to_float t /. 1e9
+let to_float_us t = Int64.to_float t /. 1e3
+let to_float_ms t = Int64.to_float t /. 1e6
+
+let pp ppf t =
+  let f = Int64.to_float t in
+  if Int64.abs t < 1_000L then Format.fprintf ppf "%Ldns" t
+  else if Int64.abs t < 1_000_000L then Format.fprintf ppf "%.2fus" (f /. 1e3)
+  else if Int64.abs t < 1_000_000_000L then Format.fprintf ppf "%.2fms" (f /. 1e6)
+  else Format.fprintf ppf "%.3fs" (f /. 1e9)

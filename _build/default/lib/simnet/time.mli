@@ -1,0 +1,28 @@
+(** Virtual time for the discrete-event simulation.
+
+    Time is an [int64] count of nanoseconds since simulation start. All
+    benchmark results in this repository are differences of virtual
+    timestamps, which makes them bit-for-bit deterministic across runs and
+    machines. *)
+
+type t = int64
+(** Nanoseconds. *)
+
+val zero : t
+val ns : int -> t
+val us : int -> t
+val ms : int -> t
+val s : int -> t
+
+val of_float_ns : float -> t
+(** Round a float nanosecond quantity (cost-model output) to a tick. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val compare : t -> t -> int
+val to_float_s : t -> float
+val to_float_us : t -> float
+val to_float_ms : t -> float
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable rendering with an adaptive unit (ns/µs/ms/s). *)

@@ -1,0 +1,114 @@
+type buffer = { id : int; capacity : int; mutable written : int }
+
+type stats = { kicks : int; interrupts : int; delivered : int; dropped : int }
+
+type t = {
+  ring_size : int;
+  avail : buffer Queue.t;  (* posted by guest, not yet consumed by host *)
+  used : buffer Queue.t;  (* completed by host, not yet reaped by guest *)
+  mutable next_id : int;
+  mutable notifications_suppressed : bool;  (* host side: no kicks needed *)
+  mutable interrupts_suppressed : bool;  (* guest side: no interrupts *)
+  mutable kicks : int;
+  mutable interrupts : int;
+  mutable delivered : int;
+  mutable dropped : int;
+}
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let create ~size =
+  if not (is_power_of_two size) || size < 8 || size > 32768 then
+    invalid_arg "Virtio.create: size must be a power of two in [8, 32768]";
+  {
+    ring_size = size;
+    avail = Queue.create ();
+    used = Queue.create ();
+    next_id = 0;
+    notifications_suppressed = false;
+    interrupts_suppressed = false;
+    kicks = 0;
+    interrupts = 0;
+    delivered = 0;
+    dropped = 0;
+  }
+
+let size t = t.ring_size
+let available t = Queue.length t.avail
+
+let in_flight t = Queue.length t.avail + Queue.length t.used
+
+let guest_post t capacity =
+  if capacity <= 0 then invalid_arg "Virtio.guest_post: capacity";
+  if in_flight t >= t.ring_size then false
+  else begin
+    Queue.add { id = t.next_id; capacity; written = 0 } t.avail;
+    t.next_id <- t.next_id + 1;
+    if not t.notifications_suppressed then t.kicks <- t.kicks + 1;
+    true
+  end
+
+let guest_collect t =
+  let rec drain acc =
+    match Queue.take_opt t.used with
+    | None -> List.rev acc
+    | Some b -> drain ((b.id, b.written) :: acc)
+  in
+  drain []
+
+let guest_suppress_interrupts t v = t.interrupts_suppressed <- v
+let host_suppress_notifications t v = t.notifications_suppressed <- v
+
+let raise_interrupt t =
+  if not t.interrupts_suppressed then t.interrupts <- t.interrupts + 1
+
+let host_deliver t ~len ~mergeable =
+  if len <= 0 then invalid_arg "Virtio.host_deliver: len";
+  if mergeable then begin
+    (* Plan across consecutive buffers (all-or-nothing), then commit. *)
+    let bufs = List.rev (Queue.fold (fun acc b -> b :: acc) [] t.avail) in
+    let rec plan needed count = function
+      | [] -> if needed <= 0 then Some count else None
+      | b :: rest ->
+          if needed <= 0 then Some count
+          else plan (needed - b.capacity) (count + 1) rest
+    in
+    match plan len 0 bufs with
+    | None ->
+        t.dropped <- t.dropped + 1;
+        None
+    | Some count ->
+        let remaining = ref len in
+        for _ = 1 to count do
+          let b = Queue.take t.avail in
+          b.written <- min b.capacity !remaining;
+          remaining := !remaining - b.written;
+          Queue.add b t.used
+        done;
+        t.delivered <- t.delivered + 1;
+        raise_interrupt t;
+        Some count
+  end
+  else begin
+    match Queue.peek_opt t.avail with
+    | Some b when b.capacity >= len ->
+        let b = Queue.take t.avail in
+        b.written <- len;
+        Queue.add b t.used;
+        t.delivered <- t.delivered + 1;
+        raise_interrupt t;
+        Some 1
+    | Some _ | None ->
+        t.dropped <- t.dropped + 1;
+        None
+  end
+
+let stats t =
+  { kicks = t.kicks; interrupts = t.interrupts; delivered = t.delivered;
+    dropped = t.dropped }
+
+let reset_stats t =
+  t.kicks <- 0;
+  t.interrupts <- 0;
+  t.delivered <- 0;
+  t.dropped <- 0

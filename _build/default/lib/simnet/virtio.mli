@@ -1,0 +1,61 @@
+(** Split-virtqueue model (virtio 1.x).
+
+    Models the guest/host ring protocol that underlies virtio-net in QEMU:
+    a descriptor ring with an available index (guest → host) and a used
+    index (host → guest), doorbell "kicks" with host-side notification
+    suppression, interrupt suppression on the guest side, and — for receive
+    queues — the VIRTIO_NET_F_MRG_RXBUF behaviour where one packet may span
+    several guest-posted buffers instead of requiring a single buffer large
+    enough for the whole frame.
+
+    The unikernel network-stack work the paper describes (merging receive
+    buffers, fewer internal copies) acts exactly at this layer; the tests
+    use this model to check the mechanisms that the {!Netcost} closed form
+    charges for: number of kicks, number of interrupts, and buffer
+    utilisation with and without mergeable buffers. *)
+
+type t
+
+val create : size:int -> t
+(** A virtqueue with [size] descriptors ([size] must be a power of two,
+    8 ≤ size ≤ 32768, per the virtio spec). *)
+
+val size : t -> int
+val available : t -> int
+(** Buffers currently posted by the guest and not yet consumed. *)
+
+(** {1 Guest side} *)
+
+val guest_post : t -> int -> bool
+(** Post one buffer of the given byte capacity. Returns [false] when the
+    ring is full. Automatically kicks the host unless the host has
+    suppressed notifications (the kick is counted in {!stats}). *)
+
+val guest_collect : t -> (int * int) list
+(** Reap completed buffers: a list of [(descriptor_id, written_len)],
+    oldest first, emptying the used ring. *)
+
+val guest_suppress_interrupts : t -> bool -> unit
+
+(** {1 Host side} *)
+
+val host_suppress_notifications : t -> bool -> unit
+
+val host_deliver : t -> len:int -> mergeable:bool -> int option
+(** Write one [len]-byte packet into guest buffers. With [mergeable:true]
+    the packet may span consecutive buffers; without, it needs a single
+    buffer of at least [len] bytes. Returns the number of buffers consumed,
+    or [None] if the queue cannot hold the packet (packet dropped).
+    Raises a guest interrupt unless suppressed (counted in {!stats}). *)
+
+(** {1 Instrumentation} *)
+
+type stats = {
+  kicks : int;  (** guest → host doorbells actually rung *)
+  interrupts : int;  (** host → guest interrupts actually raised *)
+  delivered : int;  (** packets successfully delivered *)
+  dropped : int;  (** packets that found no buffer *)
+}
+
+val stats : t -> stats
+val reset_stats : t -> unit

@@ -1,0 +1,1 @@
+lib/tcpstack/checksum.ml: Bytes Char

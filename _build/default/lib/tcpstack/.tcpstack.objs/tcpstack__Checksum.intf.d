@@ -1,0 +1,1 @@
+lib/tcpstack/checksum.mli:

@@ -1,0 +1,1 @@
+lib/tcpstack/endpoint.ml: Buffer Bytes List Segment Seqnum Simnet

@@ -1,0 +1,1 @@
+lib/tcpstack/endpoint.mli: Segment Seqnum Simnet

@@ -1,0 +1,1 @@
+lib/tcpstack/medium.ml: Bytes Char Endpoint Int32 Segment Simnet

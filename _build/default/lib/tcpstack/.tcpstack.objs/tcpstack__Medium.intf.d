@@ -1,0 +1,1 @@
+lib/tcpstack/medium.mli: Endpoint Simnet

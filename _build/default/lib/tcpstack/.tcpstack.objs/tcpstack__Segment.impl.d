@@ -1,0 +1,1 @@
+lib/tcpstack/segment.ml: Bytes Char Checksum Format Int32 Seqnum

@@ -1,0 +1,1 @@
+lib/tcpstack/segment.mli: Format Seqnum

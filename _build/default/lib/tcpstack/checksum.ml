@@ -1,0 +1,23 @@
+let sum ?(initial = 0) b off len =
+  if off < 0 || len < 0 || off + len > Bytes.length b then
+    invalid_arg "Checksum.sum";
+  let acc = ref initial in
+  let i = ref off in
+  let stop = off + len in
+  while !i + 1 < stop do
+    acc := !acc + (Char.code (Bytes.get b !i) lsl 8)
+           + Char.code (Bytes.get b (!i + 1));
+    i := !i + 2
+  done;
+  if !i < stop then acc := !acc + (Char.code (Bytes.get b !i) lsl 8);
+  !acc
+
+let finish acc =
+  let acc = ref acc in
+  while !acc lsr 16 <> 0 do
+    acc := (!acc land 0xffff) + (!acc lsr 16)
+  done;
+  lnot !acc land 0xffff
+
+let checksum b off len = finish (sum b off len)
+let verify b off len = checksum b off len = 0

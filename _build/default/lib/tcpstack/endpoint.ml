@@ -1,0 +1,412 @@
+module Time = Simnet.Time
+module Engine = Simnet.Engine
+
+type state =
+  | Closed
+  | Listen
+  | Syn_sent
+  | Syn_received
+  | Established
+  | Fin_wait_1
+  | Fin_wait_2
+  | Close_wait
+  | Last_ack
+  | Closing
+  | Time_wait
+
+let state_to_string = function
+  | Closed -> "CLOSED"
+  | Listen -> "LISTEN"
+  | Syn_sent -> "SYN_SENT"
+  | Syn_received -> "SYN_RECEIVED"
+  | Established -> "ESTABLISHED"
+  | Fin_wait_1 -> "FIN_WAIT_1"
+  | Fin_wait_2 -> "FIN_WAIT_2"
+  | Close_wait -> "CLOSE_WAIT"
+  | Last_ack -> "LAST_ACK"
+  | Closing -> "CLOSING"
+  | Time_wait -> "TIME_WAIT"
+
+type stats = {
+  segments_sent : int;
+  segments_received : int;
+  retransmissions : int;
+  fast_retransmissions : int;
+  bytes_sent : int;
+  bytes_received : int;
+}
+
+(* A sent-but-unacknowledged segment, kept for retransmission. *)
+type pending = { seq : Seqnum.t; payload : bytes; syn : bool; fin : bool }
+
+type t = {
+  engine : Engine.t;
+  name : string;
+  mss : int;
+  local_port : int;
+  remote_port : int;
+  rcv_window : int;
+  rto : Time.t;
+  mutable state : state;
+  mutable snd_una : Seqnum.t;
+  mutable snd_nxt : Seqnum.t;
+  mutable snd_wnd : int;
+  mutable rcv_nxt : Seqnum.t;
+  send_buf : Buffer.t;  (* app data not yet segmented *)
+  recv_buf : Buffer.t;  (* in-order data not yet read by the app *)
+  mutable ooo : (Seqnum.t * bytes) list;  (* out-of-order segments, by seq *)
+  mutable inflight : pending list;  (* oldest first *)
+  mutable fin_queued : bool;
+  mutable fin_sent : bool;
+  mutable tx : Segment.t -> unit;
+  mutable rto_generation : int;
+  mutable retransmit_count : int;
+  mutable cwnd : int;  (* congestion window, bytes *)
+  mutable ssthresh : int;
+  mutable dup_acks : int;
+  mutable fast_retransmits : int;
+  mutable segments_sent : int;
+  mutable segments_received : int;
+  mutable retransmissions : int;
+  mutable bytes_sent : int;
+  mutable bytes_received : int;
+}
+
+let max_retransmits = 8
+
+let create ~engine ~name ~mss ~iss ~local_port ~remote_port
+    ?(rcv_window = 1 lsl 20) ?(rto = Time.ms 200) () =
+  if mss <= 0 then invalid_arg "Endpoint.create: mss";
+  {
+    engine; name; mss; local_port; remote_port; rcv_window; rto;
+    state = Closed;
+    snd_una = iss;
+    snd_nxt = iss;
+    snd_wnd = 0;
+    rcv_nxt = 0;
+    send_buf = Buffer.create 4096;
+    recv_buf = Buffer.create 4096;
+    ooo = [];
+    inflight = [];
+    fin_queued = false;
+    fin_sent = false;
+    tx = (fun _ -> ());
+    rto_generation = 0;
+    retransmit_count = 0;
+    cwnd = 10 * mss;  (* RFC 6928 initial window *)
+    ssthresh = max_int;
+    dup_acks = 0;
+    fast_retransmits = 0;
+    segments_sent = 0;
+    segments_received = 0;
+    retransmissions = 0;
+    bytes_sent = 0;
+    bytes_received = 0;
+  }
+
+let set_tx t fn = t.tx <- fn
+let state t = t.state
+
+let stats t =
+  { segments_sent = t.segments_sent; segments_received = t.segments_received;
+    retransmissions = t.retransmissions;
+    fast_retransmissions = t.fast_retransmits; bytes_sent = t.bytes_sent;
+    bytes_received = t.bytes_received }
+
+let congestion_window t = t.cwnd
+
+let unacked t = Seqnum.diff t.snd_nxt t.snd_una
+
+let emit t ?(payload = Bytes.empty) ~seq ~flags () =
+  let seg =
+    { Segment.src_port = t.local_port; dst_port = t.remote_port; seq;
+      ack = t.rcv_nxt; flags; window = t.rcv_window; payload }
+  in
+  t.segments_sent <- t.segments_sent + 1;
+  t.bytes_sent <- t.bytes_sent + Bytes.length payload;
+  t.tx seg
+
+let send_ack t =
+  emit t ~seq:t.snd_nxt
+    ~flags:{ Segment.flags_none with ack = true }
+    ()
+
+(* Every segment carries ACK except the initial SYN of an active open
+   (which is also what a retransmission must reproduce). *)
+let pending_flags t p =
+  { Segment.syn = p.syn; fin = p.fin; rst = false;
+    psh = Bytes.length p.payload > 0;
+    ack = not (p.syn && t.state = Syn_sent) }
+
+let transmit_pending t p =
+  emit t ~payload:p.payload ~seq:p.seq ~flags:(pending_flags t p) ()
+
+let rec arm_rto t =
+  t.rto_generation <- t.rto_generation + 1;
+  let generation = t.rto_generation in
+  Engine.schedule_after t.engine t.rto (fun () -> on_rto t generation)
+
+and on_rto t generation =
+  if generation = t.rto_generation && t.inflight <> [] && t.state <> Closed
+  then begin
+    t.retransmit_count <- t.retransmit_count + 1;
+    if t.retransmit_count > max_retransmits then t.state <- Closed
+    else begin
+      (* RFC 5681: timeout collapses the window to one segment *)
+      t.ssthresh <- max (2 * t.mss) (unacked t / 2);
+      t.cwnd <- t.mss;
+      t.dup_acks <- 0;
+      (match t.inflight with
+      | p :: _ ->
+          t.retransmissions <- t.retransmissions + 1;
+          transmit_pending t p
+      | [] -> ());
+      arm_rto t
+    end
+  end
+
+(* Track a new sequence-space-consuming segment and put it on the wire. *)
+let send_pending t p =
+  t.inflight <- t.inflight @ [ p ];
+  t.snd_nxt <-
+    Seqnum.add p.seq
+      (Bytes.length p.payload + (if p.syn then 1 else 0)
+      + if p.fin then 1 else 0);
+  transmit_pending t p;
+  if List.length t.inflight = 1 then arm_rto t
+
+(* Segment whatever the window allows out of the send buffer. *)
+let rec pump t =
+  match t.state with
+  | Established | Close_wait | Fin_wait_1 | Closing | Last_ack ->
+      let window_left = (min t.snd_wnd t.cwnd) - unacked t in
+      let buffered = Buffer.length t.send_buf in
+      if buffered > 0 && window_left > 0 then begin
+        let len = min (min t.mss buffered) window_left in
+        let payload = Bytes.create len in
+        Buffer.blit t.send_buf 0 payload 0 len;
+        let rest = Buffer.sub t.send_buf len (buffered - len) in
+        Buffer.clear t.send_buf;
+        Buffer.add_string t.send_buf rest;
+        send_pending t { seq = t.snd_nxt; payload; syn = false; fin = false };
+        pump t
+      end
+      else if
+        buffered = 0 && t.fin_queued && (not t.fin_sent) && window_left > 0
+      then begin
+        t.fin_sent <- true;
+        send_pending t
+          { seq = t.snd_nxt; payload = Bytes.empty; syn = false; fin = true };
+        match t.state with
+        | Established -> t.state <- Fin_wait_1
+        | Close_wait -> t.state <- Last_ack
+        | _ -> ()
+      end
+  | Closed | Listen | Syn_sent | Syn_received | Fin_wait_2 | Time_wait -> ()
+
+let connect t =
+  if t.state <> Closed then invalid_arg "Endpoint.connect: not closed";
+  t.state <- Syn_sent;
+  send_pending t
+    { seq = t.snd_nxt; payload = Bytes.empty; syn = true; fin = false }
+
+let listen t =
+  if t.state <> Closed then invalid_arg "Endpoint.listen: not closed";
+  t.state <- Listen
+
+let send t data =
+  Buffer.add_bytes t.send_buf data;
+  pump t
+
+let close t =
+  if not t.fin_queued then begin
+    t.fin_queued <- true;
+    pump t
+  end
+
+let recv t =
+  let data = Buffer.to_bytes t.recv_buf in
+  Buffer.clear t.recv_buf;
+  data
+
+let enter_time_wait t =
+  t.state <- Time_wait;
+  let generation = t.rto_generation + 1 in
+  t.rto_generation <- generation;
+  Engine.schedule_after t.engine (Time.add t.rto t.rto) (fun () ->
+      if t.rto_generation = generation then t.state <- Closed)
+
+let max_cwnd = 4 lsl 20
+
+(* Process an acceptable ACK: advance snd_una, prune the retransmit queue,
+   grow the congestion window (RFC 5681 slow start / congestion
+   avoidance), and run fast retransmit on the third duplicate ACK. *)
+let process_ack t (seg : Segment.t) =
+  if Seqnum.gt seg.Segment.ack t.snd_una && Seqnum.le seg.Segment.ack t.snd_nxt
+  then begin
+    t.snd_una <- seg.Segment.ack;
+    t.retransmit_count <- 0;
+    t.dup_acks <- 0;
+    t.cwnd <-
+      min max_cwnd
+        (if t.cwnd < t.ssthresh then t.cwnd + t.mss (* slow start *)
+         else t.cwnd + max 1 (t.mss * t.mss / t.cwnd));
+    let fin_was_outstanding = t.fin_sent in
+    t.inflight <-
+      List.filter
+        (fun p ->
+          let seg_end =
+            Seqnum.add p.seq
+              (Bytes.length p.payload + (if p.syn then 1 else 0)
+              + if p.fin then 1 else 0)
+          in
+          Seqnum.gt seg_end t.snd_una)
+        t.inflight;
+    if t.inflight = [] then t.rto_generation <- t.rto_generation + 1
+    else arm_rto t;
+    (* Did this ACK cover our FIN? *)
+    let fin_acked =
+      fin_was_outstanding
+      && not (List.exists (fun p -> p.fin) t.inflight)
+      && Seqnum.ge t.snd_una t.snd_nxt
+    in
+    if fin_acked then begin
+      match t.state with
+      | Fin_wait_1 -> t.state <- Fin_wait_2
+      | Closing -> enter_time_wait t
+      | Last_ack -> t.state <- Closed
+      | _ -> ()
+    end
+  end
+  else if
+    seg.Segment.ack = t.snd_una && t.inflight <> []
+    && Bytes.length seg.Segment.payload = 0
+    && (not seg.Segment.flags.Segment.syn)
+    && not seg.Segment.flags.Segment.fin
+  then begin
+    t.dup_acks <- t.dup_acks + 1;
+    if t.dup_acks = 3 then begin
+      (* fast retransmit: resend the presumed-lost head of the queue
+         without waiting for the RTO *)
+      t.ssthresh <- max (2 * t.mss) (unacked t / 2);
+      t.cwnd <- t.ssthresh + (3 * t.mss);
+      (match t.inflight with
+      | p :: _ ->
+          t.fast_retransmits <- t.fast_retransmits + 1;
+          t.retransmissions <- t.retransmissions + 1;
+          transmit_pending t p;
+          arm_rto t
+      | [] -> ())
+    end
+  end;
+  t.snd_wnd <- seg.Segment.window
+
+let max_ooo_segments = 256
+
+(* Splice any buffered out-of-order segments that are now in order. *)
+let rec drain_ooo t =
+  match t.ooo with
+  | (seq, payload) :: rest when seq = t.rcv_nxt ->
+      Buffer.add_bytes t.recv_buf payload;
+      t.rcv_nxt <- Seqnum.add t.rcv_nxt (Bytes.length payload);
+      t.bytes_received <- t.bytes_received + Bytes.length payload;
+      t.ooo <- rest;
+      drain_ooo t
+  | (seq, _) :: rest when Seqnum.lt seq t.rcv_nxt ->
+      (* stale duplicate overtaken by retransmission *)
+      t.ooo <- rest;
+      drain_ooo t
+  | _ -> ()
+
+let buffer_ooo t seq payload =
+  if
+    List.length t.ooo < max_ooo_segments
+    && not (List.exists (fun (s, _) -> s = seq) t.ooo)
+  then
+    t.ooo <-
+      List.sort (fun (a, _) (b, _) -> Seqnum.diff a b) ((seq, payload) :: t.ooo)
+
+let deliver_payload t (seg : Segment.t) =
+  let len = Bytes.length seg.Segment.payload in
+  if len = 0 then true
+  else if seg.Segment.seq = t.rcv_nxt then begin
+    Buffer.add_bytes t.recv_buf seg.Segment.payload;
+    t.rcv_nxt <- Seqnum.add t.rcv_nxt len;
+    t.bytes_received <- t.bytes_received + len;
+    drain_ooo t;
+    true
+  end
+  else if Seqnum.gt seg.Segment.seq t.rcv_nxt then begin
+    (* a hole: buffer for reassembly, emit a duplicate ACK so the sender's
+       fast-retransmit logic learns about the loss *)
+    buffer_ooo t seg.Segment.seq seg.Segment.payload;
+    send_ack t;
+    false
+  end
+  else begin
+    (* old duplicate: re-ACK what we have *)
+    send_ack t;
+    false
+  end
+
+let handle_fin t (seg : Segment.t) in_order =
+  if seg.Segment.flags.Segment.fin && in_order then begin
+    (* FIN occupies one sequence number after the payload *)
+    if Seqnum.add seg.Segment.seq (Bytes.length seg.Segment.payload) = t.rcv_nxt
+    then begin
+      t.rcv_nxt <- Seqnum.add t.rcv_nxt 1;
+      (match t.state with
+      | Established -> t.state <- Close_wait
+      | Fin_wait_1 ->
+          (* our FIN not yet acked: simultaneous close *)
+          t.state <- Closing
+      | Fin_wait_2 -> enter_time_wait t
+      | s -> ignore s);
+      send_ack t
+    end
+  end
+
+let on_segment t (seg : Segment.t) =
+  t.segments_received <- t.segments_received + 1;
+  if seg.Segment.flags.Segment.rst then t.state <- Closed
+  else
+    match t.state with
+    | Closed -> ()
+    | Listen ->
+        if seg.Segment.flags.Segment.syn then begin
+          t.rcv_nxt <- Seqnum.add seg.Segment.seq 1;
+          t.snd_wnd <- seg.Segment.window;
+          t.state <- Syn_received;
+          (* SYN+ACK consumes a sequence number; tracked for retransmit *)
+          send_pending t
+            { seq = t.snd_nxt; payload = Bytes.empty; syn = true; fin = false }
+        end
+    | Syn_sent ->
+        if seg.Segment.flags.Segment.syn && seg.Segment.flags.Segment.ack
+           && seg.Segment.ack = t.snd_nxt
+        then begin
+          t.rcv_nxt <- Seqnum.add seg.Segment.seq 1;
+          process_ack t seg;
+          t.state <- Established;
+          send_ack t;
+          pump t
+        end
+    | Syn_received ->
+        if seg.Segment.flags.Segment.ack && seg.Segment.ack = t.snd_nxt then begin
+          process_ack t seg;
+          t.state <- Established;
+          let in_order = deliver_payload t seg in
+          if Bytes.length seg.Segment.payload > 0 && in_order then send_ack t;
+          handle_fin t seg in_order;
+          pump t
+        end
+    | Established | Fin_wait_1 | Fin_wait_2 | Close_wait | Closing | Last_ack
+      ->
+        if seg.Segment.flags.Segment.ack then process_ack t seg;
+        let in_order = deliver_payload t seg in
+        if Bytes.length seg.Segment.payload > 0 && in_order then send_ack t;
+        handle_fin t seg in_order;
+        pump t
+    | Time_wait ->
+        (* retransmitted FIN: re-ACK *)
+        if seg.Segment.flags.Segment.fin then send_ack t

@@ -1,0 +1,82 @@
+(** Minimal TCP endpoint in the spirit of smoltcp (RustyHermit's stack).
+
+    Implements the RFC 793 state machine over the {!Simnet.Engine} event
+    loop: three-way handshake, MSS segmentation, cumulative ACKs, a fixed
+    advertised receive window, go-back-N retransmission on a fixed RTO,
+    RFC 5681 congestion control (slow start, congestion avoidance, fast
+    retransmit on three duplicate ACKs, multiplicative decrease on
+    timeout), and the full close sequence (FIN_WAIT_1/2, CLOSING,
+    CLOSE_WAIT, LAST_ACK, TIME_WAIT). Out-of-order segments are buffered
+    for reassembly (bounded), so a single loss is healed by one fast
+    retransmit in roughly one round trip.
+
+    The stack exists to validate mechanisms the closed-form {!Simnet.Netcost}
+    model charges for (segment counts, ACK traffic, loss recovery); the
+    Cricket benchmarks use the closed form for speed. *)
+
+type state =
+  | Closed
+  | Listen
+  | Syn_sent
+  | Syn_received
+  | Established
+  | Fin_wait_1
+  | Fin_wait_2
+  | Close_wait
+  | Last_ack
+  | Closing
+  | Time_wait
+
+val state_to_string : state -> string
+
+type stats = {
+  segments_sent : int;
+  segments_received : int;
+  retransmissions : int;  (** all retransmitted segments (RTO + fast) *)
+  fast_retransmissions : int;  (** triggered by triple duplicate ACKs *)
+  bytes_sent : int;  (** payload bytes handed to the wire (incl. rexmit) *)
+  bytes_received : int;  (** in-order payload bytes delivered to the app *)
+}
+
+type t
+
+val create :
+  engine:Simnet.Engine.t ->
+  name:string ->
+  mss:int ->
+  iss:Seqnum.t ->
+  local_port:int ->
+  remote_port:int ->
+  ?rcv_window:int ->
+  ?rto:Simnet.Time.t ->
+  unit ->
+  t
+
+val set_tx : t -> (Segment.t -> unit) -> unit
+(** Install the wire-output function (done by {!Medium}). *)
+
+val on_segment : t -> Segment.t -> unit
+(** Deliver a segment from the wire. *)
+
+val connect : t -> unit
+(** Active open: send SYN. *)
+
+val listen : t -> unit
+(** Passive open. *)
+
+val send : t -> bytes -> unit
+(** Queue application data; segments flow as the window allows. *)
+
+val close : t -> unit
+(** Queue a FIN after any pending data. *)
+
+val recv : t -> bytes
+(** Drain in-order received application data (empty if none). *)
+
+val state : t -> state
+val stats : t -> stats
+val unacked : t -> int
+(** Bytes in flight (sent, not yet acknowledged). *)
+
+val congestion_window : t -> int
+(** Current cwnd in bytes (starts at 10 MSS per RFC 6928). *)

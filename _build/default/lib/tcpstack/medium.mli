@@ -1,0 +1,27 @@
+(** Wire between two {!Endpoint}s, driven by the simulation engine.
+
+    Each transmitted segment is encoded to bytes (with a real checksum),
+    optionally dropped or corrupted by fault-injection hooks, and scheduled
+    for delivery after the link's serialization + propagation delay. The
+    receiver decodes and checksum-verifies before the segment reaches the
+    state machine — a corrupted segment is silently discarded, exactly like
+    a NIC without validated checksum would discard it, and recovery happens
+    via the sender's retransmission timer. *)
+
+type t
+
+val connect :
+  engine:Simnet.Engine.t ->
+  link:Simnet.Link.t ->
+  ?drop:(int -> bool) ->
+  ?corrupt:(int -> bool) ->
+  Endpoint.t ->
+  Endpoint.t ->
+  t
+(** Wire two endpoints together. [drop n]/[corrupt n] decide the fate of
+    the [n]-th transmitted segment (0-based, counting both directions). *)
+
+val transmitted : t -> int
+(** Total segments handed to the wire (including dropped/corrupted). *)
+
+val delivered : t -> int

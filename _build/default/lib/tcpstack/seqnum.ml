@@ -1,0 +1,19 @@
+type t = int
+
+let modulus = 1 lsl 32
+let mask = modulus - 1
+
+let add a n = (a + n) land mask
+
+let diff a b =
+  let d = (a - b) land mask in
+  if d >= modulus / 2 then d - modulus else d
+
+let lt a b = diff a b < 0
+let le a b = diff a b <= 0
+let gt a b = diff a b > 0
+let ge a b = diff a b >= 0
+
+let in_window t ~base ~size =
+  let d = diff t base in
+  d >= 0 && d < size

@@ -1,0 +1,20 @@
+(** 32-bit TCP sequence-number arithmetic (RFC 793 §3.3).
+
+    Sequence numbers live in a modulo-2³² space; comparisons are defined
+    relative to a window smaller than half the space. *)
+
+type t = int
+(** Invariant: in [0, 2³² - 1]. *)
+
+val add : t -> int -> t
+val diff : t -> t -> int
+(** [diff a b] is the signed distance [a - b] interpreted modulo 2³²,
+    mapped to [-2³¹ .. 2³¹ - 1]. *)
+
+val lt : t -> t -> bool
+val le : t -> t -> bool
+val gt : t -> t -> bool
+val ge : t -> t -> bool
+
+val in_window : t -> base:t -> size:int -> bool
+(** Is [t] within [base, base + size)? *)

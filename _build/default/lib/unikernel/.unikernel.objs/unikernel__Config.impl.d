@@ -1,0 +1,1 @@
+lib/unikernel/config.ml: List Printf Simnet String

@@ -1,0 +1,1 @@
+lib/unikernel/config.mli: Simnet

@@ -1,0 +1,1 @@
+lib/unikernel/futures.ml: Config Simnet

@@ -1,0 +1,1 @@
+lib/unikernel/futures.mli: Config

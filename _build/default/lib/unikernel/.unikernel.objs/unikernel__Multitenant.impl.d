@@ -1,0 +1,1 @@
+lib/unikernel/multitenant.ml: Config Cricket Cudasim Format List Simchannel Simnet

@@ -1,0 +1,1 @@
+lib/unikernel/multitenant.mli: Config Cricket Format Gpusim Simnet

@@ -1,0 +1,1 @@
+lib/unikernel/runner.ml: Config Cricket Cudasim Float Format Simchannel Simnet

@@ -1,0 +1,1 @@
+lib/unikernel/runner.mli: Config Cricket Format Gpusim Simnet

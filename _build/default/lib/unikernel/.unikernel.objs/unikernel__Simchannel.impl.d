@@ -1,0 +1,1 @@
+lib/unikernel/simchannel.ml: Buffer Config List Oncrpc Simnet String

@@ -1,0 +1,1 @@
+lib/unikernel/simchannel.mli: Oncrpc Simnet

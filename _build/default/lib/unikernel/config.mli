@@ -1,0 +1,52 @@
+(** The five evaluated host configurations (Table 1 of the paper).
+
+    | Name     | app  | OS          | Hypervisor | Network |
+    |----------|------|-------------|------------|---------|
+    | C        | C    | Rocky Linux | —          | native  |
+    | Rust     | Rust | Rocky Linux | —          | native  |
+    | Linux VM | Rust | Fedora VM   | QEMU       | virtio  |
+    | Unikraft | Rust | Unikraft    | QEMU       | virtio  |
+    | Hermit   | Rust | Hermit      | QEMU       | virtio  |
+
+    Each configuration bundles the client-side network cost profile (the
+    server always runs natively on the GPU node) and the
+    language-runtime parameters that explain the paper's C-vs-Rust deltas:
+    the C samples use a slower [rand()] for input generation, and the C
+    launch path runs extra [<<<...>>>] compatibility logic. *)
+
+type lang = C | Rust
+
+type os = Rocky_native | Fedora_vm | Unikraft_os | Hermit_os
+
+type t = {
+  name : string;
+  lang : lang;
+  os : os;
+  hypervisor : string option;
+  network : string;  (** Table 1's network column *)
+  profile : Simnet.Hostprofile.t;  (** client-side cost profile *)
+  rng_ns_per_byte : float;  (** input-data generation cost *)
+  launch_extra_ns : int;  (** per-launch client-side extra work *)
+}
+
+val c_native : t
+val rust_native : t
+val linux_vm : t
+val unikraft : t
+val hermit : t
+
+val all : t list
+(** Table 1 order: C, Rust, Linux VM, Unikraft, Hermit. *)
+
+val is_unikernel : t -> bool
+val find : string -> t option
+(** Case-insensitive lookup by name. *)
+
+val server_profile : Simnet.Hostprofile.t
+(** The GPU node (always native Rocky Linux). *)
+
+val link : Simnet.Link.t
+(** The testbed interconnect: 100 GbE, MTU 9000. *)
+
+val table1_rows : unit -> string list
+(** Formatted rows reproducing Table 1. *)

@@ -1,0 +1,43 @@
+let with_tso (cfg : Config.t) =
+  let p = cfg.Config.profile in
+  {
+    cfg with
+    Config.name = cfg.Config.name ^ "+tso";
+    profile =
+      {
+        p with
+        Simnet.Hostprofile.offloads =
+          { p.Simnet.Hostprofile.offloads with Simnet.Offload.tso = true;
+            gro = true };
+        (* the per-super-frame cost replaces per-segment processing; the
+           stack's cost per processed unit stays, but units shrink 7x *)
+        per_packet_tx_ns = p.Simnet.Hostprofile.per_packet_tx_ns;
+        per_packet_rx_ns = p.Simnet.Hostprofile.per_packet_rx_ns;
+      };
+  }
+
+let with_vdpa (cfg : Config.t) =
+  let p = cfg.Config.profile in
+  {
+    cfg with
+    Config.name = cfg.Config.name ^ "+vdpa";
+    profile =
+      {
+        p with
+        (* data-path kicks and interrupt injection no longer trap *)
+        Simnet.Hostprofile.vmexit_ns = 0;
+        virtualized = false;
+      };
+  }
+
+let with_tso_and_vdpa cfg =
+  let c = with_vdpa (with_tso cfg) in
+  { c with Config.name = cfg.Config.name ^ "+tso+vdpa" }
+
+let variants cfg =
+  [
+    ("baseline", cfg);
+    ("+tso", with_tso cfg);
+    ("+vdpa", with_vdpa cfg);
+    ("+tso+vdpa", with_tso_and_vdpa cfg);
+  ]

@@ -1,0 +1,29 @@
+(** Projections of the paper's proposed improvements (§4.2 / §5).
+
+    The conclusion names two directions for closing the unikernel
+    bandwidth gap, both modelled here so the ablation benchmark can
+    quantify the projected effect:
+
+    - {b TSO}: "for both RustyHermit and Unikraft, there are ongoing
+      efforts to support TCP segmentation offloading, which we expect to
+      increase performance significantly" — {!with_tso} turns the feature
+      on in a configuration's offload set (and amortizes the per-segment
+      stack cost over 64 KiB super-frames, which is what TSO does);
+    - {b vDPA}: "removes the virtualization overhead from the data path by
+      allowing direct access to hardware queues for VMs and unikernels" —
+      {!with_vdpa} eliminates VM exits on kicks/interrupts (the data path
+      no longer traps to the hypervisor) while keeping the guest stack's
+      own costs. *)
+
+val with_tso : Config.t -> Config.t
+(** Same configuration with TSO (and GRO, its receive-side dual that the
+    host can then provide) negotiated. *)
+
+val with_vdpa : Config.t -> Config.t
+(** Same configuration with direct hardware-queue access: kicks and
+    interrupts stop costing VM exits. *)
+
+val with_tso_and_vdpa : Config.t -> Config.t
+
+val variants : Config.t -> (string * Config.t) list
+(** [baseline; +tso; +vdpa; +tso+vdpa], labelled. *)

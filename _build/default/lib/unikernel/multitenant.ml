@@ -1,0 +1,127 @@
+module Time = Simnet.Time
+module Engine = Simnet.Engine
+
+type step = Cricket.Client.t -> unit
+
+type tenant_spec = {
+  name : string;
+  config : Config.t;
+  priority : int;
+  work : step list;
+}
+
+type tenant_report = {
+  tenant : string;
+  steps : int;
+  api_calls : int;
+  finished_at : Simnet.Time.t;
+}
+
+type report = {
+  policy : Cricket.Sched.policy;
+  tenants : tenant_report list;
+  makespan : Simnet.Time.t;
+}
+
+type tenant_state = {
+  spec : tenant_spec;
+  client : Cricket.Client.t;
+  mutable remaining : step list;
+  mutable steps_done : int;
+  mutable finished_at : Time.t option;
+  mutable last_turn : int;  (* round-robin bookkeeping *)
+}
+
+let run ?(policy = Cricket.Sched.Round_robin) ?devices ?memory_capacity
+    ?(functional = true) specs =
+  if specs = [] then invalid_arg "Multitenant.run: no tenants";
+  let engine = Engine.create () in
+  let server =
+    Cricket.Server.create ?devices ?memory_capacity
+      ~clock:(Cudasim.Context.engine_clock engine)
+      ()
+  in
+  Cudasim.Context.set_functional (Cricket.Server.context server) functional;
+  let tenants =
+    List.map
+      (fun spec ->
+        let channel =
+          Simchannel.create ~engine ~client:spec.config.Config.profile
+            ~dispatch:(Cricket.Server.dispatch server)
+            ()
+        in
+        let client =
+          Cricket.Client.create
+            ~launch_extra_ns:spec.config.Config.launch_extra_ns
+            ~charge:(fun ns -> Engine.advance engine (Time.ns ns))
+            ~transport:(Simchannel.transport channel)
+            ()
+        in
+        { spec; client; remaining = spec.work; steps_done = 0;
+          finished_at = None; last_turn = -1 })
+      specs
+  in
+  (* pick the next tenant with work, per policy *)
+  let turn = ref 0 in
+  let next_tenant () =
+    let active = List.filter (fun t -> t.remaining <> []) tenants in
+    match active with
+    | [] -> None
+    | _ ->
+        Some
+          (match policy with
+          | Cricket.Sched.Fifo -> List.hd active
+          | Cricket.Sched.Priority ->
+              List.hd
+                (List.stable_sort
+                   (fun a b -> compare a.spec.priority b.spec.priority)
+                   active)
+          | Cricket.Sched.Round_robin ->
+              List.hd
+                (List.stable_sort
+                   (fun a b -> compare a.last_turn b.last_turn)
+                   active))
+  in
+  let rec drive () =
+    match next_tenant () with
+    | None -> ()
+    | Some t ->
+        (match t.remaining with
+        | step :: rest ->
+            step t.client;
+            t.steps_done <- t.steps_done + 1;
+            t.remaining <- rest;
+            t.last_turn <- !turn;
+            incr turn;
+            if rest = [] then t.finished_at <- Some (Engine.now engine)
+        | [] -> ());
+        drive ()
+  in
+  drive ();
+  let reports =
+    List.map
+      (fun t ->
+        {
+          tenant = t.spec.name;
+          steps = t.steps_done;
+          api_calls = Cricket.Client.api_calls t.client;
+          finished_at =
+            (match t.finished_at with Some x -> x | None -> Engine.now engine);
+        })
+      tenants
+  in
+  {
+    policy;
+    tenants = reports;
+    makespan = Engine.now engine;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf "policy %s, makespan %a@."
+    (Cricket.Sched.policy_to_string r.policy)
+    Time.pp r.makespan;
+  List.iter
+    (fun t ->
+      Format.fprintf ppf "  %-12s %4d steps %6d calls  finished at %a@."
+        t.tenant t.steps t.api_calls Time.pp t.finished_at)
+    r.tenants

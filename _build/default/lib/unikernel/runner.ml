@@ -1,0 +1,67 @@
+module Time = Simnet.Time
+module Engine = Simnet.Engine
+
+type measurement = {
+  config : Config.t;
+  elapsed : Simnet.Time.t;
+  api_calls : int;
+  bytes_to_server : int;
+  bytes_from_server : int;
+  memcpy_up : int;
+  memcpy_down : int;
+  network_time : Simnet.Time.t;
+}
+
+type env = {
+  client : Cricket.Client.t;
+  engine : Simnet.Engine.t;
+  cfg : Config.t;
+  server : Cricket.Server.t;
+}
+
+let run ?devices ?memory_capacity ?(functional = true) (cfg : Config.t) app =
+  let engine = Engine.create () in
+  let server =
+    Cricket.Server.create ?devices ?memory_capacity
+      ~clock:(Cudasim.Context.engine_clock engine)
+      ()
+  in
+  Cudasim.Context.set_functional (Cricket.Server.context server) functional;
+  let channel =
+    Simchannel.create ~engine ~client:cfg.Config.profile
+      ~dispatch:(Cricket.Server.dispatch server)
+      ()
+  in
+  let client =
+    Cricket.Client.create ~launch_extra_ns:cfg.Config.launch_extra_ns
+      ~charge:(fun ns -> Engine.advance engine (Time.ns ns))
+      ~transport:(Simchannel.transport channel)
+      ()
+  in
+  let t0 = Engine.now engine in
+  (* process startup: load, connect to the Cricket server (TCP handshake) *)
+  Engine.advance engine (Time.us 150);
+  let env = { client; engine; cfg; server } in
+  app env;
+  let elapsed = Time.sub (Engine.now engine) t0 in
+  let stats = Simchannel.stats channel in
+  {
+    config = cfg;
+    elapsed;
+    api_calls = Cricket.Client.api_calls client;
+    bytes_to_server = Cricket.Client.bytes_to_server client;
+    bytes_from_server = Cricket.Client.bytes_from_server client;
+    memcpy_up = Cricket.Client.memcpy_bytes_up client;
+    memcpy_down = Cricket.Client.memcpy_bytes_down client;
+    network_time = stats.Simchannel.network_time;
+  }
+
+let charge_rng env n =
+  let ns = Float.of_int n *. env.cfg.Config.rng_ns_per_byte in
+  Engine.advance env.engine (Time.of_float_ns ns)
+
+let pp_measurement ppf m =
+  Format.fprintf ppf "%-9s %a (%d API calls, %.2f MiB up, %.2f MiB down)"
+    m.config.Config.name Time.pp m.elapsed m.api_calls
+    (Float.of_int m.bytes_to_server /. 1048576.0)
+    (Float.of_int m.bytes_from_server /. 1048576.0)

@@ -1,0 +1,42 @@
+(** Application runner: executes a Cricket GPU application inside a
+    simulated host configuration and measures it the way the paper does
+    (GNU [time] around the whole process, including initialization).
+
+    For each run a fresh virtual clock, Cricket server (native GPU node)
+    and client (with the configuration's network profile and language
+    runtime parameters) are created. The measurement is the virtual time
+    between process start and the app function returning. *)
+
+type measurement = {
+  config : Config.t;
+  elapsed : Simnet.Time.t;  (** total virtual wall time (GNU time style) *)
+  api_calls : int;  (** CUDA API calls the client issued *)
+  bytes_to_server : int;  (** RPC argument payload bytes *)
+  bytes_from_server : int;
+  memcpy_up : int;  (** cudaMemcpy H2D payload — the paper's transfer metric *)
+  memcpy_down : int;
+  network_time : Simnet.Time.t;  (** time attributable to the channel *)
+}
+
+type env = {
+  client : Cricket.Client.t;
+  engine : Simnet.Engine.t;
+  cfg : Config.t;
+  server : Cricket.Server.t;
+}
+
+val run :
+  ?devices:Gpusim.Device.t list ->
+  ?memory_capacity:int ->
+  ?functional:bool ->
+  Config.t ->
+  (env -> unit) ->
+  measurement
+(** [functional] (default [true]) controls whether kernels mutate device
+    memory; see {!Cudasim.Context.set_functional}. *)
+
+val charge_rng : env -> int -> unit
+(** Account generation of [n] input bytes at the configuration's RNG
+    cost — how the C/Rust initialization difference enters benchmarks. *)
+
+val pp_measurement : Format.formatter -> measurement -> unit

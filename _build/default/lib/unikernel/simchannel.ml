@@ -1,0 +1,86 @@
+module Time = Simnet.Time
+module Engine = Simnet.Engine
+
+type stats = {
+  messages : int;
+  bytes_to_server : int;
+  bytes_from_server : int;
+  network_time : Simnet.Time.t;
+}
+
+type t = {
+  engine : Engine.t;
+  client : Simnet.Hostprofile.t;
+  server : Simnet.Hostprofile.t;
+  link : Simnet.Link.t;
+  dispatch : string -> string;
+  mutable stats : stats;
+  mutable transport : Oncrpc.Transport.t;
+}
+
+let create ~engine ~client ?(server = Config.server_profile)
+    ?(link = Config.link) ~dispatch () =
+  let t =
+    {
+      engine;
+      client;
+      server;
+      link;
+      dispatch;
+      stats =
+        { messages = 0; bytes_to_server = 0; bytes_from_server = 0;
+          network_time = Time.zero };
+      transport =
+        { Oncrpc.Transport.send = (fun _ _ _ -> ());
+          recv = (fun _ _ _ -> 0); close = (fun () -> ()) };
+    }
+  in
+  let exchange request_stream =
+    let request_len = String.length request_stream in
+    (* request: client -> GPU node *)
+    let request_time =
+      Simnet.Netcost.one_way_time ~sender:t.client ~receiver:t.server
+        ~link:t.link request_len
+    in
+    Engine.advance t.engine request_time;
+    (* Peel record marking, dispatch each request record, re-frame. The
+       server's CUDA work advances the shared clock via its clock hooks. *)
+    let replies = Buffer.create 1024 in
+    let rec each pos fragments =
+      if pos < request_len then begin
+        let last, len =
+          Oncrpc.Record.decode_header (String.sub request_stream pos 4)
+        in
+        let fragment = String.sub request_stream (pos + 4) len in
+        if last then begin
+          let record = String.concat "" (List.rev (fragment :: fragments)) in
+          let reply = t.dispatch record in
+          Buffer.add_string replies (Oncrpc.Record.to_wire reply);
+          each (pos + 4 + len) []
+        end
+        else each (pos + 4 + len) (fragment :: fragments)
+      end
+    in
+    each 0 [];
+    (* reply: GPU node -> client *)
+    let reply_time =
+      Simnet.Netcost.one_way_time ~sender:t.server ~receiver:t.client
+        ~link:t.link (Buffer.length replies)
+    in
+    Engine.advance t.engine reply_time;
+    let s = t.stats in
+    t.stats <-
+      {
+        messages = s.messages + 1;
+        bytes_to_server = s.bytes_to_server + request_len;
+        bytes_from_server = s.bytes_from_server + Buffer.length replies;
+        network_time =
+          Time.add s.network_time (Time.add request_time reply_time);
+      };
+    Buffer.contents replies
+  in
+  t.transport <- Oncrpc.Transport.loopback ~peer:exchange;
+  t
+
+let transport t = t.transport
+let stats t = t.stats

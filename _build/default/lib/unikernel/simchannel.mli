@@ -1,0 +1,33 @@
+(** Virtual-time RPC channel between a simulated client host and the GPU
+    node.
+
+    Implements {!Oncrpc.Transport.t} for the benchmark harness: the client
+    writes record-marked request bytes; when it reads, the channel charges
+    the {!Simnet.Netcost} one-way time for the request (client profile →
+    server profile), dispatches the record to the Cricket server (whose
+    CUDA-side costs advance the same clock through the context's clock
+    hooks), charges the reply's one-way time, and hands the reply bytes
+    back. Wall-clock-free: all time is the engine's virtual clock. *)
+
+type stats = {
+  messages : int;  (** request/reply pairs *)
+  bytes_to_server : int;  (** wire bytes, requests *)
+  bytes_from_server : int;
+  network_time : Simnet.Time.t;  (** virtual time spent in the channel *)
+}
+
+type t
+
+val create :
+  engine:Simnet.Engine.t ->
+  client:Simnet.Hostprofile.t ->
+  ?server:Simnet.Hostprofile.t ->
+  ?link:Simnet.Link.t ->
+  dispatch:(string -> string) ->
+  unit ->
+  t
+(** [server] defaults to {!Config.server_profile}, [link] to
+    {!Config.link}. *)
+
+val transport : t -> Oncrpc.Transport.t
+val stats : t -> stats

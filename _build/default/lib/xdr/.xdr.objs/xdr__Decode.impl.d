@@ -1,0 +1,1 @@
+lib/xdr/decode.ml: Array Bytes Char Int32 Int64 List String Types

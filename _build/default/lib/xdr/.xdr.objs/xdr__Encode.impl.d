@@ -1,0 +1,1 @@
+lib/xdr/encode.ml: Array Buffer Bytes Char Int32 Int64 List String Types

@@ -1,0 +1,1 @@
+lib/xdr/encode.mli:

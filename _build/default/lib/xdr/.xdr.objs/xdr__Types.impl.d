@@ -1,0 +1,1 @@
+lib/xdr/types.ml: Format Printexc Printf

@@ -1,0 +1,1 @@
+lib/xdr/types.mli: Format

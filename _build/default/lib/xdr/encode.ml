@@ -1,0 +1,88 @@
+type t = { buf : Buffer.t }
+
+let create ?(initial_size = 256) () = { buf = Buffer.create initial_size }
+let length t = Buffer.length t.buf
+let to_bytes t = Buffer.to_bytes t.buf
+let to_string t = Buffer.contents t.buf
+let reset t = Buffer.clear t.buf
+
+let int32 t v =
+  Buffer.add_char t.buf (Char.chr (Int32.to_int (Int32.shift_right_logical v 24) land 0xff));
+  Buffer.add_char t.buf (Char.chr (Int32.to_int (Int32.shift_right_logical v 16) land 0xff));
+  Buffer.add_char t.buf (Char.chr (Int32.to_int (Int32.shift_right_logical v 8) land 0xff));
+  Buffer.add_char t.buf (Char.chr (Int32.to_int v land 0xff))
+
+let uint32 = int32
+
+let int t v =
+  if v > 0x7fffffff || v < -0x80000000 then
+    Types.fail (Types.Size_exceeded { limit = 0x7fffffff; requested = v });
+  int32 t (Int32.of_int v)
+
+let uint t v =
+  if v < 0 then Types.fail (Types.Negative_size v);
+  if v > 0xffffffff then
+    Types.fail (Types.Size_exceeded { limit = 0xffffffff; requested = v });
+  int32 t (Int32.of_int v)
+
+let int64 t v =
+  int32 t (Int64.to_int32 (Int64.shift_right_logical v 32));
+  int32 t (Int64.to_int32 v)
+
+let uint64 = int64
+let bool t b = int32 t (if b then 1l else 0l)
+let float32 t f = int32 t (Int32.bits_of_float f)
+let float64 t f = int64 t (Int64.bits_of_float f)
+let enum t v = int t v
+let void (_ : t) = ()
+
+let pad t n =
+  for _ = 1 to Types.padding_of n do
+    Buffer.add_char t.buf '\000'
+  done
+
+let opaque_fixed t b =
+  Buffer.add_bytes t.buf b;
+  pad t (Bytes.length b)
+
+let check_max ?max len =
+  match max with
+  | Some m when len > m -> Types.fail (Types.Size_exceeded { limit = m; requested = len })
+  | _ -> ()
+
+let opaque_sub ?max t b off len =
+  if off < 0 || len < 0 || off + len > Bytes.length b then
+    invalid_arg "Xdr.Encode.opaque_sub";
+  check_max ?max len;
+  uint t len;
+  Buffer.add_subbytes t.buf b off len;
+  pad t len
+
+let opaque ?max t b = opaque_sub ?max t b 0 (Bytes.length b)
+
+let string ?max t s =
+  let len = String.length s in
+  check_max ?max len;
+  uint t len;
+  Buffer.add_string t.buf s;
+  pad t len
+
+let array_fixed t enc a = Array.iter (fun x -> enc t x) a
+
+let array ?max t enc a =
+  let len = Array.length a in
+  check_max ?max len;
+  uint t len;
+  array_fixed t enc a
+
+let list ?max t enc l =
+  let len = List.length l in
+  check_max ?max len;
+  uint t len;
+  List.iter (fun x -> enc t x) l
+
+let option t enc = function
+  | None -> bool t false
+  | Some v ->
+      bool t true;
+      enc t v

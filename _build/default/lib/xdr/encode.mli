@@ -1,0 +1,86 @@
+(** XDR (RFC 4506) encoder.
+
+    An encoder is a growable buffer into which items are appended in XDR
+    wire format: big-endian, every item padded to a multiple of 4 bytes.
+    Encoders are cheap to create and are intended to be used once per
+    message. All [?max] arguments enforce protocol-declared size limits and
+    raise {!Types.Error} ([Size_exceeded]) when violated. *)
+
+type t
+
+val create : ?initial_size:int -> unit -> t
+(** Fresh empty encoder. [initial_size] pre-sizes the internal buffer
+    (default 256 bytes). *)
+
+val length : t -> int
+(** Number of bytes encoded so far. Always a multiple of 4. *)
+
+val to_bytes : t -> bytes
+(** Copy of the encoded contents. *)
+
+val to_string : t -> string
+(** Encoded contents as a string (copies). *)
+
+val reset : t -> unit
+(** Clear the encoder for reuse. *)
+
+(** {1 Primitive types} *)
+
+val int32 : t -> int32 -> unit
+val uint32 : t -> int32 -> unit
+(** Unsigned 32-bit value carried in an [int32] (two's-complement bits). *)
+
+val int : t -> int -> unit
+(** Encode an OCaml [int] as a signed XDR int. Raises [Size_exceeded] if the
+    value does not fit in 32 bits. *)
+
+val uint : t -> int -> unit
+(** Encode a non-negative OCaml [int] as an unsigned XDR int (< 2^32).
+    Raises [Negative_size] for negative input. *)
+
+val int64 : t -> int64 -> unit
+(** XDR hyper. *)
+
+val uint64 : t -> int64 -> unit
+(** XDR unsigned hyper (bit pattern of the [int64]). *)
+
+val bool : t -> bool -> unit
+val float32 : t -> float -> unit
+(** XDR single-precision float (precision is reduced to IEEE 754 binary32). *)
+
+val float64 : t -> float -> unit
+val enum : t -> int -> unit
+(** Enums are encoded exactly like signed ints. *)
+
+val void : t -> unit
+(** Encodes nothing; exists so generated code can treat [void] uniformly. *)
+
+(** {1 Opaque data and strings} *)
+
+val opaque_fixed : t -> bytes -> unit
+(** Fixed-length opaque: raw bytes plus zero padding, no length prefix. *)
+
+val opaque_sub : ?max:int -> t -> bytes -> int -> int -> unit
+(** [opaque_sub enc b off len] encodes [len] bytes of [b] starting at [off]
+    as variable-length opaque (length prefix + data + padding) without
+    copying the source into an intermediate buffer. *)
+
+val opaque : ?max:int -> t -> bytes -> unit
+(** Variable-length opaque: 4-byte length, data, zero padding. *)
+
+val string : ?max:int -> t -> string -> unit
+(** XDR string: identical wire format to variable-length opaque. *)
+
+(** {1 Composite types} *)
+
+val array_fixed : t -> (t -> 'a -> unit) -> 'a array -> unit
+(** Fixed-length array: elements only, no count prefix. *)
+
+val array : ?max:int -> t -> (t -> 'a -> unit) -> 'a array -> unit
+(** Variable-length array: 4-byte count then elements. *)
+
+val list : ?max:int -> t -> (t -> 'a -> unit) -> 'a list -> unit
+(** Variable-length array encoded from a list. *)
+
+val option : t -> (t -> 'a -> unit) -> 'a option -> unit
+(** XDR optional-data ("pointer"): bool discriminant then the value. *)

@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Apps Array Bytes Char Cricket Cudasim Float Fun Gpusim Int64 Simnet Unikernel

@@ -1,0 +1,1 @@
+test/test_cricket.ml: Alcotest Array Bytes Char Cricket Cubin Cudasim Filename Float Gen Gpusim Int32 Int64 List Oncrpc Printf QCheck QCheck_alcotest Simnet Sys Unix

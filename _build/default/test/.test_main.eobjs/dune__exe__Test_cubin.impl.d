@@ -1,0 +1,1 @@
+test/test_cubin.ml: Alcotest Array Bytes Char Cubin Gen Gpusim List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_cudasim.ml: Alcotest Array Bytes Char Cubin Cudasim Float Gpusim Int32 Int64 List Option Result Simnet

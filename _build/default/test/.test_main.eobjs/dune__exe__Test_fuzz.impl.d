@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Bytes Char Cricket Cubin Cudasim Gpusim List Oncrpc QCheck QCheck_alcotest Rpcl Simnet String Tcpstack Xdr

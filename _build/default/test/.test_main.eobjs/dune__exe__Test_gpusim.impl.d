@@ -1,0 +1,1 @@
+test/test_gpusim.ml: Alcotest Array Bytes Char Float Gpusim Int32 List Option Printf QCheck QCheck_alcotest Simnet

@@ -1,0 +1,1 @@
+test/test_oncrpc.ml: Alcotest Array Bytes Char Gen List Oncrpc Printf QCheck QCheck_alcotest String Thread Unix Xdr

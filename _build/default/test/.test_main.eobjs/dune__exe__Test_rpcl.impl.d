@@ -1,0 +1,1 @@
+test/test_rpcl.ml: Alcotest Int64 Lazy List Rpcl String

@@ -1,0 +1,1 @@
+test/test_simnet.ml: Alcotest Array Float Fun Int64 List QCheck QCheck_alcotest Simnet

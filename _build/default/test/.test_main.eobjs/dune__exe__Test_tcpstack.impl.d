@@ -1,0 +1,1 @@
+test/test_tcpstack.ml: Alcotest Bytes Char Gen List Printf QCheck QCheck_alcotest Simnet Tcpstack

@@ -1,0 +1,1 @@
+test/test_unikernel.ml: Alcotest Apps Array Bytes Char Cricket Cudasim Float List Printf Simnet Unikernel

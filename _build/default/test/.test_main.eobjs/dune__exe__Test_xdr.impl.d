@@ -1,0 +1,1 @@
+test/test_xdr.ml: Alcotest Bytes Char Float Int64 List Printf QCheck QCheck_alcotest String Xdr

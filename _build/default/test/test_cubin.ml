@@ -1,0 +1,261 @@
+(* Tests for the cubin-analogue module format: LZSS compression, image
+   build/parse (compressed and not), fatbin container, parameter-buffer
+   packing/unpacking. *)
+
+let check = Alcotest.check
+
+(* --- LZSS --- *)
+
+let rt s =
+  match Cubin.Lzss.decompress (Cubin.Lzss.compress s) with
+  | Ok s' -> s'
+  | Error e -> Alcotest.failf "decompress failed: %s" e
+
+let test_lzss_basics () =
+  check Alcotest.string "empty" "" (rt "");
+  check Alcotest.string "single" "x" (rt "x");
+  check Alcotest.string "ascii" "hello, world" (rt "hello, world");
+  let repetitive = String.concat "" (List.init 200 (fun _ -> "abcabcabc")) in
+  check Alcotest.string "repetitive" repetitive (rt repetitive);
+  check Alcotest.bool "compresses repetition" true
+    (Cubin.Lzss.ratio repetitive < 0.2)
+
+let test_lzss_incompressible () =
+  (* pseudo-random bytes shouldn't explode in size beyond flag overhead *)
+  let state = ref 12345 in
+  let s =
+    String.init 4096 (fun _ ->
+        state := (!state * 1103515245) + 12345;
+        Char.chr ((!state lsr 16) land 0xff))
+  in
+  check Alcotest.string "roundtrip" s (rt s);
+  check Alcotest.bool "bounded expansion" true (Cubin.Lzss.ratio s <= 1.2)
+
+let test_lzss_overlapping_match () =
+  (* run-length case: match overlaps its own output *)
+  let s = String.make 1000 'z' in
+  check Alcotest.string "rle" s (rt s);
+  (* 2-byte tokens for 18-byte matches bound the best ratio near 0.12 *)
+  check Alcotest.bool "rle compresses hard" true (Cubin.Lzss.ratio s < 0.15)
+
+let test_lzss_malformed () =
+  (* a match token pointing before the start of output *)
+  let bogus = "\x01\xff\xff" in
+  match Cubin.Lzss.decompress bogus with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected decompress error"
+
+let prop_lzss_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"lzss roundtrip"
+    QCheck.(string_of_size (Gen.int_range 0 4096))
+    (fun s -> rt s = s)
+
+let prop_lzss_roundtrip_structured =
+  (* structured, repetitive inputs like real SASS sections *)
+  QCheck.Test.make ~count:100 ~name:"lzss roundtrip (structured)"
+    QCheck.(pair (string_of_size (Gen.int_range 1 64)) (int_range 1 100))
+    (fun (unit_, reps) ->
+      let s = String.concat "" (List.init reps (fun _ -> unit_)) in
+      rt s = s)
+
+(* --- image format --- *)
+
+let sample_image () =
+  {
+    Cubin.Image.arch = (8, 0);
+    kernels =
+      [
+        { Cubin.Image.name = "k1";
+          params = [ Gpusim.Kernels.P_ptr; Gpusim.Kernels.P_i32 ];
+          max_threads_per_block = 1024 };
+        { Cubin.Image.name = "k2";
+          params = [ Gpusim.Kernels.P_f64; Gpusim.Kernels.P_f32 ];
+          max_threads_per_block = 256 };
+      ];
+    globals =
+      [
+        { Cubin.Image.name = "g_scale"; size = 4;
+          init = Some (Bytes.of_string "\x00\x00\x80\x3f") };
+        { Cubin.Image.name = "g_table"; size = 1024; init = None };
+      ];
+    code = Bytes.of_string (String.concat "" (List.init 50 (fun i -> Printf.sprintf "op%d;" i)));
+  }
+
+let test_image_roundtrip_uncompressed () =
+  let img = sample_image () in
+  let wire = Cubin.Image.build ~compress:false img in
+  check Alcotest.bool "not compressed" false (Cubin.Image.is_compressed wire);
+  match Cubin.Image.parse wire with
+  | Ok img' -> check Alcotest.bool "equal" true (img = img')
+  | Error e -> Alcotest.fail e
+
+let test_image_roundtrip_compressed () =
+  let img = sample_image () in
+  let wire = Cubin.Image.build ~compress:true img in
+  check Alcotest.bool "compressed flag" true (Cubin.Image.is_compressed wire);
+  match Cubin.Image.parse wire with
+  | Ok img' -> check Alcotest.bool "equal" true (img = img')
+  | Error e -> Alcotest.fail e
+
+let test_image_metadata_access () =
+  let img = sample_image () in
+  (match Cubin.Image.find_kernel img "k2" with
+  | Some k -> check Alcotest.int "params" 2 (List.length k.Cubin.Image.params)
+  | None -> Alcotest.fail "k2 missing");
+  check Alcotest.bool "missing kernel" true
+    (Cubin.Image.find_kernel img "nope" = None)
+
+let test_image_malformed () =
+  List.iter
+    (fun s ->
+      match Cubin.Image.parse s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "should reject %S" s)
+    [
+      ""; "XXXX"; "CBIN"; "CBIN\x01\x00\x00\x00\xff\xff\xff\xff";
+      (* truncated image: declared payload length exceeds the data *)
+      (let wire = Cubin.Image.build (sample_image ()) in
+       String.sub wire 0 (String.length wire - 5));
+    ]
+
+let test_of_registry () =
+  let img =
+    Cubin.Image.of_registry
+      [ Gpusim.Kernels.matrix_mul_name; Gpusim.Kernels.saxpy_name ]
+  in
+  check Alcotest.int "kernels" 2 (List.length img.Cubin.Image.kernels);
+  (match Cubin.Image.find_kernel img Gpusim.Kernels.saxpy_name with
+  | Some k ->
+      check Alcotest.bool "params from registry" true
+        (k.Cubin.Image.params
+        = [ Gpusim.Kernels.P_f32; Gpusim.Kernels.P_ptr; Gpusim.Kernels.P_ptr;
+            Gpusim.Kernels.P_i32 ])
+  | None -> Alcotest.fail "saxpy missing");
+  match Cubin.Image.of_registry [ "unknown_kernel" ] with
+  | _ -> Alcotest.fail "expected Not_found"
+  | exception Not_found -> ()
+
+(* --- parameter buffers --- *)
+
+let test_param_packing () =
+  let info =
+    { Cubin.Image.name = "k";
+      params =
+        [ Gpusim.Kernels.P_i32; Gpusim.Kernels.P_ptr; Gpusim.Kernels.P_f32;
+          Gpusim.Kernels.P_f64 ];
+      max_threads_per_block = 1024 }
+  in
+  (* natural alignment: i32 @0, ptr @8, f32 @16, f64 @24 -> 32 bytes *)
+  check Alcotest.int "buffer size" 32 (Cubin.Image.param_buffer_size info);
+  let args =
+    [| Gpusim.Kernels.I32 7l; Gpusim.Kernels.Ptr 0xdead00;
+       Gpusim.Kernels.F32 1.5; Gpusim.Kernels.F64 2.5 |]
+  in
+  match Cubin.Image.pack_args info args with
+  | Error e -> Alcotest.fail e
+  | Ok buf -> (
+      check Alcotest.int "packed size" 32 (Bytes.length buf);
+      match Cubin.Image.unpack_args info buf with
+      | Error e -> Alcotest.fail e
+      | Ok args' -> check Alcotest.bool "roundtrip" true (args = args'))
+
+let test_param_packing_errors () =
+  let info =
+    { Cubin.Image.name = "k"; params = [ Gpusim.Kernels.P_i32 ];
+      max_threads_per_block = 1024 }
+  in
+  (match Cubin.Image.pack_args info [||] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "arity must fail");
+  (match Cubin.Image.pack_args info [| Gpusim.Kernels.F64 1.0 |] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "type must fail");
+  match Cubin.Image.unpack_args info (Bytes.create 3) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "size must fail"
+
+let prop_param_roundtrip =
+  let gen_param =
+    QCheck.Gen.oneofl
+      [ Gpusim.Kernels.P_i32; Gpusim.Kernels.P_i64; Gpusim.Kernels.P_f32;
+        Gpusim.Kernels.P_f64; Gpusim.Kernels.P_ptr ]
+  in
+  QCheck.Test.make ~count:200 ~name:"param buffer roundtrip"
+    (QCheck.make QCheck.Gen.(list_size (int_range 0 12) gen_param))
+    (fun params ->
+      let info =
+        { Cubin.Image.name = "k"; params; max_threads_per_block = 256 }
+      in
+      let arg_of = function
+        | Gpusim.Kernels.P_i32 -> Gpusim.Kernels.I32 123l
+        | Gpusim.Kernels.P_i64 -> Gpusim.Kernels.I64 (-9L)
+        | Gpusim.Kernels.P_f32 -> Gpusim.Kernels.F32 0.5
+        | Gpusim.Kernels.P_f64 -> Gpusim.Kernels.F64 (-2.25)
+        | Gpusim.Kernels.P_ptr -> Gpusim.Kernels.Ptr 0x1000
+      in
+      let args = Array.of_list (List.map arg_of params) in
+      match Cubin.Image.pack_args info args with
+      | Error _ -> false
+      | Ok buf -> (
+          match Cubin.Image.unpack_args info buf with
+          | Ok args' -> args = args'
+          | Error _ -> false))
+
+(* --- fatbin --- *)
+
+let test_fatbin_roundtrip () =
+  let img80 = Cubin.Image.build (sample_image ()) in
+  let img70 =
+    Cubin.Image.build { (sample_image ()) with Cubin.Image.arch = (7, 0) }
+  in
+  let fb = { Cubin.Fatbin.images = [ ((7, 0), img70); ((8, 0), img80) ] } in
+  let wire = Cubin.Fatbin.build fb in
+  check Alcotest.bool "is fatbin" true (Cubin.Fatbin.is_fatbin wire);
+  match Cubin.Fatbin.parse wire with
+  | Error e -> Alcotest.fail e
+  | Ok fb' -> check Alcotest.bool "equal" true (fb = fb')
+
+let test_fatbin_best_image () =
+  let fb =
+    { Cubin.Fatbin.images =
+        [ ((6, 1), "p40"); ((7, 5), "t4"); ((8, 0), "a100") ] }
+  in
+  check (Alcotest.option Alcotest.string) "exact" (Some "a100")
+    (Cubin.Fatbin.best_image fb ~cc:(8, 0));
+  check (Alcotest.option Alcotest.string) "newer device" (Some "a100")
+    (Cubin.Fatbin.best_image fb ~cc:(9, 0));
+  check (Alcotest.option Alcotest.string) "between" (Some "t4")
+    (Cubin.Fatbin.best_image fb ~cc:(7, 9));
+  check (Alcotest.option Alcotest.string) "too old" None
+    (Cubin.Fatbin.best_image fb ~cc:(5, 2))
+
+let test_fatbin_malformed () =
+  List.iter
+    (fun s ->
+      match Cubin.Fatbin.parse s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "should reject %S" s)
+    [ ""; "FATB"; "FATB\x01\x00\x02\x00\x00\x00" ]
+
+let suite =
+  [
+    Alcotest.test_case "lzss basics" `Quick test_lzss_basics;
+    Alcotest.test_case "lzss incompressible" `Quick test_lzss_incompressible;
+    Alcotest.test_case "lzss overlapping match" `Quick
+      test_lzss_overlapping_match;
+    Alcotest.test_case "lzss malformed" `Quick test_lzss_malformed;
+    Alcotest.test_case "image roundtrip (plain)" `Quick
+      test_image_roundtrip_uncompressed;
+    Alcotest.test_case "image roundtrip (compressed)" `Quick
+      test_image_roundtrip_compressed;
+    Alcotest.test_case "image metadata" `Quick test_image_metadata_access;
+    Alcotest.test_case "image malformed" `Quick test_image_malformed;
+    Alcotest.test_case "image from registry" `Quick test_of_registry;
+    Alcotest.test_case "param packing" `Quick test_param_packing;
+    Alcotest.test_case "param packing errors" `Quick test_param_packing_errors;
+    Alcotest.test_case "fatbin roundtrip" `Quick test_fatbin_roundtrip;
+    Alcotest.test_case "fatbin best image" `Quick test_fatbin_best_image;
+    Alcotest.test_case "fatbin malformed" `Quick test_fatbin_malformed;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ prop_lzss_roundtrip; prop_lzss_roundtrip_structured; prop_param_roundtrip ]

@@ -1,0 +1,169 @@
+(* Robustness fuzzing: every parser in the system must reject arbitrary or
+   mutated input with its declared error type — never a segfault-morally-
+   equivalent unexpected exception. This matters doubly here because the
+   Cricket server parses bytes that arrive over the network from untrusted
+   unikernel guests. *)
+
+let check = Alcotest.check
+
+let gen_bytes = QCheck.string_of_size (QCheck.Gen.int_range 0 512)
+
+(* --- XDR / RPC message layer --- *)
+
+let prop_message_decode_total =
+  QCheck.Test.make ~count:500 ~name:"Message.decode is total" gen_bytes
+    (fun s ->
+      match Oncrpc.Message.decode (Xdr.Decode.of_string s) with
+      | (_ : Oncrpc.Message.t) -> true
+      | exception Xdr.Types.Error _ -> true)
+
+let prop_dispatch_total =
+  (* the server must answer or reject any record; only completely
+     unparseable requests (no xid) raise the documented Failure *)
+  let server = Oncrpc.Server.create () in
+  Oncrpc.Server.register server ~prog:300000 ~vers:1
+    [ (1, fun dec enc -> Xdr.Encode.int enc (Xdr.Decode.int dec)) ];
+  QCheck.Test.make ~count:500 ~name:"Server.dispatch is total" gen_bytes
+    (fun s ->
+      match Oncrpc.Server.dispatch server s with
+      | (_ : string) -> true
+      | exception Failure _ -> true)
+
+let prop_valid_header_fuzzed_body =
+  (* a valid CALL header with random trailing arg bytes must produce a
+     reply record (SUCCESS or GARBAGE_ARGS), never an exception *)
+  let server = Oncrpc.Server.create () in
+  Oncrpc.Server.register server ~prog:300000 ~vers:1
+    [ (1, fun dec enc -> Xdr.Encode.int enc (Xdr.Decode.int dec)) ];
+  QCheck.Test.make ~count:500 ~name:"fuzzed args always get a reply" gen_bytes
+    (fun junk ->
+      let enc = Xdr.Encode.create () in
+      Oncrpc.Message.encode enc
+        (Oncrpc.Message.call ~xid:9l ~prog:300000 ~vers:1 ~proc:1 ());
+      Xdr.Encode.opaque_fixed enc (Bytes.of_string junk);
+      let reply = Oncrpc.Server.dispatch server (Xdr.Encode.to_string enc) in
+      match Oncrpc.Message.decode (Xdr.Decode.of_string reply) with
+      | { Oncrpc.Message.xid = 9l; body = Oncrpc.Message.Reply _ } -> true
+      | _ -> false)
+
+(* --- record marking --- *)
+
+let prop_record_stream_fuzz =
+  (* feeding arbitrary bytes as a record stream either yields a record,
+     hits EOF (Closed), or trips the size guard *)
+  QCheck.Test.make ~count:300 ~name:"Record.read survives garbage streams"
+    gen_bytes
+    (fun s ->
+      let a, b = Oncrpc.Transport.pipe () in
+      Oncrpc.Transport.send_string a s;
+      a.Oncrpc.Transport.close ();
+      match Oncrpc.Record.read ~max_record_size:4096 b with
+      | (_ : string) -> true
+      | exception Oncrpc.Transport.Closed -> true
+      | exception Failure _ -> true)
+
+(* --- cubin / fatbin / lzss --- *)
+
+let prop_image_parse_total =
+  QCheck.Test.make ~count:500 ~name:"Cubin.Image.parse is total" gen_bytes
+    (fun s ->
+      match Cubin.Image.parse s with Ok _ -> true | Error _ -> true)
+
+let prop_fatbin_parse_total =
+  QCheck.Test.make ~count:500 ~name:"Cubin.Fatbin.parse is total" gen_bytes
+    (fun s ->
+      match Cubin.Fatbin.parse s with Ok _ -> true | Error _ -> true)
+
+let prop_lzss_decompress_total =
+  QCheck.Test.make ~count:500 ~name:"Lzss.decompress is total" gen_bytes
+    (fun s ->
+      match Cubin.Lzss.decompress s with Ok _ -> true | Error _ -> true)
+
+let prop_image_mutation =
+  (* bit-flip a valid compressed image: parse must return, not raise *)
+  QCheck.Test.make ~count:300 ~name:"mutated cubin never crashes the parser"
+    QCheck.(pair small_nat (int_bound 255))
+    (fun (pos, mask) ->
+      let wire =
+        Bytes.of_string
+          (Cubin.Image.build
+             (Cubin.Image.of_registry [ Gpusim.Kernels.saxpy_name ]))
+      in
+      let pos = pos mod Bytes.length wire in
+      Bytes.set wire pos
+        (Char.chr (Char.code (Bytes.get wire pos) lxor (mask lor 1)));
+      match Cubin.Image.parse (Bytes.to_string wire) with
+      | Ok _ | Error _ -> true)
+
+(* --- RPCL front end --- *)
+
+let printable =
+  QCheck.string_gen_of_size (QCheck.Gen.int_range 0 200)
+    (QCheck.Gen.map Char.chr (QCheck.Gen.int_range 32 126))
+
+let prop_rpcl_parse_total =
+  QCheck.Test.make ~count:500 ~name:"Rpcl.Parser.parse is total" printable
+    (fun s ->
+      match Rpcl.Parser.parse s with
+      | (_ : Rpcl.Ast.spec) -> true
+      | exception Rpcl.Parser.Parse_error _ -> true
+      | exception Rpcl.Lexer.Lex_error _ -> true)
+
+let prop_rpcl_full_pipeline_total =
+  QCheck.Test.make ~count:300 ~name:"Rpcl check+codegen is total" printable
+    (fun s ->
+      match Rpcl.Codegen.generate (Rpcl.Check.check (Rpcl.Parser.parse s)) with
+      | (_ : string) -> true
+      | exception Rpcl.Parser.Parse_error _ -> true
+      | exception Rpcl.Lexer.Lex_error _ -> true
+      | exception Rpcl.Check.Semantic_error _ -> true)
+
+(* --- TCP segment codec --- *)
+
+let prop_segment_decode_total =
+  QCheck.Test.make ~count:500 ~name:"Segment.decode is total" gen_bytes
+    (fun s ->
+      match
+        Tcpstack.Segment.decode ~src_ip:1l ~dst_ip:2l (Bytes.of_string s)
+      with
+      | Ok _ | Error _ -> true)
+
+(* --- end-to-end: a fuzzed client cannot crash a Cricket server --- *)
+
+let test_cricket_survives_garbage_records () =
+  let engine = Simnet.Engine.create () in
+  let server =
+    Cricket.Server.create ~memory_capacity:(1 lsl 22)
+      ~clock:(Cudasim.Context.engine_clock engine) ()
+  in
+  let state = ref 99 in
+  let garbage n =
+    String.init n (fun _ ->
+        state := (!state * 1103515245) + 12345;
+        Char.chr ((!state lsr 12) land 0xff))
+  in
+  let attempts = ref 0 in
+  for n = 0 to 100 do
+    match Cricket.Server.dispatch server (garbage (n * 3)) with
+    | (_ : string) -> incr attempts
+    | exception Failure _ -> incr attempts
+  done;
+  check Alcotest.int "all attempts handled" 101 !attempts;
+  (* and the server still works afterwards *)
+  let client = Cricket.Local.connect server in
+  check Alcotest.int "server alive" 4 (Cricket.Client.get_device_count client)
+
+let suite =
+  [
+    Alcotest.test_case "cricket server survives garbage" `Quick
+      test_cricket_survives_garbage_records;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [
+        prop_message_decode_total; prop_dispatch_total;
+        prop_valid_header_fuzzed_body; prop_record_stream_fuzz;
+        prop_image_parse_total; prop_fatbin_parse_total;
+        prop_lzss_decompress_total; prop_image_mutation;
+        prop_rpcl_parse_total; prop_rpcl_full_pipeline_total;
+        prop_segment_decode_total;
+      ]

@@ -1,0 +1,379 @@
+(* Tests for the GPU simulator: device catalog, the device-memory
+   allocator (incl. error detection), kernel implementations (numerics),
+   the timing model, streams and events. *)
+
+module Time = Simnet.Time
+module M = Gpusim.Memory
+module K = Gpusim.Kernels
+
+let check = Alcotest.check
+
+(* --- devices --- *)
+
+let test_device_catalog () =
+  check Alcotest.int "gpu node devices" 4 (List.length Gpusim.Device.gpu_node);
+  let a100 = Gpusim.Device.a100 in
+  check Alcotest.int "a100 sms" 108 a100.Gpusim.Device.multi_processor_count;
+  check Alcotest.int "a100 cc" 8 a100.Gpusim.Device.compute_major;
+  check Alcotest.bool "flops derated" true
+    (Gpusim.Device.effective_flops a100 `F32 < 19.5e12);
+  check Alcotest.bool "fp64 slower" true
+    (Gpusim.Device.effective_flops a100 `F64
+    < Gpusim.Device.effective_flops a100 `F32)
+
+(* --- memory allocator --- *)
+
+let test_alloc_free () =
+  let m = M.create ~capacity:(1 lsl 20) in
+  let p1 = M.alloc m 1000 in
+  let p2 = M.alloc m 2000 in
+  check Alcotest.bool "distinct" true (p1 <> p2);
+  check Alcotest.bool "aligned" true (p1 mod 256 = 0 && p2 mod 256 = 0);
+  check Alcotest.int "live" 2 (M.live_allocations m);
+  (* sizes rounded to alignment *)
+  check Alcotest.int "size1" 1024 (M.allocation_size m p1);
+  M.free m p1;
+  M.free m p2;
+  check Alcotest.int "none live" 0 (M.live_allocations m);
+  check Alcotest.int "all free" (1 lsl 20) (M.free_bytes m)
+
+let test_alloc_reuse_after_free () =
+  let m = M.create ~capacity:4096 in
+  let p1 = M.alloc m 4096 in
+  M.free m p1;
+  let p2 = M.alloc m 4096 in
+  check Alcotest.int "coalesced reuse" p1 p2
+
+let test_oom () =
+  let m = M.create ~capacity:4096 in
+  let _ = M.alloc m 2048 in
+  match M.alloc m 4096 with
+  | _ -> Alcotest.fail "expected OOM"
+  | exception M.Error (M.Out_of_memory { requested = 4096; _ }) -> ()
+  | exception M.Error e -> Alcotest.failf "wrong error: %s" (M.error_to_string e)
+
+let test_fragmentation_then_coalesce () =
+  let m = M.create ~capacity:(10 * 256) in
+  let ps = List.init 10 (fun _ -> M.alloc m 256) in
+  (* free every other block: no 512-byte hole exists *)
+  List.iteri (fun i p -> if i mod 2 = 0 then M.free m p) ps;
+  (match M.alloc m 512 with
+  | _ -> Alcotest.fail "expected fragmentation OOM"
+  | exception M.Error (M.Out_of_memory _) -> ());
+  (* free the rest: coalescing must produce one big range *)
+  List.iteri (fun i p -> if i mod 2 = 1 then M.free m p) ps;
+  let p = M.alloc m (10 * 256) in
+  check Alcotest.bool "full-range alloc" true (p > 0)
+
+let test_double_free_and_invalid () =
+  let m = M.create ~capacity:4096 in
+  let p = M.alloc m 100 in
+  M.free m p;
+  (match M.free m p with
+  | _ -> Alcotest.fail "expected Double_free"
+  | exception M.Error (M.Double_free _) -> ());
+  match M.free m 12345678 with
+  | _ -> Alcotest.fail "expected Invalid_pointer"
+  | exception M.Error (M.Invalid_pointer _) -> ()
+
+let test_bounds_checking () =
+  let m = M.create ~capacity:(1 lsl 16) in
+  let p = M.alloc m 256 in
+  M.write m p (Bytes.make 256 'x');
+  (match M.write m p (Bytes.make 257 'x') with
+  | _ -> Alcotest.fail "expected Out_of_bounds"
+  | exception M.Error (M.Out_of_bounds _) -> ());
+  (* interior pointers are fine while in bounds *)
+  M.write m (p + 200) (Bytes.make 56 'y');
+  (match M.read m (p + 200) 57 with
+  | _ -> Alcotest.fail "expected Out_of_bounds on read"
+  | exception M.Error (M.Out_of_bounds _) -> ());
+  match M.write m 99 (Bytes.make 1 'z') with
+  | _ -> Alcotest.fail "expected Invalid_pointer"
+  | exception M.Error (M.Invalid_pointer _) -> ()
+
+let test_data_roundtrip () =
+  let m = M.create ~capacity:(1 lsl 20) in
+  let p = M.alloc m 4096 in
+  let data = Bytes.init 4096 (fun i -> Char.chr ((i * 13) land 0xff)) in
+  M.write m p data;
+  check Alcotest.bool "roundtrip" true (Bytes.equal data (M.read m p 4096));
+  M.memset m p 0xab 100;
+  check Alcotest.int "memset" 0xab (M.get_u8 m p);
+  check Alcotest.int "memset end" 0xab (M.get_u8 m (p + 99));
+  check Alcotest.bool "beyond memset" true (M.get_u8 m (p + 100) <> 0xab)
+
+let test_device_copy () =
+  let m = M.create ~capacity:(1 lsl 20) in
+  let src = M.alloc m 1024 in
+  let dst = M.alloc m 1024 in
+  let data = Bytes.init 1024 (fun i -> Char.chr (i land 0xff)) in
+  M.write m src data;
+  M.copy m ~src ~dst ~len:1024;
+  check Alcotest.bool "d2d copy" true (Bytes.equal data (M.read m dst 1024))
+
+let test_scalar_accessors () =
+  let m = M.create ~capacity:4096 in
+  let p = M.alloc m 64 in
+  M.set_f32 m p 3.25;
+  check (Alcotest.float 0.0) "f32" 3.25 (M.get_f32 m p);
+  M.set_f64 m (p + 8) (-1.5e300);
+  check (Alcotest.float 0.0) "f64" (-1.5e300) (M.get_f64 m (p + 8));
+  M.set_i32 m (p + 16) (-42l);
+  check Alcotest.int32 "i32" (-42l) (M.get_i32 m (p + 16))
+
+let test_snapshot_restore () =
+  let m = M.create ~capacity:(1 lsl 16) in
+  let p1 = M.alloc m 512 in
+  let p2 = M.alloc m 1024 in
+  M.write m p1 (Bytes.make 512 'a');
+  M.write m p2 (Bytes.make 1024 'b');
+  M.free m p1;
+  let snap = M.snapshot m in
+  let m' = M.restore snap in
+  check Alcotest.int "live" 1 (M.live_allocations m');
+  check Alcotest.bool "contents" true
+    (Bytes.equal (Bytes.make 1024 'b') (M.read m' p2 1024));
+  (* allocator state survives: p1's range is reusable *)
+  let p3 = M.alloc m' 512 in
+  check Alcotest.bool "free range restored" true (p3 = p1 || p3 <> p2)
+
+let prop_alloc_free_invariant =
+  QCheck.Test.make ~count:100 ~name:"allocator conserves bytes"
+    QCheck.(list (int_range 1 5000))
+    (fun sizes ->
+      let m = M.create ~capacity:(1 lsl 22) in
+      let ptrs =
+        List.filter_map
+          (fun n -> match M.alloc m n with p -> Some p | exception M.Error _ -> None)
+          sizes
+      in
+      let used_mid = M.used_bytes m in
+      List.iter (M.free m) ptrs;
+      used_mid >= 0 && M.used_bytes m = 0
+      && M.free_bytes m = M.total_bytes m)
+
+(* --- kernels --- *)
+
+let with_mem f =
+  let m = M.create ~capacity:(1 lsl 22) in
+  f m
+
+let launch_of ?(grid = { K.x = 1; y = 1; z = 1 })
+    ?(block = { K.x = 1; y = 1; z = 1 }) args =
+  { K.grid; block; shared_mem = 0; args }
+
+let write_f32s m p vals =
+  Array.iteri (fun i v -> M.set_f32 m (p + (4 * i)) v) vals
+
+let read_f32s m p n = Array.init n (fun i -> M.get_f32 m (p + (4 * i)))
+
+let test_kernel_vector_add () =
+  with_mem (fun m ->
+      let n = 100 in
+      let a = M.alloc m (4 * n) and b = M.alloc m (4 * n) and c = M.alloc m (4 * n) in
+      write_f32s m a (Array.init n Float.of_int);
+      write_f32s m b (Array.init n (fun i -> Float.of_int (2 * i)));
+      let k = Option.get (K.find K.vector_add_name) in
+      k.K.execute m
+        (launch_of [| K.Ptr a; K.Ptr b; K.Ptr c; K.I32 (Int32.of_int n) |]);
+      Array.iteri
+        (fun i v -> check (Alcotest.float 1e-6) "sum" (Float.of_int (3 * i)) v)
+        (read_f32s m c n))
+
+let test_kernel_matrix_mul () =
+  with_mem (fun m ->
+      (* 2x3 * 3x2 with known values, grid/block encode hA *)
+      let a = M.alloc m (4 * 6) and b = M.alloc m (4 * 6) and c = M.alloc m (4 * 4) in
+      write_f32s m a [| 1.; 2.; 3.; 4.; 5.; 6. |];
+      write_f32s m b [| 7.; 8.; 9.; 10.; 11.; 12. |];
+      let k = Option.get (K.find K.matrix_mul_name) in
+      k.K.execute m
+        (launch_of
+           ~grid:{ K.x = 1; y = 2; z = 1 }
+           ~block:{ K.x = 2; y = 1; z = 1 }
+           [| K.Ptr c; K.Ptr a; K.Ptr b; K.I32 3l; K.I32 2l |]);
+      let expected = [| 58.; 64.; 139.; 154. |] in
+      Array.iteri
+        (fun i v -> check (Alcotest.float 1e-5) "C" expected.(i) v)
+        (read_f32s m c 4))
+
+let test_kernel_histogram () =
+  with_mem (fun m ->
+      let n = 10_000 in
+      let data = M.alloc m n and bins = M.alloc m (4 * 256) in
+      let host = Bytes.init n (fun i -> Char.chr ((i * 7) land 0xff)) in
+      M.write m data host;
+      let k = Option.get (K.find K.histogram256_name) in
+      k.K.execute m
+        (launch_of [| K.Ptr bins; K.Ptr data; K.I32 (Int32.of_int n) |]);
+      let expected = Array.make 256 0 in
+      Bytes.iter (fun ch -> expected.(Char.code ch) <- expected.(Char.code ch) + 1) host;
+      let total = ref 0 in
+      for i = 0 to 255 do
+        let v = Int32.to_int (M.get_i32 m (bins + (4 * i))) in
+        check Alcotest.int (Printf.sprintf "bin %d" i) expected.(i) v;
+        total := !total + v
+      done;
+      check Alcotest.int "total" n !total)
+
+let test_kernel_reduce_and_saxpy () =
+  with_mem (fun m ->
+      let n = 1000 in
+      let x = M.alloc m (4 * n) and y = M.alloc m (4 * n) and out = M.alloc m 4 in
+      write_f32s m x (Array.make n 2.0);
+      write_f32s m y (Array.init n Float.of_int);
+      let saxpy = Option.get (K.find K.saxpy_name) in
+      saxpy.K.execute m
+        (launch_of [| K.F32 10.0; K.Ptr x; K.Ptr y; K.I32 (Int32.of_int n) |]);
+      (* y[i] = 10*2 + i *)
+      check (Alcotest.float 1e-6) "saxpy" 25.0 (M.get_f32 m (y + (4 * 5)));
+      let reduce = Option.get (K.find K.reduce_sum_name) in
+      reduce.K.execute m
+        (launch_of [| K.Ptr y; K.Ptr out; K.I32 (Int32.of_int n) |]);
+      let expected = Float.of_int (n * 20) +. Float.of_int (n * (n - 1) / 2) in
+      check (Alcotest.float 0.5) "reduce" expected (M.get_f32 m out))
+
+let test_kernel_transpose () =
+  with_mem (fun m ->
+      let input = M.alloc m (4 * 6) and out = M.alloc m (4 * 6) in
+      write_f32s m input [| 1.; 2.; 3.; 4.; 5.; 6. |] (* 2x3 row-major *);
+      let k = Option.get (K.find K.transpose_name) in
+      k.K.execute m (launch_of [| K.Ptr out; K.Ptr input; K.I32 2l; K.I32 3l |]);
+      let expected = [| 1.; 4.; 2.; 5.; 3.; 6. |] in
+      Array.iteri
+        (fun i v -> check (Alcotest.float 1e-6) "t" expected.(i) v)
+        (read_f32s m out 6))
+
+let test_kernel_nbody () =
+  with_mem (fun m ->
+      (* two equal masses on the x axis attract each other symmetrically *)
+      let pos = M.alloc m 32 and vel = M.alloc m 32 in
+      write_f32s m pos [| -1.0; 0.; 0.; 1.0; 1.0; 0.; 0.; 1.0 |];
+      write_f32s m vel [| 0.; 0.; 0.; 0.; 0.; 0.; 0.; 0. |];
+      let k = Option.get (K.find K.nbody_name) in
+      k.K.execute m
+        (launch_of [| K.Ptr pos; K.Ptr vel; K.F32 0.01; K.I32 2l |]);
+      let vx0 = M.get_f32 m vel and vx1 = M.get_f32 m (vel + 16) in
+      check Alcotest.bool "bodies attract" true (vx0 > 0.0 && vx1 < 0.0);
+      check (Alcotest.float 1e-6) "momentum conserved" 0.0 (vx0 +. vx1);
+      (* y/z components untouched for colinear bodies *)
+      check (Alcotest.float 0.0) "vy zero" 0.0 (M.get_f32 m (vel + 4)))
+
+let test_kernel_bad_args () =
+  with_mem (fun m ->
+      let k = Option.get (K.find K.vector_add_name) in
+      (match k.K.execute m (launch_of [| K.I32 1l |]) with
+      | _ -> Alcotest.fail "expected Bad_args (arity)"
+      | exception K.Bad_args _ -> ());
+      match
+        k.K.execute m
+          (launch_of [| K.F32 1.0; K.F32 1.0; K.F32 1.0; K.I32 0l |])
+      with
+      | _ -> Alcotest.fail "expected Bad_args (type)"
+      | exception K.Bad_args _ -> ())
+
+let test_kernel_cost_scaling () =
+  let d = Gpusim.Device.a100 in
+  let k = Option.get (K.find K.matrix_mul_name) in
+  let cost n =
+    k.K.cost d
+      (launch_of
+         ~grid:{ K.x = n / 32; y = n / 32; z = 1 }
+         ~block:{ K.x = 32; y = 32; z = 1 }
+         [| K.Ptr 0; K.Ptr 0; K.Ptr 0; K.I32 (Int32.of_int n);
+            K.I32 (Int32.of_int n) |])
+  in
+  (* O(n^3): doubling n should scale cost ~8x (within wave-overhead noise) *)
+  let r = cost 512 /. cost 256 in
+  check Alcotest.bool "cubic scaling" true (r > 6.0 && r < 10.0);
+  (* slower device costs more *)
+  let t4_cost = k.K.cost Gpusim.Device.t4 (launch_of ~grid:{ K.x = 8; y = 8; z = 1 } ~block:{ K.x = 32; y = 32; z = 1 } [| K.Ptr 0; K.Ptr 0; K.Ptr 0; K.I32 256l; K.I32 256l |]) in
+  check Alcotest.bool "t4 slower" true (t4_cost > cost 256)
+
+(* --- streams / events / gpu --- *)
+
+let test_gpu_streams_and_sync () =
+  let gpu = Gpusim.Gpu.create ~memory_capacity:(1 lsl 20) Gpusim.Device.a100 in
+  let k = Option.get (K.find K.fill_name) in
+  let m = Gpusim.Gpu.memory gpu in
+  let p = M.alloc m 4096 in
+  let launch = launch_of [| K.Ptr p; K.F32 1.0; K.I32 1024l |] in
+  let now = Time.zero in
+  let c1 = Gpusim.Gpu.launch gpu ~now k launch in
+  check Alcotest.bool "async completion in future" true
+    (Time.compare c1 now > 0);
+  (* a second launch on the same stream queues after the first *)
+  let c2 = Gpusim.Gpu.launch gpu ~now k launch in
+  check Alcotest.bool "serialized" true (Time.compare c2 c1 > 0);
+  (* a different stream runs concurrently: completes before c2 *)
+  let s = Gpusim.Gpu.stream_create gpu in
+  let c3 = Gpusim.Gpu.launch gpu ~now ~stream:s k launch in
+  check Alcotest.bool "concurrent streams" true (Time.compare c3 c2 < 0);
+  let sync = Gpusim.Gpu.synchronize gpu ~now in
+  check Alcotest.int64 "sync = max completion" c2 sync;
+  (* execution had real effect *)
+  check (Alcotest.float 0.0) "fill applied" 1.0 (M.get_f32 m p)
+
+let test_gpu_events () =
+  let gpu = Gpusim.Gpu.create ~memory_capacity:(1 lsl 20) Gpusim.Device.a100 in
+  let k = Option.get (K.find K.fill_name) in
+  let m = Gpusim.Gpu.memory gpu in
+  let p = M.alloc m 4096 in
+  let e1 = Gpusim.Gpu.event_create gpu in
+  let e2 = Gpusim.Gpu.event_create gpu in
+  Gpusim.Gpu.event_record gpu ~now:Time.zero ~event:e1 ~stream:0;
+  let _ =
+    Gpusim.Gpu.launch gpu ~now:Time.zero k
+      (launch_of [| K.Ptr p; K.F32 2.0; K.I32 1024l |])
+  in
+  Gpusim.Gpu.event_record gpu ~now:Time.zero ~event:e2 ~stream:0;
+  let ms = Gpusim.Gpu.event_elapsed_ms gpu ~start:e1 ~stop:e2 in
+  check Alcotest.bool "elapsed positive" true (ms > 0.0);
+  Gpusim.Gpu.event_destroy gpu e1;
+  match Gpusim.Gpu.event_elapsed_ms gpu ~start:e1 ~stop:e2 with
+  | _ -> Alcotest.fail "expected Not_found"
+  | exception Not_found -> ()
+
+let test_gpu_reset () =
+  let gpu = Gpusim.Gpu.create ~memory_capacity:(1 lsl 20) Gpusim.Device.a100 in
+  let m = Gpusim.Gpu.memory gpu in
+  let _ = M.alloc m 1024 in
+  let s = Gpusim.Gpu.stream_create gpu in
+  Gpusim.Gpu.reset gpu;
+  check Alcotest.int "memory cleared" 0
+    (M.live_allocations (Gpusim.Gpu.memory gpu));
+  check Alcotest.bool "stream gone" false (Gpusim.Gpu.stream_valid gpu s);
+  check Alcotest.bool "default stream stays" true
+    (Gpusim.Gpu.stream_valid gpu Gpusim.Gpu.default_stream)
+
+let suite =
+  [
+    Alcotest.test_case "device catalog" `Quick test_device_catalog;
+    Alcotest.test_case "alloc/free" `Quick test_alloc_free;
+    Alcotest.test_case "reuse after free" `Quick test_alloc_reuse_after_free;
+    Alcotest.test_case "out of memory" `Quick test_oom;
+    Alcotest.test_case "fragmentation and coalescing" `Quick
+      test_fragmentation_then_coalesce;
+    Alcotest.test_case "double free / invalid" `Quick
+      test_double_free_and_invalid;
+    Alcotest.test_case "bounds checking" `Quick test_bounds_checking;
+    Alcotest.test_case "data roundtrip" `Quick test_data_roundtrip;
+    Alcotest.test_case "device-to-device copy" `Quick test_device_copy;
+    Alcotest.test_case "scalar accessors" `Quick test_scalar_accessors;
+    Alcotest.test_case "snapshot/restore" `Quick test_snapshot_restore;
+    Alcotest.test_case "vectorAdd numerics" `Quick test_kernel_vector_add;
+    Alcotest.test_case "matrixMul numerics" `Quick test_kernel_matrix_mul;
+    Alcotest.test_case "histogram numerics" `Quick test_kernel_histogram;
+    Alcotest.test_case "saxpy + reduce numerics" `Quick
+      test_kernel_reduce_and_saxpy;
+    Alcotest.test_case "transpose numerics" `Quick test_kernel_transpose;
+    Alcotest.test_case "nbody numerics" `Quick test_kernel_nbody;
+    Alcotest.test_case "kernel bad args" `Quick test_kernel_bad_args;
+    Alcotest.test_case "kernel cost scaling" `Quick test_kernel_cost_scaling;
+    Alcotest.test_case "streams and synchronize" `Quick
+      test_gpu_streams_and_sync;
+    Alcotest.test_case "events" `Quick test_gpu_events;
+    Alcotest.test_case "device reset" `Quick test_gpu_reset;
+  ]
+  @ [ QCheck_alcotest.to_alcotest prop_alloc_free_invariant ]

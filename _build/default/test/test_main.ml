@@ -1,0 +1,16 @@
+let () =
+  Alcotest.run "cricket-unikernel-repro"
+    [
+      ("xdr", Test_xdr.suite);
+      ("oncrpc", Test_oncrpc.suite);
+      ("rpcl", Test_rpcl.suite);
+      ("simnet", Test_simnet.suite);
+      ("tcpstack", Test_tcpstack.suite);
+      ("gpusim", Test_gpusim.suite);
+      ("cubin", Test_cubin.suite);
+      ("cudasim", Test_cudasim.suite);
+      ("cricket", Test_cricket.suite);
+      ("unikernel", Test_unikernel.suite);
+      ("apps", Test_apps.suite);
+      ("fuzz", Test_fuzz.suite);
+    ]

@@ -1,0 +1,524 @@
+(* Unit, integration and property tests for the ONC RPC (RFC 5531) layer:
+   record marking (incl. multi-fragment reassembly), message codecs, auth,
+   client/server dispatch over in-memory and real TCP transports, and the
+   portmapper. *)
+
+module E = Xdr.Encode
+module D = Xdr.Decode
+
+let check = Alcotest.check
+
+(* --- record marking --- *)
+
+let test_header_roundtrip () =
+  List.iter
+    (fun (last, len) ->
+      let h = Oncrpc.Record.encode_header ~last len in
+      check Alcotest.int "header size" 4 (String.length h);
+      let last', len' = Oncrpc.Record.decode_header h in
+      check Alcotest.bool "last" last last';
+      check Alcotest.int "len" len len')
+    [ (true, 0); (false, 1); (true, 0x7fffffff); (false, 12345) ]
+
+let test_single_fragment_wire () =
+  let wire = Oncrpc.Record.to_wire "abcd" in
+  check Alcotest.string "wire" "\x80\x00\x00\x04abcd" wire
+
+let test_multi_fragment_wire () =
+  let wire = Oncrpc.Record.to_wire ~fragment_size:3 "abcdefgh" in
+  (* 3 + 3 + 2 bytes: two non-last fragments then a last one *)
+  check Alcotest.string "wire"
+    "\x00\x00\x00\x03abc\x00\x00\x00\x03def\x80\x00\x00\x02gh" wire
+
+let test_empty_record () =
+  let wire = Oncrpc.Record.to_wire "" in
+  check Alcotest.string "empty" "\x80\x00\x00\x00" wire
+
+let pipe_roundtrip ?fragment_size msg =
+  let a, b = Oncrpc.Transport.pipe () in
+  Oncrpc.Record.write ?fragment_size a msg;
+  let got = Oncrpc.Record.read b in
+  a.Oncrpc.Transport.close ();
+  got
+
+let test_fragment_reassembly () =
+  let msg = String.init 10_000 (fun i -> Char.chr (i land 0xff)) in
+  List.iter
+    (fun fragment_size ->
+      check Alcotest.string
+        (Printf.sprintf "frag=%d" fragment_size)
+        msg
+        (pipe_roundtrip ~fragment_size msg))
+    [ 1; 7; 64; 4096; 10_000; 100_000 ]
+
+let test_max_record_size () =
+  let a, b = Oncrpc.Transport.pipe () in
+  Oncrpc.Record.write ~fragment_size:8 a (String.make 100 'x');
+  (match Oncrpc.Record.read ~max_record_size:50 b with
+  | _ -> Alcotest.fail "expected Failure"
+  | exception Failure _ -> ());
+  a.Oncrpc.Transport.close ()
+
+let test_read_opt_clean_eof () =
+  let a, b = Oncrpc.Transport.pipe () in
+  a.Oncrpc.Transport.close ();
+  check Alcotest.bool "eof" true (Oncrpc.Record.read_opt b = None)
+
+let prop_record_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"record marking roundtrip"
+    QCheck.(pair (string_of_size (Gen.int_range 0 5000)) (int_range 1 997))
+    (fun (msg, fragment_size) -> pipe_roundtrip ~fragment_size msg = msg)
+
+(* --- message codec --- *)
+
+let encode_msg m =
+  let enc = E.create () in
+  Oncrpc.Message.encode enc m;
+  E.to_string enc
+
+let decode_msg s =
+  let dec = D.of_string s in
+  let m = Oncrpc.Message.decode dec in
+  D.finish dec;
+  m
+
+let test_call_roundtrip () =
+  let m =
+    Oncrpc.Message.call ~xid:42l ~prog:99999 ~vers:1 ~proc:7 ()
+  in
+  let m' = decode_msg (encode_msg m) in
+  check Alcotest.int32 "xid" 42l m'.Oncrpc.Message.xid;
+  match m'.Oncrpc.Message.body with
+  | Oncrpc.Message.Call c ->
+      check Alcotest.int "prog" 99999 c.Oncrpc.Message.prog;
+      check Alcotest.int "vers" 1 c.Oncrpc.Message.vers;
+      check Alcotest.int "proc" 7 c.Oncrpc.Message.proc
+  | _ -> Alcotest.fail "not a call"
+
+let test_reply_roundtrips () =
+  let cases =
+    [
+      Oncrpc.Message.reply_success ~xid:1l ();
+      Oncrpc.Message.reply_error ~xid:2l Oncrpc.Message.Prog_unavail;
+      Oncrpc.Message.reply_error ~xid:3l
+        (Oncrpc.Message.Prog_mismatch { low = 1; high = 3 });
+      Oncrpc.Message.reply_error ~xid:4l Oncrpc.Message.Proc_unavail;
+      Oncrpc.Message.reply_error ~xid:5l Oncrpc.Message.Garbage_args;
+      Oncrpc.Message.reply_error ~xid:6l Oncrpc.Message.System_err;
+      Oncrpc.Message.reply_denied ~xid:7l
+        (Oncrpc.Message.Rpc_mismatch { low = 2; high = 2 });
+      Oncrpc.Message.reply_denied ~xid:8l
+        (Oncrpc.Message.Auth_error Oncrpc.Message.Auth_tooweak);
+    ]
+  in
+  List.iter (fun m -> assert (decode_msg (encode_msg m) = m)) cases
+
+let test_auth_sys_roundtrip () =
+  let p =
+    {
+      Oncrpc.Auth.stamp = 123l;
+      machinename = "gpu-node-0";
+      uid = 1000;
+      gid = 100;
+      gids = [ 100; 4; 27 ];
+    }
+  in
+  let t = Oncrpc.Auth.sys p in
+  check Alcotest.bool "flavor" true (t.Oncrpc.Auth.flavor = Oncrpc.Auth.Auth_sys);
+  let p' = Oncrpc.Auth.sys_params t in
+  assert (p = p')
+
+let test_auth_body_limit () =
+  match
+    Oncrpc.Auth.encode (E.create ())
+      { Oncrpc.Auth.flavor = Oncrpc.Auth.Auth_none; body = Bytes.create 401 }
+  with
+  | () -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+(* --- client/server over loopback --- *)
+
+let add_service server =
+  Oncrpc.Server.register server ~prog:300000 ~vers:1
+    [
+      (* proc 1: add two ints *)
+      ( 1,
+        fun dec enc ->
+          let a = D.int dec in
+          let b = D.int dec in
+          E.int enc (a + b) );
+      (* proc 2: echo opaque *)
+      (2, fun dec enc -> E.opaque enc (D.opaque dec));
+      (* proc 3: raises *)
+      (3, fun _ _ -> failwith "boom");
+    ]
+
+let make_loopback_client ?(vers = 1) ?(prog = 300000) server =
+  let transport =
+    Oncrpc.Transport.loopback ~peer:(fun request ->
+        (* requests arrive record-marked; peel and re-add framing *)
+        let dec_t, enc_t = Oncrpc.Transport.pipe () in
+        Oncrpc.Transport.send_string dec_t request;
+        let record = Oncrpc.Record.read enc_t in
+        let reply = Oncrpc.Server.dispatch server record in
+        Oncrpc.Record.to_wire reply)
+  in
+  Oncrpc.Client.create ~transport ~prog ~vers ()
+
+let test_client_server_basic () =
+  let server = Oncrpc.Server.create () in
+  add_service server;
+  let client = make_loopback_client server in
+  let sum =
+    Oncrpc.Client.call client ~proc:1
+      (fun enc -> E.int enc 2; E.int enc 40)
+      D.int
+  in
+  check Alcotest.int "sum" 42 sum;
+  (* NULL procedure is implicit *)
+  Oncrpc.Client.call_void client ~proc:0 (fun _ -> ());
+  let stats = Oncrpc.Client.stats client in
+  check Alcotest.int "calls" 2 stats.Oncrpc.Client.calls;
+  check Alcotest.int "args bytes" 8 stats.Oncrpc.Client.bytes_sent
+
+let test_client_server_large_payload () =
+  let server = Oncrpc.Server.create () in
+  add_service server;
+  let client = make_loopback_client server in
+  let payload = Bytes.init 3_000_000 (fun i -> Char.chr ((i * 7) land 0xff)) in
+  let echoed =
+    Oncrpc.Client.call client ~proc:2
+      (fun enc -> E.opaque enc payload)
+      (fun dec -> D.opaque dec)
+  in
+  check Alcotest.bool "echo" true (Bytes.equal payload echoed)
+
+let expect_rpc_error expected f =
+  match f () with
+  | _ -> Alcotest.fail "expected Rpc_error"
+  | exception Oncrpc.Client.Rpc_error e ->
+      check Alcotest.string "rpc error" expected
+        (Oncrpc.Client.error_to_string e)
+
+let test_error_replies () =
+  let server = Oncrpc.Server.create () in
+  add_service server;
+  (* unknown program *)
+  let c = make_loopback_client ~prog:42 server in
+  expect_rpc_error "call failed: PROG_UNAVAIL" (fun () ->
+      Oncrpc.Client.call_void c ~proc:0 (fun _ -> ()));
+  (* wrong version *)
+  let c = make_loopback_client ~vers:9 server in
+  expect_rpc_error "call failed: PROG_MISMATCH(low=1,high=1)" (fun () ->
+      Oncrpc.Client.call_void c ~proc:0 (fun _ -> ()));
+  (* unknown procedure *)
+  let c = make_loopback_client server in
+  expect_rpc_error "call failed: PROC_UNAVAIL" (fun () ->
+      Oncrpc.Client.call_void c ~proc:999 (fun _ -> ()));
+  (* garbage args: proc 1 wants two ints *)
+  expect_rpc_error "call failed: GARBAGE_ARGS" (fun () ->
+      ignore (Oncrpc.Client.call c ~proc:1 (fun _ -> ()) D.int));
+  (* handler exception *)
+  expect_rpc_error "call failed: SYSTEM_ERR" (fun () ->
+      Oncrpc.Client.call_void c ~proc:3 (fun _ -> ()))
+
+let test_auth_rejection () =
+  let server = Oncrpc.Server.create () in
+  add_service server;
+  Oncrpc.Server.set_auth_check server (fun cred ->
+      match cred.Oncrpc.Auth.flavor with
+      | Oncrpc.Auth.Auth_sys -> None
+      | _ -> Some Oncrpc.Message.Auth_tooweak);
+  let c = make_loopback_client server in
+  expect_rpc_error "call denied: AUTH_ERROR(5)" (fun () ->
+      Oncrpc.Client.call_void c ~proc:0 (fun _ -> ()));
+  (* with AUTH_SYS it goes through *)
+  let cred =
+    Oncrpc.Auth.sys
+      { Oncrpc.Auth.stamp = 0l; machinename = "m"; uid = 0; gid = 0; gids = [] }
+  in
+  let transport =
+    Oncrpc.Transport.loopback ~peer:(fun request ->
+        let dec_t, enc_t = Oncrpc.Transport.pipe () in
+        Oncrpc.Transport.send_string dec_t request;
+        let record = Oncrpc.Record.read enc_t in
+        Oncrpc.Record.to_wire (Oncrpc.Server.dispatch server record))
+  in
+  let c = Oncrpc.Client.create ~cred ~transport ~prog:300000 ~vers:1 () in
+  Oncrpc.Client.call_void c ~proc:0 (fun _ -> ())
+
+let test_observer () =
+  let server = Oncrpc.Server.create () in
+  add_service server;
+  let seen = ref [] in
+  Oncrpc.Server.set_observer server (fun ~prog ~vers ~proc ~arg_bytes ->
+      seen := (prog, vers, proc, arg_bytes) :: !seen);
+  let client = make_loopback_client server in
+  ignore
+    (Oncrpc.Client.call client ~proc:1
+       (fun enc -> E.int enc 1; E.int enc 2)
+       D.int);
+  check Alcotest.bool "observed" true ([ (300000, 1, 1, 8) ] = !seen)
+
+(* --- client/server over threads + in-memory pipe --- *)
+
+let test_threaded_pipe () =
+  let server = Oncrpc.Server.create () in
+  add_service server;
+  let client_t, server_t = Oncrpc.Transport.pipe () in
+  let thread =
+    Thread.create (fun () -> Oncrpc.Server.serve_transport server server_t) ()
+  in
+  let client = Oncrpc.Client.create ~transport:client_t ~prog:300000 ~vers:1 () in
+  for i = 1 to 50 do
+    let sum =
+      Oncrpc.Client.call client ~proc:1
+        (fun enc -> E.int enc i; E.int enc i)
+        D.int
+    in
+    check Alcotest.int "sum" (2 * i) sum
+  done;
+  Oncrpc.Client.close client;
+  Thread.join thread
+
+(* --- client/server over real TCP --- *)
+
+let test_tcp_end_to_end () =
+  let server = Oncrpc.Server.create () in
+  add_service server;
+  let tcp = Oncrpc.Server.serve_tcp server ~port:0 () in
+  let port = Oncrpc.Server.tcp_port tcp in
+  let transport = Oncrpc.Transport.tcp_connect ~host:"127.0.0.1" ~port in
+  let client = Oncrpc.Client.create ~transport ~prog:300000 ~vers:1 () in
+  let sum =
+    Oncrpc.Client.call client ~proc:1
+      (fun enc -> E.int enc 20; E.int enc 22)
+      D.int
+  in
+  check Alcotest.int "tcp sum" 42 sum;
+  let payload = Bytes.init 100_000 (fun i -> Char.chr (i land 0xff)) in
+  let echoed =
+    Oncrpc.Client.call client ~proc:2
+      (fun enc -> E.opaque enc payload)
+      (fun dec -> D.opaque dec)
+  in
+  check Alcotest.bool "tcp echo" true (Bytes.equal payload echoed);
+  Oncrpc.Client.close client;
+  Oncrpc.Server.shutdown_tcp tcp
+
+(* --- concurrent client --- *)
+
+let test_concurrent_client () =
+  let server = Oncrpc.Server.create () in
+  (* a slow echo: replies arrive out of submission order because handlers
+     run per-record on the server thread, but workers submit in parallel *)
+  Oncrpc.Server.register server ~prog:300000 ~vers:1
+    [
+      ( 1,
+        fun dec enc ->
+          let v = D.int dec in
+          E.int enc (v * 2) );
+    ];
+  let client_t, server_t = Oncrpc.Transport.pipe () in
+  let server_thread =
+    Thread.create (fun () -> Oncrpc.Server.serve_transport server server_t) ()
+  in
+  let client =
+    Oncrpc.Concurrent.create ~transport:client_t ~prog:300000 ~vers:1 ()
+  in
+  let workers = 8 and calls_each = 50 in
+  let results = Array.make workers true in
+  let threads =
+    List.init workers (fun w ->
+        Thread.create
+          (fun () ->
+            for i = 1 to calls_each do
+              let v = (w * 1000) + i in
+              let r =
+                Oncrpc.Concurrent.call client ~proc:1
+                  (fun enc -> E.int enc v)
+                  D.int
+              in
+              if r <> 2 * v then results.(w) <- false
+            done)
+          ())
+  in
+  List.iter Thread.join threads;
+  Array.iteri
+    (fun w ok -> check Alcotest.bool (Printf.sprintf "worker %d" w) true ok)
+    results;
+  check Alcotest.int "no leaked pending calls" 0
+    (Oncrpc.Concurrent.outstanding client);
+  Oncrpc.Concurrent.close client;
+  Thread.join server_thread
+
+let test_concurrent_close_fails_pending () =
+  (* a server that never answers: close must fail the caller promptly *)
+  let client_t, _server_t = Oncrpc.Transport.pipe () in
+  let client =
+    Oncrpc.Concurrent.create ~transport:client_t ~prog:300000 ~vers:1 ()
+  in
+  let outcome = ref `Pending in
+  let caller =
+    Thread.create
+      (fun () ->
+        match
+          Oncrpc.Concurrent.call client ~proc:1 (fun enc -> E.int enc 1) D.int
+        with
+        | _ -> outcome := `Returned
+        | exception Oncrpc.Transport.Closed -> outcome := `Closed
+        | exception _ -> outcome := `Other)
+      ()
+  in
+  (* wait for the call to be registered, then kill the connection *)
+  while Oncrpc.Concurrent.outstanding client = 0 do
+    Thread.yield ()
+  done;
+  Oncrpc.Concurrent.close client;
+  Thread.join caller;
+  check Alcotest.bool "pending call failed with Closed" true
+    (!outcome = `Closed)
+
+(* --- UDP transport --- *)
+
+let test_udp_end_to_end () =
+  let server = Oncrpc.Server.create () in
+  add_service server;
+  let udp = Oncrpc.Udp.serve server ~port:0 in
+  let client =
+    Oncrpc.Udp.connect ~host:"127.0.0.1" ~port:(Oncrpc.Udp.port udp)
+      ~prog:300000 ~vers:1 ()
+  in
+  let sum =
+    Oncrpc.Udp.call client ~proc:1
+      (fun enc -> E.int enc 30; E.int enc 12)
+      D.int
+  in
+  check Alcotest.int "udp sum" 42 sum;
+  (* several sequential calls reuse the socket *)
+  for i = 1 to 20 do
+    let s =
+      Oncrpc.Udp.call client ~proc:1
+        (fun enc -> E.int enc i; E.int enc i)
+        D.int
+    in
+    check Alcotest.int "seq" (2 * i) s
+  done;
+  Oncrpc.Udp.close_client client;
+  Oncrpc.Udp.shutdown udp
+
+let test_udp_error_reply () =
+  let server = Oncrpc.Server.create () in
+  add_service server;
+  let udp = Oncrpc.Udp.serve server ~port:0 in
+  let client =
+    Oncrpc.Udp.connect ~host:"127.0.0.1" ~port:(Oncrpc.Udp.port udp)
+      ~prog:300000 ~vers:1 ()
+  in
+  (match Oncrpc.Udp.call client ~proc:999 (fun _ -> ()) D.void with
+  | _ -> Alcotest.fail "expected PROC_UNAVAIL"
+  | exception Oncrpc.Client.Rpc_error (Oncrpc.Client.Call_failed _) -> ());
+  Oncrpc.Udp.close_client client;
+  Oncrpc.Udp.shutdown udp
+
+let test_udp_timeout () =
+  (* bind a socket that never answers *)
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  let port =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> assert false
+  in
+  let client =
+    Oncrpc.Udp.connect ~timeout_s:0.02 ~retries:1 ~host:"127.0.0.1" ~port
+      ~prog:300000 ~vers:1 ()
+  in
+  (match Oncrpc.Udp.call client ~proc:0 (fun _ -> ()) D.void with
+  | _ -> Alcotest.fail "expected Timeout"
+  | exception Oncrpc.Udp.Timeout -> ());
+  Oncrpc.Udp.close_client client;
+  Unix.close fd
+
+let test_udp_size_limit () =
+  let server = Oncrpc.Server.create () in
+  add_service server;
+  let udp = Oncrpc.Udp.serve server ~port:0 in
+  let client =
+    Oncrpc.Udp.connect ~host:"127.0.0.1" ~port:(Oncrpc.Udp.port udp)
+      ~prog:300000 ~vers:1 ()
+  in
+  (match
+     Oncrpc.Udp.call client ~proc:2
+       (fun enc -> E.opaque enc (Bytes.create 60_000))
+       (fun dec -> D.opaque dec)
+   with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ());
+  Oncrpc.Udp.close_client client;
+  Oncrpc.Udp.shutdown udp
+
+(* --- portmapper --- *)
+
+let test_portmap_registry () =
+  let pm = Oncrpc.Portmap.create () in
+  let m =
+    { Oncrpc.Portmap.prog = 99; vers = 1; prot = Oncrpc.Portmap.prot_tcp;
+      port = 5000 }
+  in
+  check Alcotest.bool "set" true (Oncrpc.Portmap.set pm m);
+  check Alcotest.bool "set dup" false (Oncrpc.Portmap.set pm m);
+  check Alcotest.int "getport" 5000
+    (Oncrpc.Portmap.getport pm ~prog:99 ~vers:1 ~prot:Oncrpc.Portmap.prot_tcp);
+  check Alcotest.int "getport miss" 0
+    (Oncrpc.Portmap.getport pm ~prog:99 ~vers:2 ~prot:Oncrpc.Portmap.prot_tcp);
+  check Alcotest.bool "unset" true (Oncrpc.Portmap.unset pm ~prog:99 ~vers:1);
+  check Alcotest.bool "unset again" false (Oncrpc.Portmap.unset pm ~prog:99 ~vers:1)
+
+let test_portmap_rpc () =
+  let pm = Oncrpc.Portmap.create () in
+  ignore
+    (Oncrpc.Portmap.set pm
+       { Oncrpc.Portmap.prog = 77; vers = 3; prot = Oncrpc.Portmap.prot_tcp;
+         port = 1234 });
+  let server = Oncrpc.Server.create () in
+  Oncrpc.Portmap.attach pm server;
+  let client = make_loopback_client ~prog:Oncrpc.Portmap.program ~vers:2 server in
+  let port =
+    Oncrpc.Portmap.remote_getport client ~prog:77 ~vers:3
+      ~prot:Oncrpc.Portmap.prot_tcp
+  in
+  check Alcotest.int "remote getport" 1234 port
+
+let suite =
+  [
+    Alcotest.test_case "fragment header roundtrip" `Quick test_header_roundtrip;
+    Alcotest.test_case "single-fragment wire" `Quick test_single_fragment_wire;
+    Alcotest.test_case "multi-fragment wire" `Quick test_multi_fragment_wire;
+    Alcotest.test_case "empty record" `Quick test_empty_record;
+    Alcotest.test_case "fragment reassembly" `Quick test_fragment_reassembly;
+    Alcotest.test_case "max record size" `Quick test_max_record_size;
+    Alcotest.test_case "clean EOF" `Quick test_read_opt_clean_eof;
+    Alcotest.test_case "call header roundtrip" `Quick test_call_roundtrip;
+    Alcotest.test_case "reply roundtrips" `Quick test_reply_roundtrips;
+    Alcotest.test_case "AUTH_SYS roundtrip" `Quick test_auth_sys_roundtrip;
+    Alcotest.test_case "auth body limit" `Quick test_auth_body_limit;
+    Alcotest.test_case "client/server basic" `Quick test_client_server_basic;
+    Alcotest.test_case "large payload (multi-fragment)" `Quick
+      test_client_server_large_payload;
+    Alcotest.test_case "protocol error replies" `Quick test_error_replies;
+    Alcotest.test_case "auth rejection" `Quick test_auth_rejection;
+    Alcotest.test_case "server observer" `Quick test_observer;
+    Alcotest.test_case "threaded pipe" `Quick test_threaded_pipe;
+    Alcotest.test_case "TCP end-to-end" `Quick test_tcp_end_to_end;
+    Alcotest.test_case "concurrent client" `Quick test_concurrent_client;
+    Alcotest.test_case "concurrent close fails pending" `Quick
+      test_concurrent_close_fails_pending;
+    Alcotest.test_case "UDP end-to-end" `Quick test_udp_end_to_end;
+    Alcotest.test_case "UDP error reply" `Quick test_udp_error_reply;
+    Alcotest.test_case "UDP timeout" `Quick test_udp_timeout;
+    Alcotest.test_case "UDP size limit" `Quick test_udp_size_limit;
+    Alcotest.test_case "portmap registry" `Quick test_portmap_registry;
+    Alcotest.test_case "portmap over RPC" `Quick test_portmap_rpc;
+  ]
+  @ [ QCheck_alcotest.to_alcotest prop_record_roundtrip ]
