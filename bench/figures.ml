@@ -455,6 +455,43 @@ let ablation_multitenant () =
       report)
     [ Cricket.Sched.Fifo; Cricket.Sched.Round_robin; Cricket.Sched.Priority ]
 
+(* --- ablation: CUDA streams & asynchronous RPC pipelining --- *)
+
+let ablation_pipeline ?(params = Apps.Pipeline.default) () =
+  header
+    (Printf.sprintf
+       "Ablation: stream-ordered async RPC pipelining — %d rounds of \
+        upload+saxpy on %d-element vectors (one-way RPCs share a network \
+        round trip; sync pays it on every call)"
+       params.Apps.Pipeline.rounds params.Apps.Pipeline.elements);
+  let modes =
+    [ Apps.Pipeline.Sync; Apps.Pipeline.Async 1; Apps.Pipeline.Async 4;
+      Apps.Pipeline.Async 16; Apps.Pipeline.Async 64 ]
+  in
+  Printf.printf "%-9s %-9s %12s %12s %10s %8s %s\n" "config" "mode" "time[ms]"
+    "calls/s" "speedup" "bitexact" "";
+  List.concat_map
+    (fun cfg ->
+      let results =
+        List.map (fun mode -> Apps.Pipeline.measure ~params mode cfg) modes
+      in
+      let baseline = List.hd results in
+      List.iter
+        (fun (r : Apps.Pipeline.result) ->
+          Printf.printf "%-9s %-9s %12.3f %12.0f %9.2fx %8s\n"
+            cfg.Unikernel.Config.name
+            (Apps.Pipeline.mode_name r.Apps.Pipeline.mode)
+            (Time.to_float_ms r.Apps.Pipeline.elapsed)
+            r.Apps.Pipeline.calls_per_s
+            (Time.to_float_s baseline.Apps.Pipeline.elapsed
+            /. Time.to_float_s r.Apps.Pipeline.elapsed)
+            (if r.Apps.Pipeline.digest = baseline.Apps.Pipeline.digest then
+               "yes"
+             else "NO"))
+        results;
+      List.map (fun r -> (cfg, r)) results)
+    Unikernel.Config.all
+
 (* --- server-side per-procedure profile --- *)
 
 let proc_profile () =

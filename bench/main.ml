@@ -80,6 +80,16 @@ let experiments : (string * string * (unit -> unit)) list =
         ignore
           (Figures.ablation_futures
              ?total_bytes:(if !quick then Some (64 lsl 20) else None) ()) );
+    ( "ablation-pipeline",
+      "Ablation: CUDA streams and async RPC pipelining depth",
+      fun () ->
+        ignore
+          (Figures.ablation_pipeline
+             ?params:
+               (if !quick then
+                  Some { Apps.Pipeline.rounds = 32; elements = 1024 }
+                else None)
+             ()) );
     ( "ablation-multitenant",
       "Multi-tenant GPU sharing across unikernels",
       fun () -> ignore (Figures.ablation_multitenant ()) );

@@ -164,6 +164,67 @@ let bandwidth_cmd =
       $ Arg.(value & opt int 512
              & info [ "mib" ] ~docv:"MIB" ~doc:"Total transfer size in MiB."))
 
+(* --- pipeline --- *)
+
+let pipeline_cmd =
+  let mode_conv =
+    let parse s =
+      match s with
+      | "sync" -> Ok Apps.Pipeline.Sync
+      | _ -> (
+          match int_of_string_opt s with
+          | Some d when d > 0 -> Ok (Apps.Pipeline.Async d)
+          | _ ->
+              Error
+                (`Msg
+                   (Printf.sprintf
+                      "bad mode %S (expected \"sync\" or a positive depth)" s)))
+    in
+    let print ppf m = Format.pp_print_string ppf (Apps.Pipeline.mode_name m) in
+    Arg.conv (parse, print)
+  in
+  let run configs modes rounds elements =
+    let params = { Apps.Pipeline.rounds; elements } in
+    List.iter
+      (fun cfg ->
+        let results =
+          List.map (fun mode -> Apps.Pipeline.measure ~params mode cfg) modes
+        in
+        let baseline = List.hd results in
+        List.iter
+          (fun (r : Apps.Pipeline.result) ->
+            Printf.printf
+              "%-9s %-9s %10.3f ms %10.0f calls/s %8.2fx %s\n"
+              cfg.Unikernel.Config.name
+              (Apps.Pipeline.mode_name r.Apps.Pipeline.mode)
+              (Simnet.Time.to_float_ms r.Apps.Pipeline.elapsed)
+              r.Apps.Pipeline.calls_per_s
+              (Simnet.Time.to_float_s baseline.Apps.Pipeline.elapsed
+              /. Simnet.Time.to_float_s r.Apps.Pipeline.elapsed)
+              (if r.Apps.Pipeline.digest = baseline.Apps.Pipeline.digest then
+                 "bit-exact"
+               else "DIGEST MISMATCH"))
+          results)
+      configs
+  in
+  Cmd.v
+    (Cmd.info "pipeline"
+       ~doc:"stream-ordered async RPC pipelining ablation (sync vs \
+             pipeline depths)")
+    Term.(
+      const run $ configs_arg
+      $ Arg.(value
+             & opt_all mode_conv
+                 [ Apps.Pipeline.Sync; Apps.Pipeline.Async 1;
+                   Apps.Pipeline.Async 4; Apps.Pipeline.Async 16;
+                   Apps.Pipeline.Async 64 ]
+             & info [ "m"; "mode" ] ~docv:"MODE"
+                 ~doc:"Mode(s): \"sync\" or a pipeline depth (repeatable).")
+      $ Arg.(value & opt int Apps.Pipeline.default.Apps.Pipeline.rounds
+             & info [ "rounds" ] ~docv:"N" ~doc:"Upload+launch rounds.")
+      $ Arg.(value & opt int Apps.Pipeline.default.Apps.Pipeline.elements
+             & info [ "elements" ] ~docv:"N" ~doc:"f32 elements per vector."))
+
 (* --- multitenant --- *)
 
 let multitenant_cmd =
@@ -232,6 +293,6 @@ let main =
   Cmd.group
     (Cmd.info "benchctl" ~doc:"run individual paper experiments")
     [ table1_cmd; matrixmul_cmd; solver_cmd; histogram_cmd; micro_cmd;
-      bandwidth_cmd; multitenant_cmd; trace_cmd ]
+      bandwidth_cmd; pipeline_cmd; multitenant_cmd; trace_cmd ]
 
 let () = exit (Cmd.eval main)

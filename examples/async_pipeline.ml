@@ -1,0 +1,47 @@
+(* Async pipeline: hiding the guest's network round trip behind a CUDA
+   stream.
+
+   A unikernel guest reaches its GPU over a virtualized network, so every
+   synchronous CUDA call pays a full RPC round trip. This example runs the
+   same upload+saxpy loop twice on a simulated Hermit unikernel — once
+   with blocking calls, once through a Cricket.Stream whose commands are
+   coalesced into one-way RPCs (RFC 5531 section 8 "batching") and flushed
+   together — and prints the virtual wall-clock for both. The results are
+   bit-identical; only the time changes.
+
+     dune exec examples/async_pipeline.exe *)
+
+let rounds = 64
+let elements = 4096
+
+let run_mode cfg mode =
+  let params = { Apps.Pipeline.rounds; elements } in
+  Apps.Pipeline.measure ~params mode cfg
+
+let () =
+  let cfg = Unikernel.Config.hermit in
+  Printf.printf
+    "Pipelining ablation on %s (virtio network): %d rounds of upload+saxpy \
+     on %d floats\n\n"
+    cfg.Unikernel.Config.name rounds elements;
+  let sync = run_mode cfg Apps.Pipeline.Sync in
+  Printf.printf "%-10s %10s %14s %10s %s\n" "mode" "time[ms]" "API calls/s"
+    "speedup" "result";
+  List.iter
+    (fun mode ->
+      let r = run_mode cfg mode in
+      Printf.printf "%-10s %10.3f %14.0f %9.2fx %s\n"
+        (Apps.Pipeline.mode_name r.Apps.Pipeline.mode)
+        (Simnet.Time.to_float_ms r.Apps.Pipeline.elapsed)
+        r.Apps.Pipeline.calls_per_s
+        (Simnet.Time.to_float_s sync.Apps.Pipeline.elapsed
+        /. Simnet.Time.to_float_s r.Apps.Pipeline.elapsed)
+        (if r.Apps.Pipeline.digest = sync.Apps.Pipeline.digest then
+           "bit-identical"
+         else "MISMATCH"))
+    [ Apps.Pipeline.Sync; Apps.Pipeline.Async 1; Apps.Pipeline.Async 4;
+      Apps.Pipeline.Async 16; Apps.Pipeline.Async 64 ];
+  Printf.printf
+    "\nEach async batch of commands plus its closing synchronize costs one\n\
+     network round trip instead of one per call; deeper pipelines amortize\n\
+     the virtio latency further until GPU work dominates.\n"

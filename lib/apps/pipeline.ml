@@ -1,0 +1,93 @@
+module Time = Simnet.Time
+
+type mode = Sync | Async of int
+
+let mode_name = function
+  | Sync -> "sync"
+  | Async d -> Printf.sprintf "async/%d" d
+
+type params = { rounds : int; elements : int }
+
+let default = { rounds = 64; elements = 4096 }
+
+type result = {
+  mode : mode;
+  rounds : int;
+  elapsed : Time.t;
+  api_calls : int;
+  calls_per_s : float;
+  digest : string;  (* MD5 of the final output buffer *)
+}
+
+(* One round uploads a fresh input vector and launches saxpy into the
+   accumulator: y <- a*x + y. Inputs are deterministic so the sync and
+   async executions must produce bit-identical output. *)
+let input params i =
+  Workload.f32_bytes
+    (Array.init params.elements (fun j -> float_of_int (((i * 31) + j) mod 7)))
+
+let run ?(params = default) mode (env : Unikernel.Runner.env) =
+  let client = env.Unikernel.Runner.client in
+  let engine = env.Unikernel.Runner.engine in
+  let n = params.elements in
+  let buf_bytes = 4 * n in
+  let modul = Workload.load_standard_module client in
+  let saxpy = Workload.get_kernel client ~modul Gpusim.Kernels.saxpy_name in
+  let x = Cricket.Lifetime.alloc client buf_bytes in
+  let y = Cricket.Lifetime.alloc client buf_bytes in
+  Cricket.Lifetime.upload y (Workload.f32_bytes (Workload.fill_constant n 1.0));
+  let grid = { Cricket.Client.x = (n + 255) / 256; y = 1; z = 1 } in
+  let block = { Cricket.Client.x = 256; y = 1; z = 1 } in
+  let args =
+    [|
+      Gpusim.Kernels.F32 0.5;
+      Gpusim.Kernels.Ptr (Int64.to_int (Cricket.Lifetime.ptr x));
+      Gpusim.Kernels.Ptr (Int64.to_int (Cricket.Lifetime.ptr y));
+      Gpusim.Kernels.I32 (Int32.of_int n);
+    |]
+  in
+  let t0 = Simnet.Engine.now engine in
+  let calls0 = Cricket.Client.api_calls client in
+  let output =
+    match mode with
+    | Sync ->
+        for i = 1 to params.rounds do
+          Cricket.Lifetime.upload x (input params i);
+          Cricket.Client.launch client saxpy ~grid ~block args;
+          Cricket.Client.device_synchronize client
+        done;
+        Cricket.Lifetime.download y
+    | Async depth ->
+        if depth <= 0 then invalid_arg "Pipeline.run: depth must be positive";
+        let s = Cricket.Stream.create client in
+        for i = 1 to params.rounds do
+          Cricket.Lifetime.upload_async x s (input params i);
+          Cricket.Stream.launch_async s saxpy ~grid ~block args;
+          if i mod depth = 0 then Cricket.Stream.synchronize s
+        done;
+        let out = Cricket.Lifetime.download ~stream:s y in
+        Cricket.Stream.destroy s;
+        out
+  in
+  let elapsed = Time.sub (Simnet.Engine.now engine) t0 in
+  let api_calls = Cricket.Client.api_calls client - calls0 in
+  Cricket.Lifetime.free x;
+  Cricket.Lifetime.free y;
+  Cricket.Client.module_unload client modul;
+  let seconds = Time.to_float_s elapsed in
+  {
+    mode;
+    rounds = params.rounds;
+    elapsed;
+    api_calls;
+    calls_per_s =
+      (if seconds > 0.0 then float_of_int api_calls /. seconds else 0.0);
+    digest = Digest.string (Bytes.to_string output);
+  }
+
+let measure ?params mode cfg =
+  let result = ref None in
+  let (_ : Unikernel.Runner.measurement) =
+    Unikernel.Runner.run cfg (fun env -> result := Some (run ?params mode env))
+  in
+  Option.get !result

@@ -112,6 +112,23 @@ let mem_get_info t =
   check r.Proto.err;
   (r.Proto.free_bytes, r.Proto.total_bytes)
 
+(* --- stream-ordered (one-way) operations ---
+
+   These stubs return as soon as the record is written; no reply exists.
+   Server-side failures latch and surface at the next synchronizing call
+   (stream_synchronize / device_synchronize / memcpy_d2h_stream). *)
+
+let memcpy_h2d_async t ~dst ~stream data =
+  t.memcpy_up <- t.memcpy_up + Bytes.length data;
+  P.rpc_cudaMemcpyHtoDAsync t.rpc dst data stream
+
+let memset_async t ~ptr ~value ~len ~stream =
+  P.rpc_cudaMemsetAsync t.rpc ptr value (Int64.of_int len) stream
+
+let memcpy_d2h_stream t ~src ~len ~stream =
+  t.memcpy_down <- t.memcpy_down + len;
+  check_mem (P.rpc_cudaMemcpyDtoHAsync t.rpc src (Int64.of_int len) stream)
+
 (* --- streams and events --- *)
 
 let stream_create t = check_u64 (P.rpc_cudaStreamCreate t.rpc ())
@@ -127,6 +144,12 @@ let event_synchronize t h = check_void (P.rpc_cudaEventSynchronize t.rpc h)
 
 let event_elapsed_ms t ~start ~stop =
   check_float (P.rpc_cudaEventElapsedTime t.rpc start stop)
+
+let stream_wait_event t ~stream ~event =
+  P.rpc_cudaStreamWaitEvent t.rpc stream event
+
+let event_record_async t ~event ~stream =
+  P.rpc_cudaEventRecordAsync t.rpc event stream
 
 (* --- modules and launches --- *)
 
@@ -209,6 +232,25 @@ let launch t func ~grid ~block ?(shared_mem = 0) ?(stream = 0L) args =
              stream;
            }
            params)
+
+let launch_async t func ~grid ~block ?(shared_mem = 0) ~stream args =
+  if t.launch_extra_ns > 0 then t.charge t.launch_extra_ns;
+  match Cubin.Image.pack_args func.info args with
+  | Error _ -> raise (Cudasim.Error.Cuda_error Cudasim.Error.Invalid_value)
+  | Ok params ->
+      P.rpc_cuLaunchKernelAsync t.rpc
+        {
+          Proto.function_handle = func.handle;
+          grid_x = grid.x;
+          grid_y = grid.y;
+          grid_z = grid.z;
+          block_x = block.x;
+          block_y = block.y;
+          block_z = block.z;
+          shared_mem_bytes = shared_mem;
+          stream;
+        }
+        params
 
 (* --- cuBLAS / cuSOLVER --- *)
 

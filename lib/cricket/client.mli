@@ -79,6 +79,21 @@ val memcpy_d2d : t -> dst:int64 -> src:int64 -> len:int -> unit
 val memset : t -> ptr:int64 -> value:int -> len:int -> unit
 val mem_get_info : t -> int64 * int64
 
+(** {2 Stream-ordered (one-way) variants}
+
+    These return once the request record is written; no reply exists on
+    the wire (RFC 5531 §8 batching), so N of them plus one synchronizing
+    call cost a single round trip. Server-side failures latch and are
+    raised by the next synchronizing call. Prefer the higher-level
+    {!Stream} module, which also defers the sends for explicit
+    pipeline-depth control. *)
+
+val memcpy_h2d_async : t -> dst:int64 -> stream:int64 -> bytes -> unit
+val memset_async : t -> ptr:int64 -> value:int -> len:int -> stream:int64 -> unit
+
+val memcpy_d2h_stream : t -> src:int64 -> len:int -> stream:int64 -> bytes
+(** Blocking, but only drains [stream] (not the whole device). *)
+
 (** {1 Streams and events} *)
 
 val stream_create : t -> int64
@@ -89,6 +104,13 @@ val event_destroy : t -> int64 -> unit
 val event_record : t -> event:int64 -> stream:int64 -> unit
 val event_synchronize : t -> int64 -> unit
 val event_elapsed_ms : t -> start:int64 -> stop:int64 -> float
+
+val stream_wait_event : t -> stream:int64 -> event:int64 -> unit
+(** One-way cudaStreamWaitEvent: [stream]'s subsequent work starts no
+    earlier than the event's recorded time. *)
+
+val event_record_async : t -> event:int64 -> stream:int64 -> unit
+(** One-way {!event_record}. *)
 
 (** {1 Kernel modules and launches} *)
 
@@ -113,6 +135,18 @@ val launch :
   ?stream:int64 ->
   Gpusim.Kernels.arg array ->
   unit
+
+val launch_async :
+  t ->
+  func ->
+  grid:dim3 ->
+  block:dim3 ->
+  ?shared_mem:int ->
+  stream:int64 ->
+  Gpusim.Kernels.arg array ->
+  unit
+(** One-way {!launch}: returns without waiting for the server. Launch
+    errors latch and surface at the next synchronizing call. *)
 
 (** {1 cuBLAS / cuSOLVER} *)
 

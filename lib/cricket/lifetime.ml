@@ -52,7 +52,37 @@ let download_part t ~offset ~len =
     ~src:(Int64.add t.device_ptr (Int64.of_int offset))
     ~len
 
-let download t = download_part t ~offset:0 ~len:t.length
+let same_client t stream op =
+  if Stream.client stream != t.client then
+    invalid_arg (op ^ ": stream belongs to a different client")
+
+(* Stream variants check liveness twice: at enqueue (fail fast) and again
+   inside the deferred command, so freeing a buffer between enqueue and
+   flush still raises Use_after_free instead of touching freed memory. *)
+let upload_async t stream data =
+  ensure_live t;
+  same_client t stream "Lifetime.upload_async";
+  check_bounds t ~offset:0 ~len:(Bytes.length data);
+  Stream.submit stream (fun () ->
+      ensure_live t;
+      Client.memcpy_h2d_async t.client ~dst:t.device_ptr
+        ~stream:(Stream.handle stream) data)
+
+let fill_async t stream value =
+  ensure_live t;
+  same_client t stream "Lifetime.fill_async";
+  Stream.submit stream (fun () ->
+      ensure_live t;
+      Client.memset_async t.client ~ptr:t.device_ptr ~value ~len:t.length
+        ~stream:(Stream.handle stream))
+
+let download ?stream t =
+  match stream with
+  | None -> download_part t ~offset:0 ~len:t.length
+  | Some s ->
+      ensure_live t;
+      same_client t s "Lifetime.download";
+      Stream.download s ~src:t.device_ptr ~len:t.length
 
 let fill t value =
   ensure_live t;

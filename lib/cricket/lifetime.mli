@@ -29,8 +29,22 @@ val upload : t -> bytes -> unit
 (** H2D into this buffer; checks live-ness and size. *)
 
 val upload_at : t -> offset:int -> bytes -> unit
-val download : t -> bytes
-(** D2H of the whole buffer. *)
+
+val download : ?stream:Stream.t -> t -> bytes
+(** D2H of the whole buffer. With [?stream], the copy is stream-ordered:
+    the stream flushes its queued commands and blocks only on its own
+    completion, not the whole device. *)
+
+(** {1 Stream-ordered variants}
+
+    Enqueue on a {!Stream} without blocking. Liveness is checked both at
+    enqueue time and again when the stream flushes, so a buffer freed with
+    commands still queued raises {!Use_after_free} at the flush — the
+    enqueued-but-not-executed command can never touch freed memory. The
+    stream must belong to the same client ([Invalid_argument] otherwise). *)
+
+val upload_async : t -> Stream.t -> bytes -> unit
+val fill_async : t -> Stream.t -> int -> unit
 
 val download_part : t -> offset:int -> len:int -> bytes
 val fill : t -> int -> unit

@@ -18,7 +18,10 @@ let records_of_stream stream =
 let transport_of_dispatch dispatch =
   Oncrpc.Transport.loopback ~peer:(fun request ->
       records_of_stream request
-      |> List.map (fun record -> Oncrpc.Record.to_wire (dispatch record))
+      |> List.filter_map (fun record ->
+             match dispatch record with
+             | "" -> None (* one-way call: no reply record *)
+             | reply -> Some (Oncrpc.Record.to_wire reply))
       |> String.concat "")
 
 let transport server = transport_of_dispatch (Server.dispatch server)

@@ -99,6 +99,16 @@ let implementation t : P.Server.implementation =
       (fun () ->
         let free_bytes, total_bytes = Cudasim.Api.mem_get_info ctx in
         { Proto.err = 0; free_bytes; total_bytes });
+    rpc_cudaMemcpyHtoDAsync =
+      (fun dst data stream -> Cudasim.Api.memcpy_h2d_async ctx ~dst data ~stream);
+    rpc_cudaMemsetAsync =
+      (fun ptr value len stream ->
+        Cudasim.Api.memset_async ctx ~ptr ~value ~len ~stream);
+    rpc_cudaMemcpyDtoHAsync =
+      (fun src len stream ->
+        match Cudasim.Api.memcpy_d2h_stream ctx ~src ~len ~stream with
+        | Ok data -> mem_result_ok data
+        | Error e -> mem_result e);
     rpc_cudaStreamCreate =
       (fun () -> u64_result_ok (Cudasim.Api.stream_create ctx));
     rpc_cudaStreamDestroy =
@@ -117,6 +127,10 @@ let implementation t : P.Server.implementation =
         match Cudasim.Api.event_elapsed_ms ctx ~start ~stop with
         | Ok ms -> float_result_ok ms
         | Error e -> float_result e);
+    rpc_cudaStreamWaitEvent =
+      (fun stream event -> Cudasim.Api.stream_wait_event ctx ~stream ~event);
+    rpc_cudaEventRecordAsync =
+      (fun event stream -> Cudasim.Api.event_record_async ctx ~event ~stream);
     rpc_cuModuleLoadData =
       (fun data ->
         match Cudasim.Api.module_load_data ctx (Bytes.to_string data) with
@@ -150,6 +164,22 @@ let implementation t : P.Server.implementation =
                stream = config.Proto.stream;
              }
              ~params));
+    rpc_cuLaunchKernelAsync =
+      (fun (config : Proto.launch_config) params ->
+        let open Gpusim.Kernels in
+        Cudasim.Api.launch_kernel_async ctx
+          {
+            Cudasim.Api.function_handle = config.Proto.function_handle;
+            grid =
+              { x = config.Proto.grid_x; y = config.Proto.grid_y;
+                z = config.Proto.grid_z };
+            block =
+              { x = config.Proto.block_x; y = config.Proto.block_y;
+                z = config.Proto.block_z };
+            shared_mem_bytes = config.Proto.shared_mem_bytes;
+            stream = config.Proto.stream;
+          }
+          ~params);
     rpc_cublasCreate = (fun () -> u64_result_ok (Cudasim.Cublas.create ctx));
     rpc_cublasDestroy = (fun h -> void_result (Cudasim.Cublas.destroy ctx h));
     rpc_cublasSgemm =

@@ -1,0 +1,55 @@
+type t = {
+  client : Client.t;
+  handle : int64;
+  queue : (unit -> unit) Queue.t;  (* deferred one-way sends, FIFO *)
+}
+
+let create client =
+  { client; handle = Client.stream_create client; queue = Queue.create () }
+
+let handle t = t.handle
+let client t = t.client
+let pending t = Queue.length t.queue
+let submit t cmd = Queue.add cmd t.queue
+
+let flush t =
+  while not (Queue.is_empty t.queue) do
+    (Queue.pop t.queue) ()
+  done
+
+let memcpy_h2d_async t ~dst data =
+  submit t (fun () ->
+      Client.memcpy_h2d_async t.client ~dst ~stream:t.handle data)
+
+let memset_async t ~ptr ~value ~len =
+  submit t (fun () ->
+      Client.memset_async t.client ~ptr ~value ~len ~stream:t.handle)
+
+let launch_async t func ~grid ~block ?(shared_mem = 0) args =
+  submit t (fun () ->
+      Client.launch_async t.client func ~grid ~block ~shared_mem
+        ~stream:t.handle args)
+
+let event_record t event =
+  submit t (fun () ->
+      Client.event_record_async t.client ~event ~stream:t.handle)
+
+let wait_event t event =
+  submit t (fun () ->
+      Client.stream_wait_event t.client ~stream:t.handle ~event)
+
+let synchronize t =
+  flush t;
+  Client.stream_synchronize t.client t.handle
+
+let download t ~src ~len =
+  flush t;
+  Client.memcpy_d2h_stream t.client ~src ~len ~stream:t.handle
+
+let event_elapsed_ms t ~start ~stop =
+  flush t;
+  Client.event_elapsed_ms t.client ~start ~stop
+
+let destroy t =
+  flush t;
+  Client.stream_destroy t.client t.handle

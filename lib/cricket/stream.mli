@@ -1,0 +1,77 @@
+(** Client-side CUDA stream: a local command queue coalesced into one-way
+    RPCs.
+
+    Commands ([memcpy_h2d_async], [launch_async], …) are enqueued locally
+    and only hit the wire when the stream flushes — explicitly via
+    {!flush}, or implicitly by any blocking operation ({!synchronize},
+    {!download}, {!event_elapsed_ms}, {!destroy}). Because the flushed
+    RPCs are one-way (RFC 5531 §8), an entire batch plus the blocking
+    call that follows costs a single network round trip: this is the
+    pipeline that hides the guest's virtualized-network latency behind
+    the stream, and the distance between synchronize points is the
+    pipeline depth.
+
+    Ordering: commands on one stream execute in enqueue order; commands
+    on different streams of the same client are ordered by their flush
+    order. For a cross-stream dependency, flush the stream that records
+    the event before flushing the one that {!wait_event}s on it.
+
+    Server-side failures of enqueued commands cannot be raised at enqueue
+    time — they latch on the server and are raised (as
+    {!Cudasim.Error.Cuda_error}) by the next blocking operation. *)
+
+type t
+
+val create : Client.t -> t
+(** Creates a server-side stream (one blocking RPC). *)
+
+val handle : t -> int64
+val client : t -> Client.t
+
+val pending : t -> int
+(** Commands enqueued locally and not yet flushed. *)
+
+val submit : t -> (unit -> unit) -> unit
+(** Enqueue a raw deferred command — run when the stream flushes, in
+    order. Used by {!Lifetime} to re-validate buffer liveness at flush
+    time; application code should prefer the typed operations. *)
+
+val flush : t -> unit
+(** Send all enqueued commands as one-way RPCs, in order. Does not block
+    for the server. *)
+
+(** {1 Stream-ordered commands (enqueue; no network traffic)} *)
+
+val memcpy_h2d_async : t -> dst:int64 -> bytes -> unit
+val memset_async : t -> ptr:int64 -> value:int -> len:int -> unit
+
+val launch_async :
+  t ->
+  Client.func ->
+  grid:Client.dim3 ->
+  block:Client.dim3 ->
+  ?shared_mem:int ->
+  Gpusim.Kernels.arg array ->
+  unit
+
+val event_record : t -> int64 -> unit
+(** Record an event (from {!Client.event_create}) after the work enqueued
+    so far. *)
+
+val wait_event : t -> int64 -> unit
+(** Subsequent commands wait for the event's recorded time. *)
+
+(** {1 Blocking operations (flush, then wait)} *)
+
+val synchronize : t -> unit
+(** Flush and block until the stream's work completes; raises any latched
+    asynchronous error. *)
+
+val download : t -> src:int64 -> len:int -> bytes
+(** Flush, then stream-ordered device-to-host copy: blocks only on this
+    stream, not the whole device. *)
+
+val event_elapsed_ms : t -> start:int64 -> stop:int64 -> float
+
+val destroy : t -> unit
+(** Flush, then destroy the server-side stream. *)

@@ -55,11 +55,18 @@ let get_device_properties ctx i =
           memory_bandwidth = Int64.of_float d.Gpusim.Device.memory_bandwidth;
         }
 
+(* Synchronizing calls surface any latched asynchronous failure — the
+   one-way stream operations have no reply of their own. *)
+let surface_async_error ctx =
+  match Context.take_async_error ctx with
+  | Some e -> e
+  | None -> Error.Success
+
 let device_synchronize ctx =
   charge ctx dispatch_ns;
   let gpu = Context.gpu ctx in
   advance_to ctx (Gpusim.Gpu.synchronize gpu ~now:(now ctx));
-  Error.Success
+  surface_async_error ctx
 
 let device_reset ctx =
   charge ctx dispatch_ns;
@@ -144,6 +151,56 @@ let mem_get_info ctx =
   ( Int64.of_int (Gpusim.Memory.free_bytes m),
     Int64.of_int (Gpusim.Memory.total_bytes m) )
 
+(* --- stream-ordered (asynchronous) memory operations ---
+
+   These charge only the driver dispatch cost on the host clock; the
+   transfer/fill time lands on the stream inside the GPU model, so
+   independent streams overlap and the host never blocks. Failures are
+   latched (Context.set_async_error) and surface at the next synchronize. *)
+
+let memcpy_h2d_async ctx ~dst data ~stream =
+  charge ctx dispatch_ns;
+  match
+    Gpusim.Gpu.memcpy_h2d (Context.gpu ctx) ~now:(now ctx)
+      ~stream:(Int64.to_int stream) ~dst:(Int64.to_int dst) data
+  with
+  | (_ : Time.t) -> ()
+  | exception Not_found -> Context.set_async_error ctx Error.Invalid_handle
+  | exception Gpusim.Memory.Error _ ->
+      Context.set_async_error ctx Error.Invalid_value
+
+let memset_async ctx ~ptr ~value ~len ~stream =
+  charge ctx dispatch_ns;
+  match
+    Gpusim.Gpu.memset (Context.gpu ctx) ~now:(now ctx)
+      ~stream:(Int64.to_int stream) ~ptr:(Int64.to_int ptr) ~value
+      (Int64.to_int len)
+  with
+  | (_ : Time.t) -> ()
+  | exception Not_found -> Context.set_async_error ctx Error.Invalid_handle
+  | exception Gpusim.Memory.Error _ ->
+      Context.set_async_error ctx Error.Invalid_value
+
+(* Stream-ordered D2H: blocks the host only until *this stream* finishes,
+   unlike the synchronous memcpy_d2h which drains the whole device. *)
+let memcpy_d2h_stream ctx ~src ~len ~stream =
+  charge ctx dispatch_ns;
+  let len = Int64.to_int len in
+  if len < 0 then Error Error.Invalid_value
+  else
+    match
+      Gpusim.Gpu.memcpy_d2h (Context.gpu ctx) ~now:(now ctx)
+        ~stream:(Int64.to_int stream) ~src:(Int64.to_int src) len
+    with
+    | finish, data ->
+        advance_to ctx finish;
+        charge ctx memcpy_overhead_ns;
+        (match Context.take_async_error ctx with
+        | Some e -> Error e
+        | None -> Ok data)
+    | exception Not_found -> Error Error.Invalid_handle
+    | exception Gpusim.Memory.Error _ -> Error Error.Invalid_value
+
 (* --- streams and events --- *)
 
 let stream_create ctx =
@@ -162,7 +219,7 @@ let stream_synchronize ctx h =
   match Gpusim.Gpu.stream_synchronize gpu ~now:(now ctx) (Int64.to_int h) with
   | t ->
       advance_to ctx t;
-      Error.Success
+      surface_async_error ctx
   | exception Not_found -> Error.Invalid_handle
 
 let event_create ctx =
@@ -191,8 +248,26 @@ let event_synchronize ctx h =
   match Gpusim.Gpu.event_synchronize gpu ~now:(now ctx) (Int64.to_int h) with
   | t ->
       advance_to ctx t;
-      Error.Success
+      surface_async_error ctx
   | exception Not_found -> Error.Invalid_handle
+
+let stream_wait_event ctx ~stream ~event =
+  charge ctx dispatch_ns;
+  match
+    Gpusim.Gpu.stream_wait_event (Context.gpu ctx)
+      ~stream:(Int64.to_int stream) ~event:(Int64.to_int event)
+  with
+  | () -> ()
+  | exception Not_found -> Context.set_async_error ctx Error.Invalid_handle
+
+let event_record_async ctx ~event ~stream =
+  charge ctx dispatch_ns;
+  match
+    Gpusim.Gpu.event_record (Context.gpu ctx) ~now:(now ctx)
+      ~event:(Int64.to_int event) ~stream:(Int64.to_int stream)
+  with
+  | () -> ()
+  | exception Not_found -> Context.set_async_error ctx Error.Invalid_handle
 
 let event_elapsed_ms ctx ~start ~stop =
   charge ctx dispatch_ns;
@@ -312,3 +387,8 @@ let launch_kernel ctx config ~params =
           | exception Not_found -> Error.Invalid_handle
           | exception Gpusim.Kernels.Bad_args _ -> Error.Launch_failure
           | exception Gpusim.Memory.Error _ -> Error.Launch_failure))
+
+let launch_kernel_async ctx config ~params =
+  match launch_kernel ctx config ~params with
+  | Error.Success -> ()
+  | e -> Context.set_async_error ctx e

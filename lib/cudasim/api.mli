@@ -42,6 +42,24 @@ val memset : Context.t -> ptr:int64 -> value:int -> len:int64 -> Error.t
 val mem_get_info : Context.t -> int64 * int64
 (** (free, total). *)
 
+(** {1 Stream-ordered (asynchronous) memory operations}
+
+    Unlike their synchronous counterparts these never drain the device:
+    only the driver-dispatch cost hits the host clock, the transfer/fill
+    time is enqueued on the stream. Failures cannot be returned (the RPCs
+    are one-way), so they latch via {!Context.set_async_error} and surface
+    at the next synchronizing call. *)
+
+val memcpy_h2d_async : Context.t -> dst:int64 -> bytes -> stream:int64 -> unit
+val memset_async :
+  Context.t -> ptr:int64 -> value:int -> len:int64 -> stream:int64 -> unit
+
+val memcpy_d2h_stream :
+  Context.t -> src:int64 -> len:int64 -> stream:int64 -> (bytes, Error.t) result
+(** Blocking, but only on [stream]'s completion (plus the DMA setup
+    overhead) — other streams keep running. Also surfaces a latched async
+    error, since it is a synchronizing call. *)
+
 (** {1 Streams and events} *)
 
 val stream_create : Context.t -> int64
@@ -52,6 +70,12 @@ val event_destroy : Context.t -> int64 -> Error.t
 val event_record : Context.t -> event:int64 -> stream:int64 -> Error.t
 val event_synchronize : Context.t -> int64 -> Error.t
 val event_elapsed_ms : Context.t -> start:int64 -> stop:int64 -> (float, Error.t) result
+
+val stream_wait_event : Context.t -> stream:int64 -> event:int64 -> unit
+(** One-way cudaStreamWaitEvent; unknown handles latch an async error. *)
+
+val event_record_async : Context.t -> event:int64 -> stream:int64 -> unit
+(** One-way {!event_record}; unknown handles latch an async error. *)
 
 (** {1 Module API (cubin loading — the paper's Cricket extension)} *)
 
@@ -75,6 +99,9 @@ type launch_config = {
 
 val launch_kernel : Context.t -> launch_config -> params:bytes -> Error.t
 (** Unpacks [params] using the function's cubin metadata, then enqueues. *)
+
+val launch_kernel_async : Context.t -> launch_config -> params:bytes -> unit
+(** One-way {!launch_kernel}: any error latches instead of returning. *)
 
 (** {1 Cost constants (exposed for the benchmarks' documentation)} *)
 

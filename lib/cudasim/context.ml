@@ -25,6 +25,7 @@ type t = {
   cusolver : (int, unit) Hashtbl.t;
   globals : (int * string, int) Hashtbl.t;  (* (module, name) -> device ptr *)
   mutable next_handle : int;
+  mutable async_error : Error.t option;  (* sticky, cudaGetLastError-style *)
 }
 
 let create ?(devices = Gpusim.Device.gpu_node) ?memory_capacity clock =
@@ -42,6 +43,7 @@ let create ?(devices = Gpusim.Device.gpu_node) ?memory_capacity clock =
     cusolver = Hashtbl.create 4;
     globals = Hashtbl.create 8;
     next_handle = 0x100;
+    async_error = None;
   }
 
 let clock t = t.clock
@@ -62,6 +64,14 @@ let gpu_at t i =
 
 let functional t = t.is_functional
 let set_functional t v = t.is_functional <- v
+
+let set_async_error t e =
+  if t.async_error = None then t.async_error <- Some e
+
+let take_async_error t =
+  let e = t.async_error in
+  t.async_error <- None;
+  e
 
 let fresh_handle t =
   let h = t.next_handle in

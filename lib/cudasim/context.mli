@@ -47,6 +47,19 @@ val gpu_at : t -> int -> Gpusim.Gpu.t option
 val functional : t -> bool
 val set_functional : t -> bool -> unit
 
+(** {1 Sticky asynchronous error}
+
+    Failures of one-way (stream-ordered) operations cannot be reported to
+    the caller inline — there is no reply. As with [cudaGetLastError], the
+    first such failure is latched and surfaced by the next synchronizing
+    call, which clears it. *)
+
+val set_async_error : t -> Error.t -> unit
+(** Keeps the first error if one is already latched. *)
+
+val take_async_error : t -> Error.t option
+(** Return and clear the latched error. *)
+
 val fresh_handle : t -> int
 
 (** {1 Module / function tables} *)

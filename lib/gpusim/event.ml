@@ -1,0 +1,14 @@
+module Time = Simnet.Time
+
+type t = { id : int; mutable recorded : Time.t option }
+
+let create ~id = { id; recorded = None }
+let id t = t.id
+let record t time = t.recorded <- Some time
+let recorded t = t.recorded
+let is_recorded t = t.recorded <> None
+
+let elapsed_ms ~start ~stop =
+  match (start.recorded, stop.recorded) with
+  | Some a, Some b -> Time.to_float_ms (Time.sub b a)
+  | _ -> raise Not_found

@@ -1,0 +1,25 @@
+(** A CUDA event: a named timestamp in stream order.
+
+    Recording an event on a stream snapshots the stream's completion time;
+    other streams can then {!Stream.wait_event} on that snapshot to model
+    cross-stream dependencies, and the host can compute elapsed times
+    between two recorded events (cudaEventElapsedTime). An event may be
+    re-recorded; the latest snapshot wins, as in CUDA. *)
+
+module Time = Simnet.Time
+
+type t
+
+val create : id:int -> t
+val id : t -> int
+
+val record : t -> Time.t -> unit
+(** Overwrites any earlier recording. *)
+
+val recorded : t -> Time.t option
+(** [None] until first recorded. *)
+
+val is_recorded : t -> bool
+
+val elapsed_ms : start:t -> stop:t -> float
+(** Raises [Not_found] if either event has not been recorded. *)

@@ -3,9 +3,10 @@ module Time = Simnet.Time
 type t = {
   device : Device.t;
   mutable memory : Memory.t;
-  streams : (int, Time.t ref) Hashtbl.t;
-  events : (int, Time.t option ref) Hashtbl.t;
+  streams : (int, Stream.t) Hashtbl.t;
+  events : (int, Event.t) Hashtbl.t;
   mutable next_handle : int;
+  mutable next_seq : int;  (* device-wide submission order *)
 }
 
 let default_stream = 0
@@ -28,9 +29,10 @@ let create ?memory_capacity device =
       streams = Hashtbl.create 8;
       events = Hashtbl.create 8;
       next_handle = 1;
+      next_seq = 0;
     }
   in
-  Hashtbl.add t.streams default_stream (ref Time.zero);
+  Hashtbl.add t.streams default_stream (Stream.create ~id:default_stream);
   t
 
 let device t = t.device
@@ -41,9 +43,14 @@ let fresh_handle t =
   t.next_handle <- h + 1;
   h
 
+let next_seq t =
+  let s = t.next_seq in
+  t.next_seq <- s + 1;
+  s
+
 let stream_create t =
   let h = fresh_handle t in
-  Hashtbl.add t.streams h (ref Time.zero);
+  Hashtbl.add t.streams h (Stream.create ~id:h);
   h
 
 let stream_ref t handle = Hashtbl.find t.streams handle
@@ -54,34 +61,77 @@ let stream_destroy t handle =
   Hashtbl.remove t.streams handle
 
 let stream_valid t handle = Hashtbl.mem t.streams handle
-let stream_completion t handle = !(stream_ref t handle)
+let stream_completion t handle = Stream.completion (stream_ref t handle)
+let stream_pending t handle = Stream.pending (stream_ref t handle)
+let stream_commands t handle = Stream.pending_commands (stream_ref t handle)
 
 let stream_synchronize t ~now handle =
-  let completion = stream_completion t handle in
-  if Time.compare completion now > 0 then completion else now
+  let stream = stream_ref t handle in
+  let completion = Stream.completion stream in
+  let resume = if Time.compare completion now > 0 then completion else now in
+  Stream.retire stream ~now:resume;
+  resume
+
+(* Transfer costs: host<->device staging over PCIe, on-device fills at
+   memory bandwidth. *)
+let pcie_cost t bytes =
+  Time.of_float_ns (Float.of_int bytes /. t.device.Device.pcie_bandwidth *. 1e9)
+
+let membw_cost t bytes =
+  Time.of_float_ns
+    (Float.of_int bytes /. t.device.Device.memory_bandwidth *. 1e9)
 
 let launch t ~now ?(stream = default_stream) kernel launch_params =
-  let sref = stream_ref t stream in
-  let start = if Time.compare !sref now > 0 then !sref else now in
+  let s = stream_ref t stream in
   let cost_ns = kernel.Kernels.cost t.device launch_params in
-  let completion =
-    Time.add start
-      (Time.add
-         (Time.ns t.device.Device.launch_overhead_ns)
-         (Time.of_float_ns cost_ns))
+  let cost =
+    Time.add
+      (Time.ns t.device.Device.launch_overhead_ns)
+      (Time.of_float_ns cost_ns)
   in
   kernel.Kernels.execute t.memory launch_params;
-  sref := completion;
-  completion
+  Stream.enqueue s ~now ~seq:(next_seq t)
+    ~op:(Stream.Kernel_launch kernel.Kernels.name)
+    ~cost
+
+let memcpy_h2d t ~now ?(stream = default_stream) ~dst data =
+  let s = stream_ref t stream in
+  Memory.write t.memory dst data;
+  let len = Bytes.length data in
+  Stream.enqueue s ~now ~seq:(next_seq t) ~op:(Stream.Memcpy_h2d len)
+    ~cost:(pcie_cost t len)
+
+let memcpy_d2h t ~now ?(stream = default_stream) ~src len =
+  let s = stream_ref t stream in
+  (* Eager data effects mean device memory already reflects everything
+     enqueued before this command, so reading now is stream-ordered. *)
+  let data = Memory.read t.memory src len in
+  let finish =
+    Stream.enqueue s ~now ~seq:(next_seq t) ~op:(Stream.Memcpy_d2h len)
+      ~cost:(pcie_cost t len)
+  in
+  (finish, data)
+
+let memset t ~now ?(stream = default_stream) ~ptr ~value len =
+  let s = stream_ref t stream in
+  Memory.memset t.memory ptr value len;
+  Stream.enqueue s ~now ~seq:(next_seq t) ~op:(Stream.Memset len)
+    ~cost:(membw_cost t len)
 
 let synchronize t ~now =
-  Hashtbl.fold
-    (fun _ sref acc -> if Time.compare !sref acc > 0 then !sref else acc)
-    t.streams now
+  let resume =
+    Hashtbl.fold
+      (fun _ s acc ->
+        let c = Stream.completion s in
+        if Time.compare c acc > 0 then c else acc)
+      t.streams now
+  in
+  Hashtbl.iter (fun _ s -> Stream.retire s ~now:resume) t.streams;
+  resume
 
 let event_create t =
   let h = fresh_handle t in
-  Hashtbl.add t.events h (ref None);
+  Hashtbl.add t.events h (Event.create ~id:h);
   h
 
 let event_destroy t handle =
@@ -91,25 +141,33 @@ let event_destroy t handle =
 let event_valid t handle = Hashtbl.mem t.events handle
 
 let event_record t ~now ~event ~stream =
-  let eref = Hashtbl.find t.events event in
-  let completion = stream_synchronize t ~now stream in
-  eref := Some completion
+  let e = Hashtbl.find t.events event in
+  let s = stream_ref t stream in
+  let completion = Stream.completion s in
+  let when_ = if Time.compare completion now > 0 then completion else now in
+  Event.record e when_
 
 let event_synchronize t ~now handle =
-  match !(Hashtbl.find t.events handle) with
+  match Event.recorded (Hashtbl.find t.events handle) with
   | Some when_ -> if Time.compare when_ now > 0 then when_ else now
   | None -> now
 
 let event_elapsed_ms t ~start ~stop =
-  match (!(Hashtbl.find t.events start), !(Hashtbl.find t.events stop)) with
-  | Some a, Some b -> Time.to_float_ms (Time.sub b a)
-  | _ -> raise Not_found
+  Event.elapsed_ms
+    ~start:(Hashtbl.find t.events start)
+    ~stop:(Hashtbl.find t.events stop)
+
+let stream_wait_event t ~stream ~event =
+  let e = Hashtbl.find t.events event in
+  let s = stream_ref t stream in
+  Stream.wait_event s ~seq:(next_seq t) ~event ~time:(Event.recorded e)
 
 let reset t =
   Memory.reset t.memory;
   Hashtbl.reset t.streams;
   Hashtbl.reset t.events;
-  Hashtbl.add t.streams default_stream (ref Time.zero);
-  t.next_handle <- 1
+  Hashtbl.add t.streams default_stream (Stream.create ~id:default_stream);
+  t.next_handle <- 1;
+  t.next_seq <- 0
 
 let set_memory t m = t.memory <- m

@@ -36,8 +36,45 @@ val stream_valid : t -> int -> bool
 val stream_completion : t -> int -> Time.t
 (** When this stream's queued work finishes. *)
 
+val stream_pending : t -> int -> int
+(** Commands enqueued on the stream and not yet retired by a
+    synchronisation point — the current pipeline depth. *)
+
+val stream_commands : t -> int -> Stream.command list
+(** The pending commands, oldest first. *)
+
 val stream_synchronize : t -> now:Time.t -> int -> Time.t
-(** Time at which the host resumes: [max now (stream_completion)]. *)
+(** Time at which the host resumes: [max now (stream_completion)].
+    Retires the stream's finished commands. *)
+
+val stream_wait_event : t -> stream:int -> event:int -> unit
+(** cudaStreamWaitEvent: commands enqueued on [stream] after this call
+    start no earlier than the event's recorded time (no-op if the event
+    was never recorded, per CUDA). Raises [Not_found] for an unknown
+    stream or event. *)
+
+(** {1 Stream-ordered work submission}
+
+    Data side effects are applied eagerly, in submission order, while the
+    time cost is accounted on the stream — the same convention as
+    {!launch}. Because every mutation of device memory happens at enqueue
+    time in one global submission order, results are bit-identical to a
+    fully synchronous execution of the same command sequence. *)
+
+val memcpy_h2d : t -> now:Time.t -> ?stream:int -> dst:int -> bytes -> Time.t
+(** Host-to-device copy at PCIe bandwidth; returns the stream's new
+    completion time. Raises [Not_found] for an unknown stream and
+    {!Memory.Error} on bad pointers/bounds. *)
+
+val memcpy_d2h :
+  t -> now:Time.t -> ?stream:int -> src:int -> int -> Time.t * bytes
+(** [memcpy_d2h t ~now ?stream ~src len] is a device-to-host copy of [len]
+    bytes; returns (completion time, data). *)
+
+val memset :
+  t -> now:Time.t -> ?stream:int -> ptr:int -> value:int -> int -> Time.t
+(** [memset t ~now ?stream ~ptr ~value len]: on-device fill at memory
+    bandwidth. *)
 
 (** {1 Kernel execution} *)
 

@@ -105,6 +105,32 @@ let call t ~proc encode_args decode_results =
   result
 
 let call_void t ~proc encode_args = call t ~proc encode_args Xdr.Decode.void
+
+(* RFC 5531 §8 "batching": send the call and do not wait for (or expect) a
+   reply. The record sits in the transport's send path until a subsequent
+   synchronous call flushes the connection, so N one-way calls followed by
+   one blocking call cost a single round trip. *)
+let call_oneway t ~proc encode_args =
+  let xid = t.next_xid in
+  t.next_xid <- Int32.add t.next_xid 1l;
+  let enc = Xdr.Encode.create () in
+  Message.encode enc
+    (Message.call ~cred:t.cred ~xid ~prog:t.prog ~vers:t.vers ~proc ());
+  let header_len = Xdr.Encode.length enc in
+  encode_args enc;
+  let request = Xdr.Encode.to_string enc in
+  let args_len = String.length request - header_len in
+  Record.write ~fragment_size:t.fragment_size t.transport request;
+  let s = t.stats in
+  t.stats <-
+    {
+      s with
+      calls = s.calls + 1;
+      bytes_sent = s.bytes_sent + args_len;
+      wire_bytes_sent =
+        s.wire_bytes_sent
+        + wire_length ~fragment_size:t.fragment_size (String.length request);
+    }
 let stats t = t.stats
 let reset_stats t = t.stats <- empty_stats
 let close t = t.transport.Transport.close ()

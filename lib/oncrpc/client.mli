@@ -49,6 +49,14 @@ val call :
 val call_void : t -> proc:int -> (Xdr.Encode.t -> unit) -> unit
 (** A call whose result type is [void]. *)
 
+val call_oneway : t -> proc:int -> (Xdr.Encode.t -> unit) -> unit
+(** A batched call per RFC 5531 §8: the request record is written but no
+    reply is awaited (the server must not send one — see
+    {!Server.set_oneway}). One-way calls accumulate in the transport until
+    the next synchronous {!call} flushes them, so a pipeline of N one-way
+    calls plus one blocking call costs a single round trip. Counted in
+    {!stats} like any other call. *)
+
 val stats : t -> stats
 val reset_stats : t -> unit
 val close : t -> unit

@@ -78,7 +78,9 @@ let outstanding t =
   Mutex.unlock t.table_lock;
   n
 
-let call t ~proc encode_args decode_results =
+type 'a promise = { p_slot : slot; p_decode : Xdr.Decode.t -> 'a }
+
+let call_pipelined t ~proc encode_args decode_results =
   let slot =
     { slot_lock = Mutex.create (); slot_cond = Condition.create ();
       reply = None; failed = None }
@@ -109,6 +111,9 @@ let call t ~proc encode_args decode_results =
       Hashtbl.remove t.pending xid;
       Mutex.unlock t.table_lock;
       raise e);
+  { p_slot = slot; p_decode = decode_results }
+
+let await { p_slot = slot; p_decode = decode_results } =
   (* wait for the receiver to fill our slot *)
   Mutex.lock slot.slot_lock;
   while slot.reply = None && slot.failed = None do
@@ -133,6 +138,15 @@ let call t ~proc encode_args decode_results =
       | Message.Call _ ->
           raise (Client.Rpc_error (Client.Bad_reply "received a CALL")))
   | None, None -> assert false
+
+let is_ready { p_slot = slot; _ } =
+  Mutex.lock slot.slot_lock;
+  let ready = slot.reply <> None || slot.failed <> None in
+  Mutex.unlock slot.slot_lock;
+  ready
+
+let call t ~proc encode_args decode_results =
+  await (call_pipelined t ~proc encode_args decode_results)
 
 let close t =
   t.alive <- false;

@@ -19,7 +19,32 @@ val call :
   t -> proc:int -> (Xdr.Encode.t -> unit) -> (Xdr.Decode.t -> 'a) -> 'a
 (** Semantics of {!Client.call}; safe from any thread. Raises
     {!Client.Rpc_error} on protocol failures and {!Transport.Closed} if the
-    connection dies while the call is outstanding. *)
+    connection dies while the call is outstanding. Equivalent to
+    [await (call_pipelined t ~proc encode decode)]. *)
+
+type 'a promise
+(** An in-flight pipelined call. *)
+
+val call_pipelined :
+  t ->
+  proc:int ->
+  (Xdr.Encode.t -> unit) ->
+  (Xdr.Decode.t -> 'a) ->
+  'a promise
+(** Send the call and return immediately without waiting for the reply.
+    Any number of calls may be in flight on the one transport; the
+    receiver thread matches replies to promises by xid, so replies may
+    arrive in any order. Raises {!Transport.Closed} if the connection is
+    already down (the send itself failed). *)
+
+val await : 'a promise -> 'a
+(** Block until the promise's reply arrives and decode it. Raises
+    {!Client.Rpc_error} on protocol failures and {!Transport.Closed} if
+    the connection dies while the call is outstanding. Idempotent: a
+    second [await] returns (or raises) the same outcome. *)
+
+val is_ready : 'a promise -> bool
+(** [true] once {!await} would return without blocking. *)
 
 val outstanding : t -> int
 (** Calls currently awaiting replies. *)

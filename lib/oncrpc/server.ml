@@ -9,6 +9,7 @@ type service = { vers : int; procedures : (int, handler) Hashtbl.t }
 type t = {
   name : string;
   programs : (int, service list ref) Hashtbl.t;
+  oneway : (int * int * int, unit) Hashtbl.t;  (* (prog, vers, proc) *)
   mutable auth_check : Auth.t -> Message.auth_stat option;
   mutable observer : prog:int -> vers:int -> proc:int -> arg_bytes:int -> unit;
 }
@@ -17,6 +18,7 @@ let create ?(name = "oncrpc") () =
   {
     name;
     programs = Hashtbl.create 8;
+    oneway = Hashtbl.create 8;
     auth_check = (fun _ -> None);
     observer = (fun ~prog:_ ~vers:_ ~proc:_ ~arg_bytes:_ -> ());
   }
@@ -46,6 +48,11 @@ let register t ~prog ~vers procedures =
     (fun (proc, h) -> Hashtbl.replace service.procedures proc h)
     procedures
 
+let set_oneway t ~prog ~vers procs =
+  List.iter (fun proc -> Hashtbl.replace t.oneway (prog, vers, proc) ()) procs
+
+let is_oneway t ~prog ~vers ~proc = Hashtbl.mem t.oneway (prog, vers, proc)
+
 let set_auth_check t f = t.auth_check <- f
 let set_observer t f = t.observer <- f
 
@@ -60,7 +67,7 @@ let version_range services =
     (fun (lo, hi) s -> (min lo s.vers, max hi s.vers))
     (max_int, min_int) services
 
-let dispatch t request =
+let dispatch_opt t request =
   let dec = Xdr.Decode.of_string request in
   let msg =
     try Message.decode dec
@@ -76,67 +83,86 @@ let dispatch t request =
   | Message.Call c -> (
       match t.auth_check c.Message.cred with
       | Some stat ->
-          encode_reply
-            (Message.reply_denied ~xid (Message.Auth_error stat))
-            None
+          Some
+            (encode_reply
+               (Message.reply_denied ~xid (Message.Auth_error stat))
+               None)
       | None -> (
           match Hashtbl.find_opt t.programs c.Message.prog with
-          | None -> encode_reply (Message.reply_error ~xid Message.Prog_unavail) None
+          | None ->
+              Some
+                (encode_reply (Message.reply_error ~xid Message.Prog_unavail)
+                   None)
           | Some services -> (
               match
                 List.find_opt (fun s -> s.vers = c.Message.vers) !services
               with
               | None ->
                   let low, high = version_range !services in
-                  encode_reply
-                    (Message.reply_error ~xid
-                       (Message.Prog_mismatch { low; high }))
-                    None
+                  Some
+                    (encode_reply
+                       (Message.reply_error ~xid
+                          (Message.Prog_mismatch { low; high }))
+                       None)
               | Some service -> (
                   match Hashtbl.find_opt service.procedures c.Message.proc with
                   | None ->
-                      encode_reply
-                        (Message.reply_error ~xid Message.Proc_unavail)
-                        None
-                  | Some handler -> (
+                      Some
+                        (encode_reply
+                           (Message.reply_error ~xid Message.Proc_unavail)
+                           None)
+                  | Some handler ->
                       t.observer ~prog:c.Message.prog ~vers:c.Message.vers
                         ~proc:c.Message.proc
                         ~arg_bytes:(Xdr.Decode.remaining dec);
+                      (* One-way ("batched") procedures never reply — not
+                         even on error; failures are logged and otherwise
+                         dropped, as RFC 5531 §8 prescribes. *)
+                      let oneway =
+                        is_oneway t ~prog:c.Message.prog ~vers:c.Message.vers
+                          ~proc:c.Message.proc
+                      in
                       let results = Xdr.Encode.create () in
-                      match
-                        let () = handler dec results in
-                        Xdr.Decode.finish dec
-                      with
-                      | () ->
-                          encode_reply
-                            (Message.reply_success ~xid ())
-                            (Some
-                               (fun enc ->
-                                 Xdr.Encode.opaque_fixed enc
-                                   (Xdr.Encode.to_bytes results)))
-                      | exception Xdr.Types.Error e ->
-                          Log.debug (fun m ->
-                              m "%s: garbage args for proc %d: %s" t.name
-                                c.Message.proc
-                                (Xdr.Types.error_to_string e));
-                          encode_reply
-                            (Message.reply_error ~xid Message.Garbage_args)
-                            None
-                      | exception e ->
-                          Log.warn (fun m ->
-                              m "%s: handler for proc %d raised %s" t.name
-                                c.Message.proc (Printexc.to_string e));
-                          encode_reply
-                            (Message.reply_error ~xid Message.System_err)
-                            None)))))
+                      let reply =
+                        match
+                          let () = handler dec results in
+                          Xdr.Decode.finish dec
+                        with
+                        | () ->
+                            encode_reply
+                              (Message.reply_success ~xid ())
+                              (Some
+                                 (fun enc ->
+                                   Xdr.Encode.opaque_fixed enc
+                                     (Xdr.Encode.to_bytes results)))
+                        | exception Xdr.Types.Error e ->
+                            Log.debug (fun m ->
+                                m "%s: garbage args for proc %d: %s" t.name
+                                  c.Message.proc
+                                  (Xdr.Types.error_to_string e));
+                            encode_reply
+                              (Message.reply_error ~xid Message.Garbage_args)
+                              None
+                        | exception e ->
+                            Log.warn (fun m ->
+                                m "%s: handler for proc %d raised %s" t.name
+                                  c.Message.proc (Printexc.to_string e));
+                            encode_reply
+                              (Message.reply_error ~xid Message.System_err)
+                              None
+                      in
+                      if oneway then None else Some reply))))
+
+let dispatch t request = Option.value (dispatch_opt t request) ~default:""
 
 let serve_transport t transport =
   let rec loop () =
     match Record.read_opt transport with
     | None -> ()
     | Some request ->
-        let reply = dispatch t request in
-        Record.write transport reply;
+        (match dispatch_opt t request with
+        | None -> ()
+        | Some reply -> Record.write transport reply);
         loop ()
   in
   (try loop () with

@@ -23,6 +23,16 @@ val register : t -> prog:int -> vers:int -> (int * handler) list -> unit
 (** Register (or extend) a service. Later registrations of the same
     procedure replace earlier ones. *)
 
+val set_oneway : t -> prog:int -> vers:int -> int list -> unit
+(** Mark procedures of a service as one-way ("batched", RFC 5531 §8):
+    their calls never produce a reply record, not even on handler failure
+    (failures are logged and dropped). Protocol-level errors that resolve
+    before the procedure — unknown program/version/procedure, denied
+    credentials — still reply, because the server cannot know the caller
+    meant a one-way procedure. *)
+
+val is_oneway : t -> prog:int -> vers:int -> proc:int -> bool
+
 val set_auth_check : t -> (Auth.t -> Message.auth_stat option) -> unit
 (** Install a credential check; returning [Some stat] denies the call. *)
 
@@ -31,11 +41,17 @@ val set_observer :
 (** Called once per successfully-parsed call before the handler runs. The
     Cricket benchmarks use this to charge simulated server CPU time. *)
 
+val dispatch_opt : t -> string -> string option
+(** Map one request record to at most one reply record. [None] means the
+    call resolved to a one-way procedure (see {!set_oneway}) and must not
+    be answered. Never raises for malformed or unauthorized calls — those
+    become protocol error replies. Raises [Failure] only if the request is
+    too broken to produce a reply (no parseable xid). *)
+
 val dispatch : t -> string -> string
-(** Map one request record to one reply record. Never raises for malformed
-    or unauthorized calls — those become protocol error replies. Raises
-    [Failure] only if the request is too broken to produce a reply (no
-    parseable xid). *)
+(** [dispatch t r] is [dispatch_opt t r] with [None] flattened to [""].
+    The empty string is unambiguous — a real reply record is ≥ 12 bytes —
+    and every transport adapter skips it rather than framing it. *)
 
 val serve_transport : t -> Transport.t -> unit
 (** Read records and reply until the peer closes. Exceptions other than a

@@ -96,8 +96,9 @@ let serve rpc_server ~port:requested =
     while server.running do
       match Unix.recvfrom fd buf 0 65536 [] with
       | n, peer -> (
-          match Server.dispatch rpc_server (Bytes.sub_string buf 0 n) with
-          | reply ->
+          match Server.dispatch_opt rpc_server (Bytes.sub_string buf 0 n) with
+          | None -> (* one-way call: no reply datagram *) ()
+          | Some reply ->
               ignore
                 (Unix.sendto fd
                    (Bytes.unsafe_of_string reply)

@@ -266,14 +266,18 @@ let gen_procedure_client buf env (p : Ast.procedure_def) =
         "fun enc -> "
         ^ String.concat "; " (List.map (fun (n, ty) -> encode_base ty n) args)
   in
-  let decode_body =
-    match p.Ast.proc_result with
-    | None -> "Xdr.Decode.void"
-    | Some ty -> Printf.sprintf "(fun dec -> %s)" (decode_base ty)
-  in
-  Printf.bprintf buf
-    "    let %s t %s =\n      Oncrpc.Client.call t ~proc:%Ld (%s) %s\n" fname
-    params proc encode_body decode_body
+  (* A void-result procedure is one-way (RFC 5531 §8 batching): the stub
+     sends the record and returns without waiting for a reply. *)
+  match p.Ast.proc_result with
+  | None ->
+      Printf.bprintf buf
+        "    let %s t %s =\n      Oncrpc.Client.call_oneway t ~proc:%Ld (%s)\n"
+        fname params proc encode_body
+  | Some ty ->
+      let decode_body = Printf.sprintf "(fun dec -> %s)" (decode_base ty) in
+      Printf.bprintf buf
+        "    let %s t %s =\n      Oncrpc.Client.call t ~proc:%Ld (%s) %s\n"
+        fname params proc encode_body decode_body
 
 let gen_version buf env (prog : Ast.program_def) (v : Ast.version_def) =
   let prog_num = Check.resolve env prog.Ast.program_number in
@@ -347,7 +351,23 @@ let gen_version buf env (prog : Ast.program_def) (v : Ast.version_def) =
         (String.concat " " binds)
         fname apply encode_result)
     v.Ast.version_procedures;
-  Printf.bprintf buf "      ]\n  end\nend\n\n"
+  Printf.bprintf buf "      ]";
+  (* Void-result procedures never send replies (one-way). *)
+  let oneway =
+    List.filter_map
+      (fun p ->
+        match p.Ast.proc_result with
+        | None -> Some (Int64.to_string (Check.resolve env p.Ast.proc_number))
+        | Some _ -> None)
+      v.Ast.version_procedures
+  in
+  (match oneway with
+  | [] -> ()
+  | procs ->
+      Printf.bprintf buf
+        ";\n      Oncrpc.Server.set_oneway server ~prog:%Ld ~vers:%Ld [ %s ]"
+        prog_num vers_num (String.concat "; " procs));
+  Printf.bprintf buf "\n  end\nend\n\n"
 
 let generate ?(source_name = "<rpcl>") env =
   let buf = Buffer.create 8192 in

@@ -179,6 +179,16 @@ program RPC_CD_PROG_DEF {
         void_result    rpc_cudaMemset(unsigned hyper, int, unsigned hyper)     = 15;
         meminfo_result rpc_cudaMemGetInfo(void)                                = 16;
 
+        /* asynchronous (stream-ordered) memory operations; void results
+         * make these one-way "batched" calls: no reply record is sent and
+         * errors surface at the next synchronize (cudaGetLastError style) */
+        void rpc_cudaMemcpyHtoDAsync(unsigned hyper, mem_data,
+                                     unsigned hyper)                           = 17;
+        void rpc_cudaMemsetAsync(unsigned hyper, int, unsigned hyper,
+                                 unsigned hyper)                               = 18;
+        mem_result rpc_cudaMemcpyDtoHAsync(unsigned hyper, unsigned hyper,
+                                           unsigned hyper)                     = 19;
+
         /* streams and events */
         u64_result   rpc_cudaStreamCreate(void)                          = 20;
         void_result  rpc_cudaStreamDestroy(unsigned hyper)               = 21;
@@ -189,6 +199,10 @@ program RPC_CD_PROG_DEF {
         void_result  rpc_cudaEventSynchronize(unsigned hyper)            = 26;
         float_result rpc_cudaEventElapsedTime(unsigned hyper,
                                               unsigned hyper)            = 27;
+        void         rpc_cudaStreamWaitEvent(unsigned hyper,
+                                             unsigned hyper)             = 28;
+        void         rpc_cudaEventRecordAsync(unsigned hyper,
+                                              unsigned hyper)            = 29;
 
         /* module API: kernels loaded from (possibly compressed) cubins */
         u64_result    rpc_cuModuleLoadData(mem_data)                    = 30;
@@ -196,6 +210,7 @@ program RPC_CD_PROG_DEF {
         u64_result    rpc_cuModuleGetFunction(unsigned hyper, str_t)    = 32;
         global_result rpc_cuModuleGetGlobal(unsigned hyper, str_t)      = 33;
         void_result   rpc_cuLaunchKernel(launch_config, mem_data)       = 34;
+        void          rpc_cuLaunchKernelAsync(launch_config, mem_data)  = 35;
 
         /* cuBLAS */
         u64_result   rpc_cublasCreate(void)               = 40;

@@ -54,8 +54,9 @@ let create ~engine ~client ?(server = Config.server_profile)
         let fragment = String.sub request_stream (pos + 4) len in
         if last then begin
           let record = String.concat "" (List.rev (fragment :: fragments)) in
-          let reply = t.dispatch record in
-          Buffer.add_string replies (Oncrpc.Record.to_wire reply);
+          (match t.dispatch record with
+          | "" -> () (* one-way call: no reply record *)
+          | reply -> Buffer.add_string replies (Oncrpc.Record.to_wire reply));
           each (pos + 4 + len) []
         end
         else each (pos + 4 + len) (fragment :: fragments)

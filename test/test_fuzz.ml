@@ -46,6 +46,52 @@ let prop_valid_header_fuzzed_body =
       | { Oncrpc.Message.xid = 9l; body = Oncrpc.Message.Reply _ } -> true
       | _ -> false)
 
+let prop_oneway_framing_roundtrip =
+  (* a one-way call's wire record must decode back to the same proc and
+     argument payload: batching never corrupts framing *)
+  QCheck.Test.make ~count:300 ~name:"one-way call framing round-trips"
+    QCheck.(pair (int_bound 1000) gen_bytes)
+    (fun (proc, payload) ->
+      let a, b = Oncrpc.Transport.pipe () in
+      let client = Oncrpc.Client.create ~transport:a ~prog:300000 ~vers:1 () in
+      Oncrpc.Client.call_oneway client ~proc (fun enc ->
+          Xdr.Encode.opaque enc (Bytes.of_string payload));
+      let record = Oncrpc.Record.read b in
+      let dec = Xdr.Decode.of_string record in
+      match Oncrpc.Message.decode dec with
+      | { Oncrpc.Message.body = Oncrpc.Message.Call c; _ } ->
+          c.Oncrpc.Message.proc = proc
+          && Bytes.to_string (Xdr.Decode.opaque dec) = payload
+      | _ -> false)
+
+let prop_oneway_batch_single_reply =
+  (* N one-way calls followed by one two-way call produce exactly one
+     reply record, and it matches the two-way call's xid *)
+  QCheck.Test.make ~count:200 ~name:"one-way batch yields exactly one reply"
+    QCheck.(int_bound 20)
+    (fun n ->
+      let server = Oncrpc.Server.create () in
+      Oncrpc.Server.register server ~prog:300000 ~vers:1
+        [
+          (1, fun dec enc -> Xdr.Encode.int enc (Xdr.Decode.int dec));
+          (2, fun dec _enc -> ignore (Xdr.Decode.int dec));
+        ];
+      Oncrpc.Server.set_oneway server ~prog:300000 ~vers:1 [ 2 ];
+      let transport =
+        Cricket.Local.transport_of_dispatch (Oncrpc.Server.dispatch server)
+      in
+      let client = Oncrpc.Client.create ~transport ~prog:300000 ~vers:1 () in
+      for i = 1 to n do
+        Oncrpc.Client.call_oneway client ~proc:2 (fun enc ->
+            Xdr.Encode.int enc i)
+      done;
+      (* the sync call flushes the batch; its reply is the only record in
+         the return stream, so the call succeeds iff framing held *)
+      Oncrpc.Client.call client ~proc:1
+        (fun enc -> Xdr.Encode.int enc n)
+        Xdr.Decode.int
+      = n)
+
 (* --- record marking --- *)
 
 let prop_record_stream_fuzz =
@@ -161,7 +207,8 @@ let suite =
   @ List.map QCheck_alcotest.to_alcotest
       [
         prop_message_decode_total; prop_dispatch_total;
-        prop_valid_header_fuzzed_body; prop_record_stream_fuzz;
+        prop_valid_header_fuzzed_body; prop_oneway_framing_roundtrip;
+        prop_oneway_batch_single_reply; prop_record_stream_fuzz;
         prop_image_parse_total; prop_fatbin_parse_total;
         prop_lzss_decompress_total; prop_image_mutation;
         prop_rpcl_parse_total; prop_rpcl_full_pipeline_total;

@@ -12,5 +12,6 @@ let () =
       ("cricket", Test_cricket.suite);
       ("unikernel", Test_unikernel.suite);
       ("apps", Test_apps.suite);
+      ("stream", Test_stream.suite);
       ("fuzz", Test_fuzz.suite);
     ]
