@@ -263,6 +263,93 @@ let multitenant_cmd =
       $ Arg.(value & opt int 20 & info [ "steps" ] ~docv:"N"
              ~doc:"GPU work items per tenant."))
 
+(* --- faults --- *)
+
+let faults_cmd =
+  let run configs iterations dim seed crash_after rates =
+    let params =
+      {
+        Apps.Matrix_mul.ha = dim;
+        wa = dim;
+        wb = dim;
+        iterations;
+      }
+    in
+    List.iter
+      (fun cfg ->
+        Printf.printf
+          "%-9s %-8s %12s %9s %8s %8s %10s %9s %8s %s\n"
+          cfg.Unikernel.Config.name "rate" "elapsed" "slowdown" "injected"
+          "retries" "recoveries" "replayed" "dup-hits" "digest";
+        let baseline = ref None in
+        List.iter
+          (fun rate ->
+            let plan =
+              {
+                Simnet.Fault.none with
+                Simnet.Fault.seed;
+                drop_rate = rate;
+                crashes =
+                  (if crash_after > 0 then
+                     [ { Simnet.Fault.after_records = crash_after;
+                         down_for = Simnet.Time.ms 2 } ]
+                   else []);
+              }
+            in
+            let digest = ref "" in
+            let report =
+              Unikernel.Runner.run_with_faults ~functional:true ~plan cfg
+                (Apps.Matrix_mul.run ~verify:true ~digest_out:digest params)
+            in
+            let elapsed =
+              report.Unikernel.Runner.measurement.Unikernel.Runner.elapsed
+            in
+            let base_elapsed, base_digest =
+              match !baseline with
+              | Some b -> b
+              | None ->
+                  baseline := Some (elapsed, !digest);
+                  (elapsed, !digest)
+            in
+            Printf.printf
+              "%-9s %-8g %12s %8.2fx %8d %8d %10d %9d %8d %s\n"
+              cfg.Unikernel.Config.name rate
+              (Format.asprintf "%a" Simnet.Time.pp elapsed)
+              (Simnet.Time.to_float_s elapsed
+              /. Simnet.Time.to_float_s base_elapsed)
+              (Simnet.Fault.injected report.Unikernel.Runner.faults)
+              report.Unikernel.Runner.rpc_retries
+              report.Unikernel.Runner.recoveries
+              report.Unikernel.Runner.replayed_calls
+              report.Unikernel.Runner.dup_hits
+              (if !digest = base_digest then "bit-exact"
+               else "DIGEST MISMATCH"))
+          rates)
+      configs
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:"fault-injection ablation: matrixMul under record-drop rates \
+             (optionally with a scheduled server crash), reporting \
+             retries, recoveries and slowdown vs the fault-free run")
+    Term.(
+      const run $ configs_arg
+      $ Arg.(value & opt int 500
+             & info [ "n"; "iterations" ] ~docv:"N" ~doc:"Kernel launches.")
+      $ Arg.(value & opt int 64
+             & info [ "dim" ] ~docv:"D"
+                 ~doc:"Square matrix dimension (multiple of 32; small keeps \
+                       the functional run fast).")
+      $ Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED"
+             ~doc:"Fault-plan PRNG seed.")
+      $ Arg.(value & opt int 0
+             & info [ "crash-after" ] ~docv:"N"
+                 ~doc:"Also crash (and restart) the server after N records \
+                       (0 = never).")
+      $ Arg.(value & opt_all float [ 0.0; 1e-4; 1e-3; 1e-2 ]
+             & info [ "r"; "rate" ] ~docv:"RATE"
+                 ~doc:"Record drop rate(s) (repeatable)."))
+
 (* --- trace --- *)
 
 let trace_cmd =
@@ -293,6 +380,6 @@ let main =
   Cmd.group
     (Cmd.info "benchctl" ~doc:"run individual paper experiments")
     [ table1_cmd; matrixmul_cmd; solver_cmd; histogram_cmd; micro_cmd;
-      bandwidth_cmd; pipeline_cmd; multitenant_cmd; trace_cmd ]
+      bandwidth_cmd; pipeline_cmd; multitenant_cmd; trace_cmd; faults_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -5,7 +5,7 @@ let paper = { default with iterations = 100_000 }
 
 let block = 32
 
-let run ?(verify = true) p (env : Unikernel.Runner.env) =
+let run ?(verify = true) ?digest_out p (env : Unikernel.Runner.env) =
   if p.ha mod block <> 0 || p.wb mod block <> 0 then
     invalid_arg "matrixMul: dimensions must be multiples of 32";
   let client = env.Unikernel.Runner.client in
@@ -51,6 +51,9 @@ let run ?(verify = true) p (env : Unikernel.Runner.env) =
   Cricket.Client.device_synchronize client;
   ignore (Cricket.Client.event_elapsed_ms client ~start ~stop);
   let result = Cricket.Client.memcpy_d2h client ~src:d_c ~len:bytes_c in
+  (match digest_out with
+  | Some r -> r := Digest.to_hex (Digest.bytes result)
+  | None -> ());
   if verify then begin
     let c = Workload.f32_array result in
     let expected = Float.of_int p.wa *. valcst_a *. valcst_b in

@@ -17,6 +17,10 @@ val default : params
 val paper : params
 (** The paper's configuration: default dims, 100 000 iterations. *)
 
-val run : ?verify:bool -> params -> Unikernel.Runner.env -> unit
+val run :
+  ?verify:bool -> ?digest_out:string ref -> params -> Unikernel.Runner.env ->
+  unit
 (** Raises [Failure] if [verify] (default true) and the result is wrong.
-    Only verify on functional runs. *)
+    Only verify on functional runs. [digest_out] receives a hex digest of
+    the downloaded result matrix — the fault-tolerance tests compare it
+    against a fault-free run's digest bit for bit. *)

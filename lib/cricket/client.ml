@@ -4,6 +4,46 @@ type func = { handle : int64; info : Cubin.Image.kernel_info }
 
 type dim3 = Gpusim.Kernels.dim3 = { x : int; y : int; z : int }
 
+exception Session_lost of string
+
+let () =
+  Printexc.register_printer (function
+    | Session_lost msg -> Some ("Cricket.Client.Session_lost: " ^ msg)
+    | _ -> None)
+
+(* Session recovery (tentpole of the fault-tolerance work):
+
+   - the client journals every state-mutating call since the last
+     checkpoint, as a closure that re-issues it;
+   - every [checkpoint_every] journaled calls it asks the server to
+     checkpoint, then truncates the journal;
+   - when the connection dies, the RPC layer reconnects (backing off in
+     virtual time) and runs [recover]: restore the latest checkpoint, then
+     replay the journal tail in order — the failed call is retransmitted
+     by the RPC retry loop afterwards, so the application never notices;
+   - server handles may come back different after a replay, so the journal
+     records a remap from the handle the application holds to the server's
+     current one, applied at the wire boundary by [tr]. (Replay is
+     deterministic, so remaps are identities in practice — but the
+     mechanism is what makes that an optimization, not an assumption.)
+
+   A crash during recovery, or an exhausted retry budget, marks the
+   session lost: the transport is swapped for one that raises, so every
+   subsequent call — sync, one-way or pipelined — fails fast with
+   {!Session_lost} instead of hanging. *)
+type recovery = {
+  checkpoint_every : int;
+  checkpoint_name : string;
+  journal : (unit -> unit) Queue.t;
+  remap : (int64, int64) Hashtbl.t;  (* app-visible handle -> server handle *)
+  mutable has_checkpoint : bool;
+  mutable recovering : bool;
+  mutable lost : bool;
+  mutable recoveries : int;
+  mutable replayed : int;
+  mutable checkpoints : int;
+}
+
 type t = {
   rpc : Oncrpc.Client.t;
   launch_extra_ns : int;
@@ -12,20 +52,32 @@ type t = {
   modules : (int64, Cubin.Image.t) Hashtbl.t;
   mutable memcpy_up : int;
   mutable memcpy_down : int;
+  mutable recovery : recovery option;
 }
+
+(* Each client gets its own 16M-wide xid space: concurrent clients sharing
+   one server (multi-tenancy) must never alias in the server's xid-keyed
+   duplicate-request cache. Real clients randomize the origin instead. *)
+let xid_space = ref 0
 
 let create ?(launch_extra_ns = 0) ?(charge = fun _ -> ()) ?fragment_size
     ~transport () =
+  let rpc = P.create ?fragment_size ~transport () in
+  incr xid_space;
+  Oncrpc.Client.set_xid_origin rpc
+    (Int32.mul (Int32.of_int !xid_space) 0x1000000l);
   {
-    rpc = P.create ?fragment_size ~transport ();
+    rpc;
     launch_extra_ns;
     charge;
     modules = Hashtbl.create 4;
     memcpy_up = 0;
     memcpy_down = 0;
+    recovery = None;
   }
 
 let close t = Oncrpc.Client.close t.rpc
+let rpc t = t.rpc
 let api_calls t = (Oncrpc.Client.stats t.rpc).Oncrpc.Client.calls
 let bytes_to_server t = (Oncrpc.Client.stats t.rpc).Oncrpc.Client.bytes_sent
 
@@ -56,10 +108,121 @@ let check_float (r : Proto.float_result) =
   check r.Proto.err;
   r.Proto.data
 
+(* --- session recovery machinery --- *)
+
+(* Translate an application-visible handle (device pointer, stream, event,
+   module, function, library handle) to the server's current handle. *)
+let tr t h =
+  match t.recovery with
+  | None -> h
+  | Some r -> ( match Hashtbl.find_opt r.remap h with Some h' -> h' | None -> h)
+
+let set_remap r ~old ~fresh =
+  if Int64.equal old fresh then Hashtbl.remove r.remap old
+  else Hashtbl.replace r.remap old fresh
+
+let lose t msg =
+  (match t.recovery with
+  | None -> ()
+  | Some r ->
+      r.lost <- true;
+      (* Sticky: every later use of this session — including one-way sends
+         and pipelined batches — must fail fast, never hang on a dead
+         connection. *)
+      let raise_lost _ = raise (Session_lost msg) in
+      Oncrpc.Client.set_transport t.rpc
+        {
+          Oncrpc.Transport.send = (fun _ _ _ -> raise_lost ());
+          recv = (fun _ _ _ -> raise_lost ());
+          close = (fun () -> ());
+        });
+  Session_lost msg
+
+let take_checkpoint t r =
+  check_void (P.rpc_checkpoint t.rpc r.checkpoint_name);
+  (* only truncate once the checkpoint RPC has succeeded: until then the
+     journal tail is still the only copy of post-checkpoint state *)
+  r.has_checkpoint <- true;
+  r.checkpoints <- r.checkpoints + 1;
+  Queue.clear r.journal
+
+(* Append a replayable closure for a call that mutates server state. Runs
+   after the call succeeded (sync) or its record was sent (one-way): replay
+   rebuilds all state from the checkpoint, so a call that executed before
+   the crash and its journaled replay never double-apply. *)
+let journal t redo =
+  match t.recovery with
+  | None -> ()
+  | Some r when r.recovering || r.lost -> ()
+  | Some r ->
+      Queue.add redo r.journal;
+      if Queue.length r.journal >= r.checkpoint_every then take_checkpoint t r
+
+let recover t =
+  match t.recovery with
+  | None -> ()
+  | Some r ->
+      if r.lost then raise (Session_lost "session already lost");
+      if r.recovering then
+        (* the server crashed again while we were replaying into it *)
+        raise (lose t "server crashed during recovery");
+      r.recovering <- true;
+      Fun.protect
+        ~finally:(fun () -> r.recovering <- false)
+        (fun () ->
+          if r.has_checkpoint then
+            check_void (P.rpc_restore t.rpc r.checkpoint_name);
+          Queue.iter (fun redo -> redo ()) r.journal;
+          r.replayed <- r.replayed + Queue.length r.journal;
+          r.recoveries <- r.recoveries + 1)
+
+let enable_recovery ?(retry = Oncrpc.Client.default_retry)
+    ?(checkpoint_every = 64) ?(checkpoint_name = "session-auto") t ~now ~sleep
+    ~reconnect () =
+  if checkpoint_every < 1 then invalid_arg "Client.enable_recovery";
+  let r =
+    {
+      checkpoint_every;
+      checkpoint_name;
+      journal = Queue.create ();
+      remap = Hashtbl.create 16;
+      has_checkpoint = false;
+      recovering = false;
+      lost = false;
+      recoveries = 0;
+      replayed = 0;
+      checkpoints = 0;
+    }
+  in
+  t.recovery <- Some r;
+  Oncrpc.Client.set_retry t.rpc (Some retry);
+  Oncrpc.Client.set_clock t.rpc ~now ~sleep;
+  Oncrpc.Client.set_reconnect t.rpc reconnect;
+  Oncrpc.Client.set_on_reconnect t.rpc (fun () -> recover t);
+  Oncrpc.Client.set_give_up t.rpc (fun exn ->
+      match exn with Session_lost _ -> exn | _ -> lose t (Printexc.to_string exn))
+
+let session_lost t =
+  match t.recovery with None -> false | Some r -> r.lost
+
+let recoveries t =
+  match t.recovery with None -> 0 | Some r -> r.recoveries
+
+let replayed_calls t =
+  match t.recovery with None -> 0 | Some r -> r.replayed
+
+let checkpoints_taken t =
+  match t.recovery with None -> 0 | Some r -> r.checkpoints
+
 (* --- device management --- *)
 
 let get_device_count t = check_int (P.rpc_cudaGetDeviceCount t.rpc ())
-let set_device t i = check_void (P.rpc_cudaSetDevice t.rpc i)
+
+let set_device t i =
+  let issue () = check_void (P.rpc_cudaSetDevice t.rpc i) in
+  issue ();
+  journal t issue
+
 let get_device t = check_int (P.rpc_cudaGetDevice t.rpc ())
 
 type device_properties = {
@@ -87,25 +250,51 @@ let get_device_properties t i =
   }
 
 let device_synchronize t = check_void (P.rpc_cudaDeviceSynchronize t.rpc ())
-let device_reset t = check_void (P.rpc_cudaDeviceReset t.rpc ())
+
+let device_reset t =
+  let issue () = check_void (P.rpc_cudaDeviceReset t.rpc ()) in
+  issue ();
+  journal t issue
 
 (* --- memory --- *)
 
-let malloc t size = check_u64 (P.rpc_cudaMalloc t.rpc (Int64.of_int size))
-let free t ptr = check_void (P.rpc_cudaFree t.rpc ptr)
+let malloc t size =
+  let issue () = check_u64 (P.rpc_cudaMalloc t.rpc (Int64.of_int size)) in
+  let ptr = issue () in
+  (match t.recovery with
+  | None -> ()
+  | Some r -> journal t (fun () -> set_remap r ~old:ptr ~fresh:(issue ())));
+  ptr
+
+let free t ptr =
+  let issue () = check_void (P.rpc_cudaFree t.rpc (tr t ptr)) in
+  issue ();
+  journal t issue
+
 let memcpy_h2d t ~dst data =
   t.memcpy_up <- t.memcpy_up + Bytes.length data;
-  check_void (P.rpc_cudaMemcpyHtoD t.rpc dst data)
+  let issue () = check_void (P.rpc_cudaMemcpyHtoD t.rpc (tr t dst) data) in
+  issue ();
+  journal t issue
 
 let memcpy_d2h t ~src ~len =
   t.memcpy_down <- t.memcpy_down + len;
-  check_mem (P.rpc_cudaMemcpyDtoH t.rpc src (Int64.of_int len))
+  check_mem (P.rpc_cudaMemcpyDtoH t.rpc (tr t src) (Int64.of_int len))
 
 let memcpy_d2d t ~dst ~src ~len =
-  check_void (P.rpc_cudaMemcpyDtoD t.rpc dst src (Int64.of_int len))
+  let issue () =
+    check_void
+      (P.rpc_cudaMemcpyDtoD t.rpc (tr t dst) (tr t src) (Int64.of_int len))
+  in
+  issue ();
+  journal t issue
 
 let memset t ~ptr ~value ~len =
-  check_void (P.rpc_cudaMemset t.rpc ptr value (Int64.of_int len))
+  let issue () =
+    check_void (P.rpc_cudaMemset t.rpc (tr t ptr) value (Int64.of_int len))
+  in
+  issue ();
+  journal t issue
 
 let mem_get_info t =
   let r = P.rpc_cudaMemGetInfo t.rpc () in
@@ -120,36 +309,83 @@ let mem_get_info t =
 
 let memcpy_h2d_async t ~dst ~stream data =
   t.memcpy_up <- t.memcpy_up + Bytes.length data;
-  P.rpc_cudaMemcpyHtoDAsync t.rpc dst data stream
+  let issue () =
+    P.rpc_cudaMemcpyHtoDAsync t.rpc (tr t dst) data (tr t stream)
+  in
+  issue ();
+  journal t issue
 
 let memset_async t ~ptr ~value ~len ~stream =
-  P.rpc_cudaMemsetAsync t.rpc ptr value (Int64.of_int len) stream
+  let issue () =
+    P.rpc_cudaMemsetAsync t.rpc (tr t ptr) value (Int64.of_int len)
+      (tr t stream)
+  in
+  issue ();
+  journal t issue
 
 let memcpy_d2h_stream t ~src ~len ~stream =
   t.memcpy_down <- t.memcpy_down + len;
-  check_mem (P.rpc_cudaMemcpyDtoHAsync t.rpc src (Int64.of_int len) stream)
+  check_mem
+    (P.rpc_cudaMemcpyDtoHAsync t.rpc (tr t src) (Int64.of_int len)
+       (tr t stream))
 
 (* --- streams and events --- *)
 
-let stream_create t = check_u64 (P.rpc_cudaStreamCreate t.rpc ())
-let stream_destroy t h = check_void (P.rpc_cudaStreamDestroy t.rpc h)
-let stream_synchronize t h = check_void (P.rpc_cudaStreamSynchronize t.rpc h)
-let event_create t = check_u64 (P.rpc_cudaEventCreate t.rpc ())
-let event_destroy t h = check_void (P.rpc_cudaEventDestroy t.rpc h)
+let stream_create t =
+  let issue () = check_u64 (P.rpc_cudaStreamCreate t.rpc ()) in
+  let h = issue () in
+  (match t.recovery with
+  | None -> ()
+  | Some r -> journal t (fun () -> set_remap r ~old:h ~fresh:(issue ())));
+  h
+
+let stream_destroy t h =
+  let issue () = check_void (P.rpc_cudaStreamDestroy t.rpc (tr t h)) in
+  issue ();
+  journal t issue
+
+let stream_synchronize t h =
+  check_void (P.rpc_cudaStreamSynchronize t.rpc (tr t h))
+
+let event_create t =
+  let issue () = check_u64 (P.rpc_cudaEventCreate t.rpc ()) in
+  let h = issue () in
+  (match t.recovery with
+  | None -> ()
+  | Some r -> journal t (fun () -> set_remap r ~old:h ~fresh:(issue ())));
+  h
+
+let event_destroy t h =
+  let issue () = check_void (P.rpc_cudaEventDestroy t.rpc (tr t h)) in
+  issue ();
+  journal t issue
 
 let event_record t ~event ~stream =
-  check_void (P.rpc_cudaEventRecord t.rpc event stream)
+  let issue () =
+    check_void (P.rpc_cudaEventRecord t.rpc (tr t event) (tr t stream))
+  in
+  issue ();
+  journal t issue
 
-let event_synchronize t h = check_void (P.rpc_cudaEventSynchronize t.rpc h)
+let event_synchronize t h =
+  check_void (P.rpc_cudaEventSynchronize t.rpc (tr t h))
 
 let event_elapsed_ms t ~start ~stop =
-  check_float (P.rpc_cudaEventElapsedTime t.rpc start stop)
+  check_float (P.rpc_cudaEventElapsedTime t.rpc (tr t start) (tr t stop))
 
 let stream_wait_event t ~stream ~event =
-  P.rpc_cudaStreamWaitEvent t.rpc stream event
+  let issue () =
+    P.rpc_cudaStreamWaitEvent t.rpc (tr t stream) (tr t event)
+  in
+  issue ();
+  journal t issue
 
 let event_record_async t ~event ~stream =
-  P.rpc_cudaEventRecordAsync t.rpc event stream
+  let issue () =
+    P.rpc_cudaEventRecordAsync t.rpc (tr t event) (tr t stream)
+  in
+  issue ();
+  journal t issue
 
 (* --- modules and launches --- *)
 
@@ -179,8 +415,15 @@ let module_load t data =
   match parse_module_metadata data with
   | None -> raise (Cudasim.Error.Cuda_error Cudasim.Error.Invalid_value)
   | Some image ->
-      let handle = check_u64 (P.rpc_cuModuleLoadData t.rpc (Bytes.of_string data)) in
+      let issue () =
+        check_u64 (P.rpc_cuModuleLoadData t.rpc (Bytes.of_string data))
+      in
+      let handle = issue () in
       Hashtbl.replace t.modules handle image;
+      (match t.recovery with
+      | None -> ()
+      | Some r ->
+          journal t (fun () -> set_remap r ~old:handle ~fresh:(issue ())));
       handle
 
 let module_load_file t path =
@@ -193,7 +436,9 @@ let module_load_file t path =
   module_load t data
 
 let module_unload t handle =
-  check_void (P.rpc_cuModuleUnload t.rpc handle);
+  let issue () = check_void (P.rpc_cuModuleUnload t.rpc (tr t handle)) in
+  issue ();
+  journal t issue;
   Hashtbl.remove t.modules handle
 
 let get_function t ~modul ~name =
@@ -205,91 +450,218 @@ let get_function t ~modul ~name =
         | None -> raise (Cudasim.Error.Cuda_error Cudasim.Error.Not_found)
         | Some info -> info)
   in
-  let handle = check_u64 (P.rpc_cuModuleGetFunction t.rpc modul name) in
+  let issue () =
+    check_u64 (P.rpc_cuModuleGetFunction t.rpc (tr t modul) name)
+  in
+  let handle = issue () in
+  (match t.recovery with
+  | None -> ()
+  | Some r -> journal t (fun () -> set_remap r ~old:handle ~fresh:(issue ())));
   { handle; info }
 
 let get_global t ~modul ~name =
-  let r = P.rpc_cuModuleGetGlobal t.rpc modul name in
-  check r.Proto.err;
-  (r.Proto.ptr, Int64.to_int r.Proto.size)
+  let issue () =
+    let r = P.rpc_cuModuleGetGlobal t.rpc (tr t modul) name in
+    check r.Proto.err;
+    (r.Proto.ptr, Int64.to_int r.Proto.size)
+  in
+  let ptr, size = issue () in
+  (match t.recovery with
+  | None -> ()
+  | Some r ->
+      (* read-only, but the returned device pointer is a handle the app
+         will pass back — keep its remap fresh across replays *)
+      journal t (fun () -> set_remap r ~old:ptr ~fresh:(fst (issue ()))));
+  (ptr, size)
+
+let tr_args t args =
+  match t.recovery with
+  | None -> args
+  | Some _ ->
+      Array.map
+        (function
+          | Gpusim.Kernels.Ptr p ->
+              Gpusim.Kernels.Ptr (Int64.to_int (tr t (Int64.of_int p)))
+          | a -> a)
+        args
 
 let launch t func ~grid ~block ?(shared_mem = 0) ?(stream = 0L) args =
   if t.launch_extra_ns > 0 then t.charge t.launch_extra_ns;
-  match Cubin.Image.pack_args func.info args with
-  | Error _ -> raise (Cudasim.Error.Cuda_error Cudasim.Error.Invalid_value)
-  | Ok params ->
-      check_void
-        (P.rpc_cuLaunchKernel t.rpc
-           {
-             Proto.function_handle = func.handle;
-             grid_x = grid.x;
-             grid_y = grid.y;
-             grid_z = grid.z;
-             block_x = block.x;
-             block_y = block.y;
-             block_z = block.z;
-             shared_mem_bytes = shared_mem;
-             stream;
-           }
-           params)
+  let issue () =
+    match Cubin.Image.pack_args func.info (tr_args t args) with
+    | Error _ -> raise (Cudasim.Error.Cuda_error Cudasim.Error.Invalid_value)
+    | Ok params ->
+        check_void
+          (P.rpc_cuLaunchKernel t.rpc
+             {
+               Proto.function_handle = tr t func.handle;
+               grid_x = grid.x;
+               grid_y = grid.y;
+               grid_z = grid.z;
+               block_x = block.x;
+               block_y = block.y;
+               block_z = block.z;
+               shared_mem_bytes = shared_mem;
+               stream = tr t stream;
+             }
+             params)
+  in
+  issue ();
+  journal t issue
 
 let launch_async t func ~grid ~block ?(shared_mem = 0) ~stream args =
   if t.launch_extra_ns > 0 then t.charge t.launch_extra_ns;
-  match Cubin.Image.pack_args func.info args with
-  | Error _ -> raise (Cudasim.Error.Cuda_error Cudasim.Error.Invalid_value)
-  | Ok params ->
-      P.rpc_cuLaunchKernelAsync t.rpc
-        {
-          Proto.function_handle = func.handle;
-          grid_x = grid.x;
-          grid_y = grid.y;
-          grid_z = grid.z;
-          block_x = block.x;
-          block_y = block.y;
-          block_z = block.z;
-          shared_mem_bytes = shared_mem;
-          stream;
-        }
-        params
+  let issue () =
+    match Cubin.Image.pack_args func.info (tr_args t args) with
+    | Error _ -> raise (Cudasim.Error.Cuda_error Cudasim.Error.Invalid_value)
+    | Ok params ->
+        P.rpc_cuLaunchKernelAsync t.rpc
+          {
+            Proto.function_handle = tr t func.handle;
+            grid_x = grid.x;
+            grid_y = grid.y;
+            grid_z = grid.z;
+            block_x = block.x;
+            block_y = block.y;
+            block_z = block.z;
+            shared_mem_bytes = shared_mem;
+            stream = tr t stream;
+          }
+          params
+  in
+  issue ();
+  journal t issue
 
 (* --- cuBLAS / cuSOLVER --- *)
 
-let cublas_create t = check_u64 (P.rpc_cublasCreate t.rpc ())
-let cublas_destroy t h = check_void (P.rpc_cublasDestroy t.rpc h)
+let cublas_create t =
+  let issue () = check_u64 (P.rpc_cublasCreate t.rpc ()) in
+  let h = issue () in
+  (match t.recovery with
+  | None -> ()
+  | Some r -> journal t (fun () -> set_remap r ~old:h ~fresh:(issue ())));
+  h
+
+let cublas_destroy t h =
+  let issue () = check_void (P.rpc_cublasDestroy t.rpc (tr t h)) in
+  issue ();
+  journal t issue
 
 let cublas_sgemm t ~handle ~m ~n ~k ~alpha ~a ~lda ~b ~ldb ~beta ~c ~ldc =
-  check_void
-    (P.rpc_cublasSgemm t.rpc
-       { Proto.handle; m; n; k; alpha; a; lda; b; ldb; beta; c; ldc })
+  let issue () =
+    check_void
+      (P.rpc_cublasSgemm t.rpc
+         {
+           Proto.handle = tr t handle;
+           m;
+           n;
+           k;
+           alpha;
+           a = tr t a;
+           lda;
+           b = tr t b;
+           ldb;
+           beta;
+           c = tr t c;
+           ldc;
+         })
+  in
+  issue ();
+  journal t issue
 
 let cublas_sgemv t ~handle ~m ~n ~alpha ~a ~lda ~x ~incx ~beta ~y ~incy =
-  check_void
-    (P.rpc_cublasSgemv t.rpc
-       { Proto.handle; m; n; alpha; a; lda; x; incx; beta; y; incy })
+  let issue () =
+    check_void
+      (P.rpc_cublasSgemv t.rpc
+         {
+           Proto.handle = tr t handle;
+           m;
+           n;
+           alpha;
+           a = tr t a;
+           lda;
+           x = tr t x;
+           incx;
+           beta;
+           y = tr t y;
+           incy;
+         })
+  in
+  issue ();
+  journal t issue
 
 let cublas_sdot t ~handle ~n ~x ~incx ~y ~incy =
-  check_float (P.rpc_cublasSdot t.rpc { Proto.handle; n; x; incx; y; incy })
+  check_float
+    (P.rpc_cublasSdot t.rpc
+       { Proto.handle = tr t handle; n; x = tr t x; incx; y = tr t y; incy })
 
 let cublas_sscal t ~handle ~n ~alpha ~x ~incx =
-  check_void (P.rpc_cublasSscal t.rpc { Proto.handle; n; alpha; x; incx })
+  let issue () =
+    check_void
+      (P.rpc_cublasSscal t.rpc
+         { Proto.handle = tr t handle; n; alpha; x = tr t x; incx })
+  in
+  issue ();
+  journal t issue
 
 let cublas_snrm2 t ~handle ~n ~x ~incx =
-  check_float (P.rpc_cublasSnrm2 t.rpc { Proto.handle; n; x; incx })
+  check_float
+    (P.rpc_cublasSnrm2 t.rpc { Proto.handle = tr t handle; n; x = tr t x; incx })
 
-let cusolver_create t = check_u64 (P.rpc_cusolverDnCreate t.rpc ())
-let cusolver_destroy t h = check_void (P.rpc_cusolverDnDestroy t.rpc h)
+let cusolver_create t =
+  let issue () = check_u64 (P.rpc_cusolverDnCreate t.rpc ()) in
+  let h = issue () in
+  (match t.recovery with
+  | None -> ()
+  | Some r -> journal t (fun () -> set_remap r ~old:h ~fresh:(issue ())));
+  h
+
+let cusolver_destroy t h =
+  let issue () = check_void (P.rpc_cusolverDnDestroy t.rpc (tr t h)) in
+  issue ();
+  journal t issue
 
 let cusolver_sgetrf_buffer_size t ~handle ~m ~n ~a ~lda =
   check_int
-    (P.rpc_cusolverDnSgetrf_bufferSize t.rpc { Proto.handle; m; n; a; lda })
+    (P.rpc_cusolverDnSgetrf_bufferSize t.rpc
+       { Proto.handle = tr t handle; m; n; a = tr t a; lda })
 
 let cusolver_sgetrf t ~handle ~m ~n ~a ~lda ~workspace ~ipiv =
-  check_int
-    (P.rpc_cusolverDnSgetrf t.rpc { Proto.handle; m; n; a; lda; workspace; ipiv })
+  let issue () =
+    check_int
+      (P.rpc_cusolverDnSgetrf t.rpc
+         {
+           Proto.handle = tr t handle;
+           m;
+           n;
+           a = tr t a;
+           lda;
+           workspace = tr t workspace;
+           ipiv = tr t ipiv;
+         })
+  in
+  let info = issue () in
+  journal t (fun () -> ignore (issue ()));
+  info
 
 let cusolver_sgetrs t ~handle ~n ~nrhs ~a ~lda ~ipiv ~b ~ldb =
-  check_int
-    (P.rpc_cusolverDnSgetrs t.rpc { Proto.handle; n; nrhs; a; lda; ipiv; b; ldb })
+  let issue () =
+    check_int
+      (P.rpc_cusolverDnSgetrs t.rpc
+         {
+           Proto.handle = tr t handle;
+           n;
+           nrhs;
+           a = tr t a;
+           lda;
+           ipiv = tr t ipiv;
+           b = tr t b;
+           ldb;
+         })
+  in
+  let info = issue () in
+  journal t (fun () -> ignore (issue ()));
+  info
 
 (* --- checkpoint / restart --- *)
 

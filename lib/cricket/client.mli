@@ -25,6 +25,13 @@ type func
 
 type dim3 = Gpusim.Kernels.dim3 = { x : int; y : int; z : int }
 
+exception Session_lost of string
+(** The session could not be recovered (see {!enable_recovery}): the
+    server crashed during recovery, or the retry budget ran out. Sticky —
+    once raised, {e every} further call on this client (sync, one-way or
+    pipelined) raises it immediately rather than hanging on a dead
+    connection. *)
+
 val create :
   ?launch_extra_ns:int ->
   ?charge:(int -> unit) ->
@@ -34,6 +41,50 @@ val create :
   t
 
 val close : t -> unit
+
+val rpc : t -> Oncrpc.Client.t
+(** The underlying RPC client (retry/timeout/reconnect counters live in
+    its {!Oncrpc.Client.stats}). *)
+
+(** {1 Session recovery}
+
+    With recovery enabled the client survives a server crash: the RPC
+    layer reconnects (backing off in virtual time via [sleep]), the client
+    restores the server from the latest checkpoint, replays the journal of
+    state-mutating calls issued since, remaps any handle the server
+    assigned differently, and the interrupted call is retransmitted — the
+    application simply sees its call return. This is the client half of
+    the paper's CRIU-style checkpoint/restart story, turned into
+    transparent fault tolerance. *)
+
+val enable_recovery :
+  ?retry:Oncrpc.Client.retry_policy ->
+  ?checkpoint_every:int ->
+  ?checkpoint_name:string ->
+  t ->
+  now:(unit -> int64) ->
+  sleep:(int64 -> unit) ->
+  reconnect:(unit -> Oncrpc.Transport.t) ->
+  unit ->
+  unit
+(** [checkpoint_every] (default 64) is the journal length that triggers an
+    automatic server checkpoint (journal truncates only after the
+    checkpoint RPC succeeds); [checkpoint_name] (default ["session-auto"])
+    the server-side checkpoint file name. [now]/[sleep] clock the retry
+    backoff — pass the simulation engine's virtual clock for deterministic
+    runs. [reconnect] must return a fresh transport to the (restarted)
+    server, or raise {!Oncrpc.Transport.Closed} while it is still down
+    (e.g. {!Unikernel.Simchannel.reconnect}). *)
+
+val session_lost : t -> bool
+val recoveries : t -> int
+(** Successful crash recoveries (restore + replay) completed. *)
+
+val replayed_calls : t -> int
+(** Journaled calls re-issued across all recoveries. *)
+
+val checkpoints_taken : t -> int
+(** Automatic checkpoints triggered by the journal cadence. *)
 
 (** {1 Statistics (per paper §4.1: API calls and transferred bytes)} *)
 

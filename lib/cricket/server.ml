@@ -4,6 +4,11 @@ type t = {
   rpc : Oncrpc.Server.t;
   ctx : Cudasim.Context.t;
   checkpoint_dir : string;
+  (* creation parameters, kept so a crashed server can be respawned as the
+     same kind of process (fresh state, same GPUs, clock and checkpoints) *)
+  spawn_devices : Gpusim.Device.t list option;
+  spawn_memory_capacity : int option;
+  spawn_clock : Cudasim.Context.clock;
   mutable calls : int;
   per_proc : (int, int) Hashtbl.t;
   trace : Trace.t;
@@ -304,10 +309,16 @@ let create ?devices ?memory_capacity ?(checkpoint_dir = ".") ~clock () =
   let ctx = Cudasim.Context.create ?devices ?memory_capacity clock in
   let rpc = Oncrpc.Server.create ~name:"cricket" () in
   let t =
-    { rpc; ctx; checkpoint_dir; calls = 0; per_proc = Hashtbl.create 64;
+    { rpc; ctx; checkpoint_dir; spawn_devices = devices;
+      spawn_memory_capacity = memory_capacity; spawn_clock = clock;
+      calls = 0; per_proc = Hashtbl.create 64;
       trace = Trace.create (); last_proc = -1; last_arg_bytes = 0 }
   in
   P.Server.register (implementation t) rpc;
+  (* At-most-once: a client retransmission (same xid) of a call whose reply
+     was lost gets the recorded reply, so non-idempotent calls are safe to
+     retry. *)
+  Oncrpc.Server.set_dup_cache rpc;
   Oncrpc.Server.set_observer rpc (fun ~prog:_ ~vers:_ ~proc ~arg_bytes ->
       t.calls <- t.calls + 1;
       t.last_proc <- proc;
@@ -315,6 +326,12 @@ let create ?devices ?memory_capacity ?(checkpoint_dir = ".") ~clock () =
       Hashtbl.replace t.per_proc proc
         (1 + Option.value ~default:0 (Hashtbl.find_opt t.per_proc proc)));
   t
+
+let respawn t =
+  create ?devices:t.spawn_devices ?memory_capacity:t.spawn_memory_capacity
+    ~checkpoint_dir:t.checkpoint_dir ~clock:t.spawn_clock ()
+
+let dup_hits t = Oncrpc.Server.dup_hits t.rpc
 
 (* procedure number -> name, from the RPCL spec itself *)
 let proc_names =

@@ -24,6 +24,18 @@ val create :
     state files; paths in checkpoint RPCs are interpreted relative to it
     and may not escape it. *)
 
+val respawn : t -> t
+(** A fresh server process of the same kind: same GPUs, clock and
+    checkpoint directory, but brand-new (empty) CUDA state and RPC
+    bookkeeping. This is what a crash-restart supervisor starts — the
+    recovering client then restores state from the latest checkpoint and
+    replays its journal (see {!Client.enable_recovery}). *)
+
+val dup_hits : t -> int
+(** Calls answered from the at-most-once duplicate-request cache (always
+    enabled on Cricket servers): client retransmissions whose original
+    execution survived. *)
+
 val rpc_server : t -> Oncrpc.Server.t
 (** The underlying RPC server, for attaching transports or a portmapper. *)
 

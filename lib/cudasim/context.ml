@@ -145,6 +145,8 @@ type snapshot = {
       (* fn handle -> (module handle, kernel name) *)
   snap_cublas : int list;
   snap_cusolver : int list;
+  snap_globals : ((int * string) * int) list;
+  snap_handles : Gpusim.Gpu.handles array;  (* streams/events per device *)
   snap_next_handle : int;
 }
 
@@ -170,6 +172,8 @@ let checkpoint t =
           t.functions [];
       snap_cublas = Hashtbl.fold (fun h () acc -> h :: acc) t.cublas [];
       snap_cusolver = Hashtbl.fold (fun h () acc -> h :: acc) t.cusolver [];
+      snap_globals = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.globals [];
+      snap_handles = Array.map Gpusim.Gpu.handles t.gpus;
       snap_next_handle = t.next_handle;
     }
   in
@@ -202,7 +206,8 @@ let restore t data =
                 Gpusim.Gpu.reset g;
                 let restored = Gpusim.Memory.restore snap.snap_memories.(i) in
                 (* splice restored memory into the gpu *)
-                Gpusim.Gpu.set_memory g restored)
+                Gpusim.Gpu.set_memory g restored;
+                Gpusim.Gpu.set_handles g snap.snap_handles.(i))
               t.gpus;
             t.current_device <- snap.snap_current;
             Hashtbl.reset t.modules;
@@ -230,6 +235,8 @@ let restore t data =
             List.iter (fun h -> Hashtbl.add t.cublas h ()) snap.snap_cublas;
             Hashtbl.reset t.cusolver;
             List.iter (fun h -> Hashtbl.add t.cusolver h ()) snap.snap_cusolver;
+            Hashtbl.reset t.globals;
+            List.iter (fun (k, v) -> Hashtbl.add t.globals k v) snap.snap_globals;
             t.next_handle <- snap.snap_next_handle;
             Ok ()
       end

@@ -162,6 +162,41 @@ let stream_wait_event t ~stream ~event =
   let s = stream_ref t stream in
   Stream.wait_event s ~seq:(next_seq t) ~event ~time:(Event.recorded e)
 
+type handles = {
+  hs_streams : int list;
+  hs_events : (int * Time.t option) list;
+  hs_next_handle : int;
+  hs_next_seq : int;
+}
+
+let handles t =
+  {
+    hs_streams =
+      Hashtbl.fold
+        (fun h _ acc -> if h = default_stream then acc else h :: acc)
+        t.streams [];
+    hs_events =
+      Hashtbl.fold (fun h e acc -> (h, Event.recorded e) :: acc) t.events [];
+    hs_next_handle = t.next_handle;
+    hs_next_seq = t.next_seq;
+  }
+
+let set_handles t hs =
+  Hashtbl.reset t.streams;
+  Hashtbl.add t.streams default_stream (Stream.create ~id:default_stream);
+  List.iter
+    (fun h -> Hashtbl.add t.streams h (Stream.create ~id:h))
+    hs.hs_streams;
+  Hashtbl.reset t.events;
+  List.iter
+    (fun (h, recorded) ->
+      let e = Event.create ~id:h in
+      (match recorded with Some tm -> Event.record e tm | None -> ());
+      Hashtbl.add t.events h e)
+    hs.hs_events;
+  t.next_handle <- hs.hs_next_handle;
+  t.next_seq <- hs.hs_next_seq
+
 let reset t =
   Memory.reset t.memory;
   Hashtbl.reset t.streams;

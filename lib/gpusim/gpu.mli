@@ -109,3 +109,17 @@ val reset : t -> unit
 
 val set_memory : t -> Memory.t -> unit
 (** Replace the device's memory wholesale (checkpoint restore). *)
+
+type handles = {
+  hs_streams : int list;  (** live non-default stream handles *)
+  hs_events : (int * Simnet.Time.t option) list;
+      (** event handle, recorded time *)
+  hs_next_handle : int;
+  hs_next_seq : int;
+}
+(** Stream/event handle state, for checkpoints. Only meaningful when the
+    device is quiesced (all streams retired): queued commands are not
+    captured, just which handles exist and what events have recorded. *)
+
+val handles : t -> handles
+val set_handles : t -> handles -> unit

@@ -2,6 +2,7 @@ type error =
   | Call_rejected of Message.rejected
   | Call_failed of Message.accept_stat
   | Bad_reply of string
+  | Deadline_exceeded of { elapsed_ns : int64 }
 
 exception Rpc_error of error
 
@@ -9,11 +10,30 @@ let error_to_string = function
   | Call_rejected r -> Format.asprintf "call denied: %a" Message.pp_rejected r
   | Call_failed s -> Format.asprintf "call failed: %a" Message.pp_accept_stat s
   | Bad_reply s -> "bad reply: " ^ s
+  | Deadline_exceeded { elapsed_ns } ->
+      Printf.sprintf "deadline exceeded after %Ld ns" elapsed_ns
 
 let () =
   Printexc.register_printer (function
     | Rpc_error e -> Some ("Oncrpc.Client.Rpc_error: " ^ error_to_string e)
     | _ -> None)
+
+type retry_policy = {
+  max_attempts : int;
+  base_backoff_ns : int;
+  max_backoff_ns : int;
+  jitter : float;
+  deadline_ns : int option;
+}
+
+let default_retry =
+  {
+    max_attempts = 8;
+    base_backoff_ns = 100_000 (* 100 us *);
+    max_backoff_ns = 50_000_000 (* 50 ms *);
+    jitter = 0.1;
+    deadline_ns = None;
+  }
 
 type stats = {
   calls : int;
@@ -21,42 +41,133 @@ type stats = {
   bytes_received : int;
   wire_bytes_sent : int;
   wire_bytes_received : int;
+  retries : int;
+  timeouts : int;
+  reconnects : int;
 }
 
 let empty_stats =
   { calls = 0; bytes_sent = 0; bytes_received = 0; wire_bytes_sent = 0;
-    wire_bytes_received = 0 }
+    wire_bytes_received = 0; retries = 0; timeouts = 0; reconnects = 0 }
 
 type t = {
-  transport : Transport.t;
+  mutable transport : Transport.t;
   prog : int;
   vers : int;
   cred : Auth.t;
   fragment_size : int;
   mutable next_xid : int32;
   mutable stats : stats;
+  mutable retry : retry_policy option;
+  mutable now : unit -> int64;  (* virtual-time clock, ns *)
+  mutable sleep : int64 -> unit;  (* backoff; advances the virtual clock *)
+  mutable reconnect : (unit -> Transport.t) option;
+  mutable on_reconnect : unit -> unit;
+  mutable give_up : exn -> exn;
+  rng : Random.State.t;
 }
 
 let create ?(cred = Auth.none) ?(fragment_size = Record.default_fragment_size)
-    ?(first_xid = 1l) ~transport ~prog ~vers () =
-  { transport; prog; vers; cred; fragment_size; next_xid = first_xid;
-    stats = empty_stats }
+    ?(first_xid = 1l) ?retry ?(seed = 1) ~transport ~prog ~vers () =
+  {
+    transport;
+    prog;
+    vers;
+    cred;
+    fragment_size;
+    next_xid = first_xid;
+    stats = empty_stats;
+    retry;
+    now = (fun () -> 0L);
+    sleep = (fun _ -> ());
+    reconnect = None;
+    on_reconnect = (fun () -> ());
+    give_up = Fun.id;
+    rng = Random.State.make [| seed; 0x72657472 |];
+  }
+
+let set_retry t policy = t.retry <- policy
+let set_xid_origin t xid = t.next_xid <- xid
+let set_clock t ~now ~sleep =
+  t.now <- now;
+  t.sleep <- sleep
+
+let set_reconnect t f = t.reconnect <- Some f
+let set_on_reconnect t f = t.on_reconnect <- f
+let set_give_up t f = t.give_up <- f
+let set_transport t transport = t.transport <- transport
+let transport t = t.transport
 
 let wire_length ~fragment_size payload =
   let fragments = max 1 ((payload + fragment_size - 1) / fragment_size) in
   payload + (4 * fragments)
 
-let call t ~proc encode_args decode_results =
-  let xid = t.next_xid in
-  t.next_xid <- Int32.add t.next_xid 1l;
+(* Exponential backoff with deterministic jitter: the n-th retry (0-based)
+   waits base * 2^n, clamped to max, scaled by a factor drawn from
+   [1 - jitter, 1 + jitter] off the client's seeded PRNG. *)
+let backoff_ns t (p : retry_policy) n =
+  let base = float_of_int p.base_backoff_ns *. (2.0 ** float_of_int n) in
+  let clamped = Float.min base (float_of_int p.max_backoff_ns) in
+  let factor =
+    if p.jitter <= 0.0 then 1.0
+    else 1.0 -. p.jitter +. Random.State.float t.rng (2.0 *. p.jitter)
+  in
+  Int64.of_float (clamped *. factor)
+
+(* One failed attempt under a retry policy: account it, enforce the
+   deadline and attempt budget, back off (virtual time), and try to
+   re-establish the connection if it is gone. Raises when the call must
+   not be retried; returns to let the caller retransmit. *)
+let handle_attempt_failure t ~started ~deadline_ns ~attempt exn =
+  match t.retry with
+  | None -> raise exn
+  | Some p ->
+      (match exn with
+      | Transport.Timeout ->
+          t.stats <- { t.stats with timeouts = t.stats.timeouts + 1 }
+      | _ -> ());
+      if attempt + 1 >= p.max_attempts then raise (t.give_up exn);
+      let deadline = match deadline_ns with Some _ -> deadline_ns | None -> p.deadline_ns in
+      (match deadline with
+      | Some d when Int64.sub (t.now ()) started >= Int64.of_int d ->
+          raise
+            (t.give_up
+               (Rpc_error
+                  (Deadline_exceeded
+                     { elapsed_ns = Int64.sub (t.now ()) started })))
+      | _ -> ());
+      t.sleep (backoff_ns t p attempt);
+      t.stats <- { t.stats with retries = t.stats.retries + 1 };
+      match exn with
+      | Transport.Closed -> (
+          (* the connection is gone: without a reconnect hook a resend can
+             only fail again, so give up immediately *)
+          match t.reconnect with
+          | None -> raise (t.give_up exn)
+          | Some rc -> (
+              match rc () with
+              | transport ->
+                  t.transport <- transport;
+                  t.stats <-
+                    { t.stats with reconnects = t.stats.reconnects + 1 };
+                  t.on_reconnect ()
+              | exception Transport.Closed ->
+                  (* still down; the next attempt backs off again *) ()))
+      | _ -> ()
+
+let encode_call t ~xid ~proc encode_args =
   let enc = Xdr.Encode.create () in
   Message.encode enc
     (Message.call ~cred:t.cred ~xid ~prog:t.prog ~vers:t.vers ~proc ());
   let header_len = Xdr.Encode.length enc in
   encode_args enc;
   let request = Xdr.Encode.to_string enc in
-  let args_len = String.length request - header_len in
-  Record.write ~fragment_size:t.fragment_size t.transport request;
+  (request, String.length request - header_len)
+
+let call ?deadline_ns t ~proc encode_args decode_results =
+  let xid = t.next_xid in
+  t.next_xid <- Int32.add t.next_xid 1l;
+  let request, args_len = encode_call t ~xid ~proc encode_args in
   (* Skip replies to abandoned xids; block for ours. *)
   let rec await () =
     let reply = Record.read t.transport in
@@ -77,7 +188,21 @@ let call t ~proc encode_args decode_results =
       (reply, dec)
     end
   in
-  let reply, dec = await () in
+  let started = t.now () in
+  (* Retransmissions reuse [xid]: together with the server's duplicate-
+     request cache this gives at-most-once execution — a retry of a call
+     whose reply was lost gets the cached reply, not a second execution. *)
+  let rec attempt n =
+    match
+      Record.write ~fragment_size:t.fragment_size t.transport request;
+      await ()
+    with
+    | result -> result
+    | exception ((Transport.Timeout | Transport.Closed) as e) ->
+        handle_attempt_failure t ~started ~deadline_ns ~attempt:n e;
+        attempt (n + 1)
+  in
+  let reply, dec = attempt 0 in
   let results_start = Xdr.Decode.pos dec in
   let result =
     try
@@ -91,6 +216,7 @@ let call t ~proc encode_args decode_results =
   let s = t.stats in
   t.stats <-
     {
+      s with
       calls = s.calls + 1;
       bytes_sent = s.bytes_sent + args_len;
       bytes_received = s.bytes_received + results_len;
@@ -104,7 +230,8 @@ let call t ~proc encode_args decode_results =
     };
   result
 
-let call_void t ~proc encode_args = call t ~proc encode_args Xdr.Decode.void
+let call_void ?deadline_ns t ~proc encode_args =
+  call ?deadline_ns t ~proc encode_args Xdr.Decode.void
 
 (* RFC 5531 §8 "batching": send the call and do not wait for (or expect) a
    reply. The record sits in the transport's send path until a subsequent
@@ -113,14 +240,20 @@ let call_void t ~proc encode_args = call t ~proc encode_args Xdr.Decode.void
 let call_oneway t ~proc encode_args =
   let xid = t.next_xid in
   t.next_xid <- Int32.add t.next_xid 1l;
-  let enc = Xdr.Encode.create () in
-  Message.encode enc
-    (Message.call ~cred:t.cred ~xid ~prog:t.prog ~vers:t.vers ~proc ());
-  let header_len = Xdr.Encode.length enc in
-  encode_args enc;
-  let request = Xdr.Encode.to_string enc in
-  let args_len = String.length request - header_len in
-  Record.write ~fragment_size:t.fragment_size t.transport request;
+  let request, args_len = encode_call t ~xid ~proc encode_args in
+  let started = t.now () in
+  (* Only a failed *send* is retried (there is no reply to lose); a send
+     that fails mid-connection-loss is resent after reconnection, and the
+     reconnect hook's recovery protocol replays anything that was sent
+     but not yet executed. *)
+  let rec attempt n =
+    match Record.write ~fragment_size:t.fragment_size t.transport request with
+    | () -> ()
+    | exception (Transport.Closed as e) ->
+        handle_attempt_failure t ~started ~deadline_ns:None ~attempt:n e;
+        attempt (n + 1)
+  in
+  attempt 0;
   let s = t.stats in
   t.stats <-
     {
@@ -131,6 +264,7 @@ let call_oneway t ~proc encode_args =
         s.wire_bytes_sent
         + wire_length ~fragment_size:t.fragment_size (String.length request);
     }
+
 let stats t = t.stats
 let reset_stats t = t.stats <- empty_stats
 let close t = t.transport.Transport.close ()

@@ -7,6 +7,19 @@
     sequential; replies with a stale xid (e.g. from an abandoned earlier
     call) are skipped.
 
+    {b Reliability.} With a {!retry_policy} installed, a call that fails
+    with {!Transport.Timeout} or {!Transport.Closed} is retransmitted after
+    an exponential backoff with deterministic jitter. Backoffs sleep
+    through the [sleep] hook ({!set_clock}), so under the simulated network
+    they advance virtual time and runs stay bit-reproducible.
+    Retransmissions reuse the original xid: paired with
+    {!Server.set_dup_cache} this yields {e at-most-once} execution, the
+    property that makes retrying non-idempotent calls such as [cudaMalloc]
+    safe. A lost connection is re-established through the {!set_reconnect}
+    hook; {!set_on_reconnect} lets a session layer (e.g.
+    [Cricket.Client]'s recovery protocol) restore server state before the
+    failed call is retransmitted.
+
     Per-client counters record the number of calls and the exact argument /
     result payload bytes — these are the statistics the paper reports per
     application (e.g. matrixMul ≈ 100 041 calls, 1.95 MiB transferred). *)
@@ -15,10 +28,23 @@ type error =
   | Call_rejected of Message.rejected
   | Call_failed of Message.accept_stat  (** accepted, but not [Success] *)
   | Bad_reply of string  (** reply header or results failed to decode *)
+  | Deadline_exceeded of { elapsed_ns : int64 }
+      (** the call's virtual-time budget ran out before a reply arrived *)
 
 exception Rpc_error of error
 
 val error_to_string : error -> string
+
+type retry_policy = {
+  max_attempts : int;  (** total attempts, including the first *)
+  base_backoff_ns : int;  (** backoff before the first retry *)
+  max_backoff_ns : int;  (** exponential growth is clamped here *)
+  jitter : float;  (** backoff scaled by [1 ± jitter], seeded PRNG *)
+  deadline_ns : int option;  (** default per-call budget in virtual time *)
+}
+
+val default_retry : retry_policy
+(** 8 attempts, 100 µs base, 50 ms cap, 10 % jitter, no deadline. *)
 
 type stats = {
   calls : int;
@@ -26,6 +52,9 @@ type stats = {
   bytes_received : int;  (** result payload bytes *)
   wire_bytes_sent : int;  (** full records incl. headers and fragmentation *)
   wire_bytes_received : int;
+  retries : int;  (** retransmissions (not counted in [calls]) *)
+  timeouts : int;  (** attempts that ended in {!Transport.Timeout} *)
+  reconnects : int;  (** successful reconnections after a lost connection *)
 }
 
 type t
@@ -34,19 +63,61 @@ val create :
   ?cred:Auth.t ->
   ?fragment_size:int ->
   ?first_xid:int32 ->
+  ?retry:retry_policy ->
+  ?seed:int ->
   transport:Transport.t ->
   prog:int ->
   vers:int ->
   unit ->
   t
+(** [retry] defaults to none (failures propagate immediately); [seed]
+    drives the jitter PRNG. *)
+
+(** {1 Reliability hooks} *)
+
+val set_retry : t -> retry_policy option -> unit
+
+val set_xid_origin : t -> int32 -> unit
+(** Reposition the xid counter. Concurrent clients sharing one server must
+    use disjoint xid spaces (real clients randomize their origin): the
+    server's at-most-once duplicate-request cache is keyed by xid, so two
+    clients counting from the same origin would alias each other's calls. *)
+
+val set_clock : t -> now:(unit -> int64) -> sleep:(int64 -> unit) -> unit
+(** Install the virtual clock used for deadlines and backoff sleeps. The
+    defaults ([now] constant [0], [sleep] a no-op) keep retries functional
+    but timeless. *)
+
+val set_reconnect : t -> (unit -> Transport.t) -> unit
+(** [f ()] must return a fresh transport to the same server or raise
+    {!Transport.Closed} if the server is still unreachable (the retry loop
+    backs off and tries again). *)
+
+val set_on_reconnect : t -> (unit -> unit) -> unit
+(** Runs after every successful reconnection, before the failed call is
+    retransmitted. May itself issue RPCs on this client — this is where
+    [Cricket]'s checkpoint-restore + replay recovery runs. *)
+
+val set_give_up : t -> (exn -> exn) -> unit
+(** Maps the final exception once a retry policy is exhausted (attempts or
+    deadline spent, or connection lost with no reconnect hook). Lets a
+    session layer substitute its own sticky error. Default: identity. *)
+
+val set_transport : t -> Transport.t -> unit
+val transport : t -> Transport.t
+
+(** {1 Calls} *)
 
 val call :
+  ?deadline_ns:int ->
   t -> proc:int -> (Xdr.Encode.t -> unit) -> (Xdr.Decode.t -> 'a) -> 'a
 (** [call t ~proc encode_args decode_results] performs one RPC. Raises
-    {!Rpc_error} on protocol-level failure and {!Transport.Closed} if the
-    connection drops. *)
+    {!Rpc_error} on protocol-level failure and {!Transport.Closed} /
+    {!Transport.Timeout} if the connection fails and no retry policy (or
+    an exhausted one) is in place. [deadline_ns] overrides the policy's
+    per-call budget. *)
 
-val call_void : t -> proc:int -> (Xdr.Encode.t -> unit) -> unit
+val call_void : ?deadline_ns:int -> t -> proc:int -> (Xdr.Encode.t -> unit) -> unit
 (** A call whose result type is [void]. *)
 
 val call_oneway : t -> proc:int -> (Xdr.Encode.t -> unit) -> unit
@@ -55,7 +126,8 @@ val call_oneway : t -> proc:int -> (Xdr.Encode.t -> unit) -> unit
     {!Server.set_oneway}). One-way calls accumulate in the transport until
     the next synchronous {!call} flushes them, so a pipeline of N one-way
     calls plus one blocking call costs a single round trip. Counted in
-    {!stats} like any other call. *)
+    {!stats} like any other call. Under a retry policy, a send that fails
+    with {!Transport.Closed} is resent after reconnection. *)
 
 val stats : t -> stats
 val reset_stats : t -> unit

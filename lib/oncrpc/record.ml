@@ -56,13 +56,27 @@ let to_wire ?(fragment_size = default_fragment_size) msg =
 
 let default_max_record_size = 1 lsl 30
 
+exception Oversized of { claimed : int; limit : int }
+
+let () =
+  Printexc.register_printer (function
+    | Oversized { claimed; limit } ->
+        Some
+          (Printf.sprintf
+             "Oncrpc.Record.Oversized: header claims %d bytes (limit %d)"
+             claimed limit)
+    | _ -> None)
+
 let read_fragments ?(max_record_size = default_max_record_size) t ~first_header =
   let buf = Buffer.create 1024 in
   let hdr = Bytes.create 4 in
   let rec loop header =
     let last, len = decode_header header in
-    if Buffer.length buf + len > max_record_size then
-      failwith "Oncrpc.Record.read: record exceeds max_record_size";
+    (* Size-check the header's *claim* before allocating anything: a hostile
+       or corrupted header must not be able to reserve unbounded memory. *)
+    if len > max_record_size || Buffer.length buf + len > max_record_size then
+      raise
+        (Oversized { claimed = Buffer.length buf + len; limit = max_record_size });
     let frag = Bytes.create len in
     Transport.recv_exact t frag 0 len;
     Buffer.add_bytes buf frag;

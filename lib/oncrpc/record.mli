@@ -22,10 +22,16 @@ val write : ?fragment_size:int -> Transport.t -> string -> unit
     last fragment. Raises [Invalid_argument] if [fragment_size] is not in
     [1 .. max_fragment_size]. *)
 
+exception Oversized of { claimed : int; limit : int }
+(** A fragment header claimed a size that would take the record past
+    [max_record_size]. Raised from the header alone, {e before} any buffer
+    for the claimed bytes is allocated, so an adversarial length field
+    cannot reserve unbounded memory. *)
+
 val read : ?max_record_size:int -> Transport.t -> string
 (** [read t] reassembles the next record. Raises {!Transport.Closed} on end
-    of stream mid-record (or before any fragment), and [Failure] if the
-    accumulated record would exceed [max_record_size] (default 1 GiB). *)
+    of stream mid-record (or before any fragment), and {!Oversized} if a
+    header-claimed size would exceed [max_record_size] (default 1 GiB). *)
 
 val read_opt : ?max_record_size:int -> Transport.t -> string option
 (** Like {!read} but returns [None] when the stream ends cleanly before the

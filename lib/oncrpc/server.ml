@@ -6,12 +6,27 @@ type handler = Xdr.Decode.t -> Xdr.Encode.t -> unit
 
 type service = { vers : int; procedures : (int, handler) Hashtbl.t }
 
+(* At-most-once duplicate-request cache: remembers the reply produced for
+   each (xid, prog, vers, proc), so a client retransmission of a call whose
+   reply was lost gets the original reply back instead of re-executing the
+   handler. Bounded FIFO; a live retransmission always targets a recent
+   entry, so eviction of old xids is safe. *)
+type dup_key = int32 * int * int * int
+
+type dup_cache = {
+  capacity : int;
+  entries : (dup_key, string option) Hashtbl.t;
+  order : dup_key Queue.t;
+  mutable hits : int;
+}
+
 type t = {
   name : string;
   programs : (int, service list ref) Hashtbl.t;
   oneway : (int * int * int, unit) Hashtbl.t;  (* (prog, vers, proc) *)
   mutable auth_check : Auth.t -> Message.auth_stat option;
   mutable observer : prog:int -> vers:int -> proc:int -> arg_bytes:int -> unit;
+  mutable dup_cache : dup_cache option;
 }
 
 let create ?(name = "oncrpc") () =
@@ -21,7 +36,21 @@ let create ?(name = "oncrpc") () =
     oneway = Hashtbl.create 8;
     auth_check = (fun _ -> None);
     observer = (fun ~prog:_ ~vers:_ ~proc:_ ~arg_bytes:_ -> ());
+    dup_cache = None;
   }
+
+let set_dup_cache ?(capacity = 4096) t =
+  if capacity < 1 then invalid_arg "Server.set_dup_cache";
+  t.dup_cache <-
+    Some
+      {
+        capacity;
+        entries = Hashtbl.create capacity;
+        order = Queue.create ();
+        hits = 0;
+      }
+
+let dup_hits t = match t.dup_cache with None -> 0 | Some c -> c.hits
 
 let null_procedure (_ : Xdr.Decode.t) (_ : Xdr.Encode.t) = ()
 
@@ -67,21 +96,8 @@ let version_range services =
     (fun (lo, hi) s -> (min lo s.vers, max hi s.vers))
     (max_int, min_int) services
 
-let dispatch_opt t request =
-  let dec = Xdr.Decode.of_string request in
-  let msg =
-    try Message.decode dec
-    with Xdr.Types.Error e ->
-      failwith
-        (Printf.sprintf "%s: unparseable request: %s" t.name
-           (Xdr.Types.error_to_string e))
-  in
-  let xid = msg.Message.xid in
-  match msg.Message.body with
-  | Message.Reply _ ->
-      failwith (t.name ^ ": received a REPLY where a CALL was expected")
-  | Message.Call c -> (
-      match t.auth_check c.Message.cred with
+let dispatch_call t dec ~xid c =
+  match t.auth_check c.Message.cred with
       | Some stat ->
           Some
             (encode_reply
@@ -151,7 +167,42 @@ let dispatch_opt t request =
                               (Message.reply_error ~xid Message.System_err)
                               None
                       in
-                      if oneway then None else Some reply))))
+                      if oneway then None else Some reply)))
+
+let dispatch_opt t request =
+  let dec = Xdr.Decode.of_string request in
+  let msg =
+    try Message.decode dec
+    with Xdr.Types.Error e ->
+      failwith
+        (Printf.sprintf "%s: unparseable request: %s" t.name
+           (Xdr.Types.error_to_string e))
+  in
+  let xid = msg.Message.xid in
+  match msg.Message.body with
+  | Message.Reply _ ->
+      failwith (t.name ^ ": received a REPLY where a CALL was expected")
+  | Message.Call c -> (
+      let key = (xid, c.Message.prog, c.Message.vers, c.Message.proc) in
+      match t.dup_cache with
+      | Some cache when Hashtbl.mem cache.entries key ->
+          (* Retransmission of an already-executed call: serve the recorded
+             reply (or, for a one-way call, suppress re-execution). *)
+          cache.hits <- cache.hits + 1;
+          Log.debug (fun m ->
+              m "%s: duplicate xid %ld proc %d — replaying cached reply" t.name
+                xid c.Message.proc);
+          Hashtbl.find cache.entries key
+      | _ ->
+          let reply = dispatch_call t dec ~xid c in
+          (match t.dup_cache with
+          | None -> ()
+          | Some cache ->
+              if Queue.length cache.order >= cache.capacity then
+                Hashtbl.remove cache.entries (Queue.pop cache.order);
+              Queue.push key cache.order;
+              Hashtbl.replace cache.entries key reply);
+          reply)
 
 let dispatch t request = Option.value (dispatch_opt t request) ~default:""
 

@@ -36,6 +36,20 @@ val is_oneway : t -> prog:int -> vers:int -> proc:int -> bool
 val set_auth_check : t -> (Auth.t -> Message.auth_stat option) -> unit
 (** Install a credential check; returning [Some stat] denies the call. *)
 
+val set_dup_cache : ?capacity:int -> t -> unit
+(** Enable the at-most-once duplicate-request cache. Every dispatched call
+    records its reply under [(xid, prog, vers, proc)]; a retransmission of
+    the same call — the client reuses the xid, see {!Client.call} — gets
+    the recorded reply back without re-executing the handler. This is what
+    makes retrying non-idempotent procedures (allocation, launch, free)
+    safe when a reply record is lost. For cached one-way calls the
+    duplicate is swallowed entirely. The cache is a bounded FIFO
+    ([capacity] entries, default 4096): a live retransmission always
+    targets a recent xid, so evicting old entries is safe. *)
+
+val dup_hits : t -> int
+(** Number of calls answered from the duplicate-request cache. *)
+
 val set_observer :
   t -> (prog:int -> vers:int -> proc:int -> arg_bytes:int -> unit) -> unit
 (** Called once per successfully-parsed call before the handler runs. The

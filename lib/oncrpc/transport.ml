@@ -5,10 +5,12 @@ type t = {
 }
 
 exception Closed
+exception Timeout
 
 let () =
   Printexc.register_printer (function
     | Closed -> Some "Oncrpc.Transport.Closed"
+    | Timeout -> Some "Oncrpc.Transport.Timeout"
     | _ -> None)
 
 let send_string t s = t.send (Bytes.unsafe_of_string s) 0 (String.length s)

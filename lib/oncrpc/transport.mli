@@ -24,6 +24,12 @@ type t = {
 exception Closed
 (** Raised when sending on a transport whose peer is gone. *)
 
+exception Timeout
+(** Raised by fault-aware transports (e.g. {!Unikernel.Simchannel} under a
+    fault plan) when an expected reply never arrives within the modelled
+    retransmission timeout. The connection is still usable: the caller may
+    retransmit — {!Client} does so automatically under a retry policy. *)
+
 val send_string : t -> string -> unit
 (** Write a whole string. *)
 

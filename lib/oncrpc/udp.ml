@@ -14,17 +14,19 @@ type client = {
   vers : int;
   timeout_s : float;
   retries : int;
+  fault : Simnet.Fault.t option;
   mutable next_xid : int32;
 }
 
-let connect ?(timeout_s = 1.0) ?(retries = 3) ~host ~port ~prog ~vers () =
+let connect ?(timeout_s = 1.0) ?(retries = 3) ?fault ~host ~port ~prog ~vers ()
+    =
   let inet_addr =
     try Unix.inet_addr_of_string host
     with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
   in
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
   { fd; addr = Unix.ADDR_INET (inet_addr, port); prog; vers; timeout_s;
-    retries; next_xid = 1l }
+    retries; fault; next_xid = 1l }
 
 let close_client t = try Unix.close t.fd with Unix.Unix_error _ -> ()
 
@@ -38,10 +40,34 @@ let call t ~proc encode_args decode_results =
   if Bytes.length request > max_datagram then
     invalid_arg "Oncrpc.Udp.call: arguments exceed max_datagram";
   let reply_buf = Bytes.create 65536 in
+  let sendto () =
+    ignore (Unix.sendto t.fd request 0 (Bytes.length request) [] t.addr)
+  in
+  (* Each (re)transmission consults the fault plan as one datagram. Dropped
+     and corrupted datagrams never reach the server — a corrupt datagram
+     fails the receiver's UDP checksum and is discarded, so both manifest
+     as loss here, and the timeout/retransmit path takes over. Duplicates
+     reach the server twice with the same xid, which is exactly what the
+     duplicate-request cache and the client's stale-xid skipping exist
+     for. *)
+  let send () =
+    match t.fault with
+    | None -> sendto ()
+    | Some f -> (
+        match Simnet.Fault.decide f with
+        | Simnet.Fault.Pass -> sendto ()
+        | Simnet.Fault.Drop | Simnet.Fault.Corrupt -> ()
+        | Simnet.Fault.Duplicate ->
+            sendto ();
+            sendto ()
+        | Simnet.Fault.Delay d ->
+            Unix.sleepf (Int64.to_float d /. 1e9);
+            sendto ())
+  in
   (* send, then wait for our xid; resend on timeout *)
   let rec attempt remaining =
     if remaining <= 0 then raise Timeout;
-    ignore (Unix.sendto t.fd request 0 (Bytes.length request) [] t.addr);
+    send ();
     let deadline = Unix.gettimeofday () +. t.timeout_s in
     let rec await () =
       let budget = deadline -. Unix.gettimeofday () in

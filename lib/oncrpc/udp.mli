@@ -22,19 +22,27 @@ exception Timeout
 val connect :
   ?timeout_s:float ->
   ?retries:int ->
+  ?fault:Simnet.Fault.t ->
   host:string ->
   port:int ->
   prog:int ->
   vers:int ->
   unit ->
   client
-(** Defaults: 1 s timeout, 3 retries. *)
+(** Defaults: 1 s timeout, 3 retries. [fault] injects at datagram
+    granularity on the client's send path: each (re)transmission consults
+    the plan once. [Drop] and [Corrupt] both manifest as loss (a corrupt
+    datagram fails the receiver's UDP checksum), [Duplicate] delivers the
+    request twice with the same xid, [Delay] sleeps before sending. *)
 
 val call :
   client -> proc:int -> (Xdr.Encode.t -> unit) -> (Xdr.Decode.t -> 'a) -> 'a
 (** One remote call. Raises {!Timeout}, {!Oncrpc.Client.Rpc_error}-style
-    errors are raised as {!Client.Rpc_error}. Stale replies (wrong xid,
-    e.g. from a retried call) are discarded. *)
+    errors are raised as {!Client.Rpc_error}. Retransmissions after a
+    timeout reuse the original xid, so a server-side duplicate-request
+    cache ({!Server.set_dup_cache}) recognises them. Stale replies (wrong
+    xid, e.g. the late reply to an earlier call's duplicate) are
+    discarded, never matched to the current call. *)
 
 val close_client : client -> unit
 

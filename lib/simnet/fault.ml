@@ -1,0 +1,140 @@
+type decision = Pass | Drop | Duplicate | Corrupt | Delay of Time.t
+
+type crash = { after_records : int; down_for : Time.t }
+
+type plan = {
+  seed : int;
+  drop_rate : float;
+  duplicate_rate : float;
+  corrupt_rate : float;
+  delay_rate : float;
+  delay : Time.t;
+  drop_nth : int list;
+  duplicate_nth : int list;
+  corrupt_nth : int list;
+  delay_nth : int list;
+  partitions : (Time.t * Time.t) list;
+  crashes : crash list;
+}
+
+let none =
+  {
+    seed = 0;
+    drop_rate = 0.0;
+    duplicate_rate = 0.0;
+    corrupt_rate = 0.0;
+    delay_rate = 0.0;
+    delay = Time.us 100;
+    drop_nth = [];
+    duplicate_nth = [];
+    corrupt_nth = [];
+    delay_nth = [];
+    partitions = [];
+    crashes = [];
+  }
+
+let drops ?(seed = 1) rate = { none with seed; drop_rate = rate }
+
+type stats = {
+  records : int;
+  dropped : int;
+  duplicated : int;
+  corrupted : int;
+  delayed : int;
+  crashes_fired : int;
+}
+
+let injected s = s.dropped + s.duplicated + s.corrupted + s.delayed
+
+let empty_stats =
+  { records = 0; dropped = 0; duplicated = 0; corrupted = 0; delayed = 0;
+    crashes_fired = 0 }
+
+type t = {
+  plan : plan;
+  rng : Random.State.t;
+  has_rates : bool;
+  mutable next : int;  (* 0-based index of the next record to decide *)
+  mutable remaining_crashes : crash list;
+  mutable stats : stats;
+}
+
+let validate_rate name r =
+  if r < 0.0 || r > 1.0 || Float.is_nan r then
+    invalid_arg (Printf.sprintf "Fault.make: %s out of [0, 1]" name)
+
+let make plan =
+  validate_rate "drop_rate" plan.drop_rate;
+  validate_rate "duplicate_rate" plan.duplicate_rate;
+  validate_rate "corrupt_rate" plan.corrupt_rate;
+  validate_rate "delay_rate" plan.delay_rate;
+  let crashes =
+    List.sort (fun a b -> compare a.after_records b.after_records) plan.crashes
+  in
+  {
+    plan;
+    rng = Random.State.make [| plan.seed; 0x6661756c |];
+    has_rates =
+      plan.drop_rate > 0.0 || plan.duplicate_rate > 0.0
+      || plan.corrupt_rate > 0.0 || plan.delay_rate > 0.0;
+    next = 0;
+    remaining_crashes = crashes;
+    stats = empty_stats;
+  }
+
+let plan t = t.plan
+
+let in_partition plan now =
+  List.exists
+    (fun (a, b) -> Time.compare now a >= 0 && Time.compare now b < 0)
+    plan.partitions
+
+let count t d =
+  let s = t.stats in
+  t.stats <-
+    (match d with
+    | Pass -> s
+    | Drop -> { s with dropped = s.dropped + 1 }
+    | Duplicate -> { s with duplicated = s.duplicated + 1 }
+    | Corrupt -> { s with corrupted = s.corrupted + 1 }
+    | Delay _ -> { s with delayed = s.delayed + 1 });
+  d
+
+let decide ?(now = Time.zero) t =
+  let n = t.next in
+  t.next <- n + 1;
+  t.stats <- { t.stats with records = t.stats.records + 1 };
+  (* one draw per record whenever rates are in play, independent of which
+     rule ends up deciding — keeps the random sequence stable under nth
+     rules and partition windows *)
+  let u = if t.has_rates then Random.State.float t.rng 1.0 else 1.0 in
+  let p = t.plan in
+  if in_partition p now then count t Drop
+  else if List.mem n p.drop_nth then count t Drop
+  else if List.mem n p.duplicate_nth then count t Duplicate
+  else if List.mem n p.corrupt_nth then count t Corrupt
+  else if List.mem n p.delay_nth then count t (Delay p.delay)
+  else if u < p.drop_rate then count t Drop
+  else if u < p.drop_rate +. p.duplicate_rate then count t Duplicate
+  else if u < p.drop_rate +. p.duplicate_rate +. p.corrupt_rate then
+    count t Corrupt
+  else if
+    u < p.drop_rate +. p.duplicate_rate +. p.corrupt_rate +. p.delay_rate
+  then count t (Delay p.delay)
+  else count t Pass
+
+let crash_due t =
+  match t.remaining_crashes with
+  | { after_records; down_for } :: rest when t.next >= after_records ->
+      t.remaining_crashes <- rest;
+      t.stats <- { t.stats with crashes_fired = t.stats.crashes_fired + 1 };
+      Some down_for
+  | _ -> None
+
+let stats t = t.stats
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "%d records: %d dropped, %d duplicated, %d corrupted, %d delayed, %d \
+     crashes"
+    s.records s.dropped s.duplicated s.corrupted s.delayed s.crashes_fired

@@ -56,6 +56,97 @@ let run ?devices ?memory_capacity ?(functional = true) (cfg : Config.t) app =
     network_time = stats.Simchannel.network_time;
   }
 
+type fault_report = {
+  measurement : measurement;
+  faults : Simnet.Fault.stats;
+  rpc_retries : int;
+  rpc_timeouts : int;
+  reconnects : int;
+  crashes : int;
+  recoveries : int;
+  replayed_calls : int;
+  checkpoints : int;
+  dup_hits : int;
+}
+
+let run_with_faults ?devices ?memory_capacity ?(functional = true) ?retry
+    ?checkpoint_every ~plan (cfg : Config.t) app =
+  let engine = Engine.create () in
+  let clock = Cudasim.Context.engine_clock engine in
+  (* a unique temp file so concurrent test binaries never share checkpoints *)
+  let ckpt_file = Filename.temp_file "cricket-session" ".ckpt" in
+  let checkpoint_dir = Filename.dirname ckpt_file in
+  let checkpoint_name = Filename.basename ckpt_file in
+  let first =
+    Cricket.Server.create ?devices ?memory_capacity ~checkpoint_dir ~clock ()
+  in
+  Cudasim.Context.set_functional (Cricket.Server.context first) functional;
+  let server = ref first in
+  (* dup-cache hits die with each crashed server process; aggregate them *)
+  let dup_hits_acc = ref 0 in
+  let fault = Simnet.Fault.make plan in
+  let channel =
+    Simchannel.create ~engine ~client:cfg.Config.profile ~fault
+      ~on_crash:(fun ~down_for:_ ->
+        dup_hits_acc := !dup_hits_acc + Cricket.Server.dup_hits !server;
+        let fresh = Cricket.Server.respawn !server in
+        Cudasim.Context.set_functional
+          (Cricket.Server.context fresh)
+          functional;
+        server := fresh)
+      ~dispatch:(fun request -> Cricket.Server.dispatch !server request)
+      ()
+  in
+  let client =
+    Cricket.Client.create ~launch_extra_ns:cfg.Config.launch_extra_ns
+      ~charge:(fun ns -> Engine.advance engine (Time.ns ns))
+      ~transport:(Simchannel.transport channel)
+      ()
+  in
+  Cricket.Client.enable_recovery ?retry ?checkpoint_every ~checkpoint_name
+    client
+    ~now:(fun () -> Engine.now engine)
+    ~sleep:(fun ns -> Engine.advance engine ns)
+    ~reconnect:(fun () -> Simchannel.reconnect channel)
+    ();
+  let t0 = Engine.now engine in
+  Engine.advance engine (Time.us 150);
+  let finish () =
+    let elapsed = Time.sub (Engine.now engine) t0 in
+    let stats = Simchannel.stats channel in
+    let measurement =
+      {
+        config = cfg;
+        elapsed;
+        api_calls = Cricket.Client.api_calls client;
+        bytes_to_server = Cricket.Client.bytes_to_server client;
+        bytes_from_server = Cricket.Client.bytes_from_server client;
+        memcpy_up = Cricket.Client.memcpy_bytes_up client;
+        memcpy_down = Cricket.Client.memcpy_bytes_down client;
+        network_time = stats.Simchannel.network_time;
+      }
+    in
+    let rpc = Oncrpc.Client.stats (Cricket.Client.rpc client) in
+    {
+      measurement;
+      faults = Simnet.Fault.stats fault;
+      rpc_retries = rpc.Oncrpc.Client.retries;
+      rpc_timeouts = rpc.Oncrpc.Client.timeouts;
+      reconnects = stats.Simchannel.reconnects;
+      crashes = stats.Simchannel.crashes;
+      recoveries = Cricket.Client.recoveries client;
+      replayed_calls = Cricket.Client.replayed_calls client;
+      checkpoints = Cricket.Client.checkpoints_taken client;
+      dup_hits = !dup_hits_acc + Cricket.Server.dup_hits !server;
+    }
+  in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove ckpt_file with Sys_error _ -> ())
+    (fun () ->
+      let env = { client; engine; cfg; server = !server } in
+      app env;
+      finish ())
+
 let charge_rng env n =
   let ns = Float.of_int n *. env.cfg.Config.rng_ns_per_byte in
   Engine.advance env.engine (Time.of_float_ns ns)
@@ -65,3 +156,11 @@ let pp_measurement ppf m =
     m.config.Config.name Time.pp m.elapsed m.api_calls
     (Float.of_int m.bytes_to_server /. 1048576.0)
     (Float.of_int m.bytes_from_server /. 1048576.0)
+
+let pp_fault_report ppf r =
+  Format.fprintf ppf
+    "%a@ faults: %a@ rpc: %d retries, %d timeouts, %d reconnects@ recovery: \
+     %d crashes, %d recoveries, %d replayed, %d checkpoints, %d dup hits"
+    pp_measurement r.measurement Simnet.Fault.pp_stats r.faults r.rpc_retries
+    r.rpc_timeouts r.reconnects r.crashes r.recoveries r.replayed_calls
+    r.checkpoints r.dup_hits

@@ -35,8 +35,44 @@ val run :
 (** [functional] (default [true]) controls whether kernels mutate device
     memory; see {!Cudasim.Context.set_functional}. *)
 
+(** {1 Fault-injected runs} *)
+
+type fault_report = {
+  measurement : measurement;
+  faults : Simnet.Fault.stats;  (** what the plan actually injected *)
+  rpc_retries : int;  (** RPC retransmissions the client performed *)
+  rpc_timeouts : int;  (** attempts that ended in a modelled timeout *)
+  reconnects : int;  (** successful channel reconnections *)
+  crashes : int;  (** scheduled server crashes that fired *)
+  recoveries : int;  (** completed restore+replay recoveries *)
+  replayed_calls : int;  (** journaled calls re-issued during recovery *)
+  checkpoints : int;  (** automatic checkpoints taken *)
+  dup_hits : int;  (** at-most-once cache hits, summed across respawns *)
+}
+
+val run_with_faults :
+  ?devices:Gpusim.Device.t list ->
+  ?memory_capacity:int ->
+  ?functional:bool ->
+  ?retry:Oncrpc.Client.retry_policy ->
+  ?checkpoint_every:int ->
+  plan:Simnet.Fault.plan ->
+  Config.t ->
+  (env -> unit) ->
+  fault_report
+(** Like {!run}, but the channel runs under the fault plan and the full
+    recovery stack is armed: client-side retries with virtual-time backoff
+    ([retry], default {!Oncrpc.Client.default_retry}), the server's
+    at-most-once duplicate-request cache, session checkpoint/journal/replay
+    recovery ([checkpoint_every], default 64), and automatic server respawn
+    when a scheduled crash fires. Fully deterministic for a fixed (plan,
+    workload, config) triple. Checkpoints go to a fresh temp file that is
+    removed afterwards. Raises {!Cricket.Client.Session_lost} if the plan
+    defeats recovery (e.g. back-to-back crashes). *)
+
 val charge_rng : env -> int -> unit
 (** Account generation of [n] input bytes at the configuration's RNG
     cost — how the C/Rust initialization difference enters benchmarks. *)
 
 val pp_measurement : Format.formatter -> measurement -> unit
+val pp_fault_report : Format.formatter -> fault_report -> unit

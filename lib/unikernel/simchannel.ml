@@ -1,12 +1,18 @@
 module Time = Simnet.Time
 module Engine = Simnet.Engine
+module Fault = Simnet.Fault
 
 type stats = {
   messages : int;
   bytes_to_server : int;
   bytes_from_server : int;
   network_time : Simnet.Time.t;
+  timeouts : int;
+  crashes : int;
+  reconnects : int;
 }
+
+let default_rto = Time.ns 200_000 (* 200 us: jumbo-frame LAN RTT plus slack *)
 
 type t = {
   engine : Engine.t;
@@ -14,12 +20,133 @@ type t = {
   server : Simnet.Hostprofile.t;
   link : Simnet.Link.t;
   dispatch : string -> string;
+  fault : Fault.t option;
+  rto : Time.t;
+  on_crash : down_for:Time.t -> unit;
   mutable stats : stats;
   mutable transport : Oncrpc.Transport.t;
+  (* request bytes written but not yet exchanged / reply bytes to serve *)
+  outbox : Buffer.t;
+  mutable inbox : string;
+  mutable inbox_pos : int;
+  mutable connected : bool;
+  mutable down_until : Time.t;  (* absolute virtual time; restart instant *)
 }
 
+(* The scheduled crash fires between records: the server process dies, so
+   everything in flight — the rest of this request stream and any replies
+   already produced — is lost, and the connection is gone until the
+   restart instant. *)
+exception Crashed
+
+let crash t ~down_for =
+  t.connected <- false;
+  t.down_until <- Time.add (Engine.now t.engine) down_for;
+  Buffer.clear t.outbox;
+  t.inbox <- "";
+  t.inbox_pos <- 0;
+  t.stats <- { t.stats with crashes = t.stats.crashes + 1 };
+  t.on_crash ~down_for;
+  raise Crashed
+
+let check_crash t =
+  match t.fault with
+  | None -> ()
+  | Some f -> (
+      match Fault.crash_due f with
+      | None -> ()
+      | Some down_for -> crash t ~down_for)
+
+let decide t =
+  match t.fault with
+  | None -> Fault.Pass
+  | Some f -> Fault.decide ~now:(Engine.now t.engine) f
+
+(* One request/reply exchange over the simulated link: charge the request's
+   one-way time, run every complete record through the fault plan and the
+   server dispatch, run each reply record through the plan too, charge the
+   reply's one-way time. Surviving reply bytes land in the inbox. *)
+let exchange t =
+  let request_stream = Buffer.contents t.outbox in
+  Buffer.clear t.outbox;
+  let request_len = String.length request_stream in
+  (* request: client -> GPU node *)
+  let request_time =
+    Simnet.Netcost.one_way_time ~sender:t.client ~receiver:t.server
+      ~link:t.link request_len
+  in
+  Engine.advance t.engine request_time;
+  (* Peel record marking, dispatch each request record, re-frame. The
+     server's CUDA work advances the shared clock via its clock hooks. *)
+  let replies = Buffer.create 1024 in
+  let deliver_reply = function
+    | "" -> () (* one-way call: no reply record *)
+    | reply -> (
+        match decide t with
+        | Fault.Drop | Fault.Corrupt -> () (* lost / discarded on receipt *)
+        | Fault.Pass -> Buffer.add_string replies (Oncrpc.Record.to_wire reply)
+        | Fault.Duplicate ->
+            Buffer.add_string replies (Oncrpc.Record.to_wire reply);
+            Buffer.add_string replies (Oncrpc.Record.to_wire reply)
+        | Fault.Delay d ->
+            Engine.advance t.engine d;
+            Buffer.add_string replies (Oncrpc.Record.to_wire reply))
+  in
+  let dispatch_record record =
+    match decide t with
+    | Fault.Drop | Fault.Corrupt ->
+        (* never reaches the server (corrupt: the receiver's integrity
+           check throws it away) — the client's RTO covers the loss *)
+        check_crash t
+    | Fault.Pass ->
+        check_crash t;
+        deliver_reply (t.dispatch record)
+    | Fault.Duplicate ->
+        check_crash t;
+        (* the server sees the same record twice; the duplicate-request
+           cache (or stale-xid skipping on the client) absorbs it *)
+        deliver_reply (t.dispatch record);
+        deliver_reply (t.dispatch record)
+    | Fault.Delay d ->
+        check_crash t;
+        Engine.advance t.engine d;
+        deliver_reply (t.dispatch record)
+  in
+  let rec each pos fragments =
+    if pos < request_len then begin
+      let last, len =
+        Oncrpc.Record.decode_header (String.sub request_stream pos 4)
+      in
+      let fragment = String.sub request_stream (pos + 4) len in
+      if last then begin
+        dispatch_record (String.concat "" (List.rev (fragment :: fragments)));
+        each (pos + 4 + len) []
+      end
+      else each (pos + 4 + len) (fragment :: fragments)
+    end
+  in
+  each 0 [];
+  (* reply: GPU node -> client *)
+  let reply_time =
+    Simnet.Netcost.one_way_time ~sender:t.server ~receiver:t.client
+      ~link:t.link (Buffer.length replies)
+  in
+  Engine.advance t.engine reply_time;
+  let s = t.stats in
+  t.stats <-
+    {
+      s with
+      messages = s.messages + 1;
+      bytes_to_server = s.bytes_to_server + request_len;
+      bytes_from_server = s.bytes_from_server + Buffer.length replies;
+      network_time = Time.add s.network_time (Time.add request_time reply_time);
+    };
+  t.inbox <- Buffer.contents replies;
+  t.inbox_pos <- 0
+
 let create ~engine ~client ?(server = Config.server_profile)
-    ?(link = Config.link) ~dispatch () =
+    ?(link = Config.link) ?fault ?(rto = default_rto)
+    ?(on_crash = fun ~down_for:_ -> ()) ~dispatch () =
   let t =
     {
       engine;
@@ -27,61 +154,68 @@ let create ~engine ~client ?(server = Config.server_profile)
       server;
       link;
       dispatch;
+      fault;
+      rto;
+      on_crash;
       stats =
         { messages = 0; bytes_to_server = 0; bytes_from_server = 0;
-          network_time = Time.zero };
+          network_time = Time.zero; timeouts = 0; crashes = 0;
+          reconnects = 0 };
       transport =
         { Oncrpc.Transport.send = (fun _ _ _ -> ());
           recv = (fun _ _ _ -> 0); close = (fun () -> ()) };
+      outbox = Buffer.create 1024;
+      inbox = "";
+      inbox_pos = 0;
+      connected = true;
+      down_until = Time.zero;
     }
   in
-  let exchange request_stream =
-    let request_len = String.length request_stream in
-    (* request: client -> GPU node *)
-    let request_time =
-      Simnet.Netcost.one_way_time ~sender:t.client ~receiver:t.server
-        ~link:t.link request_len
-    in
-    Engine.advance t.engine request_time;
-    (* Peel record marking, dispatch each request record, re-frame. The
-       server's CUDA work advances the shared clock via its clock hooks. *)
-    let replies = Buffer.create 1024 in
-    let rec each pos fragments =
-      if pos < request_len then begin
-        let last, len =
-          Oncrpc.Record.decode_header (String.sub request_stream pos 4)
-        in
-        let fragment = String.sub request_stream (pos + 4) len in
-        if last then begin
-          let record = String.concat "" (List.rev (fragment :: fragments)) in
-          (match t.dispatch record with
-          | "" -> () (* one-way call: no reply record *)
-          | reply -> Buffer.add_string replies (Oncrpc.Record.to_wire reply));
-          each (pos + 4 + len) []
-        end
-        else each (pos + 4 + len) (fragment :: fragments)
-      end
-    in
-    each 0 [];
-    (* reply: GPU node -> client *)
-    let reply_time =
-      Simnet.Netcost.one_way_time ~sender:t.server ~receiver:t.client
-        ~link:t.link (Buffer.length replies)
-    in
-    Engine.advance t.engine reply_time;
-    let s = t.stats in
-    t.stats <-
-      {
-        messages = s.messages + 1;
-        bytes_to_server = s.bytes_to_server + request_len;
-        bytes_from_server = s.bytes_from_server + Buffer.length replies;
-        network_time =
-          Time.add s.network_time (Time.add request_time reply_time);
-      };
-    Buffer.contents replies
+  let send buf off len =
+    if not t.connected then raise Oncrpc.Transport.Closed;
+    Buffer.add_subbytes t.outbox buf off len
   in
-  t.transport <- Oncrpc.Transport.loopback ~peer:exchange;
+  let rec recv buf off len =
+    if not t.connected then raise Oncrpc.Transport.Closed;
+    let available = String.length t.inbox - t.inbox_pos in
+    if available > 0 then begin
+      let n = min len available in
+      Bytes.blit_string t.inbox t.inbox_pos buf off n;
+      t.inbox_pos <- t.inbox_pos + n;
+      n
+    end
+    else if Buffer.length t.outbox > 0 then begin
+      (match exchange t with
+      | () -> ()
+      | exception Crashed -> raise Oncrpc.Transport.Closed);
+      recv buf off len
+    end
+    else begin
+      (* The client awaits a reply but nothing is in flight any more: the
+         record (or its reply) was dropped. Model the retransmission
+         timeout — the virtual time a real client would wait before
+         concluding loss — and report it. *)
+      Engine.advance t.engine t.rto;
+      t.stats <- { t.stats with timeouts = t.stats.timeouts + 1 };
+      raise Oncrpc.Transport.Timeout
+    end
+  in
+  t.transport <-
+    { Oncrpc.Transport.send; recv; close = (fun () -> ()) };
   t
 
 let transport t = t.transport
+
+let reconnect t =
+  if Time.compare (Engine.now t.engine) t.down_until < 0 then
+    (* the server is still restarting; the caller backs off and retries *)
+    raise Oncrpc.Transport.Closed;
+  t.connected <- true;
+  Buffer.clear t.outbox;
+  t.inbox <- "";
+  t.inbox_pos <- 0;
+  t.stats <- { t.stats with reconnects = t.stats.reconnects + 1 };
+  t.transport
+
 let stats t = t.stats
+let fault_stats t = Option.map Fault.stats t.fault

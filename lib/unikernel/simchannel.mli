@@ -7,13 +7,29 @@
     server profile), dispatches the record to the Cricket server (whose
     CUDA-side costs advance the same clock through the context's clock
     hooks), charges the reply's one-way time, and hands the reply bytes
-    back. Wall-clock-free: all time is the engine's virtual clock. *)
+    back. Wall-clock-free: all time is the engine's virtual clock.
+
+    {b Fault injection.} With a {!Simnet.Fault} plan installed the channel
+    consults it once per RPC record in each direction. A dropped or
+    corrupted record manifests to the client as {!Oncrpc.Transport.Timeout}
+    after the modelled retransmission timeout [rto] — the receiver's
+    integrity check discards corrupt records, so both are loss. Duplicated
+    request records reach the server twice (exercising its
+    duplicate-request cache); duplicated replies exercise the client's
+    stale-xid skipping. A scheduled crash kills the connection
+    ({!Oncrpc.Transport.Closed}), loses everything in flight, invokes
+    [on_crash] (where the harness respawns the server process), and makes
+    {!reconnect} fail until the restart instant has passed — exactly the
+    failure the Cricket session-recovery protocol handles. *)
 
 type stats = {
-  messages : int;  (** request/reply pairs *)
+  messages : int;  (** request/reply exchanges *)
   bytes_to_server : int;  (** wire bytes, requests *)
   bytes_from_server : int;
   network_time : Simnet.Time.t;  (** virtual time spent in the channel *)
+  timeouts : int;  (** retransmission timeouts fired (lost records) *)
+  crashes : int;  (** scheduled server crashes that fired *)
+  reconnects : int;  (** successful {!reconnect}s *)
 }
 
 type t
@@ -23,11 +39,27 @@ val create :
   client:Simnet.Hostprofile.t ->
   ?server:Simnet.Hostprofile.t ->
   ?link:Simnet.Link.t ->
+  ?fault:Simnet.Fault.t ->
+  ?rto:Simnet.Time.t ->
+  ?on_crash:(down_for:Simnet.Time.t -> unit) ->
   dispatch:(string -> string) ->
   unit ->
   t
 (** [server] defaults to {!Config.server_profile}, [link] to
-    {!Config.link}. *)
+    {!Config.link}; [rto] (default 200 µs) is the virtual time charged
+    before a lost record surfaces as {!Oncrpc.Transport.Timeout}.
+    [on_crash] runs at the instant a scheduled crash fires, before the
+    crash surfaces to the client — respawn the server there and route
+    [dispatch] through a reference if recovery should succeed. *)
 
 val transport : t -> Oncrpc.Transport.t
+
+val reconnect : t -> Oncrpc.Transport.t
+(** Re-establish the connection after a crash. Raises
+    {!Oncrpc.Transport.Closed} while the server is still restarting (the
+    caller is expected to back off in virtual time and retry — exactly
+    what {!Oncrpc.Client}'s retry loop does with this function as its
+    reconnect hook). Any bytes from the previous connection are gone. *)
+
 val stats : t -> stats
+val fault_stats : t -> Simnet.Fault.stats option

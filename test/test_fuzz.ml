@@ -96,7 +96,8 @@ let prop_oneway_batch_single_reply =
 
 let prop_record_stream_fuzz =
   (* feeding arbitrary bytes as a record stream either yields a record,
-     hits EOF (Closed), or trips the size guard *)
+     hits EOF (Closed), or trips the size guard — a typed error set, never
+     a hang or an unexpected exception *)
   QCheck.Test.make ~count:300 ~name:"Record.read survives garbage streams"
     gen_bytes
     (fun s ->
@@ -106,7 +107,65 @@ let prop_record_stream_fuzz =
       match Oncrpc.Record.read ~max_record_size:4096 b with
       | (_ : string) -> true
       | exception Oncrpc.Transport.Closed -> true
+      | exception Oncrpc.Record.Oversized _ -> true
       | exception Failure _ -> true)
+
+let prop_truncated_record =
+  (* a valid wire record cut off at any byte boundary must surface
+     Transport.Closed (EOF mid-record), never hang or mis-parse *)
+  QCheck.Test.make ~count:300 ~name:"truncated record headers raise Closed"
+    QCheck.(pair gen_bytes small_nat)
+    (fun (payload, cut) ->
+      let wire = Oncrpc.Record.to_wire ~fragment_size:16 payload in
+      let cut = cut mod max 1 (String.length wire) in
+      let a, b = Oncrpc.Transport.pipe () in
+      Oncrpc.Transport.send_string a (String.sub wire 0 cut);
+      a.Oncrpc.Transport.close ();
+      match Oncrpc.Record.read b with
+      | s -> cut = String.length wire && s = payload
+      | exception Oncrpc.Transport.Closed -> cut < String.length wire)
+
+let prop_corrupt_header_bits =
+  (* flipping bits inside a fragment header yields a typed outcome: some
+     record, Closed (length now claims more bytes than follow), or
+     Oversized (length now exceeds the cap) — nothing else *)
+  QCheck.Test.make ~count:300 ~name:"corrupted record headers are typed"
+    QCheck.(triple gen_bytes (int_bound 3) (int_range 1 255))
+    (fun (payload, pos, mask) ->
+      let wire = Bytes.of_string (Oncrpc.Record.to_wire payload) in
+      Bytes.set wire pos
+        (Char.chr (Char.code (Bytes.get wire pos) lxor mask));
+      let a, b = Oncrpc.Transport.pipe () in
+      Oncrpc.Transport.send_string a (Bytes.to_string wire);
+      a.Oncrpc.Transport.close ();
+      match Oncrpc.Record.read ~max_record_size:4096 b with
+      | (_ : string) -> true
+      | exception Oncrpc.Transport.Closed -> true
+      | exception Oncrpc.Record.Oversized _ -> true)
+
+let test_oversized_header_rejected_before_alloc () =
+  (* a header claiming ~2 GiB against a 4 KiB cap must raise Oversized
+     from the header alone — the claimed bytes are never allocated (the
+     transport here doesn't even hold them) *)
+  let a, b = Oncrpc.Transport.pipe () in
+  Oncrpc.Transport.send_string a
+    (Oncrpc.Record.encode_header ~last:true Oncrpc.Record.max_fragment_size);
+  (match Oncrpc.Record.read ~max_record_size:4096 b with
+  | (_ : string) -> Alcotest.fail "oversized record accepted"
+  | exception Oncrpc.Record.Oversized { claimed; limit } ->
+      check Alcotest.int "claimed" Oncrpc.Record.max_fragment_size claimed;
+      check Alcotest.int "limit" 4096 limit);
+  (* the cumulative guard fires across fragments too: many small headers
+     that together pass the cap *)
+  let a, b = Oncrpc.Transport.pipe () in
+  for _ = 1 to 3 do
+    Oncrpc.Transport.send_string a (Oncrpc.Record.encode_header ~last:false 2048);
+    Oncrpc.Transport.send_string a (String.make 2048 'x')
+  done;
+  match Oncrpc.Record.read ~max_record_size:4096 b with
+  | (_ : string) -> Alcotest.fail "cumulative oversize accepted"
+  | exception Oncrpc.Record.Oversized { claimed; limit } ->
+      check Alcotest.bool "claimed past cap" true (claimed > limit)
 
 (* --- cubin / fatbin / lzss --- *)
 
@@ -203,12 +262,15 @@ let suite =
   [
     Alcotest.test_case "cricket server survives garbage" `Quick
       test_cricket_survives_garbage_records;
+    Alcotest.test_case "oversized headers rejected before allocation" `Quick
+      test_oversized_header_rejected_before_alloc;
   ]
   @ List.map QCheck_alcotest.to_alcotest
       [
         prop_message_decode_total; prop_dispatch_total;
         prop_valid_header_fuzzed_body; prop_oneway_framing_roundtrip;
         prop_oneway_batch_single_reply; prop_record_stream_fuzz;
+        prop_truncated_record; prop_corrupt_header_bits;
         prop_image_parse_total; prop_fatbin_parse_total;
         prop_lzss_decompress_total; prop_image_mutation;
         prop_rpcl_parse_total; prop_rpcl_full_pipeline_total;

@@ -13,5 +13,6 @@ let () =
       ("unikernel", Test_unikernel.suite);
       ("apps", Test_apps.suite);
       ("stream", Test_stream.suite);
+      ("fault", Test_fault.suite);
       ("fuzz", Test_fuzz.suite);
     ]

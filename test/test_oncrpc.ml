@@ -55,8 +55,10 @@ let test_max_record_size () =
   let a, b = Oncrpc.Transport.pipe () in
   Oncrpc.Record.write ~fragment_size:8 a (String.make 100 'x');
   (match Oncrpc.Record.read ~max_record_size:50 b with
-  | _ -> Alcotest.fail "expected Failure"
-  | exception Failure _ -> ());
+  | _ -> Alcotest.fail "expected Oversized"
+  | exception Oncrpc.Record.Oversized { claimed; limit } ->
+      check Alcotest.int "limit echoed" 50 limit;
+      check Alcotest.bool "claimed past limit" true (claimed > limit));
   a.Oncrpc.Transport.close ()
 
 let test_read_opt_clean_eof () =

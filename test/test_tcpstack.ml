@@ -90,7 +90,7 @@ let test_segment_checksum_rejects () =
 
 (* --- connection machinery --- *)
 
-let make_pair ?(mss = 1448) ?drop ?corrupt () =
+let make_pair ?(mss = 1448) ?(drop_nth = []) ?(corrupt_nth = []) () =
   let engine = Engine.create () in
   let client =
     EP.create ~engine ~name:"client" ~mss ~iss:1000 ~local_port:40000
@@ -100,9 +100,13 @@ let make_pair ?(mss = 1448) ?drop ?corrupt () =
     EP.create ~engine ~name:"server" ~mss ~iss:5000 ~local_port:80
       ~remote_port:40000 ()
   in
+  let fault =
+    if drop_nth = [] && corrupt_nth = [] then None
+    else Some (Simnet.Fault.make { Simnet.Fault.none with drop_nth; corrupt_nth })
+  in
   let medium =
-    Tcpstack.Medium.connect ~engine ~link:Simnet.Link.ethernet_100g ?drop
-      ?corrupt client server
+    Tcpstack.Medium.connect ~engine ~link:Simnet.Link.ethernet_100g ?fault
+      client server
   in
   (engine, client, server, medium)
 
@@ -160,7 +164,7 @@ let test_large_transfer_integrity () =
 let test_loss_recovery () =
   (* Drop a mid-transfer data segment; RTO-based go-back-N must recover. *)
   let engine, client, server, _ =
-    make_pair ~mss:200 ~drop:(fun n -> n = 12) ()
+    make_pair ~mss:200 ~drop_nth:[ 12 ] ()
   in
   establish engine client server;
   let payload = Bytes.init 2000 (fun i -> Char.chr ((i * 7) land 0xff)) in
@@ -171,7 +175,7 @@ let test_loss_recovery () =
     ((EP.stats client).EP.retransmissions > 0)
 
 let test_syn_loss_recovery () =
-  let engine, client, server, _ = make_pair ~drop:(fun n -> n = 0) () in
+  let engine, client, server, _ = make_pair ~drop_nth:[ 0 ] () in
   EP.listen server;
   EP.connect client;
   Engine.run engine;
@@ -182,7 +186,7 @@ let test_corruption_recovery () =
   (* A corrupted segment is discarded by checksum verification and
      retransmitted. *)
   let engine, client, server, _ =
-    make_pair ~mss:200 ~corrupt:(fun n -> n = 10) ()
+    make_pair ~mss:200 ~corrupt_nth:[ 10 ] ()
   in
   establish engine client server;
   let payload = Bytes.init 1500 (fun i -> Char.chr ((i * 13) land 0xff)) in
@@ -255,7 +259,7 @@ let test_rto_collapses_cwnd () =
   (* drop a burst so recovery needs the RTO (go-back-N: everything after
      the hole is discarded by the receiver) *)
   let engine, client, server, _ =
-    make_pair ~mss:1000 ~drop:(fun n -> n >= 12 && n <= 20) ()
+    make_pair ~mss:1000 ~drop_nth:(List.init 9 (fun i -> 12 + i)) ()
   in
   establish engine client server;
   let payload = Bytes.init 60_000 (fun i -> Char.chr (i land 0xff)) in
@@ -269,7 +273,7 @@ let test_fast_retransmit () =
   (* drop exactly one data segment mid-stream: the receiver's duplicate
      ACKs must trigger fast retransmit well before the 200 ms RTO *)
   let engine, client, server, _ =
-    make_pair ~mss:1000 ~drop:(fun n -> n = 12) ()
+    make_pair ~mss:1000 ~drop_nth:[ 12 ] ()
   in
   establish engine client server;
   let t0 = Engine.now engine in
