@@ -148,22 +148,107 @@ let test_sched =
     (Staged.stage (fun () ->
          ignore (Cricket.Sched.schedule Cricket.Sched.Round_robin jobs)))
 
+(* --- scatter-gather datapath group ---
+
+   Measures the zero-copy tx path against the seed Buffer-based one at
+   each layer: XDR encoding (sliced vs copying), record framing (vectored
+   [writev] vs [to_wire]), and the full upload round-trip through the
+   stack. The framing pair is the acceptance comparison: both emit
+   byte-identical wire images (property-tested), so the throughput delta
+   is purely the removed copies. *)
+
+let datapath_tests ~quick =
+  let payload_len = 65536 in
+  let payload = String.make payload_len 'x' in
+  let payload_bytes = Bytes.of_string payload in
+  let test_encode_sliced =
+    let enc = Xdr.Encode.create () in
+    Test.make ~name:"datapath/xdr-encode-64KiB-sliced"
+      (Staged.stage (fun () ->
+           Xdr.Encode.reset enc;
+           Xdr.Encode.uint32 enc 42l;
+           Xdr.Encode.opaque enc payload_bytes;
+           ignore (Xdr.Encode.to_iovec enc)))
+  in
+  let test_decode_slice =
+    let wire =
+      let enc = Xdr.Encode.create () in
+      Xdr.Encode.opaque enc payload_bytes;
+      Xdr.Encode.to_string enc
+    in
+    Test.make ~name:"datapath/xdr-decode-64KiB-slice"
+      (Staged.stage (fun () ->
+           let dec = Xdr.Decode.of_string wire in
+           ignore (Xdr.Decode.opaque_slice dec)))
+  in
+  let test_framing_seed =
+    Test.make ~name:"datapath/record-framing-64KiB-seed"
+      (Staged.stage (fun () ->
+           ignore (Oncrpc.Record.to_wire ~fragment_size:8192 payload)))
+  in
+  let test_framing_vectored =
+    (* a sink transport that consumes slice descriptors without copying:
+       what remains is exactly the framing work *)
+    let sink =
+      Oncrpc.Transport.make
+        ~sendv:(fun iov ->
+          Xdr.Iovec.iter
+            (fun s -> ignore (Sys.opaque_identity s.Xdr.Iovec.len))
+            iov)
+        ~send:(fun _ _ _ -> ())
+        ~recv:(fun _ _ _ -> 0)
+        ~close:(fun () -> ())
+        ()
+    in
+    let iov = Xdr.Iovec.of_string payload in
+    Test.make ~name:"datapath/record-framing-64KiB-vectored"
+      (Staged.stage (fun () ->
+           Oncrpc.Record.writev ~fragment_size:8192 sink iov))
+  in
+  let test_upload =
+    let upload_len = if quick then 8 lsl 20 else 64 lsl 20 in
+    let engine = Simnet.Engine.create () in
+    let server =
+      Cricket.Server.create
+        ~memory_capacity:(upload_len + (1 lsl 20))
+        ~clock:(Cudasim.Context.engine_clock engine)
+        ()
+    in
+    Cudasim.Context.set_functional (Cricket.Server.context server) false;
+    let client = Cricket.Local.connect server in
+    let d = Cricket.Client.malloc client upload_len in
+    let buf = Bytes.create upload_len in
+    Test.make
+      ~name:(Printf.sprintf "datapath/upload-%dMiB-roundtrip" (upload_len lsr 20))
+      (Staged.stage (fun () -> Cricket.Client.memcpy_h2d client ~dst:d buf))
+  in
+  [
+    test_encode_sliced; test_decode_slice; test_framing_seed;
+    test_framing_vectored; test_upload;
+  ]
+
 let all_tests =
   [
     test_table1; test_fig5a; test_fig5b; test_fig5c; test_fig6; test_fig7;
     test_xdr; test_record; test_lzss; test_netcost; test_sched;
   ]
 
-let run () =
+let run ?(quick = false) () =
   print_endline "\n== Bechamel microbenchmarks (host time of the simulation pipeline) ==";
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
   let instances = Instance.[ monotonic_clock ] in
   let cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+    if quick then
+      (* CI smoke: enough runs per test for a stable ballpark, fast *)
+      Benchmark.cfg ~limit:300 ~quota:(Time.second 0.05) ~stabilize:false ()
+    else Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
   in
-  let grouped = Test.make_grouped ~name:"repro" ~fmt:"%s %s" all_tests in
+  let grouped =
+    Test.make_grouped ~name:"repro" ~fmt:"%s %s"
+      (all_tests @ datapath_tests ~quick)
+  in
   let raw = Benchmark.all cfg instances grouped in
   let results = Analyze.all ols Instance.monotonic_clock raw in
   let rows =

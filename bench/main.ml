@@ -96,7 +96,9 @@ let experiments : (string * string * (unit -> unit)) list =
     ( "proc-profile",
       "Server-side per-procedure call profile",
       fun () -> ignore (Figures.proc_profile ()) );
-    ("bechamel", "Bechamel microbenchmarks", Bechamel_suite.run);
+    ( "bechamel",
+      "Bechamel microbenchmarks",
+      fun () -> Bechamel_suite.run ~quick:!quick () );
   ]
 
 let usage () =

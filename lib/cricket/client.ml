@@ -100,10 +100,6 @@ let check_u64 (r : Proto.u64_result) =
   check r.Proto.err;
   r.Proto.data
 
-let check_mem (r : Proto.mem_result) =
-  check r.Proto.err;
-  r.Proto.data
-
 let check_float (r : Proto.float_result) =
   check r.Proto.err;
   r.Proto.data
@@ -131,11 +127,11 @@ let lose t msg =
          connection. *)
       let raise_lost _ = raise (Session_lost msg) in
       Oncrpc.Client.set_transport t.rpc
-        {
-          Oncrpc.Transport.send = (fun _ _ _ -> raise_lost ());
-          recv = (fun _ _ _ -> raise_lost ());
-          close = (fun () -> ());
-        });
+        (Oncrpc.Transport.make
+           ~send:(fun _ _ _ -> raise_lost ())
+           ~recv:(fun _ _ _ -> raise_lost ())
+           ~close:(fun () -> ())
+           ()));
   Session_lost msg
 
 let take_checkpoint t r =
@@ -277,9 +273,23 @@ let memcpy_h2d t ~dst data =
   issue ();
   journal t issue
 
+(* Download fast path: decode the reply's mem_result by hand so the bulk
+   payload is read through a no-copy view of the reply record
+   (Xdr.Decode.opaque_slice) and materialised exactly once, instead of
+   being copied by the generated struct decoder and again by the caller.
+   Wire format is identical to the generated stub's. *)
+let call_mem_slice t ~proc encode_args =
+  Oncrpc.Client.call t.rpc ~proc encode_args (fun dec ->
+      let err = Xdr.Decode.int dec in
+      let data = Xdr.Decode.opaque_slice dec in
+      check err;
+      Xdr.Iovec.slice_to_bytes data)
+
 let memcpy_d2h t ~src ~len =
   t.memcpy_down <- t.memcpy_down + len;
-  check_mem (P.rpc_cudaMemcpyDtoH t.rpc (tr t src) (Int64.of_int len))
+  call_mem_slice t ~proc:P.proc_rpc_cudaMemcpyDtoH (fun enc ->
+      Xdr.Encode.uint64 enc (tr t src);
+      Xdr.Encode.uint64 enc (Int64.of_int len))
 
 let memcpy_d2d t ~dst ~src ~len =
   let issue () =
@@ -325,9 +335,10 @@ let memset_async t ~ptr ~value ~len ~stream =
 
 let memcpy_d2h_stream t ~src ~len ~stream =
   t.memcpy_down <- t.memcpy_down + len;
-  check_mem
-    (P.rpc_cudaMemcpyDtoHAsync t.rpc (tr t src) (Int64.of_int len)
-       (tr t stream))
+  call_mem_slice t ~proc:P.proc_rpc_cudaMemcpyDtoHAsync (fun enc ->
+      Xdr.Encode.uint64 enc (tr t src);
+      Xdr.Encode.uint64 enc (Int64.of_int len);
+      Xdr.Encode.uint64 enc (tr t stream))
 
 (* --- streams and events --- *)
 

@@ -46,6 +46,18 @@ let check_available ~unikernel strategy =
            { strategy;
              reason = "no shared memory between host and unikernel guest" })
 
+(* How many times each payload byte is staged between the application
+   buffer and the NIC (tx) under each strategy, now that the RPC-arguments
+   path is scatter-gather: the XDR/record layers pass views and the
+   transport performs the single staging copy. Matches the DESIGN.md
+   datapath table; the paper's §4.2 offload discussion is exactly about
+   losing this property in unikernels. *)
+let staging_copies = function
+  | Rpc_arguments -> 1 (* one transport copy; XDR + record marking are zero-copy *)
+  | Parallel_tcp _ -> 2 (* per-connection split staging plus transport copy *)
+  | Infiniband_rdma -> 0 (* HCA reads the registered buffer directly *)
+  | Shared_memory -> 0 (* peer maps the same pages *)
+
 let bandwidth_multiplier = function
   | Rpc_arguments -> 1.0
   | Parallel_tcp n ->

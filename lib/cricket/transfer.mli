@@ -29,6 +29,13 @@ val check_available : unikernel:bool -> t -> unit
 (** Raises {!Unsupported} with the paper's reason when a unikernel client
     selects an unavailable strategy. *)
 
+val staging_copies : t -> int
+(** How many times each payload byte is copied between the application
+    buffer and the wire (tx side) under this strategy. With the
+    scatter-gather RPC datapath the {!Rpc_arguments} path is down to the
+    single transport staging copy; RDMA and shared memory avoid even
+    that. Feeds the copies-per-transfer table in [DESIGN.md]. *)
+
 val bandwidth_multiplier : t -> float
 (** Steady-state bandwidth relative to {!Rpc_arguments} on the evaluation
     testbed: parallel sockets scale sub-linearly (still staged through a

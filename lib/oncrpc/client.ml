@@ -155,14 +155,19 @@ let handle_attempt_failure t ~started ~deadline_ns ~attempt exn =
                   (* still down; the next attempt backs off again *) ()))
       | _ -> ()
 
+(* The request is kept in vectored form end to end: bulk arguments appear
+   as views of the caller's buffers, and [Record.writev] interleaves
+   fragment headers without flattening. Retransmissions resend the same
+   iovec — safe because the aliased buffers belong to the in-progress call
+   and cannot be mutated until it returns. *)
 let encode_call t ~xid ~proc encode_args =
   let enc = Xdr.Encode.create () in
   Message.encode enc
     (Message.call ~cred:t.cred ~xid ~prog:t.prog ~vers:t.vers ~proc ());
   let header_len = Xdr.Encode.length enc in
   encode_args enc;
-  let request = Xdr.Encode.to_string enc in
-  (request, String.length request - header_len)
+  let request = Xdr.Encode.to_iovec enc in
+  (request, Xdr.Iovec.length request - header_len)
 
 let call ?deadline_ns t ~proc encode_args decode_results =
   let xid = t.next_xid in
@@ -194,7 +199,7 @@ let call ?deadline_ns t ~proc encode_args decode_results =
      whose reply was lost gets the cached reply, not a second execution. *)
   let rec attempt n =
     match
-      Record.write ~fragment_size:t.fragment_size t.transport request;
+      Record.writev ~fragment_size:t.fragment_size t.transport request;
       await ()
     with
     | result -> result
@@ -222,7 +227,8 @@ let call ?deadline_ns t ~proc encode_args decode_results =
       bytes_received = s.bytes_received + results_len;
       wire_bytes_sent =
         s.wire_bytes_sent
-        + wire_length ~fragment_size:t.fragment_size (String.length request);
+        + wire_length ~fragment_size:t.fragment_size
+            (Xdr.Iovec.length request);
       wire_bytes_received =
         s.wire_bytes_received
         + wire_length ~fragment_size:Record.default_fragment_size
@@ -247,7 +253,7 @@ let call_oneway t ~proc encode_args =
      reconnect hook's recovery protocol replays anything that was sent
      but not yet executed. *)
   let rec attempt n =
-    match Record.write ~fragment_size:t.fragment_size t.transport request with
+    match Record.writev ~fragment_size:t.fragment_size t.transport request with
     | () -> ()
     | exception (Transport.Closed as e) ->
         handle_attempt_failure t ~started ~deadline_ns:None ~attempt:n e;
@@ -262,7 +268,8 @@ let call_oneway t ~proc encode_args =
       bytes_sent = s.bytes_sent + args_len;
       wire_bytes_sent =
         s.wire_bytes_sent
-        + wire_length ~fragment_size:t.fragment_size (String.length request);
+        + wire_length ~fragment_size:t.fragment_size
+            (Xdr.Iovec.length request);
     }
 
 let stats t = t.stats

@@ -103,7 +103,7 @@ let call_pipelined t ~proc encode_args decode_results =
      Mutex.lock t.send_lock;
      Fun.protect
        ~finally:(fun () -> Mutex.unlock t.send_lock)
-       (fun () -> Record.write t.transport (Xdr.Encode.to_string enc))
+       (fun () -> Record.writev t.transport (Xdr.Encode.to_iovec enc))
    with
   | () -> ()
   | exception e ->

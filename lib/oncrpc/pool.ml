@@ -1,0 +1,103 @@
+(* Staging-buffer pool for the record-marking datapath.
+
+   Record reassembly and fragment staging need short-lived byte buffers
+   whose sizes repeat call after call (the fragment size, the reply size).
+   On 100k-iteration workloads, allocating them fresh each call makes the
+   GC a datapath cost; this pool recycles them instead.
+
+   Buffers are binned by power-of-two capacity. [acquire n] returns a
+   buffer of capacity >= n (the caller uses the first n bytes); [release]
+   returns it to its bin. Bins are bounded, and buffers above
+   [max_buffer_size] bypass the pool entirely, so a burst of huge records
+   cannot pin memory forever. Thread-safe: server connection threads share
+   the default pool. *)
+
+type stats = { hits : int; misses : int; releases : int; drops : int }
+
+type t = {
+  bins : bytes list array; (* index = log2 capacity *)
+  counts : int array;
+  per_bin : int;
+  max_buffer_size : int;
+  lock : Mutex.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutable releases : int;
+  mutable drops : int;
+}
+
+let max_bin = 63
+
+let log2_ceil n =
+  let rec go k c = if c >= n then k else go (k + 1) (c * 2) in
+  if n <= 1 then 0 else go 0 1
+
+let create ?(per_bin = 8) ?(max_buffer_size = 8 lsl 20) () =
+  if per_bin < 1 then invalid_arg "Pool.create";
+  {
+    bins = Array.make (max_bin + 1) [];
+    counts = Array.make (max_bin + 1) 0;
+    per_bin;
+    max_buffer_size;
+    lock = Mutex.create ();
+    hits = 0;
+    misses = 0;
+    releases = 0;
+    drops = 0;
+  }
+
+let acquire t n =
+  if n < 0 then invalid_arg "Pool.acquire";
+  if n > t.max_buffer_size then begin
+    Mutex.lock t.lock;
+    t.misses <- t.misses + 1;
+    Mutex.unlock t.lock;
+    Bytes.create n
+  end
+  else begin
+    let bin = log2_ceil n in
+    Mutex.lock t.lock;
+    match t.bins.(bin) with
+    | b :: rest ->
+        t.bins.(bin) <- rest;
+        t.counts.(bin) <- t.counts.(bin) - 1;
+        t.hits <- t.hits + 1;
+        Mutex.unlock t.lock;
+        b
+    | [] ->
+        t.misses <- t.misses + 1;
+        Mutex.unlock t.lock;
+        Bytes.create (1 lsl bin)
+  end
+
+let release t b =
+  let cap = Bytes.length b in
+  (* Only buffers the pool itself would hand out re-enter it: exact
+     power-of-two capacity within bounds. Anything else is dropped to the
+     GC, which makes releasing a foreign or oversized buffer harmless. *)
+  if cap > 0 && cap <= t.max_buffer_size && cap land (cap - 1) = 0 then begin
+    let bin = log2_ceil cap in
+    Mutex.lock t.lock;
+    if t.counts.(bin) < t.per_bin && not (List.memq b t.bins.(bin)) then begin
+      t.bins.(bin) <- b :: t.bins.(bin);
+      t.counts.(bin) <- t.counts.(bin) + 1;
+      t.releases <- t.releases + 1
+    end
+    else t.drops <- t.drops + 1;
+    Mutex.unlock t.lock
+  end
+  else begin
+    Mutex.lock t.lock;
+    t.drops <- t.drops + 1;
+    Mutex.unlock t.lock
+  end
+
+let stats t =
+  Mutex.lock t.lock;
+  let s =
+    { hits = t.hits; misses = t.misses; releases = t.releases; drops = t.drops }
+  in
+  Mutex.unlock t.lock;
+  s
+
+let default = create ()

@@ -1,0 +1,32 @@
+(** Staging-buffer pool for the record datapath.
+
+    Recycles the short-lived byte buffers the record layer needs for
+    fragment staging and reassembly, so sustained RPC workloads do not pay
+    a GC allocation per fragment. Buffers are binned by power-of-two
+    capacity, bins are bounded, and oversized buffers bypass the pool.
+    Thread-safe. *)
+
+type t
+
+type stats = { hits : int; misses : int; releases : int; drops : int }
+
+val create : ?per_bin:int -> ?max_buffer_size:int -> unit -> t
+(** [per_bin] bounds retained buffers per size class (default 8);
+    [max_buffer_size] bounds pooled capacity (default 8 MiB — larger
+    requests are plain allocations). *)
+
+val acquire : t -> int -> bytes
+(** [acquire t n] returns a buffer of capacity at least [n] (the next
+    power of two); contents are arbitrary — callers overwrite the first
+    [n] bytes. *)
+
+val release : t -> bytes -> unit
+(** Return a buffer for reuse. The caller must not touch it afterwards.
+    Double-release of the same buffer, or release of a buffer the pool
+    would never hand out, is detected and dropped rather than corrupting
+    the free list. *)
+
+val stats : t -> stats
+
+val default : t
+(** Process-wide pool used by {!Record} reads. *)

@@ -6,21 +6,24 @@ let encode_header ~last len =
   if len < 0 || len > max_fragment_size then invalid_arg "Record.encode_header";
   let v = if last then len lor last_fragment_bit else len in
   let b = Bytes.create 4 in
-  Bytes.set b 0 (Char.chr ((v lsr 24) land 0xff));
-  Bytes.set b 1 (Char.chr ((v lsr 16) land 0xff));
-  Bytes.set b 2 (Char.chr ((v lsr 8) land 0xff));
-  Bytes.set b 3 (Char.chr (v land 0xff));
+  Bytes.set_int32_be b 0 (Int32.of_int v);
   Bytes.unsafe_to_string b
+
+let decode_header_fields b0 b1 b2 b3 =
+  let v =
+    (Char.code b0 lsl 24) lor (Char.code b1 lsl 16) lor (Char.code b2 lsl 8)
+    lor Char.code b3
+  in
+  (v land last_fragment_bit <> 0, v land max_fragment_size)
 
 let decode_header s =
   if String.length s <> 4 then invalid_arg "Record.decode_header";
-  let v =
-    (Char.code s.[0] lsl 24)
-    lor (Char.code s.[1] lsl 16)
-    lor (Char.code s.[2] lsl 8)
-    lor Char.code s.[3]
-  in
-  (v land last_fragment_bit <> 0, v land max_fragment_size)
+  decode_header_fields s.[0] s.[1] s.[2] s.[3]
+
+let decode_header_bytes b =
+  if Bytes.length b < 4 then invalid_arg "Record.decode_header_bytes";
+  decode_header_fields (Bytes.get b 0) (Bytes.get b 1) (Bytes.get b 2)
+    (Bytes.get b 3)
 
 let check_fragment_size n =
   if n < 1 || n > max_fragment_size then
@@ -40,11 +43,31 @@ let iter_fragments ~fragment_size msg f =
     loop 0
   end
 
-let write ?(fragment_size = default_fragment_size) t msg =
+(* The wire image of an iovec message as an iovec: fragment headers
+   interleaved with payload subviews. Nothing is blitted — each header is a
+   fresh 4-byte string and every payload byte is reached through a view of
+   the caller's original buffers. *)
+let wirev ?(fragment_size = default_fragment_size) iov =
   check_fragment_size fragment_size;
-  iter_fragments ~fragment_size msg (fun off len last ->
-      Transport.send_string t (encode_header ~last len);
-      t.Transport.send (Bytes.unsafe_of_string msg) off len)
+  let total = Xdr.Iovec.length iov in
+  if total = 0 then [ Xdr.Iovec.slice (encode_header ~last:true 0) ]
+  else begin
+    let rec fragments acc rest remaining =
+      let len = min fragment_size remaining in
+      let last = len = remaining in
+      let payload, rest = Xdr.Iovec.split rest len in
+      let acc =
+        List.rev_append payload
+          (Xdr.Iovec.slice (encode_header ~last len) :: acc)
+      in
+      if last then List.rev acc else fragments acc rest (remaining - len)
+    in
+    fragments [] iov total
+  end
+
+let writev ?fragment_size t iov = Transport.writev t (wirev ?fragment_size iov)
+
+let write ?fragment_size t msg = writev ?fragment_size t (Xdr.Iovec.of_string msg)
 
 let to_wire ?(fragment_size = default_fragment_size) msg =
   check_fragment_size fragment_size;
@@ -67,37 +90,76 @@ let () =
              claimed limit)
     | _ -> None)
 
-let read_fragments ?(max_record_size = default_max_record_size) t ~first_header =
-  let buf = Buffer.create 1024 in
-  let hdr = Bytes.create 4 in
-  let rec loop header =
-    let last, len = decode_header header in
+(* Reassembly allocates once per record in the common single-fragment case:
+   the payload is received straight into its final buffer. Multi-fragment
+   records stage each fragment in a pooled buffer and blit into an
+   exactly-sized result once the last header has fixed the total — no
+   Buffer regrowth, no trailing [Buffer.contents] copy. The 4-byte header
+   staging buffer lives in the transport and is reused across records. *)
+let read_body ~max_record_size ~pool t ~last ~len =
+  let hdr = t.Transport.hdr_scratch in
+  let check_claim sofar len =
     (* Size-check the header's *claim* before allocating anything: a hostile
        or corrupted header must not be able to reserve unbounded memory. *)
-    if len > max_record_size || Buffer.length buf + len > max_record_size then
-      raise
-        (Oversized { claimed = Buffer.length buf + len; limit = max_record_size });
-    let frag = Bytes.create len in
-    Transport.recv_exact t frag 0 len;
-    Buffer.add_bytes buf frag;
-    if last then Buffer.contents buf
-    else begin
-      Transport.recv_exact t hdr 0 4;
-      loop (Bytes.to_string hdr)
-    end
+    if len > max_record_size || sofar + len > max_record_size then
+      raise (Oversized { claimed = sofar + len; limit = max_record_size })
   in
-  loop first_header
+  check_claim 0 len;
+  if last then begin
+    let b = Bytes.create len in
+    Transport.recv_exact t b 0 len;
+    Bytes.unsafe_to_string b
+  end
+  else begin
+    (* chunks are (staging buffer, used length), newest first *)
+    let chunks : (bytes * int) list ref = ref [] in
+    let total = ref 0 in
+    let release_all () =
+      List.iter (fun (b, _) -> Pool.release pool b) !chunks
+    in
+    match
+      let rec loop last len =
+        let frag = Pool.acquire pool len in
+        Transport.recv_exact t frag 0 len;
+        chunks := (frag, len) :: !chunks;
+        total := !total + len;
+        if not last then begin
+          Transport.recv_exact t hdr 0 4;
+          let last, len = decode_header_bytes hdr in
+          check_claim !total len;
+          loop last len
+        end
+      in
+      loop last len
+    with
+    | () ->
+        let out = Bytes.create !total in
+        let pos = ref !total in
+        List.iter
+          (fun (b, used) ->
+            pos := !pos - used;
+            Bytes.blit b 0 out !pos used)
+          !chunks;
+        release_all ();
+        Bytes.unsafe_to_string out
+    | exception e ->
+        release_all ();
+        raise e
+  end
 
-let read ?max_record_size t =
-  let hdr = Bytes.create 4 in
+let read ?(max_record_size = default_max_record_size) ?(pool = Pool.default) t =
+  let hdr = t.Transport.hdr_scratch in
   Transport.recv_exact t hdr 0 4;
-  read_fragments ?max_record_size t ~first_header:(Bytes.to_string hdr)
+  let last, len = decode_header_bytes hdr in
+  read_body ~max_record_size ~pool t ~last ~len
 
-let read_opt ?max_record_size t =
-  let hdr = Bytes.create 4 in
+let read_opt ?(max_record_size = default_max_record_size) ?(pool = Pool.default)
+    t =
+  let hdr = t.Transport.hdr_scratch in
   let n = t.Transport.recv hdr 0 4 in
   if n = 0 then None
   else begin
     if n < 4 then Transport.recv_exact t hdr n (4 - n);
-    Some (read_fragments ?max_record_size t ~first_header:(Bytes.to_string hdr))
+    let last, len = decode_header_bytes hdr in
+    Some (read_body ~max_record_size ~pool t ~last ~len)
   end

@@ -8,7 +8,13 @@
     Multi-fragment support is load-bearing here: Cricket transfers GPU
     memory inside RPC arguments, so records routinely exceed any reasonable
     single-fragment limit. (The pre-existing Rust [onc_rpc] crate lacked
-    exactly this, which is why the paper built RPC-Lib.) *)
+    exactly this, which is why the paper built RPC-Lib.)
+
+    The tx path is scatter-gather: {!writev} frames an {!Xdr.Iovec.t}
+    message by interleaving header slices with payload {e views}, so bulk
+    payloads reach the transport without ever being blitted at this layer.
+    The rx path reassembles into a single exactly-sized buffer, staging
+    multi-fragment records through {!Pool} buffers. *)
 
 val default_fragment_size : int
 (** Fragment payload size used when none is given (1 MiB). *)
@@ -16,11 +22,20 @@ val default_fragment_size : int
 val max_fragment_size : int
 (** Protocol maximum for one fragment: [2^31 - 1] bytes. *)
 
+val writev : ?fragment_size:int -> Transport.t -> Xdr.Iovec.t -> unit
+(** [writev t iov] sends the message described by [iov] as a record,
+    splitting it into fragments of at most [fragment_size] bytes. Wire
+    bytes are identical to [write t (Xdr.Iovec.concat iov)], but no payload
+    byte is copied above the transport. An empty message is sent as a
+    single empty last fragment. Raises [Invalid_argument] if
+    [fragment_size] is not in [1 .. max_fragment_size]. *)
+
 val write : ?fragment_size:int -> Transport.t -> string -> unit
-(** [write t msg] sends [msg] as a record, splitting it into fragments of at
-    most [fragment_size] bytes. An empty message is sent as a single empty
-    last fragment. Raises [Invalid_argument] if [fragment_size] is not in
-    [1 .. max_fragment_size]. *)
+(** [write t msg] is [writev t (Xdr.Iovec.of_string msg)]. *)
+
+val wirev : ?fragment_size:int -> Xdr.Iovec.t -> Xdr.Iovec.t
+(** The wire image {!writev} would send, as an iovec sharing the payload's
+    storage (headers are the only fresh allocations). *)
 
 exception Oversized of { claimed : int; limit : int }
 (** A fragment header claimed a size that would take the record past
@@ -28,12 +43,17 @@ exception Oversized of { claimed : int; limit : int }
     for the claimed bytes is allocated, so an adversarial length field
     cannot reserve unbounded memory. *)
 
-val read : ?max_record_size:int -> Transport.t -> string
-(** [read t] reassembles the next record. Raises {!Transport.Closed} on end
-    of stream mid-record (or before any fragment), and {!Oversized} if a
-    header-claimed size would exceed [max_record_size] (default 1 GiB). *)
+val read : ?max_record_size:int -> ?pool:Pool.t -> Transport.t -> string
+(** [read t] reassembles the next record into a single exactly-sized
+    buffer. Single-fragment records are received directly into their final
+    buffer; multi-fragment records stage fragments in [pool] buffers
+    (default {!Pool.default}) and are assembled with one blit. Raises
+    {!Transport.Closed} on end of stream mid-record (or before any
+    fragment), and {!Oversized} if a header-claimed size would exceed
+    [max_record_size] (default 1 GiB). *)
 
-val read_opt : ?max_record_size:int -> Transport.t -> string option
+val read_opt :
+  ?max_record_size:int -> ?pool:Pool.t -> Transport.t -> string option
 (** Like {!read} but returns [None] when the stream ends cleanly before the
     first header byte — the normal way a peer hangs up between records. *)
 
@@ -45,5 +65,14 @@ val encode_header : last:bool -> int -> string
 val decode_header : string -> bool * int
 (** [decode_header s] is [(last, length)]; [s] must be 4 bytes. *)
 
+val decode_header_bytes : bytes -> bool * int
+(** Like {!decode_header} over the first 4 bytes of a reusable staging
+    buffer — the allocation-free path used with
+    [Transport.hdr_scratch]. *)
+
 val to_wire : ?fragment_size:int -> string -> string
-(** The exact bytes {!write} would put on the wire. *)
+(** The exact bytes {!write} would put on the wire, built contiguously.
+    This is the pre-vectorisation (copying) framing path, kept as the
+    reference implementation: property tests assert {!writev} emits
+    byte-identical output, and the datapath benchmarks measure the two
+    against each other. *)

@@ -147,10 +147,11 @@ let dispatch_call t dec ~xid c =
                         | () ->
                             encode_reply
                               (Message.reply_success ~xid ())
+                              (* splice, don't flatten: a bulk download
+                                 payload stays a slice until the final
+                                 wire string is built *)
                               (Some
-                                 (fun enc ->
-                                   Xdr.Encode.opaque_fixed enc
-                                     (Xdr.Encode.to_bytes results)))
+                                 (fun enc -> Xdr.Encode.append enc results))
                         | exception Xdr.Types.Error e ->
                             Log.debug (fun m ->
                                 m "%s: garbage args for proc %d: %s" t.name

@@ -2,6 +2,8 @@ type t = {
   send : bytes -> int -> int -> unit;
   recv : bytes -> int -> int -> int;
   close : unit -> unit;
+  sendv : (Xdr.Iovec.t -> unit) option;
+  hdr_scratch : bytes;
 }
 
 exception Closed
@@ -13,7 +15,25 @@ let () =
     | Timeout -> Some "Oncrpc.Transport.Timeout"
     | _ -> None)
 
+let make ?sendv ~send ~recv ~close () =
+  { send; recv; close; sendv; hdr_scratch = Bytes.create 4 }
+
 let send_string t s = t.send (Bytes.unsafe_of_string s) 0 (String.length s)
+
+(* Vectored write: one gather call when the transport supports it,
+   otherwise a per-slice loop over [send]. Either way no slice is blitted
+   into an intermediate buffer here — the transport's own copy (socket
+   write, queue append) is the only one on this path. *)
+let writev t iov =
+  match t.sendv with
+  | Some f -> f iov
+  | None ->
+      Xdr.Iovec.iter
+        (fun s ->
+          t.send
+            (Bytes.unsafe_of_string s.Xdr.Iovec.base)
+            s.Xdr.Iovec.off s.Xdr.Iovec.len)
+        iov
 
 let recv_exact t buf off len =
   let rec loop off len =
@@ -49,6 +69,22 @@ module Byte_queue = struct
     Condition.signal q.cond;
     Mutex.unlock q.lock
 
+  (* Gather write: all slices land under one lock acquisition, so a whole
+     record (headers + payload views) is appended atomically. *)
+  let pushv q iov =
+    Mutex.lock q.lock;
+    if q.closed then begin
+      Mutex.unlock q.lock;
+      raise Closed
+    end;
+    Xdr.Iovec.iter
+      (fun s ->
+        Buffer.add_substring q.data s.Xdr.Iovec.base s.Xdr.Iovec.off
+          s.Xdr.Iovec.len)
+      iov;
+    Condition.signal q.cond;
+    Mutex.unlock q.lock
+
   let pop q buf off len =
     Mutex.lock q.lock;
     while Buffer.length q.data = 0 && not q.closed do
@@ -76,14 +112,14 @@ end
 let pipe () =
   let a_to_b = Byte_queue.create () and b_to_a = Byte_queue.create () in
   let endpoint tx rx =
-    {
-      send = (fun buf off len -> Byte_queue.push tx buf off len);
-      recv = (fun buf off len -> Byte_queue.pop rx buf off len);
-      close =
-        (fun () ->
-          Byte_queue.close tx;
-          Byte_queue.close rx);
-    }
+    make
+      ~sendv:(fun iov -> Byte_queue.pushv tx iov)
+      ~send:(fun buf off len -> Byte_queue.push tx buf off len)
+      ~recv:(fun buf off len -> Byte_queue.pop rx buf off len)
+      ~close:(fun () ->
+        Byte_queue.close tx;
+        Byte_queue.close rx)
+      ()
   in
   (endpoint a_to_b b_to_a, endpoint b_to_a a_to_b)
 
@@ -94,6 +130,14 @@ let loopback ~peer =
   let send buf off len =
     if !closed then raise Closed;
     Buffer.add_subbytes out buf off len
+  in
+  let sendv iov =
+    if !closed then raise Closed;
+    Xdr.Iovec.iter
+      (fun s ->
+        Buffer.add_substring out s.Xdr.Iovec.base s.Xdr.Iovec.off
+          s.Xdr.Iovec.len)
+      iov
   in
   let recv buf off len =
     if !closed then 0
@@ -113,7 +157,7 @@ let loopback ~peer =
       n
     end
   in
-  { send; recv; close = (fun () -> closed := true) }
+  make ~sendv ~send ~recv ~close:(fun () -> closed := true) ()
 
 let of_fd fd =
   let send buf off len =
@@ -129,12 +173,22 @@ let of_fd fd =
     in
     loop off len
   in
+  (* No writev in the Unix module: gather by looping [send] per slice.
+     Slices on this path are fragment-sized, so the syscall count matches
+     the fragment count, not the byte count. *)
+  let sendv iov =
+    Xdr.Iovec.iter
+      (fun s ->
+        send (Bytes.unsafe_of_string s.Xdr.Iovec.base) s.Xdr.Iovec.off
+          s.Xdr.Iovec.len)
+      iov
+  in
   let recv buf off len =
     try Unix.read fd buf off len
     with Unix.Unix_error (Unix.ECONNRESET, _, _) -> 0
   in
   let close () = try Unix.close fd with Unix.Unix_error _ -> () in
-  { send; recv; close }
+  make ~sendv ~send ~recv ~close ()
 
 let tcp_connect ~host ~port =
   let addr =

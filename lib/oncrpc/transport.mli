@@ -14,12 +14,34 @@
     Writes of [n] bytes either succeed completely or raise. Reads return at
     least 1 byte unless the peer closed, in which case they return 0. *)
 
-type t = {
+type t = private {
   send : bytes -> int -> int -> unit;  (** [send buf off len] writes all. *)
   recv : bytes -> int -> int -> int;
       (** [recv buf off len] reads 1..len bytes; 0 means end of stream. *)
   close : unit -> unit;
+  sendv : (Xdr.Iovec.t -> unit) option;
+      (** Optional gather write: all slices, in order, atomically with
+          respect to concurrent senders. Used by {!writev}. *)
+  hdr_scratch : bytes;
+      (** 4-byte staging buffer for record-marking headers, owned by the
+          transport's (single) reader and reused across records so header
+          parsing allocates nothing. *)
 }
+
+val make :
+  ?sendv:(Xdr.Iovec.t -> unit) ->
+  send:(bytes -> int -> int -> unit) ->
+  recv:(bytes -> int -> int -> int) ->
+  close:(unit -> unit) ->
+  unit ->
+  t
+(** Construct a transport. Without [sendv], {!writev} falls back to a
+    per-slice loop over [send] — still a single-copy path, just without
+    gather batching. *)
+
+val writev : t -> Xdr.Iovec.t -> unit
+(** Vectored write of all slices in order. The transport's internal copy
+    (socket write / queue append) is the only copy this performs. *)
 
 exception Closed
 (** Raised when sending on a transport whose peer is gone. *)

@@ -266,6 +266,10 @@ let gen_procedure_client buf env (p : Ast.procedure_def) =
         "fun enc -> "
         ^ String.concat "; " (List.map (fun (n, ty) -> encode_base ty n) args)
   in
+  (* Procedure numbers are exported so hand-optimised stubs (e.g. the
+     zero-copy bulk-transfer paths in Cricket.Client) can issue calls for
+     the same procedures without going through the generated codecs. *)
+  Printf.bprintf buf "    let proc_%s = %Ld\n" fname proc;
   (* A void-result procedure is one-way (RFC 5531 §8 batching): the stub
      sends the record and returns without waiting for a reply. *)
   match p.Ast.proc_result with
@@ -478,6 +482,8 @@ let sig_version buf env (prog : Ast.program_def) (v : Ast.version_def) =
         | None -> "unit"
         | Some ty -> ocaml_type_of_base ty
       in
+      Printf.bprintf buf "    val proc_%s : int\n"
+        (lowercase_ident p.Ast.proc_name);
       Printf.bprintf buf "    val %s : t -> %s -> %s\n"
         (lowercase_ident p.Ast.proc_name)
         (String.concat " -> " args) res)

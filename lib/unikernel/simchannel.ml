@@ -162,8 +162,11 @@ let create ~engine ~client ?(server = Config.server_profile)
           network_time = Time.zero; timeouts = 0; crashes = 0;
           reconnects = 0 };
       transport =
-        { Oncrpc.Transport.send = (fun _ _ _ -> ());
-          recv = (fun _ _ _ -> 0); close = (fun () -> ()) };
+        Oncrpc.Transport.make
+          ~send:(fun _ _ _ -> ())
+          ~recv:(fun _ _ _ -> 0)
+          ~close:(fun () -> ())
+          ();
       outbox = Buffer.create 1024;
       inbox = "";
       inbox_pos = 0;
@@ -174,6 +177,16 @@ let create ~engine ~client ?(server = Config.server_profile)
   let send buf off len =
     if not t.connected then raise Oncrpc.Transport.Closed;
     Buffer.add_subbytes t.outbox buf off len
+  in
+  (* Gather write into the outbox: the one staging copy the simulated
+     link performs, straight from the caller's payload views. *)
+  let sendv iov =
+    if not t.connected then raise Oncrpc.Transport.Closed;
+    Xdr.Iovec.iter
+      (fun s ->
+        Buffer.add_substring t.outbox s.Xdr.Iovec.base s.Xdr.Iovec.off
+          s.Xdr.Iovec.len)
+      iov
   in
   let rec recv buf off len =
     if not t.connected then raise Oncrpc.Transport.Closed;
@@ -201,7 +214,7 @@ let create ~engine ~client ?(server = Config.server_profile)
     end
   in
   t.transport <-
-    { Oncrpc.Transport.send; recv; close = (fun () -> ()) };
+    Oncrpc.Transport.make ~sendv ~send ~recv ~close:(fun () -> ()) ();
   t
 
 let transport t = t.transport

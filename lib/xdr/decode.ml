@@ -95,6 +95,18 @@ let opaque ?max t =
   let n = read_size ?max t in
   opaque_fixed t n
 
+(* No-copy view of a variable-length opaque: the slice aliases the
+   decoder's backing string. Download paths hold the reply record alive
+   anyway, so handing out a view instead of fresh bytes removes the decode
+   copy for bulk payloads. *)
+let opaque_slice ?max t =
+  let n = read_size ?max t in
+  need t n;
+  let s = Iovec.slice ~off:t.pos ~len:n t.data in
+  t.pos <- t.pos + n;
+  check_padding t n;
+  s
+
 let string ?max t =
   let n = read_size ?max t in
   need t n;

@@ -1,17 +1,74 @@
-type t = { buf : Buffer.t }
+(* The encoder is a hybrid of a contiguous buffer (for the many small
+   fixed-size fields of a message) and a list of out-of-line slices (for
+   bulk opaques). Small items append to [buf]; a large opaque flushes the
+   buffer as one slice and then records a zero-copy view of the payload, so
+   a 64 MiB memcpy argument is never blitted at the XDR layer. *)
 
-let create ?(initial_size = 256) () = { buf = Buffer.create initial_size }
-let length t = Buffer.length t.buf
-let to_bytes t = Buffer.to_bytes t.buf
-let to_string t = Buffer.contents t.buf
-let reset t = Buffer.clear t.buf
+type t = {
+  buf : Buffer.t;
+  mutable parts : Iovec.slice list; (* reverse order *)
+  mutable parts_len : int;
+}
 
-let int32 t v =
-  Buffer.add_char t.buf (Char.chr (Int32.to_int (Int32.shift_right_logical v 24) land 0xff));
-  Buffer.add_char t.buf (Char.chr (Int32.to_int (Int32.shift_right_logical v 16) land 0xff));
-  Buffer.add_char t.buf (Char.chr (Int32.to_int (Int32.shift_right_logical v 8) land 0xff));
-  Buffer.add_char t.buf (Char.chr (Int32.to_int v land 0xff))
+(* Opaques at least this long are recorded as slices instead of being
+   copied into the buffer. Below it, the copy is cheaper than carrying an
+   extra iovec entry through the datapath. *)
+let zero_copy_threshold = 1024
 
+let create ?(initial_size = 256) () =
+  { buf = Buffer.create initial_size; parts = []; parts_len = 0 }
+
+let length t = t.parts_len + Buffer.length t.buf
+
+let flush t =
+  if Buffer.length t.buf > 0 then begin
+    let s = Buffer.contents t.buf in
+    Buffer.clear t.buf;
+    t.parts <- Iovec.slice s :: t.parts;
+    t.parts_len <- t.parts_len + String.length s
+  end
+
+let add_slice t s =
+  flush t;
+  t.parts <- s :: t.parts;
+  t.parts_len <- t.parts_len + s.Iovec.len
+
+let to_iovec t =
+  flush t;
+  List.rev t.parts
+
+let to_bytes t =
+  match t.parts with
+  | [] -> Buffer.to_bytes t.buf
+  | _ ->
+      let b = Bytes.create (length t) in
+      Iovec.blit_to_bytes (to_iovec t) b 0;
+      b
+
+let to_string t =
+  match t.parts with
+  | [] -> Buffer.contents t.buf
+  | _ -> Bytes.unsafe_to_string (to_bytes t)
+
+let reset t =
+  Buffer.clear t.buf;
+  t.parts <- [];
+  t.parts_len <- 0
+
+(* Splice the contents of [src] onto [t] without flattening: [src]'s slices
+   are shared, only its pending small-field bytes are copied. [src] may be
+   reset and reused afterwards — the flushed strings are immutable and the
+   payload slices point at the original payloads, not at [src]. *)
+let append t src =
+  match (src.parts, Buffer.length src.buf) with
+  | [], 0 -> ()
+  | [], _ -> Buffer.add_buffer t.buf src.buf
+  | _ ->
+      flush t;
+      List.iter (fun s -> add_slice t s) (List.rev src.parts);
+      Buffer.add_buffer t.buf src.buf
+
+let int32 t v = Buffer.add_int32_be t.buf v
 let uint32 = int32
 
 let int t v =
@@ -25,10 +82,7 @@ let uint t v =
     Types.fail (Types.Size_exceeded { limit = 0xffffffff; requested = v });
   int32 t (Int32.of_int v)
 
-let int64 t v =
-  int32 t (Int64.to_int32 (Int64.shift_right_logical v 32));
-  int32 t (Int64.to_int32 v)
-
+let int64 t v = Buffer.add_int64_be t.buf v
 let uint64 = int64
 let bool t b = int32 t (if b then 1l else 0l)
 let float32 t f = int32 t (Int32.bits_of_float f)
@@ -42,7 +96,9 @@ let pad t n =
   done
 
 let opaque_fixed t b =
-  Buffer.add_bytes t.buf b;
+  if Bytes.length b >= zero_copy_threshold then
+    add_slice t (Iovec.of_bytes b)
+  else Buffer.add_bytes t.buf b;
   pad t (Bytes.length b)
 
 let check_max ?max len =
@@ -55,16 +111,26 @@ let opaque_sub ?max t b off len =
     invalid_arg "Xdr.Encode.opaque_sub";
   check_max ?max len;
   uint t len;
-  Buffer.add_subbytes t.buf b off len;
+  if len >= zero_copy_threshold then add_slice t (Iovec.of_bytes ~off ~len b)
+  else Buffer.add_subbytes t.buf b off len;
   pad t len
 
 let opaque ?max t b = opaque_sub ?max t b 0 (Bytes.length b)
+
+let opaque_slice ?max t s =
+  let len = s.Iovec.len in
+  check_max ?max len;
+  uint t len;
+  if len >= zero_copy_threshold then add_slice t s
+  else Buffer.add_substring t.buf s.Iovec.base s.Iovec.off len;
+  pad t len
 
 let string ?max t s =
   let len = String.length s in
   check_max ?max len;
   uint t len;
-  Buffer.add_string t.buf s;
+  if len >= zero_copy_threshold then add_slice t (Iovec.slice s)
+  else Buffer.add_string t.buf s;
   pad t len
 
 let array_fixed t enc a = Array.iter (fun x -> enc t x) a

@@ -1,12 +1,27 @@
 (** XDR (RFC 4506) encoder.
 
-    An encoder is a growable buffer into which items are appended in XDR
-    wire format: big-endian, every item padded to a multiple of 4 bytes.
+    An encoder accumulates items in XDR wire format: big-endian, every item
+    padded to a multiple of 4 bytes. Internally it is a scatter-gather
+    structure: small fixed-size fields append to a contiguous buffer, while
+    bulk opaques (at or above {!zero_copy_threshold} bytes) are recorded as
+    {!Iovec.slice} views of the caller's buffer with no copy. {!to_iovec}
+    exposes the message in that vectored form for the zero-copy send path;
+    {!to_string}/{!to_bytes} flatten it when contiguous bytes are needed.
+
+    Zero-copy contract: a [bytes] payload passed to {!opaque} (and friends)
+    is aliased, not copied, when large. The caller must not mutate it until
+    the message has been sent or flattened — trivially satisfied by the RPC
+    stack, which encodes and sends synchronously within one call.
+
     Encoders are cheap to create and are intended to be used once per
     message. All [?max] arguments enforce protocol-declared size limits and
     raise {!Types.Error} ([Size_exceeded]) when violated. *)
 
 type t
+
+val zero_copy_threshold : int
+(** Opaques at least this long (1 KiB) are recorded as slices rather than
+    copied into the encoder's buffer. *)
 
 val create : ?initial_size:int -> unit -> t
 (** Fresh empty encoder. [initial_size] pre-sizes the internal buffer
@@ -20,6 +35,17 @@ val to_bytes : t -> bytes
 
 val to_string : t -> string
 (** Encoded contents as a string (copies). *)
+
+val to_iovec : t -> Iovec.t
+(** The encoded message as a list of slices, without flattening: bulk
+    payloads appear as views of the caller's original buffers. The small
+    accumulated fields are sealed into immutable strings, so the result
+    remains valid if the encoder is later reused. *)
+
+val append : t -> t -> unit
+(** [append t src] splices [src]'s contents onto [t] without flattening:
+    [src]'s slices are shared and only its pending small-field bytes are
+    copied. [src] is unchanged and may be reused. *)
 
 val reset : t -> unit
 (** Clear the encoder for reuse. *)
@@ -66,7 +92,13 @@ val opaque_sub : ?max:int -> t -> bytes -> int -> int -> unit
     copying the source into an intermediate buffer. *)
 
 val opaque : ?max:int -> t -> bytes -> unit
-(** Variable-length opaque: 4-byte length, data, zero padding. *)
+(** Variable-length opaque: 4-byte length, data, zero padding. Large
+    payloads are sliced, not copied (see the zero-copy contract above). *)
+
+val opaque_slice : ?max:int -> t -> Iovec.slice -> unit
+(** Variable-length opaque from an existing slice — the zero-copy relay
+    path, e.g. forwarding a decoded payload view without materialising
+    it. *)
 
 val string : ?max:int -> t -> string -> unit
 (** XDR string: identical wire format to variable-length opaque. *)

@@ -110,6 +110,47 @@ let prop_record_stream_fuzz =
       | exception Oncrpc.Record.Oversized _ -> true
       | exception Failure _ -> true)
 
+let prop_pooled_read_survives_garbage =
+  (* same totality guarantee through the pooled reassembly path, with one
+     shared pool across all iterations: an exception mid-read must not
+     leak or corrupt staging buffers in a way that breaks later reads *)
+  let pool = Oncrpc.Pool.create () in
+  QCheck.Test.make ~count:300
+    ~name:"pooled Record.read survives garbage streams" gen_bytes
+    (fun s ->
+      let a, b = Oncrpc.Transport.pipe () in
+      Oncrpc.Transport.send_string a s;
+      a.Oncrpc.Transport.close ();
+      match Oncrpc.Record.read ~max_record_size:4096 ~pool b with
+      | (_ : string) -> true
+      | exception Oncrpc.Transport.Closed -> true
+      | exception Oncrpc.Record.Oversized _ -> true
+      | exception Failure _ -> true)
+
+let prop_vectored_framing_identity =
+  (* the scatter-gather tx path must emit byte-for-byte the wire image of
+     the seed buffer-based framing for arbitrary payloads and fragment
+     sizes — the optimization must be invisible on the wire *)
+  QCheck.Test.make ~count:400 ~name:"vectored framing is wire-identical"
+    QCheck.(pair gen_bytes (int_range 1 64))
+    (fun (payload, fragment_size) ->
+      let out = Buffer.create 64 in
+      let t =
+        Oncrpc.Transport.make
+          ~send:(fun b off len -> Buffer.add_subbytes out b off len)
+          ~sendv:(fun iov ->
+            Xdr.Iovec.iter
+              (fun s ->
+                Buffer.add_substring out s.Xdr.Iovec.base s.Xdr.Iovec.off
+                  s.Xdr.Iovec.len)
+              iov)
+          ~recv:(fun _ _ _ -> 0)
+          ~close:(fun () -> ())
+          ()
+      in
+      Oncrpc.Record.writev ~fragment_size t (Xdr.Iovec.of_string payload);
+      Buffer.contents out = Oncrpc.Record.to_wire ~fragment_size payload)
+
 let prop_truncated_record =
   (* a valid wire record cut off at any byte boundary must surface
      Transport.Closed (EOF mid-record), never hang or mis-parse *)
@@ -270,6 +311,7 @@ let suite =
         prop_message_decode_total; prop_dispatch_total;
         prop_valid_header_fuzzed_body; prop_oneway_framing_roundtrip;
         prop_oneway_batch_single_reply; prop_record_stream_fuzz;
+        prop_pooled_read_survives_garbage; prop_vectored_framing_identity;
         prop_truncated_record; prop_corrupt_header_bits;
         prop_image_parse_total; prop_fatbin_parse_total;
         prop_lzss_decompress_total; prop_image_mutation;

@@ -71,6 +71,171 @@ let prop_record_roundtrip =
     QCheck.(pair (string_of_size (Gen.int_range 0 5000)) (int_range 1 997))
     (fun (msg, fragment_size) -> pipe_roundtrip ~fragment_size msg = msg)
 
+(* --- vectored datapath: writev wire identity, pool, zero copies --- *)
+
+(* A transport that records everything sent through it, plus how many
+   gather (sendv) calls and which slices it saw — enough to both compare
+   wire bytes against the seed [to_wire] path and to prove the tx path
+   stayed zero-copy above the transport. *)
+let capture_transport () =
+  let out = Buffer.create 256 in
+  let sendv_calls = ref 0 in
+  let slices = ref [] in
+  let t =
+    Oncrpc.Transport.make
+      ~send:(fun b off len -> Buffer.add_subbytes out b off len)
+      ~sendv:(fun iov ->
+        incr sendv_calls;
+        Xdr.Iovec.iter
+          (fun s ->
+            slices := s :: !slices;
+            Buffer.add_substring out s.Xdr.Iovec.base s.Xdr.Iovec.off
+              s.Xdr.Iovec.len)
+          iov)
+      ~recv:(fun _ _ _ -> 0)
+      ~close:(fun () -> ())
+      ()
+  in
+  (t, out, sendv_calls, slices)
+
+let test_writev_wire_identity_cases () =
+  List.iter
+    (fun (name, fragment_size, msg) ->
+      let t, out, _, _ = capture_transport () in
+      Oncrpc.Record.writev ~fragment_size t (Xdr.Iovec.of_string msg);
+      check Alcotest.string name
+        (Oncrpc.Record.to_wire ~fragment_size msg)
+        (Buffer.contents out))
+    [
+      ("empty record", 100, "");
+      ("single fragment", 100, "abcd");
+      ("exact fragment boundary", 4, "abcdefgh");
+      ("multi fragment", 3, "abcdefgh");
+      ("one byte fragments", 1, "xyz");
+    ]
+
+let prop_writev_wire_identity =
+  (* the vectored path must be byte-identical to the seed Buffer-based
+     [to_wire] for any payload, any fragment size, and any scatter of the
+     payload across slices *)
+  QCheck.Test.make ~count:300 ~name:"writev wire bytes identical to to_wire"
+    QCheck.(
+      triple
+        (string_of_size (Gen.int_range 0 5000))
+        (int_range 1 997)
+        (list_of_size (Gen.int_range 0 6) (int_range 1 500)))
+    (fun (msg, fragment_size, cuts) ->
+      (* scatter msg into an iovec at the generated cut widths *)
+      let iov = ref [] in
+      let pos = ref 0 in
+      List.iter
+        (fun w ->
+          let w = min w (String.length msg - !pos) in
+          if w > 0 then begin
+            iov := Xdr.Iovec.slice ~off:!pos ~len:w msg :: !iov;
+            pos := !pos + w
+          end)
+        cuts;
+      if !pos < String.length msg then
+        iov :=
+          Xdr.Iovec.slice ~off:!pos ~len:(String.length msg - !pos) msg
+          :: !iov;
+      let iov = List.rev !iov in
+      let t, out, _, _ = capture_transport () in
+      Oncrpc.Record.writev ~fragment_size t iov;
+      Buffer.contents out = Oncrpc.Record.to_wire ~fragment_size msg)
+
+let prop_writev_roundtrip_via_read =
+  (* gather-written records must reassemble through the pooled read path *)
+  QCheck.Test.make ~count:200 ~name:"writev/read roundtrip"
+    QCheck.(pair (string_of_size (Gen.int_range 0 5000)) (int_range 1 997))
+    (fun (msg, fragment_size) ->
+      let a, b = Oncrpc.Transport.pipe () in
+      Oncrpc.Record.writev ~fragment_size a (Xdr.Iovec.of_string msg);
+      Oncrpc.Record.read b = msg)
+
+let test_writev_zero_copy_tx () =
+  (* A large payload encoded as RPC arguments must reach the transport as
+     a view of the caller's buffer: exactly one gather call, and one of
+     its slices physically aliases the payload. That slice identity is the
+     proof the XDR and record layers performed zero payload copies — the
+     transport's own staging copy is the single remaining one. *)
+  let payload = Bytes.init 262_144 (fun i -> Char.chr (i land 0xff)) in
+  let enc = E.create () in
+  E.int enc 42;
+  E.opaque enc payload;
+  let t, out, sendv_calls, slices = capture_transport () in
+  Oncrpc.Record.writev t (Xdr.Encode.to_iovec enc);
+  check Alcotest.int "one gather call" 1 !sendv_calls;
+  let aliased =
+    List.exists
+      (fun s ->
+        s.Xdr.Iovec.base == Bytes.unsafe_to_string payload
+        && s.Xdr.Iovec.len = Bytes.length payload)
+      !slices
+  in
+  check Alcotest.bool "payload slice aliases caller buffer" true aliased;
+  (* and the wire image is still the classic format *)
+  let dec =
+    D.of_string
+      (String.sub (Buffer.contents out) 4 (Buffer.length out - 4))
+  in
+  check Alcotest.int "int field" 42 (D.int dec);
+  check Alcotest.bool "payload intact" true (D.opaque dec = payload)
+
+let test_pool_reuse_after_release () =
+  let pool = Oncrpc.Pool.create () in
+  let b1 = Oncrpc.Pool.acquire pool 5000 in
+  check Alcotest.int "rounded to power of two" 8192 (Bytes.length b1);
+  Oncrpc.Pool.release pool b1;
+  let b2 = Oncrpc.Pool.acquire pool 8000 in
+  check Alcotest.bool "same buffer physically reused" true (b1 == b2);
+  let s = Oncrpc.Pool.stats pool in
+  check Alcotest.int "one hit" 1 s.Oncrpc.Pool.hits;
+  check Alcotest.int "one miss" 1 s.Oncrpc.Pool.misses
+
+let test_pool_double_release_safe () =
+  let pool = Oncrpc.Pool.create () in
+  let b = Oncrpc.Pool.acquire pool 4096 in
+  Oncrpc.Pool.release pool b;
+  Oncrpc.Pool.release pool b;
+  (* the second release must be dropped: acquiring twice must never yield
+     the same buffer twice (which would corrupt concurrent reads) *)
+  let c1 = Oncrpc.Pool.acquire pool 4096 in
+  let c2 = Oncrpc.Pool.acquire pool 4096 in
+  check Alcotest.bool "no duplicate handout" false (c1 == c2);
+  let s = Oncrpc.Pool.stats pool in
+  check Alcotest.int "double release dropped" 1 s.Oncrpc.Pool.drops
+
+let test_pool_oversized_bypass () =
+  let pool = Oncrpc.Pool.create ~max_buffer_size:4096 () in
+  let b = Oncrpc.Pool.acquire pool 100_000 in
+  check Alcotest.bool "oversized request served" true (Bytes.length b >= 100_000);
+  Oncrpc.Pool.release pool b;
+  let c = Oncrpc.Pool.acquire pool 100_000 in
+  check Alcotest.bool "oversized never pooled" false (b == c)
+
+let test_read_recycles_staging_buffers () =
+  (* two identical multi-fragment reads through a private pool: the second
+     read's staging must come from the free list, not fresh allocation *)
+  let pool = Oncrpc.Pool.create ~per_bin:16 () in
+  let msg = String.init 10_000 (fun i -> Char.chr (i land 0xff)) in
+  let read_once () =
+    let a, b = Oncrpc.Transport.pipe () in
+    Oncrpc.Record.write ~fragment_size:1024 a msg;
+    let got = Oncrpc.Record.read ~pool b in
+    a.Oncrpc.Transport.close ();
+    check Alcotest.string "payload" msg got
+  in
+  read_once ();
+  let after_first = Oncrpc.Pool.stats pool in
+  read_once ();
+  let after_second = Oncrpc.Pool.stats pool in
+  check Alcotest.bool "second read hit the pool" true
+    (after_second.Oncrpc.Pool.hits > after_first.Oncrpc.Pool.hits);
+  check Alcotest.int "no new allocations on second read"
+    after_first.Oncrpc.Pool.misses after_second.Oncrpc.Pool.misses
+
 (* --- message codec --- *)
 
 let encode_msg m =
@@ -501,6 +666,16 @@ let suite =
     Alcotest.test_case "fragment reassembly" `Quick test_fragment_reassembly;
     Alcotest.test_case "max record size" `Quick test_max_record_size;
     Alcotest.test_case "clean EOF" `Quick test_read_opt_clean_eof;
+    Alcotest.test_case "writev wire identity cases" `Quick
+      test_writev_wire_identity_cases;
+    Alcotest.test_case "writev zero-copy tx" `Quick test_writev_zero_copy_tx;
+    Alcotest.test_case "pool reuse after release" `Quick
+      test_pool_reuse_after_release;
+    Alcotest.test_case "pool double release safe" `Quick
+      test_pool_double_release_safe;
+    Alcotest.test_case "pool oversized bypass" `Quick test_pool_oversized_bypass;
+    Alcotest.test_case "read recycles staging buffers" `Quick
+      test_read_recycles_staging_buffers;
     Alcotest.test_case "call header roundtrip" `Quick test_call_roundtrip;
     Alcotest.test_case "reply roundtrips" `Quick test_reply_roundtrips;
     Alcotest.test_case "AUTH_SYS roundtrip" `Quick test_auth_sys_roundtrip;
@@ -523,4 +698,8 @@ let suite =
     Alcotest.test_case "portmap registry" `Quick test_portmap_registry;
     Alcotest.test_case "portmap over RPC" `Quick test_portmap_rpc;
   ]
-  @ [ QCheck_alcotest.to_alcotest prop_record_roundtrip ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [
+        prop_record_roundtrip; prop_writev_wire_identity;
+        prop_writev_roundtrip_via_read;
+      ]

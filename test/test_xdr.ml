@@ -193,6 +193,108 @@ let prop_int_list_roundtrip =
       roundtrip (fun e v -> E.list e E.int32 v) (fun d -> D.list d D.int32) l
       = l)
 
+(* --- scatter-gather encoder and no-copy decode views --- *)
+
+let test_encode_large_opaque_zero_copy () =
+  let n = E.zero_copy_threshold in
+  let payload = Bytes.init n (fun i -> Char.chr (i land 0xff)) in
+  let enc = E.create () in
+  E.int enc 7;
+  E.opaque enc payload;
+  E.int enc 9;
+  let iov = E.to_iovec enc in
+  check Alcotest.bool "payload travels as an aliased slice" true
+    (List.exists
+       (fun s ->
+         s.Xdr.Iovec.base == Bytes.unsafe_to_string payload
+         && s.Xdr.Iovec.len = n)
+       iov);
+  (* flattening the iovec must reproduce the classic contiguous wire
+     format, built here independently by hand *)
+  let b = Buffer.create (n + 16) in
+  Buffer.add_int32_be b 7l;
+  Buffer.add_int32_be b (Int32.of_int n);
+  Buffer.add_bytes b payload;
+  Buffer.add_int32_be b 9l;
+  check Alcotest.string "wire identical" (Buffer.contents b)
+    (Xdr.Iovec.concat iov)
+
+let test_encode_small_opaque_copied () =
+  (* below the threshold an iovec entry costs more than a copy: the bytes
+     must be folded into the surrounding word stream, one slice total *)
+  let payload = Bytes.make (E.zero_copy_threshold - 4) 'q' in
+  let enc = E.create () in
+  E.int enc 1;
+  E.opaque enc payload;
+  E.int enc 2;
+  match E.to_iovec enc with
+  | [ _ ] -> ()
+  | iov -> Alcotest.failf "expected 1 slice, got %d" (List.length iov)
+
+let test_encoder_append_splices_slices () =
+  let payload = Bytes.make (2 * E.zero_copy_threshold) 'w' in
+  let child = E.create () in
+  E.int child 3;
+  E.opaque child payload;
+  let parent = E.create () in
+  E.int parent 99;
+  E.append parent child;
+  E.int parent 100;
+  let iov = E.to_iovec parent in
+  check Alcotest.bool "child's payload slice survives the splice" true
+    (List.exists
+       (fun s -> s.Xdr.Iovec.base == Bytes.unsafe_to_string payload)
+       iov);
+  let dec = D.of_string (Xdr.Iovec.concat iov) in
+  check Alcotest.int "head" 99 (D.int dec);
+  check Alcotest.int "child head" 3 (D.int dec);
+  check Alcotest.bool "child payload" true (D.opaque dec = payload);
+  check Alcotest.int "tail" 100 (D.int dec);
+  D.finish dec
+
+let test_decode_opaque_slice_no_copy () =
+  let wire = encode (fun e -> E.string e "helloworld"; E.int e 5) in
+  let dec = D.of_string wire in
+  let s = D.opaque_slice dec in
+  check Alcotest.bool "view aliases the record buffer" true
+    (s.Xdr.Iovec.base == wire);
+  check Alcotest.int "len" 10 s.Xdr.Iovec.len;
+  check Alcotest.string "contents" "helloworld" (Xdr.Iovec.slice_to_string s);
+  check Alcotest.int "padding consumed" 5 (D.int dec);
+  D.finish dec
+
+let prop_sliced_encode_identity =
+  (* for payloads straddling the zero-copy threshold, the scatter-gather
+     encoder's flattened output must equal the RFC 4506 contiguous
+     encoding, built independently by hand *)
+  QCheck.Test.make ~count:200 ~name:"sliced encoder output is wire-identical"
+    QCheck.(string_of_size (Gen.int_range 0 4096))
+    (fun payload ->
+      let enc = E.create () in
+      E.int enc 1;
+      E.opaque enc (Bytes.of_string payload);
+      E.string enc "tail";
+      let b = Buffer.create 64 in
+      Buffer.add_int32_be b 1l;
+      Buffer.add_int32_be b (Int32.of_int (String.length payload));
+      Buffer.add_string b payload;
+      for _ = 1 to (4 - (String.length payload mod 4)) mod 4 do
+        Buffer.add_char b '\000'
+      done;
+      Buffer.add_int32_be b 4l;
+      Buffer.add_string b "tail";
+      Xdr.Iovec.concat (E.to_iovec enc) = Buffer.contents b)
+
+let prop_opaque_slice_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"opaque_slice decodes what opaque encoded"
+    QCheck.(string_of_size (Gen.int_range 0 2048))
+    (fun payload ->
+      let wire = encode (fun e -> E.opaque e (Bytes.of_string payload)) in
+      let dec = D.of_string wire in
+      let s = D.opaque_slice dec in
+      D.finish dec;
+      Xdr.Iovec.slice_to_string s = payload)
+
 let prop_concat_independent =
   (* encoding a followed by b equals encode a ^ encode b *)
   QCheck.Test.make ~count:200 ~name:"xdr encoding is concatenative"
@@ -206,6 +308,7 @@ let qcheck_tests =
     [
       prop_string_roundtrip; prop_opaque_roundtrip; prop_int32_roundtrip;
       prop_int64_roundtrip; prop_float64_roundtrip; prop_int_list_roundtrip;
+      prop_sliced_encode_identity; prop_opaque_slice_roundtrip;
       prop_concat_independent;
     ]
 
@@ -229,5 +332,13 @@ let suite =
     Alcotest.test_case "enum check" `Quick test_enum_check;
     Alcotest.test_case "alignment invariant" `Quick test_alignment_invariant;
     Alcotest.test_case "opaque_sub" `Quick test_opaque_sub;
+    Alcotest.test_case "large opaque is zero-copy" `Quick
+      test_encode_large_opaque_zero_copy;
+    Alcotest.test_case "small opaque is folded" `Quick
+      test_encode_small_opaque_copied;
+    Alcotest.test_case "encoder append splices slices" `Quick
+      test_encoder_append_splices_slices;
+    Alcotest.test_case "opaque_slice is a no-copy view" `Quick
+      test_decode_opaque_slice_no_copy;
   ]
   @ qcheck_tests
