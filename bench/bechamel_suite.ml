@@ -227,6 +227,47 @@ let datapath_tests ~quick =
     test_framing_vectored; test_upload;
   ]
 
+(* --- executable TCP stack group ---
+
+   The checksum pair is the satellite acceptance comparison (folded 8-byte
+   summation vs the byte-at-a-time reference, identical results by
+   property test); the upload runs a full bulk transfer through
+   Endpoint + Netdev on the all-offloads profile, which is the number the
+   O(n) tx ring and TSO work moved by orders of magnitude vs the seed's
+   Buffer.sub resend path. *)
+
+let tcpstack_tests ~quick =
+  let csum_len = 65536 in
+  let buf = Bytes.init csum_len (fun i -> Char.chr (i land 0xff)) in
+  let test_csum_bytewise =
+    Test.make ~name:"tcpstack/checksum-64KiB-bytewise"
+      (Staged.stage (fun () ->
+           ignore
+             (Tcpstack.Checksum.finish
+                (Tcpstack.Checksum.sum_bytewise buf 0 csum_len))))
+  in
+  let test_csum_folded =
+    Test.make ~name:"tcpstack/checksum-64KiB-folded"
+      (Staged.stage (fun () ->
+           ignore
+             (Tcpstack.Checksum.finish (Tcpstack.Checksum.sum buf 0 csum_len))))
+  in
+  let upload_len = if quick then 8 lsl 20 else 64 lsl 20 in
+  let profile =
+    Simnet.Hostprofile.with_offloads Simnet.Hostprofile.bare_metal_linux
+      Simnet.Offload.all
+  in
+  let test_upload =
+    Test.make
+      ~name:
+        (Printf.sprintf "tcpstack/upload-%dMiB-simstack" (upload_len lsr 20))
+      (Staged.stage (fun () ->
+           ignore
+             (Unikernel.Netbench.upload ~name:"bench" ~profile
+                ~bytes:upload_len ())))
+  in
+  [ test_csum_bytewise; test_csum_folded; test_upload ]
+
 let all_tests =
   [
     test_table1; test_fig5a; test_fig5b; test_fig5c; test_fig6; test_fig7;
@@ -247,7 +288,7 @@ let run ?(quick = false) () =
   in
   let grouped =
     Test.make_grouped ~name:"repro" ~fmt:"%s %s"
-      (all_tests @ datapath_tests ~quick)
+      (all_tests @ datapath_tests ~quick @ tcpstack_tests ~quick)
   in
   let raw = Benchmark.all cfg instances grouped in
   let results = Analyze.all ols Instance.monotonic_clock raw in

@@ -228,6 +228,41 @@ let ablation_offloads ?(total_bytes = 512 lsl 20) () =
     "Linux VM (offloads off)" without;
   (with_offloads, without)
 
+(* --- Figure 7 on the executable stack: per-config offload negotiation.
+
+   Unlike [fig7]/[ablation_offloads], which price transfers with the
+   Netcost closed form, this runs a bulk upload through the real
+   Endpoint + Netdev datapath: TSO/GRO/checksum effects emerge from
+   segmentation and ACK clocking rather than from a formula. The two
+   views bracketing each other is the validation. *)
+
+let ablation_offloads_exec ?(total_bytes = 64 lsl 20) () =
+  header
+    (Printf.sprintf
+       "Ablation (Figure 7, executable stack): %d MiB upload over \
+        Endpoint+Netdev"
+       (total_bytes lsr 20));
+  let results = Unikernel.Netbench.ablation ~bytes:total_bytes () in
+  let native = List.hd results in
+  Printf.printf "%-10s %12s %10s %8s %8s %9s %s\n" "config" "MiB/s" "% native"
+    "wire" "rxunits" "swcsumMiB" "offloads";
+  List.iter
+    (fun (r : Unikernel.Netbench.result) ->
+      Printf.printf "%-10s %12.1f %10.1f %8d %8d %9.1f %s\n"
+        r.Unikernel.Netbench.name r.Unikernel.Netbench.bandwidth_mib_s
+        (100.0
+        *. r.Unikernel.Netbench.bandwidth_mib_s
+        /. native.Unikernel.Netbench.bandwidth_mib_s)
+        r.Unikernel.Netbench.netdev.Tcpstack.Netdev.wire_segments
+        r.Unikernel.Netbench.netdev.Tcpstack.Netdev.rx_units
+        (float_of_int
+           r.Unikernel.Netbench.netdev.Tcpstack.Netdev.sw_checksum_bytes
+        /. mib)
+        (Format.asprintf "%a" Simnet.Offload.pp
+           r.Unikernel.Netbench.offloads))
+    results;
+  results
+
 (* --- §4.1 analysis table: per-app call counts and transfer volumes --- *)
 
 let fig5_stats () =

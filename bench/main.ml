@@ -65,6 +65,12 @@ let experiments : (string * string * (unit -> unit)) list =
         ignore
           (Figures.ablation_offloads
              ?total_bytes:(if !quick then Some (128 lsl 20) else None) ()) );
+    ( "ablation-offloads-exec",
+      "Ablation: Figure 7 offload negotiation on the executable TCP stack",
+      fun () ->
+        ignore
+          (Figures.ablation_offloads_exec
+             ?total_bytes:(if !quick then Some (8 lsl 20) else None) ()) );
     ( "ablation-fragsize",
       "Ablation: RPC record fragment size",
       fun () -> ignore (Figures.ablation_fragsize ()) );

@@ -263,6 +263,50 @@ let multitenant_cmd =
       $ Arg.(value & opt int 20 & info [ "steps" ] ~docv:"N"
              ~doc:"GPU work items per tenant."))
 
+(* --- offloads --- *)
+
+let offloads_cmd =
+  let run configs mib device_off =
+    let bytes = mib lsl 20 in
+    let device =
+      if device_off then Simnet.Offload.none else Simnet.Offload.all
+    in
+    let results =
+      List.filter_map
+        (fun (cfg : Unikernel.Config.t) ->
+          match cfg.Unikernel.Config.hypervisor with
+          | None -> None
+          | Some _ ->
+              Some
+                (Unikernel.Netbench.upload ~device
+                   ~name:cfg.Unikernel.Config.name
+                   ~profile:cfg.Unikernel.Config.profile ~bytes ()))
+        configs
+    in
+    let native =
+      Unikernel.Netbench.upload ~device ~name:"native"
+        ~profile:Unikernel.Config.server_profile ~bytes ()
+    in
+    List.iter
+      (fun (r, frac) ->
+        Format.printf "%a  (%.1f%% of native)@." Unikernel.Netbench.pp_result
+          r (100.0 *. frac))
+      (Unikernel.Netbench.relative ~baseline:native (native :: results))
+  in
+  Cmd.v
+    (Cmd.info "offloads"
+       ~doc:"bulk-upload offload ablation on the executable TCP stack \
+             (Endpoint + Netdev): per-config virtio-net feature \
+             negotiation, TSO/GRO/checksum effects, Figure 7 ordering")
+    Term.(
+      const run $ configs_arg
+      $ Arg.(value & opt int 64
+             & info [ "mib" ] ~docv:"MIB" ~doc:"Upload size in MiB.")
+      $ Arg.(value & flag
+             & info [ "no-device-offloads" ]
+                 ~doc:"Negotiate against a device advertising no feature \
+                       bits (forces every config onto the software path)."))
+
 (* --- faults --- *)
 
 let faults_cmd =
@@ -380,6 +424,7 @@ let main =
   Cmd.group
     (Cmd.info "benchctl" ~doc:"run individual paper experiments")
     [ table1_cmd; matrixmul_cmd; solver_cmd; histogram_cmd; micro_cmd;
-      bandwidth_cmd; pipeline_cmd; multitenant_cmd; trace_cmd; faults_cmd ]
+      bandwidth_cmd; pipeline_cmd; multitenant_cmd; trace_cmd; faults_cmd;
+      offloads_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,7 +1,7 @@
 (** Byte-stream transports for ONC RPC.
 
     A transport is a reliable, ordered, bidirectional byte stream — the
-    abstraction RFC 5531 record marking runs on top of. Three families are
+    abstraction RFC 5531 record marking runs on top of. Four families are
     provided:
 
     - {!pipe}: an in-process duplex pair usable from two threads;
@@ -9,7 +9,13 @@
       callback invoked with each complete write "flush" — used to connect an
       RPC client directly to an RPC server dispatch function in one thread
       (this is how the simulated-network benchmarks run);
-    - {!of_fd} / TCP helpers: real sockets via [Unix].
+    - {!of_fd} / TCP helpers: real sockets via [Unix];
+    - the tcp_sim family ({!Unikernel.Tcpchannel}): a transport whose byte
+      stream runs through the executable TCP stack —
+      {!Tcpstack.Endpoint} segments and retransmits, {!Tcpstack.Netdev}
+      applies negotiated virtio-net offloads — so RPC traffic pays the
+      modelled network costs segment by segment. It implements [sendv],
+      making the zero-copy gather path end-to-end executable.
 
     Writes of [n] bytes either succeed completely or raise. Reads return at
     least 1 byte unless the peer closed, in which case they return 0. *)

@@ -18,6 +18,22 @@ let none =
 let disable_bulk t =
   { t with tso = false; tx_checksum = false; scatter_gather = false }
 
+let checksum_only =
+  { none with tx_checksum = true; rx_checksum = true; mrg_rxbuf = true }
+
+(* virtio feature negotiation: the device offers a feature set, the guest
+   driver acknowledges the subset it implements; only bits present on both
+   sides are negotiated (virtio 1.1 §2.2). *)
+let negotiate ~device ~guest =
+  {
+    tso = device.tso && guest.tso;
+    tx_checksum = device.tx_checksum && guest.tx_checksum;
+    rx_checksum = device.rx_checksum && guest.rx_checksum;
+    scatter_gather = device.scatter_gather && guest.scatter_gather;
+    mrg_rxbuf = device.mrg_rxbuf && guest.mrg_rxbuf;
+    gro = device.gro && guest.gro;
+  }
+
 let pp ppf t =
   let flag name v = if v then Some name else None in
   let on =

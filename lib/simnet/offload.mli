@@ -27,4 +27,13 @@ val disable_bulk : t -> t
 (** Turn off TSO, tx checksum and scatter-gather — the §4.2 ablation that
     drops the Linux VM to ≈924 MiB/s host-to-device. *)
 
+val checksum_only : t
+(** Checksum offloads and mergeable rx buffers only — the feature set the
+    paper's RustyHermit work implemented (no TSO, no GRO, no SG). *)
+
+val negotiate : device:t -> guest:t -> t
+(** virtio feature negotiation: the bitwise intersection of what the
+    device offers and what the guest driver acknowledges (virtio 1.1
+    §2.2). *)
+
 val pp : Format.formatter -> t -> unit

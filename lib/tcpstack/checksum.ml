@@ -1,4 +1,19 @@
-let sum ?(initial = 0) b off len =
+(* RFC 1071 internet checksum.
+
+   [sum] accumulates the data as big-endian 16-bit words into an unfolded
+   accumulator; [finish] folds the carries and complements. The raw
+   accumulator value is *not* canonical — two accumulation strategies may
+   return different integers for the same data — but both fold to the same
+   16-bit checksum, which is the only observable ([finish] is the sole
+   consumer, possibly through further ~initial chaining). This is what
+   lets [sum] process 8 bytes per iteration: an int64 word is added as two
+   32-bit halves (each half is itself the sum of two 16-bit words shifted
+   into place, and ones-complement addition is associative under
+   end-around carry). OCaml's 63-bit native ints absorb ~2^29 such adds
+   before [finish]'s fold loop would have to run more than a few times,
+   far beyond any frame this stack sums. *)
+
+let sum_bytewise ?(initial = 0) b off len =
   if off < 0 || len < 0 || off + len > Bytes.length b then
     invalid_arg "Checksum.sum";
   let acc = ref initial in
@@ -10,6 +25,62 @@ let sum ?(initial = 0) b off len =
     i := !i + 2
   done;
   if !i < stop then acc := !acc + (Char.code (Bytes.get b !i) lsl 8);
+  !acc
+
+let sum ?(initial = 0) b off len =
+  if off < 0 || len < 0 || off + len > Bytes.length b then
+    invalid_arg "Checksum.sum";
+  let acc = ref initial in
+  let i = ref off in
+  let stop = off + len in
+  (* 8 bytes per iteration: four big-endian 16-bit words at a time. The
+     int64 is split into 32-bit halves so each addend fits a native int
+     with room for carries; parity is preserved because we always start at
+     [off] and consume full words. *)
+  while !i + 8 <= stop do
+    let w = Bytes.get_int64_be b !i in
+    acc :=
+      !acc
+      + Int64.to_int (Int64.shift_right_logical w 32)
+      + (Int64.to_int w land 0xffffffff);
+    i := !i + 8
+  done;
+  (* scalar tail: 0-7 remaining bytes, same pairing as the word loop *)
+  while !i + 1 < stop do
+    acc := !acc + (Char.code (Bytes.get b !i) lsl 8)
+           + Char.code (Bytes.get b (!i + 1));
+    i := !i + 2
+  done;
+  if !i < stop then acc := !acc + (Char.code (Bytes.get b !i) lsl 8);
+  !acc
+
+let sum_string ?(initial = 0) s off len =
+  sum ~initial (Bytes.unsafe_of_string s) off len
+
+(* One's-complement sum of a scattered payload without flattening it:
+   16-bit word pairing crosses slice boundaries, so a trailing odd byte of
+   one slice pairs with the first byte of the next. *)
+let sum_iovec ?(initial = 0) iov =
+  let acc = ref initial in
+  let pending = ref (-1) in
+  Xdr.Iovec.iter
+    (fun s ->
+      let base = s.Xdr.Iovec.base in
+      let off = ref s.Xdr.Iovec.off in
+      let len = ref s.Xdr.Iovec.len in
+      if !pending >= 0 && !len > 0 then begin
+        acc := !acc + (!pending lsl 8) + Char.code base.[!off];
+        pending := -1;
+        incr off;
+        decr len
+      end;
+      if !len land 1 = 1 then begin
+        pending := Char.code base.[!off + !len - 1];
+        decr len
+      end;
+      acc := sum_string ~initial:!acc base !off !len)
+    iov;
+  if !pending >= 0 then acc := !acc + (!pending lsl 8);
   !acc
 
 let finish acc =

@@ -8,7 +8,23 @@
 val sum : ?initial:int -> bytes -> int -> int -> int
 (** [sum ~initial b off len] is the running one's-complement sum (not yet
     folded/complemented) over [len] bytes of [b]. Odd lengths are padded
-    with a zero byte, per the RFC. *)
+    with a zero byte, per the RFC. Processes 8 bytes per iteration via
+    [Bytes.get_int64_be] with a scalar tail; the unfolded accumulator may
+    differ from {!sum_bytewise}'s but {!finish} yields identical
+    checksums (including when chained through [~initial]). *)
+
+val sum_bytewise : ?initial:int -> bytes -> int -> int -> int
+(** The reference two-bytes-per-iteration accumulation. Kept for the
+    checksum microbenchmark and for property-testing fold-equivalence
+    against {!sum}. *)
+
+val sum_string : ?initial:int -> string -> int -> int -> int
+(** {!sum} over a string (no copy). *)
+
+val sum_iovec : ?initial:int -> Xdr.Iovec.t -> int
+(** {!sum} over a scattered payload, with 16-bit word pairing carried
+    across slice boundaries — equivalent to summing the flattened bytes,
+    without flattening them. *)
 
 val finish : int -> int
 (** Fold carries and take the one's complement; result in [0, 0xffff]. *)

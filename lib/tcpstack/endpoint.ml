@@ -36,8 +36,15 @@ type stats = {
   bytes_received : int;
 }
 
-(* A sent-but-unacknowledged segment, kept for retransmission. *)
-type pending = { seq : Seqnum.t; payload : bytes; syn : bool; fin : bool }
+(* A sent-but-unacknowledged segment, kept for retransmission. The payload
+   is a scatter-gather view aliasing the send ring's storage. *)
+type pending = {
+  seq : Seqnum.t;
+  payload : Xdr.Iovec.t;
+  plen : int;
+  syn : bool;
+  fin : bool;
+}
 
 type t = {
   engine : Engine.t;
@@ -52,15 +59,20 @@ type t = {
   mutable snd_nxt : Seqnum.t;
   mutable snd_wnd : int;
   mutable rcv_nxt : Seqnum.t;
-  send_buf : Buffer.t;  (* app data not yet segmented *)
+  mutable tx_burst : int;  (* max payload per emitted segment; mss, or up
+                              to 64 KiB when the netdev negotiated TSO *)
+  send_buf : Txring.t;  (* app data not yet segmented *)
   recv_buf : Buffer.t;  (* in-order data not yet read by the app *)
-  mutable ooo : (Seqnum.t * bytes) list;  (* out-of-order segments, by seq *)
+  mutable ooo : (Seqnum.t * Xdr.Iovec.t * int) list;
+      (* out-of-order segments, sorted by seq *)
+  mutable ooo_count : int;
   mutable inflight : pending list;  (* oldest first *)
   mutable fin_queued : bool;
   mutable fin_sent : bool;
-  mutable tx : Segment.t -> unit;
+  mutable tx : Frame.t -> unit;
   mutable rto_generation : int;
   mutable retransmit_count : int;
+  mutable rto_backoff : int;  (* RFC 6298 §5.5 exponent; reset on new ACK *)
   mutable cwnd : int;  (* congestion window, bytes *)
   mutable ssthresh : int;
   mutable dup_acks : int;
@@ -84,15 +96,18 @@ let create ~engine ~name ~mss ~iss ~local_port ~remote_port
     snd_nxt = iss;
     snd_wnd = 0;
     rcv_nxt = 0;
-    send_buf = Buffer.create 4096;
+    tx_burst = mss;
+    send_buf = Txring.create ();
     recv_buf = Buffer.create 4096;
     ooo = [];
+    ooo_count = 0;
     inflight = [];
     fin_queued = false;
     fin_sent = false;
     tx = (fun _ -> ());
     rto_generation = 0;
     retransmit_count = 0;
+    rto_backoff = 0;
     cwnd = 10 * mss;  (* RFC 6928 initial window *)
     ssthresh = max_int;
     dup_acks = 0;
@@ -104,7 +119,14 @@ let create ~engine ~name ~mss ~iss ~local_port ~remote_port
     bytes_received = 0;
   }
 
-let set_tx t fn = t.tx <- fn
+let set_tx t fn = t.tx <- (fun f -> fn (Frame.to_segment f))
+let set_tx_frame t fn = t.tx <- fn
+
+let set_tx_burst t n =
+  if n < t.mss then invalid_arg "Endpoint.set_tx_burst";
+  t.tx_burst <- n
+
+let tx_burst t = t.tx_burst
 let state t = t.state
 
 let stats t =
@@ -117,14 +139,15 @@ let congestion_window t = t.cwnd
 
 let unacked t = Seqnum.diff t.snd_nxt t.snd_una
 
-let emit t ?(payload = Bytes.empty) ~seq ~flags () =
-  let seg =
-    { Segment.src_port = t.local_port; dst_port = t.remote_port; seq;
-      ack = t.rcv_nxt; flags; window = t.rcv_window; payload }
+let emit t ?(payload = []) ?(plen = 0) ~seq ~flags () =
+  let f =
+    { Frame.src_port = t.local_port; dst_port = t.remote_port; seq;
+      ack = t.rcv_nxt; flags; window = t.rcv_window; payload;
+      payload_len = plen }
   in
   t.segments_sent <- t.segments_sent + 1;
-  t.bytes_sent <- t.bytes_sent + Bytes.length payload;
-  t.tx seg
+  t.bytes_sent <- t.bytes_sent + plen;
+  t.tx f
 
 let send_ack t =
   emit t ~seq:t.snd_nxt
@@ -133,18 +156,25 @@ let send_ack t =
 
 (* Every segment carries ACK except the initial SYN of an active open
    (which is also what a retransmission must reproduce). *)
-let pending_flags t p =
+let pending_flags t (p : pending) =
   { Segment.syn = p.syn; fin = p.fin; rst = false;
-    psh = Bytes.length p.payload > 0;
+    psh = p.plen > 0;
     ack = not (p.syn && t.state = Syn_sent) }
 
 let transmit_pending t p =
-  emit t ~payload:p.payload ~seq:p.seq ~flags:(pending_flags t p) ()
+  emit t ~payload:p.payload ~plen:p.plen ~seq:p.seq ~flags:(pending_flags t p)
+    ()
+
+let max_rto_backoff = 6 (* cap the timer at 64x its base value *)
 
 let rec arm_rto t =
   t.rto_generation <- t.rto_generation + 1;
   let generation = t.rto_generation in
-  Engine.schedule_after t.engine t.rto (fun () -> on_rto t generation)
+  (* exponential backoff (RFC 6298 §5.5): a spurious timeout — e.g. the
+     peer's receive path is the bottleneck and ACKs queue behind it —
+     must not fire at the same rate until the retry budget is gone *)
+  let rto = Int64.shift_left t.rto (min t.rto_backoff max_rto_backoff) in
+  Engine.schedule_after t.engine rto (fun () -> on_rto t generation)
 
 and on_rto t generation =
   if generation = t.rto_generation && t.inflight <> [] && t.state <> Closed
@@ -152,6 +182,7 @@ and on_rto t generation =
     t.retransmit_count <- t.retransmit_count + 1;
     if t.retransmit_count > max_retransmits then t.state <- Closed
     else begin
+      t.rto_backoff <- t.rto_backoff + 1;
       (* RFC 5681: timeout collapses the window to one segment *)
       t.ssthresh <- max (2 * t.mss) (unacked t / 2);
       t.cwnd <- t.mss;
@@ -166,29 +197,28 @@ and on_rto t generation =
   end
 
 (* Track a new sequence-space-consuming segment and put it on the wire. *)
-let send_pending t p =
+let send_pending t (p : pending) =
   t.inflight <- t.inflight @ [ p ];
   t.snd_nxt <-
     Seqnum.add p.seq
-      (Bytes.length p.payload + (if p.syn then 1 else 0)
-      + if p.fin then 1 else 0);
+      (p.plen + (if p.syn then 1 else 0) + if p.fin then 1 else 0);
   transmit_pending t p;
   if List.length t.inflight = 1 then arm_rto t
 
-(* Segment whatever the window allows out of the send buffer. *)
+(* Segment whatever the window allows out of the send ring. [take] hands
+   back aliased slice views, so cutting a segment is O(slices touched) —
+   the seed rebuilt the whole remaining buffer here, which made bulk sends
+   quadratic in the transfer size. *)
 let rec pump t =
   match t.state with
   | Established | Close_wait | Fin_wait_1 | Closing | Last_ack ->
       let window_left = (min t.snd_wnd t.cwnd) - unacked t in
-      let buffered = Buffer.length t.send_buf in
+      let buffered = Txring.length t.send_buf in
       if buffered > 0 && window_left > 0 then begin
-        let len = min (min t.mss buffered) window_left in
-        let payload = Bytes.create len in
-        Buffer.blit t.send_buf 0 payload 0 len;
-        let rest = Buffer.sub t.send_buf len (buffered - len) in
-        Buffer.clear t.send_buf;
-        Buffer.add_string t.send_buf rest;
-        send_pending t { seq = t.snd_nxt; payload; syn = false; fin = false };
+        let len = min (min t.tx_burst buffered) window_left in
+        let payload = Txring.take t.send_buf len in
+        send_pending t
+          { seq = t.snd_nxt; payload; plen = len; syn = false; fin = false };
         pump t
       end
       else if
@@ -196,7 +226,7 @@ let rec pump t =
       then begin
         t.fin_sent <- true;
         send_pending t
-          { seq = t.snd_nxt; payload = Bytes.empty; syn = false; fin = true };
+          { seq = t.snd_nxt; payload = []; plen = 0; syn = false; fin = true };
         match t.state with
         | Established -> t.state <- Fin_wait_1
         | Close_wait -> t.state <- Last_ack
@@ -208,14 +238,22 @@ let connect t =
   if t.state <> Closed then invalid_arg "Endpoint.connect: not closed";
   t.state <- Syn_sent;
   send_pending t
-    { seq = t.snd_nxt; payload = Bytes.empty; syn = true; fin = false }
+    { seq = t.snd_nxt; payload = []; plen = 0; syn = true; fin = false }
 
 let listen t =
   if t.state <> Closed then invalid_arg "Endpoint.listen: not closed";
   t.state <- Listen
 
 let send t data =
-  Buffer.add_bytes t.send_buf data;
+  Txring.push_bytes t.send_buf data;
+  pump t
+
+let sendv t iov =
+  Txring.push_iovec t.send_buf iov;
+  pump t
+
+let send_string t s =
+  Txring.push_iovec t.send_buf (Xdr.Iovec.of_string s);
   pump t
 
 let close t =
@@ -229,6 +267,8 @@ let recv t =
   Buffer.clear t.recv_buf;
   data
 
+let recv_length t = Buffer.length t.recv_buf
+
 let enter_time_wait t =
   t.state <- Time_wait;
   let generation = t.rto_generation + 1 in
@@ -241,11 +281,12 @@ let max_cwnd = 4 lsl 20
 (* Process an acceptable ACK: advance snd_una, prune the retransmit queue,
    grow the congestion window (RFC 5681 slow start / congestion
    avoidance), and run fast retransmit on the third duplicate ACK. *)
-let process_ack t (seg : Segment.t) =
-  if Seqnum.gt seg.Segment.ack t.snd_una && Seqnum.le seg.Segment.ack t.snd_nxt
+let process_ack t (f : Frame.t) =
+  if Seqnum.gt f.Frame.ack t.snd_una && Seqnum.le f.Frame.ack t.snd_nxt
   then begin
-    t.snd_una <- seg.Segment.ack;
+    t.snd_una <- f.Frame.ack;
     t.retransmit_count <- 0;
+    t.rto_backoff <- 0;
     t.dup_acks <- 0;
     t.cwnd <-
       min max_cwnd
@@ -254,11 +295,10 @@ let process_ack t (seg : Segment.t) =
     let fin_was_outstanding = t.fin_sent in
     t.inflight <-
       List.filter
-        (fun p ->
+        (fun (p : pending) ->
           let seg_end =
             Seqnum.add p.seq
-              (Bytes.length p.payload + (if p.syn then 1 else 0)
-              + if p.fin then 1 else 0)
+              (p.plen + (if p.syn then 1 else 0) + if p.fin then 1 else 0)
           in
           Seqnum.gt seg_end t.snd_una)
         t.inflight;
@@ -267,7 +307,7 @@ let process_ack t (seg : Segment.t) =
     (* Did this ACK cover our FIN? *)
     let fin_acked =
       fin_was_outstanding
-      && not (List.exists (fun p -> p.fin) t.inflight)
+      && not (List.exists (fun (p : pending) -> p.fin) t.inflight)
       && Seqnum.ge t.snd_una t.snd_nxt
     in
     if fin_acked then begin
@@ -279,10 +319,10 @@ let process_ack t (seg : Segment.t) =
     end
   end
   else if
-    seg.Segment.ack = t.snd_una && t.inflight <> []
-    && Bytes.length seg.Segment.payload = 0
-    && (not seg.Segment.flags.Segment.syn)
-    && not seg.Segment.flags.Segment.fin
+    f.Frame.ack = t.snd_una && t.inflight <> []
+    && f.Frame.payload_len = 0
+    && (not f.Frame.flags.Segment.syn)
+    && not f.Frame.flags.Segment.fin
   then begin
     t.dup_acks <- t.dup_acks + 1;
     if t.dup_acks = 3 then begin
@@ -299,61 +339,104 @@ let process_ack t (seg : Segment.t) =
       | [] -> ())
     end
   end;
-  t.snd_wnd <- seg.Segment.window
+  t.snd_wnd <- f.Frame.window
 
 let max_ooo_segments = 256
+
+let append_payload t iov =
+  Xdr.Iovec.iter
+    (fun s ->
+      Buffer.add_substring t.recv_buf s.Xdr.Iovec.base s.Xdr.Iovec.off
+        s.Xdr.Iovec.len)
+    iov
 
 (* Splice any buffered out-of-order segments that are now in order. *)
 let rec drain_ooo t =
   match t.ooo with
-  | (seq, payload) :: rest when seq = t.rcv_nxt ->
-      Buffer.add_bytes t.recv_buf payload;
-      t.rcv_nxt <- Seqnum.add t.rcv_nxt (Bytes.length payload);
-      t.bytes_received <- t.bytes_received + Bytes.length payload;
+  | (seq, payload, plen) :: rest when seq = t.rcv_nxt ->
+      append_payload t payload;
+      t.rcv_nxt <- Seqnum.add t.rcv_nxt plen;
+      t.bytes_received <- t.bytes_received + plen;
       t.ooo <- rest;
+      t.ooo_count <- t.ooo_count - 1;
       drain_ooo t
-  | (seq, _) :: rest when Seqnum.lt seq t.rcv_nxt ->
+  | (seq, _, _) :: rest when Seqnum.lt seq t.rcv_nxt ->
       (* stale duplicate overtaken by retransmission *)
       t.ooo <- rest;
+      t.ooo_count <- t.ooo_count - 1;
       drain_ooo t
   | _ -> ()
 
-let buffer_ooo t seq payload =
-  if
-    List.length t.ooo < max_ooo_segments
-    && not (List.exists (fun (s, _) -> s = seq) t.ooo)
-  then
-    t.ooo <-
-      List.sort (fun (a, _) (b, _) -> Seqnum.diff a b) ((seq, payload) :: t.ooo)
+(* Insert into the sorted reassembly list in one pass: walk to the
+   insertion point, drop the newcomer if a buffered segment already covers
+   its range (exact duplicates included), and drop buffered segments the
+   newcomer covers. The seed re-sorted the whole list and ran a separate
+   duplicate scan on every insert. *)
+let buffer_ooo t seq payload plen =
+  if t.ooo_count < max_ooo_segments then begin
+    let nend = Seqnum.add seq plen in
+    (* buffered segments wholly inside the newcomer become redundant *)
+    let rec drop_within l =
+      match l with
+      | (s, _, sl) :: rest
+        when Seqnum.le seq s && Seqnum.le (Seqnum.add s sl) nend ->
+          t.ooo_count <- t.ooo_count - 1;
+          drop_within rest
+      | _ -> l
+    in
+    let rec ins l =
+      match l with
+      | (s, _, sl) :: _
+        when Seqnum.le s seq && Seqnum.le nend (Seqnum.add s sl) ->
+          l (* covered by a buffered segment: drop the newcomer *)
+      | ((s, _, _) as hd) :: rest when Seqnum.lt s seq -> hd :: ins rest
+      | _ ->
+          t.ooo_count <- t.ooo_count + 1;
+          (seq, payload, plen) :: drop_within l
+    in
+    t.ooo <- ins t.ooo
+  end
 
-let deliver_payload t (seg : Segment.t) =
-  let len = Bytes.length seg.Segment.payload in
+let deliver_payload t (f : Frame.t) =
+  let len = f.Frame.payload_len in
   if len = 0 then true
-  else if seg.Segment.seq = t.rcv_nxt then begin
-    Buffer.add_bytes t.recv_buf seg.Segment.payload;
+  else if f.Frame.seq = t.rcv_nxt then begin
+    append_payload t f.Frame.payload;
     t.rcv_nxt <- Seqnum.add t.rcv_nxt len;
     t.bytes_received <- t.bytes_received + len;
     drain_ooo t;
     true
   end
-  else if Seqnum.gt seg.Segment.seq t.rcv_nxt then begin
+  else if Seqnum.gt f.Frame.seq t.rcv_nxt then begin
     (* a hole: buffer for reassembly, emit a duplicate ACK so the sender's
        fast-retransmit logic learns about the loss *)
-    buffer_ooo t seg.Segment.seq seg.Segment.payload;
+    buffer_ooo t f.Frame.seq f.Frame.payload len;
     send_ack t;
     false
   end
   else begin
-    (* old duplicate: re-ACK what we have *)
-    send_ack t;
-    false
+    (* seq < rcv_nxt: trim the already-received head (RFC 793 §3.9). A
+       retransmitted super-segment after a partial ACK starts below
+       rcv_nxt but can still carry new bytes past it. *)
+    let old = Seqnum.diff t.rcv_nxt f.Frame.seq in
+    if old < len then begin
+      append_payload t (snd (Xdr.Iovec.split f.Frame.payload old));
+      t.rcv_nxt <- Seqnum.add t.rcv_nxt (len - old);
+      t.bytes_received <- t.bytes_received + (len - old);
+      drain_ooo t;
+      true
+    end
+    else begin
+      (* wholly old duplicate: re-ACK what we have *)
+      send_ack t;
+      false
+    end
   end
 
-let handle_fin t (seg : Segment.t) in_order =
-  if seg.Segment.flags.Segment.fin && in_order then begin
+let handle_fin t (f : Frame.t) in_order =
+  if f.Frame.flags.Segment.fin && in_order then begin
     (* FIN occupies one sequence number after the payload *)
-    if Seqnum.add seg.Segment.seq (Bytes.length seg.Segment.payload) = t.rcv_nxt
-    then begin
+    if Seqnum.add f.Frame.seq f.Frame.payload_len = t.rcv_nxt then begin
       t.rcv_nxt <- Seqnum.add t.rcv_nxt 1;
       (match t.state with
       | Established -> t.state <- Close_wait
@@ -366,47 +449,50 @@ let handle_fin t (seg : Segment.t) in_order =
     end
   end
 
-let on_segment t (seg : Segment.t) =
+let on_frame t (f : Frame.t) =
   t.segments_received <- t.segments_received + 1;
-  if seg.Segment.flags.Segment.rst then t.state <- Closed
+  if f.Frame.flags.Segment.rst then t.state <- Closed
   else
     match t.state with
     | Closed -> ()
     | Listen ->
-        if seg.Segment.flags.Segment.syn then begin
-          t.rcv_nxt <- Seqnum.add seg.Segment.seq 1;
-          t.snd_wnd <- seg.Segment.window;
+        if f.Frame.flags.Segment.syn then begin
+          t.rcv_nxt <- Seqnum.add f.Frame.seq 1;
+          t.snd_wnd <- f.Frame.window;
           t.state <- Syn_received;
           (* SYN+ACK consumes a sequence number; tracked for retransmit *)
           send_pending t
-            { seq = t.snd_nxt; payload = Bytes.empty; syn = true; fin = false }
+            { seq = t.snd_nxt; payload = []; plen = 0; syn = true;
+              fin = false }
         end
     | Syn_sent ->
-        if seg.Segment.flags.Segment.syn && seg.Segment.flags.Segment.ack
-           && seg.Segment.ack = t.snd_nxt
+        if f.Frame.flags.Segment.syn && f.Frame.flags.Segment.ack
+           && f.Frame.ack = t.snd_nxt
         then begin
-          t.rcv_nxt <- Seqnum.add seg.Segment.seq 1;
-          process_ack t seg;
+          t.rcv_nxt <- Seqnum.add f.Frame.seq 1;
+          process_ack t f;
           t.state <- Established;
           send_ack t;
           pump t
         end
     | Syn_received ->
-        if seg.Segment.flags.Segment.ack && seg.Segment.ack = t.snd_nxt then begin
-          process_ack t seg;
+        if f.Frame.flags.Segment.ack && f.Frame.ack = t.snd_nxt then begin
+          process_ack t f;
           t.state <- Established;
-          let in_order = deliver_payload t seg in
-          if Bytes.length seg.Segment.payload > 0 && in_order then send_ack t;
-          handle_fin t seg in_order;
+          let in_order = deliver_payload t f in
+          if f.Frame.payload_len > 0 && in_order then send_ack t;
+          handle_fin t f in_order;
           pump t
         end
     | Established | Fin_wait_1 | Fin_wait_2 | Close_wait | Closing | Last_ack
       ->
-        if seg.Segment.flags.Segment.ack then process_ack t seg;
-        let in_order = deliver_payload t seg in
-        if Bytes.length seg.Segment.payload > 0 && in_order then send_ack t;
-        handle_fin t seg in_order;
+        if f.Frame.flags.Segment.ack then process_ack t f;
+        let in_order = deliver_payload t f in
+        if f.Frame.payload_len > 0 && in_order then send_ack t;
+        handle_fin t f in_order;
         pump t
     | Time_wait ->
         (* retransmitted FIN: re-ACK *)
-        if seg.Segment.flags.Segment.fin then send_ack t
+        if f.Frame.flags.Segment.fin then send_ack t
+
+let on_segment t seg = on_frame t (Frame.of_segment seg)

@@ -53,10 +53,28 @@ val create :
   t
 
 val set_tx : t -> (Segment.t -> unit) -> unit
-(** Install the wire-output function (done by {!Medium}). *)
+(** Install the wire-output function (done by {!Medium}). Frames are
+    materialized via {!Frame.to_segment} — one payload copy per
+    transmission, which the byte-wire path needs anyway. *)
+
+val set_tx_frame : t -> (Frame.t -> unit) -> unit
+(** Install a scatter-gather output function (done by {!Netdev}); payload
+    slices reach the device without flattening. *)
+
+val set_tx_burst : t -> int -> unit
+(** Raise the per-segment payload ceiling above the MSS (TSO: the device
+    negotiated segmentation offload, so the endpoint may emit
+    super-segments the device will cut at wire MSS). Raises
+    [Invalid_argument] below the MSS. *)
+
+val tx_burst : t -> int
+(** Current per-segment payload ceiling (= MSS unless raised). *)
 
 val on_segment : t -> Segment.t -> unit
 (** Deliver a segment from the wire. *)
+
+val on_frame : t -> Frame.t -> unit
+(** Deliver a scatter-gather frame (the {!Netdev} receive path). *)
 
 val connect : t -> unit
 (** Active open: send SYN. *)
@@ -65,13 +83,27 @@ val listen : t -> unit
 (** Passive open. *)
 
 val send : t -> bytes -> unit
-(** Queue application data; segments flow as the window allows. *)
+(** Queue application data; segments flow as the window allows. The data
+    is copied once into the send ring (the caller may reuse the buffer);
+    segmentation then aliases ring slices, so queueing [n] bytes and
+    draining them is O(n) total, not O(n²/mss). *)
+
+val sendv : t -> Xdr.Iovec.t -> unit
+(** Queue scatter-gather data without copying. The caller must not mutate
+    the underlying buffers until the bytes are acknowledged (the
+    retransmit queue aliases them). *)
+
+val send_string : t -> string -> unit
+(** [sendv] over a whole (immutable) string. *)
 
 val close : t -> unit
 (** Queue a FIN after any pending data. *)
 
 val recv : t -> bytes
 (** Drain in-order received application data (empty if none). *)
+
+val recv_length : t -> int
+(** Bytes currently readable by {!recv}. *)
 
 val state : t -> state
 val stats : t -> stats

@@ -1,0 +1,75 @@
+(* A TCP segment whose payload is a scatter-gather view instead of a flat
+   byte buffer. This is the representation the endpoint works with
+   internally and hands to a {!Netdev}: payload slices alias the sender's
+   queued data (or, on receive, the decoded wire bytes), so the guest side
+   of the virtio path never copies payload per segment. {!to_segment}
+   materializes the flat form for the byte-encoding {!Medium} path.
+
+   Unlike {!Segment.t}'s wire form, [window] is not clamped to 16 bits:
+   frames model a stack with window scaling negotiated (as the paper's
+   100 GbE testbed stacks do), which a bulk transfer needs to fill the
+   link. The clamp still applies when a frame is encoded to wire bytes. *)
+
+type t = {
+  src_port : int;
+  dst_port : int;
+  seq : Seqnum.t;
+  ack : Seqnum.t;
+  flags : Segment.flags;
+  window : int;
+  payload : Xdr.Iovec.t;
+  payload_len : int;
+}
+
+let of_segment (s : Segment.t) =
+  {
+    src_port = s.Segment.src_port;
+    dst_port = s.Segment.dst_port;
+    seq = s.Segment.seq;
+    ack = s.Segment.ack;
+    flags = s.Segment.flags;
+    window = s.Segment.window;
+    payload =
+      (if Bytes.length s.Segment.payload = 0 then []
+       else [ Xdr.Iovec.of_bytes s.Segment.payload ]);
+    payload_len = Bytes.length s.Segment.payload;
+  }
+
+let to_segment t =
+  {
+    Segment.src_port = t.src_port;
+    dst_port = t.dst_port;
+    seq = t.seq;
+    ack = t.ack;
+    flags = t.flags;
+    window = t.window;
+    payload = Bytes.unsafe_of_string (Xdr.Iovec.concat t.payload);
+  }
+
+let seq_length t =
+  t.payload_len
+  + (if t.flags.Segment.syn then 1 else 0)
+  + if t.flags.Segment.fin then 1 else 0
+
+(* [sub t pos len] is the data sub-range [pos, pos+len) of [t]'s payload
+   as its own frame (sequence number advanced, payload aliased). SYN
+   stays on the first byte of the sequence space, FIN on the last. *)
+let sub t pos len =
+  if pos < 0 || len < 0 || pos + len > t.payload_len then
+    invalid_arg "Frame.sub";
+  let before, _ = Xdr.Iovec.split t.payload (pos + len) in
+  let _, payload = Xdr.Iovec.split before pos in
+  let last = pos + len = t.payload_len in
+  {
+    t with
+    seq = Seqnum.add t.seq (pos + if t.flags.Segment.syn && pos > 0 then 1 else 0);
+    flags =
+      {
+        t.flags with
+        Segment.syn = t.flags.Segment.syn && pos = 0;
+        fin = t.flags.Segment.fin && last;
+        psh = t.flags.Segment.psh && last;
+      };
+    payload;
+    payload_len = len;
+  }

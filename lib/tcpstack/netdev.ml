@@ -1,0 +1,373 @@
+module Engine = Simnet.Engine
+module Time = Simnet.Time
+module Fault = Simnet.Fault
+module Offload = Simnet.Offload
+module Hostprofile = Simnet.Hostprofile
+module Link = Simnet.Link
+
+(* A virtio-net-style device between two endpoints. Where {!Medium} models
+   a raw byte wire (encode, checksum, decode every segment), this models
+   the NIC boundary the paper's §4.2 ablation is about: which side of the
+   guest/device line does segmentation, checksumming, coalescing and
+   copying — and at what cost.
+
+   Feature bits are negotiated per guest (device ∩ driver, virtio 1.1
+   §2.2) from the guest's {!Simnet.Hostprofile.t}:
+
+   - [tso]: the endpoint's tx burst is raised to ~64 KiB; the device cuts
+     super-frames into wire-MSS segments ({!Frame.sub} aliases, no copy).
+   - [tx_checksum]/[rx_checksum]: with the offload the device stamps /
+     validates for free; without it the guest pays
+     [checksum_ns_per_byte] and the sum is actually computed/verified.
+   - [gro]: the device re-coalesces up to {!gro_limit} in-order wire
+     segments of one guest frame into a single rx unit.
+   - [scatter_gather]: without it the device cannot follow the guest's
+     slice list, so transmit pays an extra 0.5-copy staging pass (the
+     payload is physically flattened).
+   - [mrg_rxbuf]: interrupt batches are 4x larger.
+
+   Costs mirror {!Simnet.Netcost}'s closed-form sender/receiver terms
+   mechanistically: the same profile fields, charged per frame/segment/rx
+   unit as they occur, rather than integrated over a transfer. Timing uses
+   three per-direction cursors (guest tx CPU, wire, receiver CPU), each
+   advancing [max(ready, cursor) + cost] — a pipeline whose steady-state
+   throughput is set by the bottleneck stage, like Netcost's model.
+   Syscall/wakeup costs are the socket layer's business, not the NIC's,
+   and are charged by {!Unikernel.Tcpchannel}. *)
+
+type stats = {
+  guest_tx_frames : int;
+  wire_segments : int;
+  tso_frames : int;
+  rx_units : int;
+  gro_merged : int;
+  sw_checksum_bytes : int;
+  staging_copies : int;
+  csum_drops : int;
+  fcs_drops : int;
+  payload_bytes : int;
+}
+
+let gro_limit = 8
+let tso_burst_bytes = 65_536
+
+(* virtio dependency clamps: segmentation offload requires the device to
+   own transmit checksums, and receive coalescing requires validated
+   receive checksums. *)
+let effective (f : Offload.t) =
+  { f with
+    Offload.tso = f.Offload.tso && f.Offload.tx_checksum;
+    gro = f.Offload.gro && f.Offload.rx_checksum }
+
+(* One transmit direction: sender guest -> device -> wire -> receiver. *)
+type dir = {
+  peer : Endpoint.t;
+  snd : Hostprofile.t;
+  rcv : Hostprofile.t;
+  feat_tx : Offload.t;  (* negotiated with the sending guest *)
+  feat_rx : Offload.t;  (* negotiated with the receiving guest *)
+  mutable tx_free : float;  (* guest tx CPU busy until (ns) *)
+  mutable wire_free : float;
+  mutable rx_free : float;
+  mutable last_arrival : float;  (* FIFO floor for deliveries *)
+  mutable kick_pending : int;  (* guest frames since last doorbell *)
+  mutable irq_pending : int;  (* rx units since last interrupt *)
+}
+
+type t = {
+  engine : Engine.t;
+  link : Link.t;
+  fault : Fault.t option;
+  ab : dir;
+  ba : dir;
+  mutable guest_tx_frames : int;
+  mutable wire_segments : int;
+  mutable tso_frames : int;
+  mutable rx_units : int;
+  mutable gro_merged : int;
+  mutable sw_checksum_bytes : int;
+  mutable staging_copies : int;
+  mutable csum_drops : int;
+  mutable fcs_drops : int;
+  mutable payload_bytes : int;
+}
+
+let now_ns t = Int64.to_float (Engine.now t.engine)
+
+(* --- sender side -------------------------------------------------------- *)
+
+(* Charge the guest-side cost of handing one frame to the device and
+   return the (possibly staged-flat) frame. *)
+let guest_tx t d (f : Frame.t) =
+  let n = f.Frame.payload_len in
+  let p = d.snd in
+  t.guest_tx_frames <- t.guest_tx_frames + 1;
+  t.payload_bytes <- t.payload_bytes + n;
+  let fn = Float.of_int n in
+  let copies =
+    p.Hostprofile.tx_copies
+    +. if d.feat_tx.Offload.scatter_gather then 0.0 else 0.5
+  in
+  let cost =
+    Float.of_int p.Hostprofile.per_packet_tx_ns
+    +. (fn *. p.Hostprofile.copy_ns_per_byte *. copies)
+    +.
+    if d.feat_tx.Offload.tx_checksum then 0.0
+    else begin
+      t.sw_checksum_bytes <- t.sw_checksum_bytes + n;
+      fn *. p.Hostprofile.checksum_ns_per_byte
+    end
+  in
+  (* doorbell: one vmexit per [kick_batch] frames *)
+  let cost =
+    if not p.Hostprofile.virtualized then cost
+    else begin
+      d.kick_pending <- d.kick_pending + 1;
+      if d.kick_pending >= p.Hostprofile.kick_batch then begin
+        d.kick_pending <- 0;
+        cost +. Float.of_int p.Hostprofile.vmexit_ns
+      end
+      else cost
+    end
+  in
+  d.tx_free <- Float.max (now_ns t) d.tx_free +. cost;
+  (* without scatter-gather the device needs contiguous staging: the
+     flatten is performed, not just charged *)
+  if (not d.feat_tx.Offload.scatter_gather) && n > 0 then begin
+    t.staging_copies <- t.staging_copies + 1;
+    { f with
+      Frame.payload = Xdr.Iovec.of_string (Xdr.Iovec.concat f.Frame.payload)
+    }
+  end
+  else f
+
+(* --- receiver side ------------------------------------------------------ *)
+
+(* Software checksum verification: recompute over the payload and compare
+   with the stamped sum; a corrupted unit gets a byte of a private copy
+   flipped first, so the mismatch is detected the way a real stack
+   detects it. *)
+let sw_verify t (u : Frame.t) ~csum ~corrupt =
+  let computed =
+    if corrupt then begin
+      let b = Bytes.unsafe_of_string (Xdr.Iovec.concat u.Frame.payload) in
+      if Bytes.length b > 0 then begin
+        let i = Bytes.length b / 2 in
+        Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x40))
+      end;
+      Checksum.finish (Checksum.sum b 0 (Bytes.length b))
+    end
+    else Checksum.finish (Checksum.sum_iovec u.Frame.payload)
+  in
+  t.sw_checksum_bytes <- t.sw_checksum_bytes + u.Frame.payload_len;
+  match csum with
+  | Some c when c <> computed ->
+      t.csum_drops <- t.csum_drops + 1;
+      false
+  | _ -> not corrupt
+
+(* Deliver one rx unit: charge receiver CPU on the rx cursor and schedule
+   the endpoint callback at the cursor's new position. *)
+let deliver_unit t d ~ready ~csum ~corrupt (u : Frame.t) =
+  let p = d.rcv in
+  let n = u.Frame.payload_len in
+  t.rx_units <- t.rx_units + 1;
+  let cost =
+    Float.of_int p.Hostprofile.per_packet_rx_ns
+    +. (Float.of_int n *. p.Hostprofile.copy_ns_per_byte
+        *. p.Hostprofile.rx_copies)
+    +.
+    if d.feat_rx.Offload.rx_checksum then 0.0
+    else Float.of_int n *. p.Hostprofile.checksum_ns_per_byte
+  in
+  let irq_batch =
+    if d.feat_rx.Offload.mrg_rxbuf then p.Hostprofile.irq_batch * 4
+    else p.Hostprofile.irq_batch
+  in
+  d.irq_pending <- d.irq_pending + 1;
+  let cost =
+    if d.irq_pending >= irq_batch then begin
+      d.irq_pending <- 0;
+      cost
+      +. Float.of_int
+           (p.Hostprofile.interrupt_ns
+           + if p.Hostprofile.virtualized then p.Hostprofile.vmexit_ns else 0)
+    end
+    else cost
+  in
+  d.rx_free <- Float.max ready d.rx_free +. cost;
+  let ok =
+    if d.feat_rx.Offload.rx_checksum then true
+    else sw_verify t u ~csum ~corrupt
+  in
+  if ok then begin
+    let arrival = Float.max d.rx_free (d.last_arrival +. 1.0) in
+    d.last_arrival <- arrival;
+    let peer = d.peer in
+    Engine.schedule_at t.engine (Time.of_float_ns arrival) (fun () ->
+        Endpoint.on_frame peer u)
+  end
+
+(* --- wire --------------------------------------------------------------- *)
+
+(* A wire segment annotated with its fate and timing. *)
+type wseg = {
+  pos : int;  (* payload offset within the parent frame *)
+  len : int;
+  decision : Fault.decision;
+  done_at : float;  (* wire cursor after serialization (+ fault delay) *)
+}
+
+let latency t = Float.of_int t.link.Link.latency_ns
+
+(* Cut a guest frame at wire MSS, move every segment across the wire, and
+   re-coalesce in-order runs into rx units (GRO). A unit is flushed by
+   reaching [gro_limit], by a faulted segment, or by the end of the
+   frame; its ready time is the wire-done time of its last segment plus
+   propagation latency. *)
+let transmit t d (f : Frame.t) =
+  let mss = Link.mss t.link in
+  let n = f.Frame.payload_len in
+  let nsegs = if n <= mss then 1 else (n + mss - 1) / mss in
+  if nsegs > 1 then t.tso_frames <- t.tso_frames + 1;
+  (* device-side checksum stamp: free for the guest; only materialized
+     when the receiver will verify in software *)
+  let stamp sub =
+    if d.feat_rx.Offload.rx_checksum then None
+    else Some (Checksum.finish (Checksum.sum_iovec sub.Frame.payload))
+  in
+  let wire_one ~pos ~len =
+    t.wire_segments <- t.wire_segments + 1;
+    let decision =
+      match t.fault with
+      | None -> Fault.Pass
+      | Some fl -> Fault.decide ~now:(Engine.now t.engine) fl
+    in
+    let ser =
+      Link.serialize_ns t.link ~payload:len ~packets:1
+      +. match decision with Fault.Delay x -> Int64.to_float x | _ -> 0.0
+    in
+    d.wire_free <- Float.max d.tx_free d.wire_free +. ser;
+    { pos; len; decision; done_at = d.wire_free }
+  in
+  let segs =
+    if nsegs = 1 then [ wire_one ~pos:0 ~len:n ]
+    else
+      List.init nsegs (fun i ->
+          let pos = i * mss in
+          wire_one ~pos ~len:(min mss (n - pos)))
+  in
+  let gro = d.feat_rx.Offload.gro in
+  (* accumulate [run] = consecutive passing segments to merge *)
+  let flush run =
+    match run with
+    | [] -> ()
+    | last :: _ ->
+        let first = List.nth run (List.length run - 1) in
+        let merged = List.length run in
+        if merged > 1 then t.gro_merged <- t.gro_merged + (merged - 1);
+        let u =
+          if first.pos = 0 && last.pos + last.len = n then f
+          else Frame.sub f first.pos (last.pos + last.len - first.pos)
+        in
+        deliver_unit t d ~ready:(last.done_at +. latency t) ~csum:(stamp u)
+          ~corrupt:false u
+  in
+  let run = ref [] in
+  let run_len = ref 0 in
+  List.iter
+    (fun (s : wseg) ->
+      let sub () =
+        if s.pos = 0 && s.len = n then f else Frame.sub f s.pos s.len
+      in
+      match s.decision with
+      | Fault.Pass | Fault.Delay _ ->
+          if gro && !run_len < gro_limit then begin
+            run := s :: !run;
+            incr run_len
+          end
+          else begin
+            flush !run;
+            run := [ s ];
+            run_len := 1
+          end
+      | Fault.Drop ->
+          (* the hole breaks coalescing: flush what we have *)
+          flush !run;
+          run := [];
+          run_len := 0
+      | Fault.Corrupt ->
+          flush !run;
+          run := [];
+          run_len := 0;
+          if d.feat_rx.Offload.rx_checksum then
+            (* the device's FCS/checksum validation catches it before the
+               segment reaches a receive buffer: pure loss, no rx CPU *)
+            t.fcs_drops <- t.fcs_drops + 1
+          else
+            let u = sub () in
+            deliver_unit t d ~ready:(s.done_at +. latency t) ~csum:(stamp u)
+              ~corrupt:true u
+      | Fault.Duplicate ->
+          flush !run;
+          run := [];
+          run_len := 0;
+          let u = sub () in
+          let ready = s.done_at +. latency t in
+          deliver_unit t d ~ready ~csum:(stamp u) ~corrupt:false u;
+          deliver_unit t d ~ready ~csum:(stamp u) ~corrupt:false u)
+    segs;
+  flush !run
+
+let on_guest_frame t d (f : Frame.t) =
+  let f = guest_tx t d f in
+  transmit t d f
+
+(* --- construction ------------------------------------------------------- *)
+
+let connect ~engine ~link ?fault ?(device = Offload.all) ~a:(ea, pa)
+    ~b:(eb, pb) () =
+  let feat_a =
+    effective (Offload.negotiate ~device ~guest:pa.Hostprofile.offloads)
+  in
+  let feat_b =
+    effective (Offload.negotiate ~device ~guest:pb.Hostprofile.offloads)
+  in
+  let dir peer snd rcv feat_tx feat_rx =
+    { peer; snd; rcv; feat_tx; feat_rx; tx_free = 0.0; wire_free = 0.0;
+      rx_free = 0.0; last_arrival = 0.0; kick_pending = 0; irq_pending = 0 }
+  in
+  let t =
+    { engine; link; fault;
+      ab = dir eb pa pb feat_a feat_b;
+      ba = dir ea pb pa feat_b feat_a;
+      guest_tx_frames = 0; wire_segments = 0; tso_frames = 0; rx_units = 0;
+      gro_merged = 0; sw_checksum_bytes = 0; staging_copies = 0;
+      csum_drops = 0; fcs_drops = 0; payload_bytes = 0 }
+  in
+  let mss = Link.mss link in
+  let burst = max mss (tso_burst_bytes / mss * mss) in
+  if feat_a.Offload.tso then Endpoint.set_tx_burst ea burst;
+  if feat_b.Offload.tso then Endpoint.set_tx_burst eb burst;
+  Endpoint.set_tx_frame ea (fun f -> on_guest_frame t t.ab f);
+  Endpoint.set_tx_frame eb (fun f -> on_guest_frame t t.ba f);
+  t
+
+let negotiated_a t = t.ab.feat_tx
+let negotiated_b t = t.ba.feat_tx
+
+let stats t =
+  { guest_tx_frames = t.guest_tx_frames; wire_segments = t.wire_segments;
+    tso_frames = t.tso_frames; rx_units = t.rx_units;
+    gro_merged = t.gro_merged; sw_checksum_bytes = t.sw_checksum_bytes;
+    staging_copies = t.staging_copies; csum_drops = t.csum_drops;
+    fcs_drops = t.fcs_drops; payload_bytes = t.payload_bytes }
+
+let fault_stats t = Option.map Fault.stats t.fault
+
+let pp_stats ppf (s : stats) =
+  Format.fprintf ppf
+    "@[<h>frames=%d wire=%d tso=%d rx_units=%d gro_merged=%d sw_csum=%dB \
+     staging=%d csum_drops=%d fcs_drops=%d@]"
+    s.guest_tx_frames s.wire_segments s.tso_frames s.rx_units s.gro_merged
+    s.sw_checksum_bytes s.staging_copies s.csum_drops s.fcs_drops

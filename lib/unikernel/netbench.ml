@@ -1,0 +1,99 @@
+module Time = Simnet.Time
+module Engine = Simnet.Engine
+module EP = Tcpstack.Endpoint
+
+(* The executable-stack bandwidth ablation behind Figure 7: an iperf-style
+   bulk upload from a guest configuration to the bare-metal GPU node, run
+   over Endpoint + Netdev with the configuration's negotiated offload
+   feature bits. Shared by [bench/figures.ml] (EXPERIMENTS tables) and
+   [benchctl offloads]. *)
+
+type result = {
+  name : string;
+  offloads : Simnet.Offload.t;  (** negotiated, post dependency clamps *)
+  bytes : int;
+  elapsed : Time.t;  (** handshake completion to last byte delivered *)
+  bandwidth_mib_s : float;
+  netdev : Tcpstack.Netdev.stats;
+  client : EP.stats;
+}
+
+let upload ?(server = Config.server_profile) ?(link = Config.link) ?device
+    ?fault ~name ~profile ~bytes () =
+  if bytes <= 0 then invalid_arg "Netbench.upload";
+  let engine = Engine.create () in
+  let mss = Simnet.Link.mss link in
+  let window = 64 lsl 20 in
+  let rto = Time.us 200 in
+  let a =
+    EP.create ~engine ~name:"guest" ~mss ~iss:0 ~local_port:46000
+      ~remote_port:5001 ~rcv_window:window ~rto ()
+  in
+  let b =
+    EP.create ~engine ~name:"server" ~mss ~iss:0 ~local_port:5001
+      ~remote_port:46000 ~rcv_window:window ~rto ()
+  in
+  let nd =
+    Tcpstack.Netdev.connect ~engine ~link ?fault ?device ~a:(a, profile)
+      ~b:(b, server) ()
+  in
+  EP.listen b;
+  EP.connect a;
+  while
+    (EP.state a <> EP.Established || EP.state b <> EP.Established)
+    && Engine.step engine
+  do
+    ()
+  done;
+  let t0 = Engine.now engine in
+  EP.send a (Bytes.create bytes);
+  EP.close a;
+  let received = ref 0 in
+  let continue = ref true in
+  while !received < bytes && !continue do
+    continue := Engine.step engine;
+    (* drain as we go so the run is O(bytes), not O(bytes * steps) *)
+    if EP.recv_length b > 0 then received := !received + Bytes.length (EP.recv b)
+  done;
+  if !received < bytes then failwith "Netbench.upload: transfer stalled";
+  let elapsed = Time.sub (Engine.now engine) t0 in
+  {
+    name;
+    offloads = Tcpstack.Netdev.negotiated_a nd;
+    bytes;
+    elapsed;
+    bandwidth_mib_s =
+      Float.of_int bytes /. 1048576.0 /. Time.to_float_s elapsed;
+    netdev = Tcpstack.Netdev.stats nd;
+    client = EP.stats a;
+  }
+
+(* The paper's Figure 7 line-up: native bare metal, the Linux VM, and the
+   two unikernels, each uploading to the bare-metal GPU node. *)
+let figure7_configs () =
+  ("native", Simnet.Hostprofile.bare_metal_linux)
+  :: List.filter_map
+       (fun (c : Config.t) ->
+         if c.Config.hypervisor <> None then
+           Some (c.Config.name, c.Config.profile)
+         else None)
+       Config.all
+
+let ablation ?server ?link ?device ~bytes () =
+  List.map
+    (fun (name, profile) -> upload ?server ?link ?device ~name ~profile ~bytes ())
+    (figure7_configs ())
+
+let relative ~baseline results =
+  List.map
+    (fun r -> (r, r.bandwidth_mib_s /. baseline.bandwidth_mib_s))
+    results
+
+let pp_result ppf r =
+  Format.fprintf ppf
+    "%-10s %8.0f MiB/s  %a  (%d wire segs, %d tso frames, %d gro merges, \
+     %.1f MiB sw csum)"
+    r.name r.bandwidth_mib_s Time.pp r.elapsed
+    r.netdev.Tcpstack.Netdev.wire_segments
+    r.netdev.Tcpstack.Netdev.tso_frames r.netdev.Tcpstack.Netdev.gro_merged
+    (Float.of_int r.netdev.Tcpstack.Netdev.sw_checksum_bytes /. 1048576.0)

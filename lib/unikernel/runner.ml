@@ -56,6 +56,49 @@ let run ?devices ?memory_capacity ?(functional = true) (cfg : Config.t) app =
     network_time = stats.Simchannel.network_time;
   }
 
+(* Like [run], but the RPC bytes traverse the executable TCP stack
+   (Tcpchannel: Endpoint + Netdev with the configuration's negotiated
+   offloads) instead of the Netcost closed form. The TCP handshake is
+   simulated by the channel itself, so no flat connect charge is added. *)
+let run_tcp ?devices ?memory_capacity ?(functional = true) ?fault ?device
+    (cfg : Config.t) app =
+  let engine = Engine.create () in
+  let server =
+    Cricket.Server.create ?devices ?memory_capacity
+      ~clock:(Cudasim.Context.engine_clock engine)
+      ()
+  in
+  Cudasim.Context.set_functional (Cricket.Server.context server) functional;
+  let t0 = Engine.now engine in
+  (* process startup: load before the connection is attempted *)
+  Engine.advance engine (Time.us 150);
+  let channel =
+    Tcpchannel.create ~engine ~client:cfg.Config.profile ?fault ?device
+      ~dispatch:(Cricket.Server.dispatch server)
+      ()
+  in
+  let client =
+    Cricket.Client.create ~launch_extra_ns:cfg.Config.launch_extra_ns
+      ~charge:(fun ns -> Engine.advance engine (Time.ns ns))
+      ~transport:(Tcpchannel.transport channel)
+      ()
+  in
+  let env = { client; engine; cfg; server } in
+  app env;
+  let elapsed = Time.sub (Engine.now engine) t0 in
+  let stats = Tcpchannel.stats channel in
+  ( {
+      config = cfg;
+      elapsed;
+      api_calls = Cricket.Client.api_calls client;
+      bytes_to_server = Cricket.Client.bytes_to_server client;
+      bytes_from_server = Cricket.Client.bytes_from_server client;
+      memcpy_up = Cricket.Client.memcpy_bytes_up client;
+      memcpy_down = Cricket.Client.memcpy_bytes_down client;
+      network_time = stats.Tcpchannel.network_time;
+    },
+    channel )
+
 type fault_report = {
   measurement : measurement;
   faults : Simnet.Fault.stats;

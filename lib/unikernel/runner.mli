@@ -35,6 +35,23 @@ val run :
 (** [functional] (default [true]) controls whether kernels mutate device
     memory; see {!Cudasim.Context.set_functional}. *)
 
+val run_tcp :
+  ?devices:Gpusim.Device.t list ->
+  ?memory_capacity:int ->
+  ?functional:bool ->
+  ?fault:Simnet.Fault.t ->
+  ?device:Simnet.Offload.t ->
+  Config.t ->
+  (env -> unit) ->
+  measurement * Tcpchannel.t
+(** Like {!run}, but the RPC bytes traverse the executable TCP stack
+    ({!Tcpchannel}: endpoints + virtio-style netdev with the
+    configuration's negotiated offloads) instead of the
+    {!Simnet.Netcost} closed form. Returns the channel too, for netdev /
+    endpoint statistics. A [fault] plan applies per TCP segment; the
+    stack heals losses by retransmission rather than surfacing
+    timeouts. *)
+
 (** {1 Fault-injected runs} *)
 
 type fault_report = {

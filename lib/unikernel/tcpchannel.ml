@@ -1,0 +1,218 @@
+module Time = Simnet.Time
+module Engine = Simnet.Engine
+module EP = Tcpstack.Endpoint
+
+(* The [tcp_sim] transport: the same client/dispatch contract as
+   {!Simchannel}, but the bytes actually traverse the executable TCP stack
+   — two {!Tcpstack.Endpoint}s joined by a {!Tcpstack.Netdev} with the
+   configuration's negotiated offload feature bits. Where Simchannel
+   charges {!Simnet.Netcost}'s closed form per exchange, here segmentation,
+   ACK clocking, congestion control and offload costs all emerge from the
+   stack itself; only the socket-layer syscall cost (which no NIC feature
+   bit changes) is charged explicitly, mirroring Netcost's term.
+
+   Loss behaves differently from Simchannel by design: a fault plan is
+   applied per TCP segment inside the netdev, and the stack's
+   retransmission machinery heals drops transparently — the RPC layer sees
+   a slower byte stream, not a timeout.
+
+   The client-side send performs exactly one staging copy
+   ([Xdr.Iovec.concat]) before handing the record to the endpoint. It is
+   not an oversight: the endpoint's retransmit queue aliases queued slices
+   until they are acknowledged, while the RPC encoder reuses its buffers as
+   soon as the call returns — the copy is the sk_buff boundary. *)
+
+type stats = {
+  messages : int;  (** request records dispatched at the server *)
+  bytes_to_server : int;
+  bytes_from_server : int;
+  network_time : Time.t;  (** virtual time blocked on the stack *)
+  timeouts : int;
+}
+
+let io_chunk = 65_536
+
+type t = {
+  engine : Engine.t;
+  client_prof : Simnet.Hostprofile.t;
+  server_prof : Simnet.Hostprofile.t;
+  client_ep : EP.t;
+  server_ep : EP.t;
+  netdev : Tcpstack.Netdev.t;
+  dispatch : string -> string;
+  mutable transport : Oncrpc.Transport.t;
+  (* client-side reply byte stream *)
+  inbox : Buffer.t;
+  mutable inbox_pos : int;
+  (* server-side incremental record-marking parser (RFC 5531 §11): O(1)
+     state per byte, so reassembly over the whole run is O(bytes) *)
+  hdr : Bytes.t;
+  mutable hdr_pos : int;
+  mutable frag_need : int;
+  mutable frag_last : bool;
+  mutable in_frag : bool;
+  record : Buffer.t;
+  mutable stats : stats;
+}
+
+(* The socket-layer cost Netcost charges per 64 KiB io chunk; the NIC-side
+   costs are the netdev's business. *)
+let charge_syscalls t (p : Simnet.Hostprofile.t) len =
+  let syscalls = max 1 ((len + io_chunk - 1) / io_chunk) in
+  Engine.advance t.engine
+    (Time.ns
+       (syscalls
+       * (p.Simnet.Hostprofile.syscall_ns
+         + p.Simnet.Hostprofile.context_switch_ns)))
+
+let reply_out t reply =
+  if reply <> "" then begin
+    let wire = Oncrpc.Record.to_wire reply in
+    t.stats <-
+      { t.stats with
+        bytes_from_server = t.stats.bytes_from_server + String.length wire };
+    charge_syscalls t t.server_prof (String.length wire);
+    EP.send_string t.server_ep wire
+  end
+
+(* Feed freshly delivered server-side bytes through the record parser;
+   complete records go to the dispatch function and replies back onto the
+   server endpoint. *)
+let feed_server t chunk =
+  let len = Bytes.length chunk in
+  let pos = ref 0 in
+  while !pos < len do
+    if not t.in_frag then begin
+      let take = min (4 - t.hdr_pos) (len - !pos) in
+      Bytes.blit chunk !pos t.hdr t.hdr_pos take;
+      t.hdr_pos <- t.hdr_pos + take;
+      pos := !pos + take;
+      if t.hdr_pos = 4 then begin
+        let last, n = Oncrpc.Record.decode_header_bytes t.hdr in
+        t.hdr_pos <- 0;
+        t.in_frag <- true;
+        t.frag_need <- n;
+        t.frag_last <- last
+      end
+    end;
+    if t.in_frag then begin
+      let take = min t.frag_need (len - !pos) in
+      Buffer.add_subbytes t.record chunk !pos take;
+      t.frag_need <- t.frag_need - take;
+      pos := !pos + take;
+      if t.frag_need = 0 then begin
+        t.in_frag <- false;
+        if t.frag_last then begin
+          let request = Buffer.contents t.record in
+          Buffer.clear t.record;
+          t.stats <- { t.stats with messages = t.stats.messages + 1 };
+          reply_out t (t.dispatch request)
+        end
+      end
+    end
+  done
+
+let drain t =
+  if EP.recv_length t.server_ep > 0 then feed_server t (EP.recv t.server_ep);
+  if EP.recv_length t.client_ep > 0 then begin
+    let b = EP.recv t.client_ep in
+    Buffer.add_bytes t.inbox b
+  end
+
+let default_rto = Time.us 200
+
+let create ~engine ~client ?(server = Config.server_profile)
+    ?(link = Config.link) ?fault ?device ?(rto = default_rto) ~dispatch () =
+  let mss = Simnet.Link.mss link in
+  let window = 64 lsl 20 in
+  let client_ep =
+    EP.create ~engine ~name:"rpc-client" ~mss ~iss:0 ~local_port:46000
+      ~remote_port:33333 ~rcv_window:window ~rto ()
+  in
+  let server_ep =
+    EP.create ~engine ~name:"cricket-server" ~mss ~iss:0 ~local_port:33333
+      ~remote_port:46000 ~rcv_window:window ~rto ()
+  in
+  let netdev =
+    Tcpstack.Netdev.connect ~engine ~link ?fault ?device ~a:(client_ep, client)
+      ~b:(server_ep, server) ()
+  in
+  let t =
+    { engine; client_prof = client; server_prof = server; client_ep;
+      server_ep; netdev; dispatch;
+      transport =
+        Oncrpc.Transport.make
+          ~send:(fun _ _ _ -> ())
+          ~recv:(fun _ _ _ -> 0)
+          ~close:(fun () -> ())
+          ();
+      inbox = Buffer.create 4096; inbox_pos = 0; hdr = Bytes.create 4;
+      hdr_pos = 0; frag_need = 0; frag_last = false; in_frag = false;
+      record = Buffer.create 4096;
+      stats =
+        { messages = 0; bytes_to_server = 0; bytes_from_server = 0;
+          network_time = Time.zero; timeouts = 0 } }
+  in
+  EP.listen server_ep;
+  EP.connect client_ep;
+  while
+    (EP.state client_ep <> EP.Established
+    || EP.state server_ep <> EP.Established)
+    && Engine.step engine
+  do
+    ()
+  done;
+  if EP.state client_ep <> EP.Established then
+    failwith "Tcpchannel.create: handshake failed";
+  let push s =
+    t.stats <-
+      { t.stats with
+        bytes_to_server = t.stats.bytes_to_server + String.length s };
+    charge_syscalls t t.client_prof (String.length s);
+    EP.send_string t.client_ep s
+  in
+  let send buf off len = push (Bytes.sub_string buf off len) in
+  (* the one staging copy: the retransmit queue will alias this string
+     until the server ACKs it, so it must not share the encoder's
+     reusable buffers *)
+  let sendv iov = push (Xdr.Iovec.concat iov) in
+  let recv buf off len =
+    let available () = Buffer.length t.inbox - t.inbox_pos in
+    if available () = 0 then begin
+      let t0 = Engine.now engine in
+      drain t;
+      while available () = 0 && Engine.step engine do
+        drain t
+      done;
+      t.stats <-
+        { t.stats with
+          network_time =
+            Time.add t.stats.network_time
+              (Time.sub (Engine.now engine) t0) };
+      if available () = 0 then begin
+        (* the event queue ran dry with no reply bytes in flight: nothing
+           will ever arrive (e.g. a one-way misuse); model the wait *)
+        Engine.advance engine rto;
+        t.stats <- { t.stats with timeouts = t.stats.timeouts + 1 };
+        raise Oncrpc.Transport.Timeout
+      end
+    end;
+    let n = min len (available ()) in
+    Buffer.blit t.inbox t.inbox_pos buf off n;
+    t.inbox_pos <- t.inbox_pos + n;
+    if t.inbox_pos = Buffer.length t.inbox then begin
+      Buffer.clear t.inbox;
+      t.inbox_pos <- 0
+    end;
+    n
+  in
+  t.transport <-
+    Oncrpc.Transport.make ~sendv ~send ~recv ~close:(fun () -> ()) ();
+  t
+
+let transport t = t.transport
+let stats t = t.stats
+let netdev_stats t = Tcpstack.Netdev.stats t.netdev
+let negotiated_client t = Tcpstack.Netdev.negotiated_a t.netdev
+let endpoint_stats t = (EP.stats t.client_ep, EP.stats t.server_ep)
+let fault_stats t = Tcpstack.Netdev.fault_stats t.netdev

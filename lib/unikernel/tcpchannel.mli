@@ -1,0 +1,60 @@
+(** The [tcp_sim] RPC channel: Cricket client/server traffic over the
+    executable TCP stack.
+
+    Same contract as {!Simchannel} — an {!Oncrpc.Transport.t} for the
+    client, a dispatch function for the server — but the bytes traverse
+    two {!Tcpstack.Endpoint}s joined by a {!Tcpstack.Netdev}, so
+    segmentation (TSO), checksum offload, GRO, congestion control and loss
+    recovery all come from the stack rather than from
+    {!Simnet.Netcost}'s closed form. The offload feature bits are
+    negotiated from the client configuration's
+    {!Simnet.Hostprofile.t} against the device, reproducing the §4.2
+    per-configuration bandwidth gaps on the executable path (see
+    {!Netbench}).
+
+    Fault plans apply per TCP segment inside the netdev: the stack heals
+    drops by retransmission, so the RPC layer observes a slower stream
+    rather than {!Oncrpc.Transport.Timeout}. *)
+
+type stats = {
+  messages : int;  (** request records dispatched at the server *)
+  bytes_to_server : int;
+  bytes_from_server : int;
+  network_time : Simnet.Time.t;  (** virtual time blocked on the stack *)
+  timeouts : int;
+}
+
+type t
+
+val default_rto : Simnet.Time.t
+(** Endpoint retransmission timeout (200 µs — jumbo-frame LAN scale). *)
+
+val create :
+  engine:Simnet.Engine.t ->
+  client:Simnet.Hostprofile.t ->
+  ?server:Simnet.Hostprofile.t ->
+  ?link:Simnet.Link.t ->
+  ?fault:Simnet.Fault.t ->
+  ?device:Simnet.Offload.t ->
+  ?rto:Simnet.Time.t ->
+  dispatch:(string -> string) ->
+  unit ->
+  t
+(** Create both endpoints, negotiate offloads against [device] (default
+    {!Simnet.Offload.all}) and run the three-way handshake to completion
+    in virtual time. [server] defaults to {!Config.server_profile},
+    [link] to {!Config.link}. *)
+
+val transport : t -> Oncrpc.Transport.t
+(** Client-side transport ([sendv] performs the single sk_buff staging
+    copy; see implementation notes). *)
+
+val stats : t -> stats
+val netdev_stats : t -> Tcpstack.Netdev.stats
+val negotiated_client : t -> Simnet.Offload.t
+(** Feature set the client guest actually negotiated (post clamps). *)
+
+val endpoint_stats : t -> Tcpstack.Endpoint.stats * Tcpstack.Endpoint.stats
+(** (client, server) endpoint counters — retransmissions etc. *)
+
+val fault_stats : t -> Simnet.Fault.stats option

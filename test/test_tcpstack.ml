@@ -384,6 +384,377 @@ let prop_transfer_integrity =
       Engine.run engine;
       Bytes.to_string (EP.recv server) = s)
 
+(* --- folded checksum (8 bytes/iteration) vs bytewise reference --- *)
+
+let prop_checksum_fold_equivalence =
+  QCheck.Test.make ~count:300
+    ~name:"folded checksum == bytewise reference (incl. chaining)"
+    QCheck.(
+      pair
+        (string_of_size (Gen.int_range 0 512))
+        (string_of_size (Gen.int_range 0 64)))
+    (fun (s1, s2) ->
+      let b1 = Bytes.of_string s1 and b2 = Bytes.of_string s2 in
+      let module C = Tcpstack.Checksum in
+      C.finish (C.sum b1 0 (Bytes.length b1))
+      = C.finish (C.sum_bytewise b1 0 (Bytes.length b1))
+      (* chained through ~initial across a buffer boundary *)
+      && C.finish (C.sum ~initial:(C.sum b1 0 (Bytes.length b1)) b2 0 (Bytes.length b2))
+         = C.finish
+             (C.sum_bytewise
+                ~initial:(C.sum_bytewise b1 0 (Bytes.length b1))
+                b2 0 (Bytes.length b2)))
+
+let prop_checksum_iovec_equivalence =
+  (* scattering a buffer into arbitrary (odd-length) slices must not change
+     the checksum: the pairing carries across slice boundaries *)
+  QCheck.Test.make ~count:300 ~name:"iovec checksum == flat checksum"
+    QCheck.(
+      pair (string_of_size (Gen.int_range 1 400)) (list_of_size (Gen.int_range 0 8) (int_bound 64)))
+    (fun (s, cuts) ->
+      let module C = Tcpstack.Checksum in
+      let module I = Xdr.Iovec in
+      let rec scatter acc pos cuts =
+        if pos >= String.length s then List.rev acc
+        else
+          match cuts with
+          | [] -> List.rev (I.slice ~off:pos ~len:(String.length s - pos) s :: acc)
+          | c :: rest ->
+              let len = min (1 + c) (String.length s - pos) in
+              scatter (I.slice ~off:pos ~len s :: acc) (pos + len) rest
+      in
+      let iov = scatter [] 0 cuts in
+      C.finish (C.sum_iovec iov)
+      = C.finish (C.sum (Bytes.of_string s) 0 (String.length s)))
+
+(* --- txring / frame building blocks --- *)
+
+let test_txring_take () =
+  let module I = Xdr.Iovec in
+  let r = Tcpstack.Txring.create () in
+  Tcpstack.Txring.push_iovec r (I.of_string "hello ");
+  Tcpstack.Txring.push_bytes r (Bytes.of_string "world");
+  check Alcotest.int "length" 11 (Tcpstack.Txring.length r);
+  let first = Tcpstack.Txring.take r 4 in
+  check Alcotest.string "first take" "hell" (I.concat first);
+  (* a take may span the slice boundary *)
+  let second = Tcpstack.Txring.take r 4 in
+  check Alcotest.string "spanning take" "o wo" (I.concat second);
+  check Alcotest.string "rest" "rld" (I.concat (Tcpstack.Txring.take r 3));
+  check Alcotest.int "empty" 0 (Tcpstack.Txring.length r)
+
+let test_frame_sub_flags () =
+  let payload = "0123456789" in
+  let f =
+    { Tcpstack.Frame.src_port = 1; dst_port = 2; seq = 100; ack = 0;
+      flags = { Tcpstack.Segment.flags_none with syn = true; fin = true; psh = true };
+      window = 1 lsl 20; payload = Xdr.Iovec.of_string payload;
+      payload_len = 10 }
+  in
+  let head = Tcpstack.Frame.sub f 0 4 in
+  let mid = Tcpstack.Frame.sub f 4 3 in
+  let tail = Tcpstack.Frame.sub f 7 3 in
+  check Alcotest.bool "SYN only on first" true
+    (head.Tcpstack.Frame.flags.Tcpstack.Segment.syn
+    && (not mid.Tcpstack.Frame.flags.Tcpstack.Segment.syn)
+    && not tail.Tcpstack.Frame.flags.Tcpstack.Segment.syn);
+  check Alcotest.bool "FIN/PSH only on last" true
+    ((not head.Tcpstack.Frame.flags.Tcpstack.Segment.fin)
+    && (not mid.Tcpstack.Frame.flags.Tcpstack.Segment.fin)
+    && tail.Tcpstack.Frame.flags.Tcpstack.Segment.fin
+    && tail.Tcpstack.Frame.flags.Tcpstack.Segment.psh);
+  (* SYN occupies sequence number 100; data starts at 101 *)
+  check Alcotest.int "mid seq skips SYN" 105 mid.Tcpstack.Frame.seq;
+  check Alcotest.string "mid payload" "456"
+    (Xdr.Iovec.concat mid.Tcpstack.Frame.payload)
+
+(* --- out-of-order reassembly (one-pass sorted insert) --- *)
+
+(* Handshake over a Medium, then detach both transmitters so segments can
+   be delivered by hand. *)
+let detached_pair ?(mss = 1000) () =
+  let engine, client, server, _ = make_pair ~mss () in
+  EP.listen server;
+  EP.connect client;
+  Engine.run engine;
+  let sent = ref [] in
+  EP.set_tx_frame client (fun f -> sent := f :: !sent);
+  EP.set_tx_frame server (fun _ -> ());
+  (engine, client, server, sent)
+
+let shuffle seed l =
+  let a = Array.of_list l in
+  let st = Random.State.make [| seed |] in
+  for i = Array.length a - 1 downto 1 do
+    let j = Random.State.int st (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  Array.to_list a
+
+let prop_permuted_segments_reassemble =
+  QCheck.Test.make ~count:50
+    ~name:"any segment arrival order reassembles the byte stream"
+    (* payload stays under the RFC 6928 initial window (10 x mss): with the
+       reverse path detached no ACKs flow, so only the initial burst is
+       captured *)
+    QCheck.(pair (string_of_size (Gen.int_range 1 4500)) int)
+    (fun (payload, seed) ->
+      let engine, client, server, sent = detached_pair ~mss:500 () in
+      EP.send client (Bytes.of_string payload);
+      ignore engine;
+      let frames = shuffle seed !sent in
+      List.iter (fun f -> EP.on_frame server f) frames;
+      Bytes.to_string (EP.recv server) = payload)
+
+let test_ooo_duplicates_and_overlap () =
+  (* exact duplicates and covered segments are dropped in the single
+     insertion pass; the stream is still reassembled once *)
+  let engine, client, server, sent = detached_pair ~mss:100 () in
+  let payload = String.init 500 (fun i -> Char.chr (i land 0xff)) in
+  EP.send client (Bytes.of_string payload);
+  ignore engine;
+  let frames = List.rev !sent in
+  (match frames with
+  | first :: rest ->
+      (* deliver everything except the first segment, twice, out of order *)
+      List.iter (fun f -> EP.on_frame server f) (List.rev rest);
+      List.iter (fun f -> EP.on_frame server f) rest;
+      check Alcotest.int "nothing delivered before the hole closes" 0
+        (EP.recv_length server);
+      EP.on_frame server first
+  | [] -> Alcotest.fail "no segments captured");
+  check Alcotest.string "reassembled once" payload
+    (Bytes.to_string (EP.recv server))
+
+let test_fast_retransmit_on_three_dup_acks () =
+  (* deliver three duplicate ACKs by hand: exactly the third must trigger
+     the retransmission *)
+  let engine, client, _server, sent = detached_pair ~mss:1000 () in
+  ignore engine;
+  EP.send client (Bytes.make 5000 'x');
+  let data_frames = List.length !sent in
+  check Alcotest.bool "data in flight" true (data_frames >= 1);
+  let snd_una = 1001 (* iss 1000 + SYN *) in
+  let dup_ack =
+    { Tcpstack.Frame.src_port = 80; dst_port = 40000; seq = 5001;
+      ack = snd_una; flags = { Tcpstack.Segment.flags_none with ack = true };
+      window = 1 lsl 20; payload = []; payload_len = 0 }
+  in
+  EP.on_frame client dup_ack;
+  EP.on_frame client dup_ack;
+  check Alcotest.int "no retransmit before the third dup ACK" 0
+    (EP.stats client).EP.fast_retransmissions;
+  check Alcotest.int "no extra frames either" data_frames (List.length !sent);
+  EP.on_frame client dup_ack;
+  check Alcotest.int "third dup ACK fires fast retransmit" 1
+    (EP.stats client).EP.fast_retransmissions;
+  match !sent with
+  | rexmit :: _ ->
+      check Alcotest.int "retransmits the lost head" snd_una
+        rexmit.Tcpstack.Frame.seq
+  | [] -> Alcotest.fail "nothing retransmitted"
+
+(* --- netdev: negotiation, TSO, GRO, checksum offload, faults --- *)
+
+module ND = Tcpstack.Netdev
+module O = Simnet.Offload
+module H = Simnet.Hostprofile
+
+let test_offload_negotiation () =
+  let device = O.all in
+  let guest =
+    { O.tso = true; tx_checksum = false; rx_checksum = true;
+      scatter_gather = true; mrg_rxbuf = false; gro = true }
+  in
+  let n = O.negotiate ~device ~guest in
+  check Alcotest.bool "intersection" true
+    (n.O.tso && (not n.O.tx_checksum) && n.O.rx_checksum && n.O.scatter_gather
+    && (not n.O.mrg_rxbuf) && n.O.gro);
+  (* dependency clamps: TSO needs tx csum; GRO needs rx csum *)
+  let e = ND.effective n in
+  check Alcotest.bool "tso clamped without tx csum" false e.O.tso;
+  check Alcotest.bool "gro kept with rx csum" true e.O.gro;
+  let e2 = ND.effective { n with O.tx_checksum = true; rx_checksum = false } in
+  check Alcotest.bool "tso kept with tx csum" true e2.O.tso;
+  check Alcotest.bool "gro clamped without rx csum" false e2.O.gro;
+  (* device limits what any guest can use *)
+  let n2 = O.negotiate ~device:O.none ~guest:O.all in
+  check Alcotest.bool "none device disables all" true (n2 = O.none)
+
+let netdev_pair ?fault ?(device = O.all) ~client_off ~server_off () =
+  let engine = Engine.create () in
+  let link = Simnet.Link.ethernet_100g in
+  let mss = Simnet.Link.mss link in
+  let a =
+    EP.create ~engine ~name:"a" ~mss ~iss:0 ~local_port:1 ~remote_port:2
+      ~rcv_window:(16 lsl 20) ~rto:(Time.us 200) ()
+  in
+  let b =
+    EP.create ~engine ~name:"b" ~mss ~iss:0 ~local_port:2 ~remote_port:1
+      ~rcv_window:(16 lsl 20) ~rto:(Time.us 200) ()
+  in
+  let pa = H.with_offloads H.bare_metal_linux client_off in
+  let pb = H.with_offloads H.bare_metal_linux server_off in
+  let nd = ND.connect ~engine ~link ?fault ~device ~a:(a, pa) ~b:(b, pb) () in
+  EP.listen b;
+  EP.connect a;
+  while
+    (EP.state a <> EP.Established || EP.state b <> EP.Established)
+    && Engine.step engine
+  do
+    ()
+  done;
+  (engine, a, b, nd)
+
+(* run the engine only until delivery, so trailing no-op RTO timers do not
+   distort anything; returns the received bytes *)
+let netdev_transfer engine a b payload =
+  EP.send a payload;
+  let want = Bytes.length payload in
+  let got = Buffer.create want in
+  let continue = ref true in
+  while Buffer.length got < want && !continue do
+    continue := Engine.step engine;
+    if EP.recv_length b > 0 then Buffer.add_bytes got (EP.recv b)
+  done;
+  Buffer.to_bytes got
+
+let test_netdev_tso_splits () =
+  let engine, a, b, nd =
+    netdev_pair ~client_off:O.all ~server_off:O.all ()
+  in
+  let payload = Bytes.init 300_000 (fun i -> Char.chr ((i * 11) land 0xff)) in
+  let received = netdev_transfer engine a b payload in
+  check Alcotest.bool "intact" true (Bytes.equal payload received);
+  let s = ND.stats nd in
+  (* TSO negotiated: the endpoint emitted super-segments the device cut *)
+  check Alcotest.bool "super-segments were split" true (s.ND.tso_frames > 0);
+  check Alcotest.bool "more wire segments than guest frames" true
+    (s.ND.wire_segments > s.ND.guest_tx_frames);
+  check Alcotest.bool "gro coalesced wire segments" true (s.ND.gro_merged > 0);
+  check Alcotest.int "no software checksumming" 0 s.ND.sw_checksum_bytes;
+  check Alcotest.int "no staging copies" 0 s.ND.staging_copies;
+  check Alcotest.bool "endpoint burst raised" true (EP.tx_burst a > 9000)
+
+let test_netdev_no_offloads_path () =
+  let engine, a, b, nd =
+    netdev_pair ~client_off:O.none ~server_off:O.all ()
+  in
+  let payload = Bytes.init 100_000 (fun i -> Char.chr ((i * 7) land 0xff)) in
+  let received = netdev_transfer engine a b payload in
+  check Alcotest.bool "intact" true (Bytes.equal payload received);
+  let s = ND.stats nd in
+  check Alcotest.int "nothing to split without TSO" 0 s.ND.tso_frames;
+  check Alcotest.int "no gro" 0 s.ND.gro_merged;
+  check Alcotest.bool "tx software checksumming charged" true
+    (s.ND.sw_checksum_bytes >= 100_000);
+  check Alcotest.bool "staging copies without scatter-gather" true
+    (s.ND.staging_copies > 0);
+  check Alcotest.int "burst stays at mss" (Simnet.Link.mss Simnet.Link.ethernet_100g)
+    (EP.tx_burst a)
+
+let prop_offload_paths_deliver_identical_bytes =
+  QCheck.Test.make ~count:20
+    ~name:"offloaded and non-offloaded paths deliver identical bytes"
+    QCheck.(string_of_size (Gen.int_range 1 150_000))
+    (fun s ->
+      let payload = Bytes.of_string s in
+      let run off =
+        let engine, a, b, _ = netdev_pair ~client_off:off ~server_off:off () in
+        netdev_transfer engine a b payload
+      in
+      let with_off = run O.all in
+      let without = run O.none in
+      Bytes.equal with_off payload && Bytes.equal without payload)
+
+let test_netdev_fault_recovery_sw_checksum () =
+  (* corruption on the software-verify path: the guest's checksum rejects
+     the segment and retransmission heals the stream *)
+  let fault =
+    Simnet.Fault.make
+      { Simnet.Fault.none with corrupt_nth = [ 6 ]; drop_nth = [ 9 ] }
+  in
+  let engine, a, b, nd =
+    netdev_pair ~fault ~client_off:O.none ~server_off:O.none ()
+  in
+  let payload = Bytes.init 120_000 (fun i -> Char.chr ((i * 13) land 0xff)) in
+  let received = netdev_transfer engine a b payload in
+  check Alcotest.bool "healed by retransmission" true
+    (Bytes.equal payload received);
+  let s = ND.stats nd in
+  check Alcotest.bool "software verify rejected the corrupt segment" true
+    (s.ND.csum_drops >= 1);
+  check Alcotest.int "no device drops on the sw path" 0 s.ND.fcs_drops
+
+let test_netdev_fault_recovery_offloaded () =
+  (* same plan with rx checksum offloaded: the device's FCS check eats the
+     corrupt segment instead *)
+  let fault =
+    Simnet.Fault.make
+      { Simnet.Fault.none with corrupt_nth = [ 6 ]; drop_nth = [ 9 ] }
+  in
+  let engine, a, b, nd =
+    netdev_pair ~fault ~client_off:O.all ~server_off:O.all ()
+  in
+  let payload = Bytes.init 120_000 (fun i -> Char.chr ((i * 17) land 0xff)) in
+  let received = netdev_transfer engine a b payload in
+  check Alcotest.bool "healed by retransmission" true
+    (Bytes.equal payload received);
+  let s = ND.stats nd in
+  check Alcotest.bool "device caught the corruption" true (s.ND.fcs_drops >= 1);
+  check Alcotest.int "guest never checksummed" 0 s.ND.sw_checksum_bytes
+
+(* --- the Figure 7 executable ablation --- *)
+
+let test_offload_ablation_ordering () =
+  let results = Unikernel.Netbench.ablation ~bytes:(8 lsl 20) () in
+  let bw name =
+    (List.find (fun r -> r.Unikernel.Netbench.name = name) results)
+      .Unikernel.Netbench.bandwidth_mib_s
+  in
+  let native = bw "native"
+  and vm = bw "Linux VM"
+  and hermit = bw "Hermit"
+  and unikraft = bw "Unikraft" in
+  check Alcotest.bool "native fastest" true (native >= vm);
+  check Alcotest.bool "all offloads >= checksum-only" true (vm >= hermit);
+  check Alcotest.bool "checksum-only >= none" true (hermit >= unikraft);
+  (* the paper's headline: the no-offload unikernel lands at single-digit
+     percent of the offloaded native path (Figure 7: 5.1-8.6%) *)
+  check Alcotest.bool "no-offload at single-digit % of native" true
+    (unikraft /. native < 0.10)
+
+let test_run_tcp_cricket_e2e () =
+  (* the whole Cricket RPC path over the executable stack *)
+  let m, ch =
+    Unikernel.Runner.run_tcp ~functional:true Unikernel.Config.hermit
+      (fun env ->
+        let open Cricket.Client in
+        let c = env.Unikernel.Runner.client in
+        let n = 64 * 1024 in
+        let host = Apps.Workload.xorshift_bytes ~seed:11 n in
+        let dev = malloc c n in
+        memcpy_h2d c ~dst:dev host;
+        let back = memcpy_d2h c ~src:dev ~len:n in
+        if not (Bytes.equal host back) then
+          Alcotest.fail "GPU roundtrip corrupted bytes";
+        free c dev)
+  in
+  check Alcotest.bool "virtual time advanced" true
+    (Time.compare m.Unikernel.Runner.elapsed Time.zero > 0);
+  let s = Unikernel.Tcpchannel.stats ch in
+  check Alcotest.bool "requests dispatched over tcp" true
+    (s.Unikernel.Tcpchannel.messages >= 4);
+  let nd = Unikernel.Tcpchannel.netdev_stats ch in
+  check Alcotest.bool "bytes crossed the netdev" true
+    (nd.ND.payload_bytes > 2 * 64 * 1024);
+  (* hermit negotiates checksum offloads but neither TSO nor GRO *)
+  let f = Unikernel.Tcpchannel.negotiated_client ch in
+  check Alcotest.bool "hermit features" true
+    (f.O.tx_checksum && f.O.rx_checksum && (not f.O.tso) && not f.O.gro)
+
 let suite =
   [
     Alcotest.test_case "checksum RFC1071 vector" `Quick
@@ -412,6 +783,33 @@ let suite =
     Alcotest.test_case "cwnd limits burst" `Quick test_cwnd_limits_burst;
     Alcotest.test_case "netcost/tcpstack segment agreement" `Quick
       test_netcost_segment_agreement;
+    Alcotest.test_case "txring spanning take" `Quick test_txring_take;
+    Alcotest.test_case "frame sub flag placement" `Quick test_frame_sub_flags;
+    Alcotest.test_case "ooo duplicates and overlap" `Quick
+      test_ooo_duplicates_and_overlap;
+    Alcotest.test_case "fast retransmit on exactly 3 dup ACKs" `Quick
+      test_fast_retransmit_on_three_dup_acks;
+    Alcotest.test_case "offload negotiation and clamps" `Quick
+      test_offload_negotiation;
+    Alcotest.test_case "netdev TSO splits super-segments" `Quick
+      test_netdev_tso_splits;
+    Alcotest.test_case "netdev no-offload software path" `Quick
+      test_netdev_no_offloads_path;
+    Alcotest.test_case "netdev fault recovery (sw checksum)" `Quick
+      test_netdev_fault_recovery_sw_checksum;
+    Alcotest.test_case "netdev fault recovery (offloaded)" `Quick
+      test_netdev_fault_recovery_offloaded;
+    Alcotest.test_case "figure 7 offload ablation ordering" `Quick
+      test_offload_ablation_ordering;
+    Alcotest.test_case "run_tcp cricket end-to-end" `Quick
+      test_run_tcp_cricket_e2e;
   ]
   @ List.map QCheck_alcotest.to_alcotest
-      [ prop_checksum_detects_single_flip; prop_transfer_integrity ]
+      [
+        prop_checksum_detects_single_flip;
+        prop_transfer_integrity;
+        prop_checksum_fold_equivalence;
+        prop_checksum_iovec_equivalence;
+        prop_permuted_segments_reassemble;
+        prop_offload_paths_deliver_identical_bytes;
+      ]
