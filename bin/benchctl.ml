@@ -394,6 +394,86 @@ let faults_cmd =
              & info [ "r"; "rate" ] ~docv:"RATE"
                  ~doc:"Record drop rate(s) (repeatable)."))
 
+(* --- latency --- *)
+
+let latency_cmd =
+  (* per-layer latency decomposition of a short matrixMul run: the
+     Figure 4/5 story told by the observability spans instead of the
+     aggregate measurement. Layers nest shim ⊇ rpc ⊇ (net + dispatch),
+     so subtracting the inner total from the outer gives exclusive time. *)
+  let run configs iterations tcp trace_out =
+    let ns_ms ns = Int64.to_float ns /. 1e6 in
+    Printf.printf "%-9s %10s %9s %9s %9s %9s %9s %9s\n" "config" "elapsed"
+      "shim" "rpc" "network" "dispatch" "gpu" "app";
+    List.iter
+      (fun cfg ->
+        let obs = Obs.Recorder.create () in
+        Obs.Recorder.set_enabled obs true;
+        let params =
+          { Apps.Matrix_mul.ha = 64; wa = 64; wb = 64; iterations }
+        in
+        let app = Apps.Matrix_mul.run ~verify:true params in
+        let m =
+          if tcp then fst (Unikernel.Runner.run_tcp ~obs cfg app)
+          else Unikernel.Runner.run ~obs cfg app
+        in
+        let total l = Obs.Recorder.layer_total_ns obs l in
+        let excl outer inner = Int64.max 0L (Int64.sub outer inner) in
+        let shim_t = total "shim" and rpc_t = total "rpc" in
+        let net_t = total "net" and disp_t = total "dispatch" in
+        let gpu_t = total "gpu" in
+        let elapsed = m.Unikernel.Runner.elapsed in
+        Printf.printf
+          "%-9s %9.3fms %8.3fms %8.3fms %8.3fms %8.3fms %8.3fms %8.3fms\n"
+          cfg.Unikernel.Config.name (ns_ms elapsed)
+          (ns_ms (excl shim_t rpc_t))
+          (ns_ms (excl rpc_t (Int64.add net_t disp_t)))
+          (ns_ms net_t)
+          (ns_ms (excl disp_t gpu_t))
+          (ns_ms gpu_t)
+          (ns_ms (excl elapsed shim_t));
+        (match Obs.Recorder.histogram obs "span/shim" with
+        | Some h ->
+            Printf.printf "          per-call shim latency: %s\n"
+              (Format.asprintf "%a" Obs.Histogram.pp h)
+        | None -> ());
+        (* buffer-pool effectiveness across the run, as counters *)
+        let p = Oncrpc.Pool.stats Oncrpc.Pool.default in
+        Obs.Recorder.incr obs ~by:p.Oncrpc.Pool.hits "pool.hits";
+        Obs.Recorder.incr obs ~by:p.Oncrpc.Pool.misses "pool.misses";
+        match trace_out with
+        | Some file ->
+            let path =
+              Printf.sprintf "%s.%s.json" file
+                (String.map
+                   (fun c -> if c = ' ' then '-' else Char.lowercase_ascii c)
+                   cfg.Unikernel.Config.name)
+            in
+            let oc = open_out path in
+            output_string oc (Obs.Trace_export.to_json obs);
+            close_out oc;
+            Printf.printf "          trace written to %s\n" path
+        | None -> ())
+      configs
+  in
+  Cmd.v
+    (Cmd.info "latency"
+       ~doc:"per-layer latency breakdown (client shim / RPC / network / \
+             server dispatch / GPU) of a short matrixMul run, from the \
+             observability spans; optionally dumps Chrome trace_event JSON")
+    Term.(
+      const run $ configs_arg
+      $ Arg.(value & opt int 5
+             & info [ "n"; "iterations" ] ~docv:"N" ~doc:"Kernel launches.")
+      $ Arg.(value & flag
+             & info [ "tcp" ]
+                 ~doc:"Route the RPC bytes through the executable TCP stack \
+                       instead of the closed-form channel.")
+      $ Arg.(value & opt (some string) None
+             & info [ "trace-out" ] ~docv:"PREFIX"
+                 ~doc:"Also write a Chrome trace_event JSON file per config \
+                       (PREFIX.<config>.json; open in chrome://tracing)."))
+
 (* --- trace --- *)
 
 let trace_cmd =
@@ -425,6 +505,6 @@ let main =
     (Cmd.info "benchctl" ~doc:"run individual paper experiments")
     [ table1_cmd; matrixmul_cmd; solver_cmd; histogram_cmd; micro_cmd;
       bandwidth_cmd; pipeline_cmd; multitenant_cmd; trace_cmd; faults_cmd;
-      offloads_cmd ]
+      offloads_cmd; latency_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -78,6 +78,9 @@ let create ?(launch_extra_ns = 0) ?(charge = fun _ -> ()) ?fragment_size
 
 let close t = Oncrpc.Client.close t.rpc
 let rpc t = t.rpc
+
+let set_obs t obs =
+  Oncrpc.Client.set_obs ~proc_name:Server.proc_name t.rpc obs
 let api_calls t = (Oncrpc.Client.stats t.rpc).Oncrpc.Client.calls
 let bytes_to_server t = (Oncrpc.Client.stats t.rpc).Oncrpc.Client.bytes_sent
 

@@ -46,6 +46,12 @@ val rpc : t -> Oncrpc.Client.t
 (** The underlying RPC client (retry/timeout/reconnect counters live in
     its {!Oncrpc.Client.stats}). *)
 
+val set_obs : t -> Obs.Recorder.t -> unit
+(** Attach an observability recorder to the client shim: every forwarded
+    CUDA call opens a ["shim"]-layer span named by its RPCL procedure,
+    with ["rpc"]-layer per-attempt spans nested inside (see
+    {!Oncrpc.Client.set_obs}). *)
+
 (** {1 Session recovery}
 
     With recovery enabled the client survives a server crash: the RPC

@@ -327,12 +327,6 @@ let create ?devices ?memory_capacity ?(checkpoint_dir = ".") ~clock () =
         (1 + Option.value ~default:0 (Hashtbl.find_opt t.per_proc proc)));
   t
 
-let respawn t =
-  create ?devices:t.spawn_devices ?memory_capacity:t.spawn_memory_capacity
-    ~checkpoint_dir:t.checkpoint_dir ~clock:t.spawn_clock ()
-
-let dup_hits t = Oncrpc.Server.dup_hits t.rpc
-
 (* procedure number -> name, from the RPCL spec itself *)
 let proc_names =
   lazy
@@ -352,6 +346,27 @@ let proc_names =
        (Rpcl.Check.programs env);
      table)
 
+let proc_name proc =
+  match Hashtbl.find_opt (Lazy.force proc_names) proc with
+  | Some n -> n
+  | None -> Printf.sprintf "proc_%d" proc
+
+let set_obs t obs =
+  Oncrpc.Server.set_obs
+    ~proc_name:(fun ~prog:_ ~vers:_ ~proc -> proc_name proc)
+    t.rpc obs;
+  for d = 0 to Cudasim.Context.device_count t.ctx - 1 do
+    match Cudasim.Context.gpu_at t.ctx d with
+    | Some gpu -> Gpusim.Gpu.set_obs gpu obs
+    | None -> ()
+  done
+
+let respawn t =
+  create ?devices:t.spawn_devices ?memory_capacity:t.spawn_memory_capacity
+    ~checkpoint_dir:t.checkpoint_dir ~clock:t.spawn_clock ()
+
+let dup_hits t = Oncrpc.Server.dup_hits t.rpc
+
 let proc_stats t =
   Hashtbl.fold
     (fun proc count acc ->
@@ -368,11 +383,6 @@ let proc_stats t =
 let rpc_server t = t.rpc
 let context t = t.ctx
 let trace t = t.trace
-
-let proc_name proc =
-  match Hashtbl.find_opt (Lazy.force proc_names) proc with
-  | Some n -> n
-  | None -> Printf.sprintf "proc_%d" proc
 
 let dispatch t request =
   if not (Trace.enabled t.trace) then Oncrpc.Server.dispatch t.rpc request

@@ -52,3 +52,16 @@ val proc_stats : t -> (string * int) list
 (** Per-procedure call counts, most-called first. Procedure names are
     resolved from the RPCL specification the stubs were generated from —
     the same single source of truth. *)
+
+val proc_name : int -> string
+(** Procedure number → RPCL procedure name (["proc_<n>"] for unknown
+    numbers). *)
+
+val set_obs : t -> Obs.Recorder.t -> unit
+(** Attach an observability recorder to the whole server side: the
+    underlying RPC server emits ["dispatch"]-layer spans named by RPCL
+    procedure (see {!Oncrpc.Server.set_obs}) and every simulated GPU emits
+    ["gpu"]-layer spans for its stream commands
+    ({!Gpusim.Gpu.set_obs}). Must be re-applied after {!respawn} — a
+    respawned server starts with recording detached, like a real fresh
+    process. *)

@@ -7,15 +7,28 @@ type entry = {
   duration : Simnet.Time.t;
 }
 
+let dummy =
+  { seq = -1; proc = -1; proc_name = ""; arg_bytes = 0; at = Simnet.Time.zero;
+    duration = Simnet.Time.zero }
+
+(* [total] is the lifetime record count and the [seq] source: it survives
+   [clear], so sequence numbers stay monotonic across clears and
+   [recorded] never under-reports. The ring itself is described by
+   [cursor] (next write slot) and [filled] (live entries, <= capacity);
+   slots beyond [filled] still hold [dummy] but are never read, so
+   [entries] needs no option type and no unreachable branch. *)
 type t = {
-  ring : entry option array;
-  mutable next : int;  (* total recorded; ring slot is next mod capacity *)
+  ring : entry array;
+  mutable cursor : int;
+  mutable filled : int;
+  mutable total : int;
   mutable is_enabled : bool;
 }
 
 let create ?(capacity = 1024) () =
   if capacity < 1 then invalid_arg "Trace.create: capacity";
-  { ring = Array.make capacity None; next = 0; is_enabled = false }
+  { ring = Array.make capacity dummy; cursor = 0; filled = 0; total = 0;
+    is_enabled = false }
 
 let enabled t = t.is_enabled
 let set_enabled t v = t.is_enabled <- v
@@ -23,25 +36,27 @@ let set_enabled t v = t.is_enabled <- v
 let record t ~now ~proc ~proc_name ~arg_bytes ~duration =
   if t.is_enabled then begin
     let entry =
-      { seq = t.next; proc; proc_name; arg_bytes; at = now; duration }
+      { seq = t.total; proc; proc_name; arg_bytes; at = now; duration }
     in
-    t.ring.(t.next mod Array.length t.ring) <- Some entry;
-    t.next <- t.next + 1
+    let capacity = Array.length t.ring in
+    t.ring.(t.cursor) <- entry;
+    t.cursor <- (t.cursor + 1) mod capacity;
+    if t.filled < capacity then t.filled <- t.filled + 1;
+    t.total <- t.total + 1
   end
 
 let entries t =
   let capacity = Array.length t.ring in
-  let first = max 0 (t.next - capacity) in
-  List.init (t.next - first) (fun i ->
-      match t.ring.((first + i) mod capacity) with
-      | Some e -> e
-      | None -> assert false)
+  (* Oldest live entry sits [filled] slots behind the cursor. *)
+  let first = (t.cursor - t.filled + capacity * 2) mod capacity in
+  List.init t.filled (fun i -> t.ring.((first + i) mod capacity))
 
-let recorded t = t.next
+let recorded t = t.total
 
 let clear t =
-  Array.fill t.ring 0 (Array.length t.ring) None;
-  t.next <- 0
+  Array.fill t.ring 0 (Array.length t.ring) dummy;
+  t.cursor <- 0;
+  t.filled <- 0
 
 let pp_entry ppf e =
   Format.fprintf ppf "#%d %a %s (%d arg bytes, %a)" e.seq Simnet.Time.pp e.at

@@ -33,8 +33,12 @@ val entries : t -> entry list
 (** Oldest first; at most [capacity] entries. *)
 
 val recorded : t -> int
-(** Total calls recorded since creation (may exceed capacity). *)
+(** Total calls recorded since creation (may exceed capacity). Unaffected
+    by {!clear}. *)
 
 val clear : t -> unit
+(** Drop the buffered entries. The lifetime count ({!recorded}) and the
+    [seq] sequence are preserved: entries recorded after a clear continue
+    the sequence rather than restarting at 0. *)
 
 val pp_entry : Format.formatter -> entry -> unit

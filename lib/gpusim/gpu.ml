@@ -7,6 +7,7 @@ type t = {
   events : (int, Event.t) Hashtbl.t;
   mutable next_handle : int;
   mutable next_seq : int;  (* device-wide submission order *)
+  mutable obs : Obs.Recorder.t;
 }
 
 let default_stream = 0
@@ -30,10 +31,22 @@ let create ?memory_capacity device =
       events = Hashtbl.create 8;
       next_handle = 1;
       next_seq = 0;
+      obs = Obs.Recorder.null;
     }
   in
   Hashtbl.add t.streams default_stream (Stream.create ~id:default_stream);
   t
+
+let set_obs t obs = t.obs <- obs
+
+(* Stream commands execute in the virtual future: [finish] (the stream's
+   completion time) may lie past the dispatch span that enqueued the
+   command, so the span is recorded retroactively at root level with
+   explicit timestamps rather than nested under the current open span. *)
+let gpu_span t name ~finish ~cost =
+  if Obs.Recorder.enabled t.obs then
+    Obs.Recorder.span_event t.obs ~layer:"gpu" ~name
+      ~start_ns:(Time.sub finish cost) ~stop_ns:finish
 
 let device t = t.device
 let memory t = t.memory
@@ -90,33 +103,46 @@ let launch t ~now ?(stream = default_stream) kernel launch_params =
       (Time.of_float_ns cost_ns)
   in
   kernel.Kernels.execute t.memory launch_params;
-  Stream.enqueue s ~now ~seq:(next_seq t)
-    ~op:(Stream.Kernel_launch kernel.Kernels.name)
-    ~cost
+  let finish =
+    Stream.enqueue s ~now ~seq:(next_seq t)
+      ~op:(Stream.Kernel_launch kernel.Kernels.name)
+      ~cost
+  in
+  gpu_span t kernel.Kernels.name ~finish ~cost;
+  finish
 
 let memcpy_h2d t ~now ?(stream = default_stream) ~dst data =
   let s = stream_ref t stream in
   Memory.write t.memory dst data;
   let len = Bytes.length data in
-  Stream.enqueue s ~now ~seq:(next_seq t) ~op:(Stream.Memcpy_h2d len)
-    ~cost:(pcie_cost t len)
+  let cost = pcie_cost t len in
+  let finish =
+    Stream.enqueue s ~now ~seq:(next_seq t) ~op:(Stream.Memcpy_h2d len) ~cost
+  in
+  gpu_span t "memcpy_h2d" ~finish ~cost;
+  finish
 
 let memcpy_d2h t ~now ?(stream = default_stream) ~src len =
   let s = stream_ref t stream in
   (* Eager data effects mean device memory already reflects everything
      enqueued before this command, so reading now is stream-ordered. *)
   let data = Memory.read t.memory src len in
+  let cost = pcie_cost t len in
   let finish =
-    Stream.enqueue s ~now ~seq:(next_seq t) ~op:(Stream.Memcpy_d2h len)
-      ~cost:(pcie_cost t len)
+    Stream.enqueue s ~now ~seq:(next_seq t) ~op:(Stream.Memcpy_d2h len) ~cost
   in
+  gpu_span t "memcpy_d2h" ~finish ~cost;
   (finish, data)
 
 let memset t ~now ?(stream = default_stream) ~ptr ~value len =
   let s = stream_ref t stream in
   Memory.memset t.memory ptr value len;
-  Stream.enqueue s ~now ~seq:(next_seq t) ~op:(Stream.Memset len)
-    ~cost:(membw_cost t len)
+  let cost = membw_cost t len in
+  let finish =
+    Stream.enqueue s ~now ~seq:(next_seq t) ~op:(Stream.Memset len) ~cost
+  in
+  gpu_span t "memset" ~finish ~cost;
+  finish
 
 let synchronize t ~now =
   let resume =

@@ -22,6 +22,15 @@ val create : ?memory_capacity:int -> Device.t -> t
 val device : t -> Device.t
 val memory : t -> Memory.t
 
+val set_obs : t -> Obs.Recorder.t -> unit
+(** Attach an observability recorder: every stream command (kernel launch,
+    memcpy, memset) is recorded as a ["gpu"]-layer span covering its
+    execution interval on the device timeline. Commands run in the virtual
+    future — completion can lie past the RPC dispatch that enqueued them —
+    so the spans are root-level events with explicit timestamps, not
+    children of the dispatch span. One branch per command while the
+    recorder is disabled. *)
+
 (** {1 Streams} *)
 
 val default_stream : int

@@ -1,0 +1,274 @@
+type event =
+  | Span of Recorder.span_info
+  | Counter of { name : string; value : int }
+
+exception Parse_error of string
+
+(* ------------------------------------------------------------------ *)
+(* Writer                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Chrome's ts/dur are microseconds; we keep the exact nanosecond values
+   (and span ids) in [args] so parsing the document back loses nothing. *)
+let span_json buf (sp : Recorder.span_info) =
+  let dur_ns = Int64.sub sp.stop_ns sp.start_ns in
+  Printf.bprintf buf
+    "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\
+     \"ts\":%.3f,\"dur\":%.3f,\"args\":{\"id\":%d,\"parent\":%d,\
+     \"start_ns\":%Ld,\"dur_ns\":%Ld}}"
+    (escape_string sp.name) (escape_string sp.layer)
+    (Int64.to_float sp.start_ns /. 1e3)
+    (Int64.to_float dur_ns /. 1e3)
+    sp.id sp.parent sp.start_ns dur_ns
+
+let counter_json buf name value =
+  Printf.bprintf buf
+    "{\"name\":\"%s\",\"ph\":\"C\",\"pid\":1,\"tid\":1,\"ts\":0,\
+     \"args\":{\"value\":%d}}"
+    (escape_string name) value
+
+let to_json t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  let first = ref true in
+  let sep () = if !first then first := false else Buffer.add_char buf ',' in
+  List.iter
+    (fun sp ->
+      sep ();
+      span_json buf sp)
+    (Recorder.spans t);
+  List.iter
+    (fun (name, value) ->
+      sep ();
+      counter_json buf name value)
+    (Recorder.counters t);
+  Buffer.add_string buf "],\"displayTimeUnit\":\"ns\"}";
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Minimal JSON-subset parser                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Parses only the shape this module writes: objects, arrays, strings,
+   numbers, with no extraneous whitespace handling beyond skipping it. *)
+
+type json =
+  | J_obj of (string * json) list
+  | J_arr of json list
+  | J_str of string
+  | J_num of string  (* kept textual; converted on demand *)
+
+let parse_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then s.[!pos] else fail "unexpected end" in
+  let advance () = incr pos in
+  let skip_ws () =
+    while !pos < n && (match s.[!pos] with ' ' | '\n' | '\t' | '\r' -> true | _ -> false) do
+      advance ()
+    done
+  in
+  let expect c =
+    skip_ws ();
+    if peek () <> c then fail (Printf.sprintf "expected '%c'" c);
+    advance ()
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec loop () =
+      let c = peek () in
+      advance ();
+      match c with
+      | '"' -> Buffer.contents buf
+      | '\\' -> (
+          let e = peek () in
+          advance ();
+          match e with
+          | '"' -> Buffer.add_char buf '"'; loop ()
+          | '\\' -> Buffer.add_char buf '\\'; loop ()
+          | '/' -> Buffer.add_char buf '/'; loop ()
+          | 'n' -> Buffer.add_char buf '\n'; loop ()
+          | 't' -> Buffer.add_char buf '\t'; loop ()
+          | 'r' -> Buffer.add_char buf '\r'; loop ()
+          | 'u' ->
+              if !pos + 4 > n then fail "truncated \\u escape";
+              let hex = String.sub s !pos 4 in
+              pos := !pos + 4;
+              let code =
+                try int_of_string ("0x" ^ hex)
+                with _ -> fail "bad \\u escape"
+              in
+              (* we only emit codes < 0x20, which are single bytes *)
+              if code < 0x80 then Buffer.add_char buf (Char.chr code)
+              else fail "unsupported \\u escape";
+              loop ()
+          | _ -> fail "bad escape")
+      | c -> Buffer.add_char buf c; loop ()
+    in
+    loop ()
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = '}' then (advance (); J_obj [])
+        else begin
+          let rec members acc =
+            let key = parse_string () in
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | ',' -> advance (); skip_ws (); members ((key, v) :: acc)
+            | '}' -> advance (); J_obj (List.rev ((key, v) :: acc))
+            | _ -> fail "expected ',' or '}'"
+          in
+          members []
+        end
+    | '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = ']' then (advance (); J_arr [])
+        else begin
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | ',' -> advance (); elements (v :: acc)
+            | ']' -> advance (); J_arr (List.rev (v :: acc))
+            | _ -> fail "expected ',' or ']'"
+          in
+          elements []
+        end
+    | '"' -> J_str (parse_string ())
+    | '-' | '0' .. '9' ->
+        let start = !pos in
+        while
+          !pos < n
+          && (match s.[!pos] with
+             | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+             | _ -> false)
+        do
+          advance ()
+        done;
+        J_num (String.sub s start (!pos - start))
+    | _ -> fail "unexpected character"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let field obj key =
+  match obj with
+  | J_obj kvs -> (
+      match List.assoc_opt key kvs with
+      | Some v -> v
+      | None -> raise (Parse_error (Printf.sprintf "missing field %S" key)))
+  | _ -> raise (Parse_error "expected an object")
+
+let as_string = function
+  | J_str s -> s
+  | _ -> raise (Parse_error "expected a string")
+
+let as_int = function
+  | J_num s -> (
+      try int_of_string s
+      with _ -> raise (Parse_error (Printf.sprintf "bad integer %S" s)))
+  | _ -> raise (Parse_error "expected a number")
+
+let as_int64 = function
+  | J_num s -> (
+      try Int64.of_string s
+      with _ -> raise (Parse_error (Printf.sprintf "bad integer %S" s)))
+  | _ -> raise (Parse_error "expected a number")
+
+let event_of_json j =
+  match as_string (field j "ph") with
+  | "X" ->
+      let args = field j "args" in
+      let start_ns = as_int64 (field args "start_ns") in
+      let dur_ns = as_int64 (field args "dur_ns") in
+      Span
+        {
+          id = as_int (field args "id");
+          parent = as_int (field args "parent");
+          name = as_string (field j "name");
+          layer = as_string (field j "cat");
+          start_ns;
+          stop_ns = Int64.add start_ns dur_ns;
+        }
+  | "C" ->
+      Counter
+        {
+          name = as_string (field j "name");
+          value = as_int (field (field j "args") "value");
+        }
+  | ph -> raise (Parse_error (Printf.sprintf "unsupported event phase %S" ph))
+
+let events_of_json s =
+  match field (parse_json s) "traceEvents" with
+  | J_arr events -> List.map event_of_json events
+  | _ -> raise (Parse_error "traceEvents is not an array")
+
+(* ------------------------------------------------------------------ *)
+(* Nesting validation                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let check_nesting spans =
+  let by_id = Hashtbl.create 64 in
+  List.iter
+    (fun (sp : Recorder.span_info) -> Hashtbl.replace by_id sp.id sp)
+    spans;
+  let rec check = function
+    | [] -> Ok ()
+    | (sp : Recorder.span_info) :: rest ->
+        if sp.parent < 0 then check rest
+        else (
+          match Hashtbl.find_opt by_id sp.parent with
+          | None ->
+              Error
+                (Printf.sprintf "span %d (%s): parent %d not in trace" sp.id
+                   sp.name sp.parent)
+          | Some parent ->
+              if parent.id >= sp.id then
+                Error
+                  (Printf.sprintf
+                     "span %d (%s): parent %d was begun after its child" sp.id
+                     sp.name parent.id)
+              else if Int64.compare sp.start_ns parent.start_ns < 0 then
+                Error
+                  (Printf.sprintf
+                     "span %d (%s): starts %Ldns before parent %d" sp.id
+                     sp.name
+                     (Int64.sub parent.start_ns sp.start_ns)
+                     parent.id)
+              else if Int64.compare sp.stop_ns parent.stop_ns > 0 then
+                Error
+                  (Printf.sprintf
+                     "span %d (%s): stops %Ldns after parent %d" sp.id sp.name
+                     (Int64.sub sp.stop_ns parent.stop_ns)
+                     parent.id)
+              else check rest)
+  in
+  check spans

@@ -1,0 +1,30 @@
+(** Chrome [trace_event] JSON export for a {!Recorder}.
+
+    Spans become complete ("ph":"X") events with microsecond [ts]/[dur]
+    for the chrome://tracing / Perfetto UI, plus exact nanosecond
+    timestamps and span ids under [args] so the export round-trips
+    losslessly. Counters become counter ("ph":"C") events stamped at the
+    recorder's current time.
+
+    {!events_of_json} parses the subset of JSON this module emits (it is
+    not a general JSON parser) and is what the round-trip tests — and any
+    external tooling that wants exact timestamps — should read. *)
+
+type event =
+  | Span of Recorder.span_info
+  | Counter of { name : string; value : int }
+
+exception Parse_error of string
+
+val to_json : Recorder.t -> string
+(** The full trace document: [{"traceEvents": [...], ...}]. *)
+
+val events_of_json : string -> event list
+(** Inverse of {!to_json} (spans and counters, in document order). Raises
+    {!Parse_error} on malformed input or events missing the exact-ns
+    args. *)
+
+val check_nesting : Recorder.span_info list -> (unit, string) result
+(** Structural validation: every span's parent exists, was begun before
+    the child, and its [start_ns, stop_ns] interval contains the
+    child's. Root spans (parent -1) are exempt. *)

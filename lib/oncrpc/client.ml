@@ -65,6 +65,8 @@ type t = {
   mutable on_reconnect : unit -> unit;
   mutable give_up : exn -> exn;
   rng : Random.State.t;
+  mutable obs : Obs.Recorder.t;
+  mutable obs_proc_name : int -> string;
 }
 
 let create ?(cred = Auth.none) ?(fragment_size = Record.default_fragment_size)
@@ -84,7 +86,13 @@ let create ?(cred = Auth.none) ?(fragment_size = Record.default_fragment_size)
     on_reconnect = (fun () -> ());
     give_up = Fun.id;
     rng = Random.State.make [| seed; 0x72657472 |];
+    obs = Obs.Recorder.null;
+    obs_proc_name = (fun proc -> "proc-" ^ string_of_int proc);
   }
+
+let set_obs ?proc_name t obs =
+  t.obs <- obs;
+  match proc_name with Some f -> t.obs_proc_name <- f | None -> ()
 
 let set_retry t policy = t.retry <- policy
 let set_xid_origin t xid = t.next_xid <- xid
@@ -124,7 +132,8 @@ let handle_attempt_failure t ~started ~deadline_ns ~attempt exn =
   | Some p ->
       (match exn with
       | Transport.Timeout ->
-          t.stats <- { t.stats with timeouts = t.stats.timeouts + 1 }
+          t.stats <- { t.stats with timeouts = t.stats.timeouts + 1 };
+          Obs.Recorder.incr t.obs "rpc.timeout"
       | _ -> ());
       if attempt + 1 >= p.max_attempts then raise (t.give_up exn);
       let deadline = match deadline_ns with Some _ -> deadline_ns | None -> p.deadline_ns in
@@ -138,6 +147,7 @@ let handle_attempt_failure t ~started ~deadline_ns ~attempt exn =
       | _ -> ());
       t.sleep (backoff_ns t p attempt);
       t.stats <- { t.stats with retries = t.stats.retries + 1 };
+      Obs.Recorder.incr t.obs "rpc.retry";
       match exn with
       | Transport.Closed -> (
           (* the connection is gone: without a reconnect hook a resend can
@@ -150,6 +160,7 @@ let handle_attempt_failure t ~started ~deadline_ns ~attempt exn =
                   t.transport <- transport;
                   t.stats <-
                     { t.stats with reconnects = t.stats.reconnects + 1 };
+                  Obs.Recorder.incr t.obs "rpc.reconnect";
                   t.on_reconnect ()
               | exception Transport.Closed ->
                   (* still down; the next attempt backs off again *) ()))
@@ -172,6 +183,12 @@ let encode_call t ~xid ~proc encode_args =
 let call ?deadline_ns t ~proc encode_args decode_results =
   let xid = t.next_xid in
   t.next_xid <- Int32.add t.next_xid 1l;
+  let shim_sp =
+    if Obs.Recorder.enabled t.obs then
+      Obs.Recorder.span_begin t.obs ~layer:"shim" (t.obs_proc_name proc)
+    else Obs.Recorder.null_span
+  in
+  try
   let request, args_len = encode_call t ~xid ~proc encode_args in
   (* Skip replies to abandoned xids; block for ours. *)
   let rec await () =
@@ -198,14 +215,26 @@ let call ?deadline_ns t ~proc encode_args decode_results =
      request cache this gives at-most-once execution — a retry of a call
      whose reply was lost gets the cached reply, not a second execution. *)
   let rec attempt n =
+    let rpc_sp =
+      if Obs.Recorder.enabled t.obs then
+        Obs.Recorder.span_begin t.obs ~layer:"rpc"
+          (Printf.sprintf "call xid=%ld" xid)
+      else Obs.Recorder.null_span
+    in
     match
       Record.writev ~fragment_size:t.fragment_size t.transport request;
       await ()
     with
-    | result -> result
+    | result ->
+        Obs.Recorder.span_end t.obs rpc_sp;
+        result
     | exception ((Transport.Timeout | Transport.Closed) as e) ->
+        Obs.Recorder.span_end t.obs rpc_sp;
         handle_attempt_failure t ~started ~deadline_ns ~attempt:n e;
         attempt (n + 1)
+    | exception e ->
+        Obs.Recorder.span_end t.obs rpc_sp;
+        raise e
   in
   let reply, dec = attempt 0 in
   let results_start = Xdr.Decode.pos dec in
@@ -234,7 +263,11 @@ let call ?deadline_ns t ~proc encode_args decode_results =
         + wire_length ~fragment_size:Record.default_fragment_size
             (String.length reply);
     };
+  Obs.Recorder.span_end t.obs shim_sp;
   result
+  with e ->
+    Obs.Recorder.span_end t.obs shim_sp;
+    raise e
 
 let call_void ?deadline_ns t ~proc encode_args =
   call ?deadline_ns t ~proc encode_args Xdr.Decode.void
@@ -246,6 +279,12 @@ let call_void ?deadline_ns t ~proc encode_args =
 let call_oneway t ~proc encode_args =
   let xid = t.next_xid in
   t.next_xid <- Int32.add t.next_xid 1l;
+  let shim_sp =
+    if Obs.Recorder.enabled t.obs then
+      Obs.Recorder.span_begin t.obs ~layer:"shim" (t.obs_proc_name proc)
+    else Obs.Recorder.null_span
+  in
+  try
   let request, args_len = encode_call t ~xid ~proc encode_args in
   let started = t.now () in
   (* Only a failed *send* is retried (there is no reply to lose); a send
@@ -270,7 +309,11 @@ let call_oneway t ~proc encode_args =
         s.wire_bytes_sent
         + wire_length ~fragment_size:t.fragment_size
             (Xdr.Iovec.length request);
-    }
+    };
+  Obs.Recorder.span_end t.obs shim_sp
+  with e ->
+    Obs.Recorder.span_end t.obs shim_sp;
+    raise e
 
 let stats t = t.stats
 let reset_stats t = t.stats <- empty_stats

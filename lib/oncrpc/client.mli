@@ -88,6 +88,16 @@ val set_clock : t -> now:(unit -> int64) -> sleep:(int64 -> unit) -> unit
     defaults ([now] constant [0], [sleep] a no-op) keep retries functional
     but timeless. *)
 
+val set_obs : ?proc_name:(int -> string) -> t -> Obs.Recorder.t -> unit
+(** Attach an observability recorder. Every call opens a ["shim"]-layer
+    span named by [proc_name] (default ["proc-<n>"]; Cricket installs its
+    RPCL procedure table) covering encode, all transmission attempts,
+    backoff and decode; each transmission attempt nests an ["rpc"]-layer
+    span named ["call xid=<xid>"], xid-correlated with the server's
+    dispatch span. Retry-path counters: ["rpc.timeout"], ["rpc.retry"],
+    ["rpc.reconnect"]. Costs one branch per call while the recorder is
+    disabled. *)
+
 val set_reconnect : t -> (unit -> Transport.t) -> unit
 (** [f ()] must return a fresh transport to the same server or raise
     {!Transport.Closed} if the server is still unreachable (the retry loop

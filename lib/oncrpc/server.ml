@@ -20,6 +20,24 @@ type dup_cache = {
   mutable hits : int;
 }
 
+type protocol_error =
+  | Unparseable_request of string
+  | Unexpected_reply of { xid : int32 }
+
+exception Protocol_error of protocol_error
+
+let () =
+  Printexc.register_printer (function
+    | Protocol_error (Unparseable_request detail) ->
+        Some
+          (Printf.sprintf "Oncrpc.Server.Protocol_error(Unparseable_request %S)"
+             detail)
+    | Protocol_error (Unexpected_reply { xid }) ->
+        Some
+          (Printf.sprintf
+             "Oncrpc.Server.Protocol_error(Unexpected_reply xid=%ld)" xid)
+    | _ -> None)
+
 type t = {
   name : string;
   programs : (int, service list ref) Hashtbl.t;
@@ -27,7 +45,11 @@ type t = {
   mutable auth_check : Auth.t -> Message.auth_stat option;
   mutable observer : prog:int -> vers:int -> proc:int -> arg_bytes:int -> unit;
   mutable dup_cache : dup_cache option;
+  mutable obs : Obs.Recorder.t;
+  mutable obs_proc_name : prog:int -> vers:int -> proc:int -> string;
 }
+
+let default_proc_name ~prog:_ ~vers:_ ~proc = "proc-" ^ string_of_int proc
 
 let create ?(name = "oncrpc") () =
   {
@@ -37,7 +59,15 @@ let create ?(name = "oncrpc") () =
     auth_check = (fun _ -> None);
     observer = (fun ~prog:_ ~vers:_ ~proc:_ ~arg_bytes:_ -> ());
     dup_cache = None;
+    obs = Obs.Recorder.null;
+    obs_proc_name = default_proc_name;
   }
+
+let set_obs ?proc_name t obs =
+  t.obs <- obs;
+  match proc_name with
+  | Some f -> t.obs_proc_name <- f
+  | None -> ()
 
 let set_dup_cache ?(capacity = 4096) t =
   if capacity < 1 then invalid_arg "Server.set_dup_cache";
@@ -175,14 +205,11 @@ let dispatch_opt t request =
   let msg =
     try Message.decode dec
     with Xdr.Types.Error e ->
-      failwith
-        (Printf.sprintf "%s: unparseable request: %s" t.name
-           (Xdr.Types.error_to_string e))
+      raise (Protocol_error (Unparseable_request (Xdr.Types.error_to_string e)))
   in
   let xid = msg.Message.xid in
   match msg.Message.body with
-  | Message.Reply _ ->
-      failwith (t.name ^ ": received a REPLY where a CALL was expected")
+  | Message.Reply _ -> raise (Protocol_error (Unexpected_reply { xid }))
   | Message.Call c -> (
       let key = (xid, c.Message.prog, c.Message.vers, c.Message.proc) in
       match t.dup_cache with
@@ -190,12 +217,28 @@ let dispatch_opt t request =
           (* Retransmission of an already-executed call: serve the recorded
              reply (or, for a one-way call, suppress re-execution). *)
           cache.hits <- cache.hits + 1;
+          Obs.Recorder.incr t.obs "rpc.dup_hit";
           Log.debug (fun m ->
               m "%s: duplicate xid %ld proc %d — replaying cached reply" t.name
                 xid c.Message.proc);
           Hashtbl.find cache.entries key
       | _ ->
-          let reply = dispatch_call t dec ~xid c in
+          let sp =
+            if Obs.Recorder.enabled t.obs then
+              Obs.Recorder.span_begin t.obs ~layer:"dispatch"
+                (Printf.sprintf "%s xid=%ld"
+                   (t.obs_proc_name ~prog:c.Message.prog ~vers:c.Message.vers
+                      ~proc:c.Message.proc)
+                   xid)
+            else Obs.Recorder.null_span
+          in
+          let reply =
+            try dispatch_call t dec ~xid c
+            with e ->
+              Obs.Recorder.span_end t.obs sp;
+              raise e
+          in
+          Obs.Recorder.span_end t.obs sp;
           (match t.dup_cache with
           | None -> ()
           | Some cache ->

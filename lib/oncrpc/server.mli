@@ -55,12 +55,36 @@ val set_observer :
 (** Called once per successfully-parsed call before the handler runs. The
     Cricket benchmarks use this to charge simulated server CPU time. *)
 
+val set_obs :
+  ?proc_name:(prog:int -> vers:int -> proc:int -> string) -> t ->
+  Obs.Recorder.t -> unit
+(** Attach an observability recorder: each dispatched call gets a
+    ["dispatch"]-layer span named ["<proc> xid=<xid>"] (the xid correlates
+    it with the client's per-attempt span), and duplicate-cache replays
+    bump the ["rpc.dup_hit"] counter. [proc_name] renders procedure
+    numbers (default ["proc-<n>"]); Cricket installs its RPCL procedure
+    table here. Costs one branch per dispatch while the recorder is
+    disabled. *)
+
+type protocol_error =
+  | Unparseable_request of string
+      (** the request record has no parseable RPC message (detail is the
+          decoder error) *)
+  | Unexpected_reply of { xid : int32 }
+      (** the record parsed as a REPLY, but a server only accepts CALLs *)
+
+exception Protocol_error of protocol_error
+(** Raised by {!dispatch_opt} for requests too broken to produce an error
+    reply, so callers can match on the cause instead of parsing a
+    [Failure] string. *)
+
 val dispatch_opt : t -> string -> string option
 (** Map one request record to at most one reply record. [None] means the
     call resolved to a one-way procedure (see {!set_oneway}) and must not
     be answered. Never raises for malformed or unauthorized calls — those
-    become protocol error replies. Raises [Failure] only if the request is
-    too broken to produce a reply (no parseable xid). *)
+    become protocol error replies. Raises {!Protocol_error} only if the
+    request is too broken to produce a reply (no parseable xid, or a REPLY
+    where a CALL belongs). *)
 
 val dispatch : t -> string -> string
 (** [dispatch t r] is [dispatch_opt t r] with [None] flattened to [""].

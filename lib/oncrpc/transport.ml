@@ -9,10 +9,19 @@ type t = {
 exception Closed
 exception Timeout
 
+type connect_error = Resolution_failed of { host : string; port : int }
+
+exception Connect_error of connect_error
+
 let () =
   Printexc.register_printer (function
     | Closed -> Some "Oncrpc.Transport.Closed"
     | Timeout -> Some "Oncrpc.Transport.Timeout"
+    | Connect_error (Resolution_failed { host; port }) ->
+        Some
+          (Printf.sprintf
+             "Oncrpc.Transport.Connect_error(Resolution_failed %s:%d)" host
+             port)
     | _ -> None)
 
 let make ?sendv ~send ~recv ~close () =
@@ -195,7 +204,7 @@ let tcp_connect ~host ~port =
     match Unix.getaddrinfo host (string_of_int port)
             [ Unix.AI_SOCKTYPE Unix.SOCK_STREAM ] with
     | { Unix.ai_addr; _ } :: _ -> ai_addr
-    | [] -> failwith (Printf.sprintf "tcp_connect: cannot resolve %s" host)
+    | [] -> raise (Connect_error (Resolution_failed { host; port }))
   in
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   (try

@@ -81,5 +81,15 @@ val loopback : peer:(string -> string) -> t
 val of_fd : Unix.file_descr -> t
 (** Transport over a connected socket or pipe fd. [close] closes the fd. *)
 
+type connect_error = Resolution_failed of { host : string; port : int }
+(** [Resolution_failed] — the host name did not resolve to any address of
+    the requested socket type. *)
+
+exception Connect_error of connect_error
+(** Typed connection-establishment failure, so callers can match on the
+    cause instead of parsing a [Failure] string. *)
+
 val tcp_connect : host:string -> port:int -> t
-(** Connect a TCP socket (with TCP_NODELAY) and wrap it. *)
+(** Connect a TCP socket (with TCP_NODELAY) and wrap it. Raises
+    {!Connect_error} when [host] cannot be resolved and [Unix.Unix_error]
+    when the connection itself fails. *)

@@ -7,6 +7,19 @@ let () =
     | Timeout -> Some "Oncrpc.Udp.Timeout"
     | _ -> None)
 
+type stats = {
+  sends : int;
+  suppressed : int;
+  duplicated : int;
+  delayed : int;
+  retries : int;
+}
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "sends=%d suppressed=%d duplicated=%d delayed=%d retries=%d" s.sends
+    s.suppressed s.duplicated s.delayed s.retries
+
 type client = {
   fd : Unix.file_descr;
   addr : Unix.sockaddr;
@@ -15,20 +28,41 @@ type client = {
   timeout_s : float;
   retries : int;
   fault : Simnet.Fault.t option;
+  engine : Simnet.Engine.t option;
   mutable next_xid : int32;
+  mutable n_sends : int;
+  mutable n_suppressed : int;
+  mutable n_duplicated : int;
+  mutable n_delayed : int;
+  mutable n_retries : int;
 }
 
-let connect ?(timeout_s = 1.0) ?(retries = 3) ?fault ~host ~port ~prog ~vers ()
-    =
+let connect ?(timeout_s = 1.0) ?(retries = 3) ?fault ?engine ~host ~port ~prog
+    ~vers () =
   let inet_addr =
     try Unix.inet_addr_of_string host
     with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
   in
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
   { fd; addr = Unix.ADDR_INET (inet_addr, port); prog; vers; timeout_s;
-    retries; fault; next_xid = 1l }
+    retries; fault; engine; next_xid = 1l; n_sends = 0; n_suppressed = 0;
+    n_duplicated = 0; n_delayed = 0; n_retries = 0 }
+
+let stats t =
+  { sends = t.n_sends; suppressed = t.n_suppressed;
+    duplicated = t.n_duplicated; delayed = t.n_delayed;
+    retries = t.n_retries }
 
 let close_client t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let timeout_ns t = Int64.of_float (t.timeout_s *. 1e9)
+
+(* When a client is bound to a simulation engine, a select(2) should never
+   have to wait for real time proportional to the configured RPC timeout:
+   loopback replies arrive in microseconds, and certain losses are detected
+   without selecting at all. This bound is a liveness escape hatch for a
+   wedged environment, not a tuned timeout. *)
+let real_liveness_bound_s = 5.0
 
 let call t ~proc encode_args decode_results =
   let xid = t.next_xid in
@@ -41,7 +75,14 @@ let call t ~proc encode_args decode_results =
     invalid_arg "Oncrpc.Udp.call: arguments exceed max_datagram";
   let reply_buf = Bytes.create 65536 in
   let sendto () =
+    t.n_sends <- t.n_sends + 1;
     ignore (Unix.sendto t.fd request 0 (Bytes.length request) [] t.addr)
+  in
+  let delay d =
+    t.n_delayed <- t.n_delayed + 1;
+    match t.engine with
+    | Some engine -> Simnet.Engine.advance engine d
+    | None -> Unix.sleepf (Int64.to_float d /. 1e9)
   in
   (* Each (re)transmission consults the fault plan as one datagram. Dropped
      and corrupted datagrams never reach the server — a corrupt datagram
@@ -49,54 +90,90 @@ let call t ~proc encode_args decode_results =
      as loss here, and the timeout/retransmit path takes over. Duplicates
      reach the server twice with the same xid, which is exactly what the
      duplicate-request cache and the client's stale-xid skipping exist
-     for. *)
+     for. Returns the number of datagrams actually put on the wire. *)
   let send () =
     match t.fault with
-    | None -> sendto ()
+    | None ->
+        sendto ();
+        1
     | Some f -> (
         match Simnet.Fault.decide f with
-        | Simnet.Fault.Pass -> sendto ()
-        | Simnet.Fault.Drop | Simnet.Fault.Corrupt -> ()
-        | Simnet.Fault.Duplicate ->
+        | Simnet.Fault.Pass ->
             sendto ();
-            sendto ()
+            1
+        | Simnet.Fault.Drop | Simnet.Fault.Corrupt ->
+            t.n_suppressed <- t.n_suppressed + 1;
+            0
+        | Simnet.Fault.Duplicate ->
+            t.n_duplicated <- t.n_duplicated + 1;
+            sendto ();
+            sendto ();
+            2
         | Simnet.Fault.Delay d ->
-            Unix.sleepf (Int64.to_float d /. 1e9);
-            sendto ())
+            delay d;
+            sendto ();
+            1)
   in
-  (* send, then wait for our xid; resend on timeout *)
+  let decode_reply n =
+    let dec = Xdr.Decode.of_bytes ~len:n reply_buf in
+    match Message.decode dec with
+    | exception Xdr.Types.Error _ -> None (* garbage datagram *)
+    | msg when msg.Message.xid <> xid -> None (* stale reply *)
+    | msg -> (
+        match msg.Message.body with
+        | Message.Reply (Message.Accepted { stat = Message.Success; _ }) ->
+            let r = decode_results dec in
+            Xdr.Decode.finish dec;
+            Some r
+        | Message.Reply (Message.Accepted { stat; _ }) ->
+            raise (Client.Rpc_error (Client.Call_failed stat))
+        | Message.Reply (Message.Denied d) ->
+            raise (Client.Rpc_error (Client.Call_rejected d))
+        | Message.Call _ ->
+            raise (Client.Rpc_error (Client.Bad_reply "received CALL")))
+  in
+  (* send, then wait for our xid; resend on timeout. [deadline] is a real
+     (wall-clock) instant; the virtual cost of a timeout is charged to the
+     engine separately by [on_expired]. *)
   let rec attempt remaining =
     if remaining <= 0 then raise Timeout;
-    send ();
-    let deadline = Unix.gettimeofday () +. t.timeout_s in
-    let rec await () =
-      let budget = deadline -. Unix.gettimeofday () in
-      if budget <= 0.0 then attempt (remaining - 1)
-      else begin
-        match Unix.select [ t.fd ] [] [] budget with
-        | [], _, _ -> attempt (remaining - 1)
-        | _ -> (
-            let n, _ = Unix.recvfrom t.fd reply_buf 0 65536 [] in
-            let dec = Xdr.Decode.of_bytes ~len:n reply_buf in
-            match Message.decode dec with
-            | exception Xdr.Types.Error _ -> await () (* garbage datagram *)
-            | msg when msg.Message.xid <> xid -> await () (* stale reply *)
-            | msg -> (
-                match msg.Message.body with
-                | Message.Reply (Message.Accepted { stat = Message.Success; _ })
-                  ->
-                    let r = decode_results dec in
-                    Xdr.Decode.finish dec;
-                    r
-                | Message.Reply (Message.Accepted { stat; _ }) ->
-                    raise (Client.Rpc_error (Client.Call_failed stat))
-                | Message.Reply (Message.Denied d) ->
-                    raise (Client.Rpc_error (Client.Call_rejected d))
-                | Message.Call _ ->
-                    raise (Client.Rpc_error (Client.Bad_reply "received CALL"))))
-      end
+    let on_expired () =
+      (match t.engine with
+      | Some engine -> Simnet.Engine.advance engine (timeout_ns t)
+      | None -> ());
+      t.n_retries <- t.n_retries + 1;
+      attempt (remaining - 1)
     in
-    await ()
+    let wire_count = send () in
+    match t.engine with
+    | Some engine when wire_count = 0 ->
+        (* Nothing reached the wire, so no reply can come: the timeout is
+           certain. Charge it in virtual time without touching select, so
+           the run is deterministic and takes no real time. *)
+        Simnet.Engine.advance engine (timeout_ns t);
+        t.n_retries <- t.n_retries + 1;
+        attempt (remaining - 1)
+    | engine_opt ->
+        let budget_s =
+          match engine_opt with
+          | Some _ -> real_liveness_bound_s
+          | None -> t.timeout_s
+        in
+        let deadline = Unix.gettimeofday () +. budget_s in
+        let rec await () =
+          let budget = deadline -. Unix.gettimeofday () in
+          if budget <= 0.0 then on_expired ()
+          else begin
+            match Unix.select [ t.fd ] [] [] budget with
+            | [], _, _ -> on_expired ()
+            | _ -> (
+                let n, _ = Unix.recvfrom t.fd reply_buf 0 65536 [] in
+                match decode_reply n with
+                | None -> await ()
+                | Some r -> r)
+          end
+        in
+        await ()
   in
   attempt (t.retries + 1)
 

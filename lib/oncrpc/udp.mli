@@ -23,6 +23,7 @@ val connect :
   ?timeout_s:float ->
   ?retries:int ->
   ?fault:Simnet.Fault.t ->
+  ?engine:Simnet.Engine.t ->
   host:string ->
   port:int ->
   prog:int ->
@@ -33,7 +34,17 @@ val connect :
     granularity on the client's send path: each (re)transmission consults
     the plan once. [Drop] and [Corrupt] both manifest as loss (a corrupt
     datagram fails the receiver's UDP checksum), [Duplicate] delivers the
-    request twice with the same xid, [Delay] sleeps before sending. *)
+    request twice with the same xid, [Delay] pauses before sending.
+
+    [engine] switches the retry machinery from wall-clock to virtual time:
+    timeouts advance the engine's clock by [timeout_s] instead of being
+    measured against [Unix.gettimeofday], and [Delay] faults advance it by
+    the delay instead of sleeping. With a seeded fault plan this makes a
+    faulty run deterministic — the engine's final time and the client's
+    {!stats} depend only on the plan, never on scheduling — and losses
+    cost no real time at all (a datagram the plan suppressed can have no
+    reply, so the timeout is charged without waiting). Without [engine]
+    the client keeps the classic wall-clock behaviour. *)
 
 val call :
   client -> proc:int -> (Xdr.Encode.t -> unit) -> (Xdr.Decode.t -> 'a) -> 'a
@@ -45,6 +56,21 @@ val call :
     discarded, never matched to the current call. *)
 
 val close_client : client -> unit
+
+type stats = {
+  sends : int;  (** datagrams actually handed to the socket *)
+  suppressed : int;  (** datagrams the fault plan dropped or corrupted *)
+  duplicated : int;  (** send events the plan turned into two datagrams *)
+  delayed : int;  (** send events the plan delayed *)
+  retries : int;  (** timeout-triggered retransmission attempts *)
+}
+
+val stats : client -> stats
+(** Lifetime counters. Every field is a pure function of the fault plan's
+    seeded decision sequence, so two runs of the same workload with
+    identically seeded plans report identical stats. *)
+
+val pp_stats : Format.formatter -> stats -> unit
 
 (** {1 Server} *)
 

@@ -82,6 +82,7 @@ type t = {
   mutable retransmissions : int;
   mutable bytes_sent : int;
   mutable bytes_received : int;
+  mutable obs : Obs.Recorder.t;
 }
 
 let max_retransmits = 8
@@ -117,7 +118,10 @@ let create ~engine ~name ~mss ~iss ~local_port ~remote_port
     retransmissions = 0;
     bytes_sent = 0;
     bytes_received = 0;
+    obs = Obs.Recorder.null;
   }
+
+let set_obs t obs = t.obs <- obs
 
 let set_tx t fn = t.tx <- (fun f -> fn (Frame.to_segment f))
 let set_tx_frame t fn = t.tx <- fn
@@ -183,6 +187,7 @@ and on_rto t generation =
     if t.retransmit_count > max_retransmits then t.state <- Closed
     else begin
       t.rto_backoff <- t.rto_backoff + 1;
+      Obs.Recorder.incr t.obs "tcp.rto_backoff";
       (* RFC 5681: timeout collapses the window to one segment *)
       t.ssthresh <- max (2 * t.mss) (unacked t / 2);
       t.cwnd <- t.mss;
@@ -190,6 +195,7 @@ and on_rto t generation =
       (match t.inflight with
       | p :: _ ->
           t.retransmissions <- t.retransmissions + 1;
+          Obs.Recorder.incr t.obs "tcp.retransmit";
           transmit_pending t p
       | [] -> ());
       arm_rto t
@@ -334,6 +340,8 @@ let process_ack t (f : Frame.t) =
       | p :: _ ->
           t.fast_retransmits <- t.fast_retransmits + 1;
           t.retransmissions <- t.retransmissions + 1;
+          Obs.Recorder.incr t.obs "tcp.fast_retransmit";
+          Obs.Recorder.incr t.obs "tcp.retransmit";
           transmit_pending t p;
           arm_rto t
       | [] -> ())

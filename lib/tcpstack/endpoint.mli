@@ -67,6 +67,11 @@ val set_tx_burst : t -> int -> unit
     super-segments the device will cut at wire MSS). Raises
     [Invalid_argument] below the MSS. *)
 
+val set_obs : t -> Obs.Recorder.t -> unit
+(** Attach an observability recorder: loss-recovery events bump the
+    ["tcp.retransmit"], ["tcp.fast_retransmit"] and ["tcp.rto_backoff"]
+    counters. One branch per event while the recorder is disabled. *)
+
 val tx_burst : t -> int
 (** Current per-segment payload ceiling (= MSS unless raised). *)
 

@@ -90,7 +90,10 @@ type t = {
   mutable csum_drops : int;
   mutable fcs_drops : int;
   mutable payload_bytes : int;
+  mutable obs : Obs.Recorder.t;
 }
+
+let set_obs t obs = t.obs <- obs
 
 let now_ns t = Int64.to_float (Engine.now t.engine)
 
@@ -135,6 +138,7 @@ let guest_tx t d (f : Frame.t) =
      flatten is performed, not just charged *)
   if (not d.feat_tx.Offload.scatter_gather) && n > 0 then begin
     t.staging_copies <- t.staging_copies + 1;
+    Obs.Recorder.incr t.obs "net.staging_copy";
     { f with
       Frame.payload = Xdr.Iovec.of_string (Xdr.Iovec.concat f.Frame.payload)
     }
@@ -265,7 +269,10 @@ let transmit t d (f : Frame.t) =
     | last :: _ ->
         let first = List.nth run (List.length run - 1) in
         let merged = List.length run in
-        if merged > 1 then t.gro_merged <- t.gro_merged + (merged - 1);
+        if merged > 1 then begin
+          t.gro_merged <- t.gro_merged + (merged - 1);
+          Obs.Recorder.incr t.obs ~by:(merged - 1) "net.gro_merged"
+        end;
         let u =
           if first.pos = 0 && last.pos + last.len = n then f
           else Frame.sub f first.pos (last.pos + last.len - first.pos)
@@ -343,7 +350,8 @@ let connect ~engine ~link ?fault ?(device = Offload.all) ~a:(ea, pa)
       ba = dir ea pb pa feat_b feat_a;
       guest_tx_frames = 0; wire_segments = 0; tso_frames = 0; rx_units = 0;
       gro_merged = 0; sw_checksum_bytes = 0; staging_copies = 0;
-      csum_drops = 0; fcs_drops = 0; payload_bytes = 0 }
+      csum_drops = 0; fcs_drops = 0; payload_bytes = 0;
+      obs = Obs.Recorder.null }
   in
   let mss = Link.mss link in
   let burst = max mss (tso_burst_bytes / mss * mss) in

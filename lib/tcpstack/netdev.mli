@@ -63,6 +63,12 @@ val negotiated_a : t -> Simnet.Offload.t
 val negotiated_b : t -> Simnet.Offload.t
 (** Effective (negotiated and clamped) feature set per guest. *)
 
+val set_obs : t -> Obs.Recorder.t -> unit
+(** Attach an observability recorder: staging flattens bump
+    ["net.staging_copy"] and GRO coalesces bump ["net.gro_merged"] (by the
+    number of merges). One branch per event while the recorder is
+    disabled. *)
+
 val stats : t -> stats
 val fault_stats : t -> Simnet.Fault.stats option
 val pp_stats : Format.formatter -> stats -> unit

@@ -19,7 +19,20 @@ type env = {
   server : Cricket.Server.t;
 }
 
-let run ?devices ?memory_capacity ?(functional = true) (cfg : Config.t) app =
+(* Thread one recorder through every instrumented layer and drive it off
+   the engine's virtual clock, so span durations decompose exactly the
+   virtual time the measurement reports. *)
+let wire_obs obs ~engine ~server ~client ~channel_obs =
+  match obs with
+  | None -> ()
+  | Some obs ->
+      Obs.Recorder.set_clock obs (fun () -> Engine.now engine);
+      Cricket.Server.set_obs server obs;
+      Cricket.Client.set_obs client obs;
+      channel_obs obs
+
+let run ?devices ?memory_capacity ?(functional = true) ?obs (cfg : Config.t)
+    app =
   let engine = Engine.create () in
   let server =
     Cricket.Server.create ?devices ?memory_capacity
@@ -38,6 +51,8 @@ let run ?devices ?memory_capacity ?(functional = true) (cfg : Config.t) app =
       ~transport:(Simchannel.transport channel)
       ()
   in
+  wire_obs obs ~engine ~server ~client
+    ~channel_obs:(Simchannel.set_obs channel);
   let t0 = Engine.now engine in
   (* process startup: load, connect to the Cricket server (TCP handshake) *)
   Engine.advance engine (Time.us 150);
@@ -60,7 +75,7 @@ let run ?devices ?memory_capacity ?(functional = true) (cfg : Config.t) app =
    (Tcpchannel: Endpoint + Netdev with the configuration's negotiated
    offloads) instead of the Netcost closed form. The TCP handshake is
    simulated by the channel itself, so no flat connect charge is added. *)
-let run_tcp ?devices ?memory_capacity ?(functional = true) ?fault ?device
+let run_tcp ?devices ?memory_capacity ?(functional = true) ?fault ?device ?obs
     (cfg : Config.t) app =
   let engine = Engine.create () in
   let server =
@@ -83,6 +98,8 @@ let run_tcp ?devices ?memory_capacity ?(functional = true) ?fault ?device
       ~transport:(Tcpchannel.transport channel)
       ()
   in
+  wire_obs obs ~engine ~server ~client
+    ~channel_obs:(Tcpchannel.set_obs channel);
   let env = { client; engine; cfg; server } in
   app env;
   let elapsed = Time.sub (Engine.now engine) t0 in
@@ -113,7 +130,7 @@ type fault_report = {
 }
 
 let run_with_faults ?devices ?memory_capacity ?(functional = true) ?retry
-    ?checkpoint_every ~plan (cfg : Config.t) app =
+    ?checkpoint_every ?obs ~plan (cfg : Config.t) app =
   let engine = Engine.create () in
   let clock = Cudasim.Context.engine_clock engine in
   (* a unique temp file so concurrent test binaries never share checkpoints *)
@@ -136,6 +153,10 @@ let run_with_faults ?devices ?memory_capacity ?(functional = true) ?retry
         Cudasim.Context.set_functional
           (Cricket.Server.context fresh)
           functional;
+        (* a respawned process starts with recording detached *)
+        (match obs with
+        | Some obs -> Cricket.Server.set_obs fresh obs
+        | None -> ());
         server := fresh)
       ~dispatch:(fun request -> Cricket.Server.dispatch !server request)
       ()
@@ -152,6 +173,8 @@ let run_with_faults ?devices ?memory_capacity ?(functional = true) ?retry
     ~sleep:(fun ns -> Engine.advance engine ns)
     ~reconnect:(fun () -> Simchannel.reconnect channel)
     ();
+  wire_obs obs ~engine ~server:!server ~client
+    ~channel_obs:(Simchannel.set_obs channel);
   let t0 = Engine.now engine in
   Engine.advance engine (Time.us 150);
   let finish () =

@@ -29,11 +29,19 @@ val run :
   ?devices:Gpusim.Device.t list ->
   ?memory_capacity:int ->
   ?functional:bool ->
+  ?obs:Obs.Recorder.t ->
   Config.t ->
   (env -> unit) ->
   measurement
 (** [functional] (default [true]) controls whether kernels mutate device
-    memory; see {!Cudasim.Context.set_functional}. *)
+    memory; see {!Cudasim.Context.set_functional}.
+
+    [obs] threads one observability recorder through every instrumented
+    layer — Cricket client shim, RPC client/server, channel, GPU
+    simulator — and installs the run's virtual clock on it, so its spans
+    ({!Obs.Recorder.spans}) decompose [elapsed] by layer. Enable it with
+    {!Obs.Recorder.set_enabled} before the run; without [obs] nothing is
+    recorded and the run costs one branch per would-be event. *)
 
 val run_tcp :
   ?devices:Gpusim.Device.t list ->
@@ -41,6 +49,7 @@ val run_tcp :
   ?functional:bool ->
   ?fault:Simnet.Fault.t ->
   ?device:Simnet.Offload.t ->
+  ?obs:Obs.Recorder.t ->
   Config.t ->
   (env -> unit) ->
   measurement * Tcpchannel.t
@@ -73,6 +82,7 @@ val run_with_faults :
   ?functional:bool ->
   ?retry:Oncrpc.Client.retry_policy ->
   ?checkpoint_every:int ->
+  ?obs:Obs.Recorder.t ->
   plan:Simnet.Fault.plan ->
   Config.t ->
   (env -> unit) ->

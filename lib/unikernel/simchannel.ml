@@ -31,7 +31,18 @@ type t = {
   mutable inbox_pos : int;
   mutable connected : bool;
   mutable down_until : Time.t;  (* absolute virtual time; restart instant *)
+  mutable obs : Obs.Recorder.t;
 }
+
+let set_obs t obs = t.obs <- obs
+
+(* Wrap a virtual-time advance in a ["net"]-layer span. The advances are
+   the only places this channel spends virtual time, so the layer total is
+   exactly the modelled network time. *)
+let net_span t name advance =
+  let sp = Obs.Recorder.span_begin t.obs ~layer:"net" name in
+  advance ();
+  Obs.Recorder.span_end t.obs sp
 
 (* The scheduled crash fires between records: the server process dies, so
    everything in flight — the rest of this request stream and any replies
@@ -75,7 +86,7 @@ let exchange t =
     Simnet.Netcost.one_way_time ~sender:t.client ~receiver:t.server
       ~link:t.link request_len
   in
-  Engine.advance t.engine request_time;
+  net_span t "net.request" (fun () -> Engine.advance t.engine request_time);
   (* Peel record marking, dispatch each request record, re-frame. The
      server's CUDA work advances the shared clock via its clock hooks. *)
   let replies = Buffer.create 1024 in
@@ -89,7 +100,7 @@ let exchange t =
             Buffer.add_string replies (Oncrpc.Record.to_wire reply);
             Buffer.add_string replies (Oncrpc.Record.to_wire reply)
         | Fault.Delay d ->
-            Engine.advance t.engine d;
+            net_span t "net.delay" (fun () -> Engine.advance t.engine d);
             Buffer.add_string replies (Oncrpc.Record.to_wire reply))
   in
   let dispatch_record record =
@@ -109,7 +120,7 @@ let exchange t =
         deliver_reply (t.dispatch record)
     | Fault.Delay d ->
         check_crash t;
-        Engine.advance t.engine d;
+        net_span t "net.delay" (fun () -> Engine.advance t.engine d);
         deliver_reply (t.dispatch record)
   in
   let rec each pos fragments =
@@ -131,7 +142,7 @@ let exchange t =
     Simnet.Netcost.one_way_time ~sender:t.server ~receiver:t.client
       ~link:t.link (Buffer.length replies)
   in
-  Engine.advance t.engine reply_time;
+  net_span t "net.reply" (fun () -> Engine.advance t.engine reply_time);
   let s = t.stats in
   t.stats <-
     {
@@ -172,6 +183,7 @@ let create ~engine ~client ?(server = Config.server_profile)
       inbox_pos = 0;
       connected = true;
       down_until = Time.zero;
+      obs = Obs.Recorder.null;
     }
   in
   let send buf off len =
@@ -208,7 +220,8 @@ let create ~engine ~client ?(server = Config.server_profile)
          record (or its reply) was dropped. Model the retransmission
          timeout — the virtual time a real client would wait before
          concluding loss — and report it. *)
-      Engine.advance t.engine t.rto;
+      net_span t "net.rto" (fun () -> Engine.advance t.engine t.rto);
+      Obs.Recorder.incr t.obs "net.rto";
       t.stats <- { t.stats with timeouts = t.stats.timeouts + 1 };
       raise Oncrpc.Transport.Timeout
     end

@@ -54,6 +54,14 @@ val create :
 
 val transport : t -> Oncrpc.Transport.t
 
+val set_obs : t -> Obs.Recorder.t -> unit
+(** Attach an observability recorder: every virtual-time advance this
+    channel performs is wrapped in a ["net"]-layer span
+    (["net.request"] / ["net.reply"] serialization, ["net.delay"] fault
+    delays, ["net.rto"] retransmission timeouts — the latter also bumps
+    the ["net.rto"] counter), so the layer's total is exactly the modelled
+    network time. One branch per event while the recorder is disabled. *)
+
 val reconnect : t -> Oncrpc.Transport.t
 (** Re-establish the connection after a crash. Raises
     {!Oncrpc.Transport.Closed} while the server is still restarting (the

@@ -53,17 +53,29 @@ type t = {
   mutable in_frag : bool;
   record : Buffer.t;
   mutable stats : stats;
+  mutable obs : Obs.Recorder.t;
+  (* virtual time spent inside server dispatch, accumulated so the recv
+     wait span can report blocked-on-network time net of dispatch time *)
+  mutable dispatched_ns : Time.t;
 }
+
+let set_obs t obs =
+  t.obs <- obs;
+  EP.set_obs t.client_ep obs;
+  EP.set_obs t.server_ep obs;
+  Tcpstack.Netdev.set_obs t.netdev obs
 
 (* The socket-layer cost Netcost charges per 64 KiB io chunk; the NIC-side
    costs are the netdev's business. *)
 let charge_syscalls t (p : Simnet.Hostprofile.t) len =
   let syscalls = max 1 ((len + io_chunk - 1) / io_chunk) in
+  let sp = Obs.Recorder.span_begin t.obs ~layer:"net" "net.syscall" in
   Engine.advance t.engine
     (Time.ns
        (syscalls
        * (p.Simnet.Hostprofile.syscall_ns
-         + p.Simnet.Hostprofile.context_switch_ns)))
+         + p.Simnet.Hostprofile.context_switch_ns)));
+  Obs.Recorder.span_end t.obs sp
 
 let reply_out t reply =
   if reply <> "" then begin
@@ -106,7 +118,11 @@ let feed_server t chunk =
           let request = Buffer.contents t.record in
           Buffer.clear t.record;
           t.stats <- { t.stats with messages = t.stats.messages + 1 };
-          reply_out t (t.dispatch request)
+          let t0 = Engine.now t.engine in
+          let reply = t.dispatch request in
+          t.dispatched_ns <-
+            Time.add t.dispatched_ns (Time.sub (Engine.now t.engine) t0);
+          reply_out t reply
         end
       end
     end
@@ -151,7 +167,8 @@ let create ~engine ~client ?(server = Config.server_profile)
       record = Buffer.create 4096;
       stats =
         { messages = 0; bytes_to_server = 0; bytes_from_server = 0;
-          network_time = Time.zero; timeouts = 0 } }
+          network_time = Time.zero; timeouts = 0 };
+      obs = Obs.Recorder.null; dispatched_ns = Time.zero }
   in
   EP.listen server_ep;
   EP.connect client_ep;
@@ -180,6 +197,7 @@ let create ~engine ~client ?(server = Config.server_profile)
     let available () = Buffer.length t.inbox - t.inbox_pos in
     if available () = 0 then begin
       let t0 = Engine.now engine in
+      let d0 = t.dispatched_ns in
       drain t;
       while available () = 0 && Engine.step engine do
         drain t
@@ -189,10 +207,23 @@ let create ~engine ~client ?(server = Config.server_profile)
           network_time =
             Time.add t.stats.network_time
               (Time.sub (Engine.now engine) t0) };
+      (* The wait interval covers both stack time and the server dispatch
+         it triggered; the dispatch layer records itself, so the net span
+         is the blocked time with dispatch time carved out (placed at the
+         end of the interval to keep exact timestamps). *)
+      if Obs.Recorder.enabled t.obs then begin
+        let dispatch_d = Time.sub t.dispatched_ns d0 in
+        Obs.Recorder.span_event t.obs ~layer:"net" ~name:"net.wait"
+          ~start_ns:(Time.add t0 dispatch_d)
+          ~stop_ns:(Engine.now engine)
+      end;
       if available () = 0 then begin
         (* the event queue ran dry with no reply bytes in flight: nothing
            will ever arrive (e.g. a one-way misuse); model the wait *)
+        let sp = Obs.Recorder.span_begin t.obs ~layer:"net" "net.rto" in
         Engine.advance engine rto;
+        Obs.Recorder.span_end t.obs sp;
+        Obs.Recorder.incr t.obs "net.rto";
         t.stats <- { t.stats with timeouts = t.stats.timeouts + 1 };
         raise Oncrpc.Transport.Timeout
       end

@@ -49,6 +49,15 @@ val transport : t -> Oncrpc.Transport.t
 (** Client-side transport ([sendv] performs the single sk_buff staging
     copy; see implementation notes). *)
 
+val set_obs : t -> Obs.Recorder.t -> unit
+(** Attach an observability recorder to the whole network path: the
+    channel itself records ["net"]-layer spans (["net.syscall"] socket
+    charges, ["net.wait"] time blocked on the stack net of server dispatch
+    time, ["net.rto"] dead-queue timeouts plus a ["net.rto"] counter), and
+    the recorder is forwarded to both TCP endpoints (retransmit counters,
+    {!Tcpstack.Endpoint.set_obs}) and the netdev (staging/GRO counters,
+    {!Tcpstack.Netdev.set_obs}). *)
+
 val stats : t -> stats
 val netdev_stats : t -> Tcpstack.Netdev.stats
 val negotiated_client : t -> Simnet.Offload.t

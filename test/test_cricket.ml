@@ -399,7 +399,19 @@ let test_trace () =
   check Alcotest.int "oldest kept is #7" 7
     (List.hd kept).Cricket.Trace.seq;
   Cricket.Trace.clear small;
-  check Alcotest.int "cleared" 0 (Cricket.Trace.recorded small)
+  (* clear drops the buffered entries but keeps the lifetime total, so
+     [recorded] never lies about how many calls were traced *)
+  check Alcotest.int "cleared: entries gone" 0
+    (List.length (Cricket.Trace.entries small));
+  check Alcotest.int "cleared: lifetime total survives" 10
+    (Cricket.Trace.recorded small);
+  (* and seq keeps counting where it left off rather than restarting *)
+  Cricket.Trace.record small ~now:(Time.us 11) ~proc:11 ~proc_name:"p"
+    ~arg_bytes:0 ~duration:Time.zero;
+  (match Cricket.Trace.entries small with
+  | [ e ] -> check Alcotest.int "post-clear seq continues" 10 e.Cricket.Trace.seq
+  | l -> Alcotest.failf "expected one entry, got %d" (List.length l));
+  check Alcotest.int "post-clear total" 11 (Cricket.Trace.recorded small)
 
 (* --- lifetime tracking --- *)
 

@@ -19,7 +19,7 @@ let prop_message_decode_total =
 
 let prop_dispatch_total =
   (* the server must answer or reject any record; only completely
-     unparseable requests (no xid) raise the documented Failure *)
+     unparseable requests (no xid) raise the documented Protocol_error *)
   let server = Oncrpc.Server.create () in
   Oncrpc.Server.register server ~prog:300000 ~vers:1
     [ (1, fun dec enc -> Xdr.Encode.int enc (Xdr.Decode.int dec)) ];
@@ -27,7 +27,7 @@ let prop_dispatch_total =
     (fun s ->
       match Oncrpc.Server.dispatch server s with
       | (_ : string) -> true
-      | exception Failure _ -> true)
+      | exception Oncrpc.Server.Protocol_error _ -> true)
 
 let prop_valid_header_fuzzed_body =
   (* a valid CALL header with random trailing arg bytes must produce a
@@ -292,7 +292,7 @@ let test_cricket_survives_garbage_records () =
   for n = 0 to 100 do
     match Cricket.Server.dispatch server (garbage (n * 3)) with
     | (_ : string) -> incr attempts
-    | exception Failure _ -> incr attempts
+    | exception Oncrpc.Server.Protocol_error _ -> incr attempts
   done;
   check Alcotest.int "all attempts handled" 101 !attempts;
   (* and the server still works afterwards *)

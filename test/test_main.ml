@@ -15,4 +15,5 @@ let () =
       ("stream", Test_stream.suite);
       ("fault", Test_fault.suite);
       ("fuzz", Test_fuzz.suite);
+      ("obs", Test_obs.suite);
     ]

@@ -1,0 +1,312 @@
+(* Tests for the observability subsystem: log-bucketed histograms,
+   span/counter recording with virtual clocks, Chrome trace_event JSON
+   round-trips, and the end-to-end layer decomposition of a benchmark
+   run (the Figure 4/5 breakdown). *)
+
+let check = Alcotest.check
+
+(* --- histogram --- *)
+
+let test_histogram_basics () =
+  let h = Obs.Histogram.create () in
+  check Alcotest.int "empty count" 0 (Obs.Histogram.count h);
+  check Alcotest.int64 "empty quantile" 0L (Obs.Histogram.quantile h 0.5);
+  List.iter (fun v -> Obs.Histogram.record h v)
+    [ 100L; 200L; 300L; 400L; 500L; 600L; 700L; 800L; 900L; 1000L ];
+  check Alcotest.int "count" 10 (Obs.Histogram.count h);
+  check Alcotest.int64 "sum" 5500L (Obs.Histogram.sum_ns h);
+  check Alcotest.int64 "min exact" 100L (Obs.Histogram.min_ns h);
+  check Alcotest.int64 "max exact" 1000L (Obs.Histogram.max_ns h);
+  (* log buckets bound any quantile by 2x and clamp into [min, max] *)
+  let p50 = Obs.Histogram.quantile h 0.5 in
+  check Alcotest.bool "p50 in range" true (p50 >= 100L && p50 <= 1000L);
+  check Alcotest.bool "p50 within 2x of exact" true
+    (p50 >= 250L && p50 <= 1000L);
+  check Alcotest.int64 "p100 is exact max" 1000L (Obs.Histogram.quantile h 1.0);
+  (* low quantiles are bucket upper bounds: within 2x of the exact min *)
+  let p0 = Obs.Histogram.quantile h 0.0 in
+  check Alcotest.bool "p0 within 2x of min" true (p0 >= 100L && p0 <= 200L)
+
+let test_histogram_clamps_and_extremes () =
+  let h = Obs.Histogram.create () in
+  Obs.Histogram.record h (-5L);
+  check Alcotest.int64 "negative clamps to 0" 0L (Obs.Histogram.max_ns h);
+  Obs.Histogram.record h Int64.max_int;
+  check Alcotest.int64 "max_int exact" Int64.max_int (Obs.Histogram.max_ns h);
+  check Alcotest.int "count" 2 (Obs.Histogram.count h);
+  let total = Array.fold_left ( + ) 0 (Obs.Histogram.buckets h) in
+  check Alcotest.int "buckets account for every record" 2 total
+
+let test_histogram_skew () =
+  (* a heavy tail must move p99 far from p50 *)
+  let h = Obs.Histogram.create () in
+  for _ = 1 to 99 do Obs.Histogram.record h 1_000L done;
+  Obs.Histogram.record h 1_000_000L;
+  let p50 = Obs.Histogram.quantile h 0.50 in
+  let p99 = Obs.Histogram.quantile h 0.99 in
+  check Alcotest.bool "p50 near body" true (p50 <= 2_048L);
+  check Alcotest.bool "p99 below tail" true (p99 < 1_000_000L);
+  check Alcotest.int64 "max is the tail" 1_000_000L (Obs.Histogram.max_ns h)
+
+(* --- recorder --- *)
+
+let manual_recorder () =
+  let now = ref 0L in
+  let t = Obs.Recorder.create ~clock:(fun () -> !now) () in
+  Obs.Recorder.set_enabled t true;
+  (t, now)
+
+let test_recorder_disabled_records_nothing () =
+  let t = Obs.Recorder.create () in
+  (* enabled defaults to false: every entry point must be inert *)
+  let sp = Obs.Recorder.span_begin t ~layer:"rpc" "ignored" in
+  Obs.Recorder.span_end t sp;
+  Obs.Recorder.incr t "c";
+  Obs.Recorder.observe t "h" 5L;
+  Obs.Recorder.span_event t ~name:"e" ~start_ns:0L ~stop_ns:1L;
+  check Alcotest.int "no spans" 0 (List.length (Obs.Recorder.spans t));
+  check Alcotest.int "no counter" 0 (Obs.Recorder.counter t "c");
+  check Alcotest.bool "no histogram" true
+    (Obs.Recorder.histogram t "h" = None);
+  (* the shared null recorder can never be switched on *)
+  Obs.Recorder.set_enabled Obs.Recorder.null true;
+  check Alcotest.bool "null stays off" false
+    (Obs.Recorder.enabled Obs.Recorder.null)
+
+let test_recorder_nesting_and_layers () =
+  let t, now = manual_recorder () in
+  let outer = Obs.Recorder.span_begin t ~layer:"shim" "call" in
+  now := 10L;
+  let inner = Obs.Recorder.span_begin t ~layer:"rpc" "xmit" in
+  now := 40L;
+  Obs.Recorder.span_end t inner;
+  now := 100L;
+  Obs.Recorder.span_end t outer;
+  match Obs.Recorder.spans t with
+  | [ o; i ] ->
+      (* spans come back in begin order *)
+      check Alcotest.string "outer name" "call" o.Obs.Recorder.name;
+      check Alcotest.int "outer is root" (-1) o.Obs.Recorder.parent;
+      check Alcotest.int "inner parented to outer" o.Obs.Recorder.id
+        i.Obs.Recorder.parent;
+      check Alcotest.int64 "outer interval" 100L o.Obs.Recorder.stop_ns;
+      check Alcotest.int64 "inner start" 10L i.Obs.Recorder.start_ns;
+      check Alcotest.int64 "shim layer total" 100L
+        (Obs.Recorder.layer_total_ns t "shim");
+      check Alcotest.int64 "rpc layer total" 30L
+        (Obs.Recorder.layer_total_ns t "rpc");
+      (* span_end fed the per-layer histograms *)
+      (match Obs.Recorder.histogram t "span/rpc" with
+      | Some h -> check Alcotest.int64 "rpc hist" 30L (Obs.Histogram.max_ns h)
+      | None -> Alcotest.fail "missing span/rpc histogram")
+  | l -> Alcotest.failf "expected 2 spans, got %d" (List.length l)
+
+let test_recorder_with_span_and_exceptions () =
+  let t, now = manual_recorder () in
+  (match
+     Obs.Recorder.with_span t ~layer:"dispatch" "boom" (fun () ->
+         now := 7L;
+         failwith "inner")
+   with
+  | () -> Alcotest.fail "expected the exception to propagate"
+  | exception Failure _ -> ());
+  match Obs.Recorder.spans t with
+  | [ s ] ->
+      check Alcotest.int64 "closed on exception" 7L s.Obs.Recorder.stop_ns
+  | l -> Alcotest.failf "expected 1 span, got %d" (List.length l)
+
+let test_recorder_counters_and_reset () =
+  let t, _ = manual_recorder () in
+  Obs.Recorder.incr t "a";
+  Obs.Recorder.incr t ~by:4 "a";
+  Obs.Recorder.incr t "b";
+  check Alcotest.int "a" 5 (Obs.Recorder.counter t "a");
+  check Alcotest.int "unknown counter" 0 (Obs.Recorder.counter t "zzz");
+  check
+    Alcotest.(list (pair string int))
+    "sorted" [ ("a", 5); ("b", 1) ] (Obs.Recorder.counters t);
+  Obs.Recorder.reset t;
+  check Alcotest.int "reset drops counters" 0 (Obs.Recorder.counter t "a");
+  check Alcotest.bool "reset keeps enabled" true (Obs.Recorder.enabled t)
+
+let test_recorder_span_cap () =
+  let now = ref 0L in
+  let t = Obs.Recorder.create ~clock:(fun () -> !now) ~max_spans:4 () in
+  Obs.Recorder.set_enabled t true;
+  for i = 1 to 10 do
+    let sp = Obs.Recorder.span_begin t ~layer:"net" "s" in
+    now := Int64.of_int (i * 10);
+    Obs.Recorder.span_end t sp
+  done;
+  check Alcotest.int "retained at cap" 4 (Obs.Recorder.span_count t);
+  check Alcotest.int "overflow counted" 6 (Obs.Recorder.dropped_spans t);
+  (* dropped spans still feed the layer histogram *)
+  match Obs.Recorder.histogram t "span/net" with
+  | Some h -> check Alcotest.int "histogram sees all" 10 (Obs.Histogram.count h)
+  | None -> Alcotest.fail "missing histogram"
+
+(* --- Chrome trace JSON round-trip --- *)
+
+let test_trace_json_roundtrip () =
+  let t, now = manual_recorder () in
+  let outer = Obs.Recorder.span_begin t ~layer:"shim" "call \"q\"\\n" in
+  now := 1_500L;
+  let inner = Obs.Recorder.span_begin t ~layer:"rpc" "call xid=1" in
+  now := 2_750L;
+  Obs.Recorder.span_end t inner;
+  now := 9_001L;
+  Obs.Recorder.span_end t outer;
+  (* a retroactive root event, the way GPU completions are recorded *)
+  Obs.Recorder.span_event t ~layer:"gpu" ~name:"matrixMul"
+    ~start_ns:5_000L ~stop_ns:12_345L;
+  Obs.Recorder.incr t ~by:3 "rpc.retry";
+  let json = Obs.Trace_export.to_json t in
+  let events = Obs.Trace_export.events_of_json json in
+  let spans =
+    List.filter_map
+      (function Obs.Trace_export.Span s -> Some s | _ -> None)
+      events
+  in
+  let counters =
+    List.filter_map
+      (function
+        | Obs.Trace_export.Counter { name; value } -> Some (name, value)
+        | _ -> None)
+      events
+  in
+  (* exact ns timestamps round-trip through the µs-based ts/dur fields *)
+  let original = Obs.Recorder.spans t in
+  check Alcotest.int "span count" (List.length original) (List.length spans);
+  List.iter2
+    (fun (a : Obs.Recorder.span_info) (b : Obs.Recorder.span_info) ->
+      check Alcotest.int "id" a.id b.id;
+      check Alcotest.int "parent" a.parent b.parent;
+      check Alcotest.string "name" a.name b.name;
+      check Alcotest.string "layer" a.layer b.layer;
+      check Alcotest.int64 "start" a.start_ns b.start_ns;
+      check Alcotest.int64 "stop" a.stop_ns b.stop_ns)
+    original spans;
+  check Alcotest.(list (pair string int)) "counters" [ ("rpc.retry", 3) ]
+    counters;
+  (* the nesting invariant holds on the round-tripped spans *)
+  (match Obs.Trace_export.check_nesting spans with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "nesting: %s" e);
+  (* and the validator actually rejects a child escaping its parent *)
+  let bad =
+    [
+      { Obs.Recorder.id = 0; parent = -1; name = "p"; layer = "a";
+        start_ns = 0L; stop_ns = 10L };
+      { Obs.Recorder.id = 1; parent = 0; name = "c"; layer = "a";
+        start_ns = 5L; stop_ns = 20L };
+    ]
+  in
+  match Obs.Trace_export.check_nesting bad with
+  | Ok () -> Alcotest.fail "expected nesting violation"
+  | Error _ -> ()
+
+let test_trace_json_rejects_garbage () =
+  List.iter
+    (fun s ->
+      match Obs.Trace_export.events_of_json s with
+      | _ -> Alcotest.failf "expected Parse_error on %S" s
+      | exception Obs.Trace_export.Parse_error _ -> ())
+    [ ""; "{"; "[]"; "{\"traceEvents\": 3}"; "{\"traceEvents\":[]} trailing" ]
+
+(* --- end-to-end layer decomposition --- *)
+
+let small_mm = { Apps.Matrix_mul.ha = 32; wa = 32; wb = 32; iterations = 2 }
+
+let layers_of obs =
+  List.sort_uniq compare
+    (List.map (fun s -> s.Obs.Recorder.layer) (Obs.Recorder.spans obs))
+
+let test_run_layer_decomposition () =
+  let obs = Obs.Recorder.create () in
+  Obs.Recorder.set_enabled obs true;
+  let m =
+    Unikernel.Runner.run ~obs Unikernel.Config.unikraft
+      (Apps.Matrix_mul.run ~verify:true small_mm)
+  in
+  let layers = layers_of obs in
+  List.iter
+    (fun l ->
+      check Alcotest.bool (Printf.sprintf "layer %s present" l) true
+        (List.mem l layers))
+    [ "shim"; "rpc"; "net"; "dispatch"; "gpu" ];
+  (* decomposition sanity: each inner layer fits inside the outer one *)
+  let total l = Obs.Recorder.layer_total_ns obs l in
+  let elapsed = m.Unikernel.Runner.elapsed in
+  check Alcotest.bool "shim <= elapsed" true (total "shim" <= elapsed);
+  check Alcotest.bool "rpc <= shim" true (total "rpc" <= total "shim");
+  check Alcotest.bool "net <= rpc" true (total "net" <= total "rpc");
+  check Alcotest.bool "gpu spans have width" true (total "gpu" > 0L);
+  (* dispatch spans carry the RPCL procedure names with xids *)
+  check Alcotest.bool "dispatch names resolved" true
+    (List.exists
+       (fun s ->
+         s.Obs.Recorder.layer = "dispatch"
+         && String.length s.Obs.Recorder.name >= 4
+         && String.sub s.Obs.Recorder.name 0 4 = "rpc_")
+       (Obs.Recorder.spans obs));
+  (* nesting is structurally valid for the whole run *)
+  match Obs.Trace_export.check_nesting (Obs.Recorder.spans obs) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "nesting: %s" e
+
+let test_run_tcp_layer_decomposition () =
+  let obs = Obs.Recorder.create () in
+  Obs.Recorder.set_enabled obs true;
+  let _m, channel =
+    Unikernel.Runner.run_tcp ~obs Unikernel.Config.hermit
+      (Apps.Matrix_mul.run ~verify:true small_mm)
+  in
+  ignore channel;
+  let layers = layers_of obs in
+  List.iter
+    (fun l ->
+      check Alcotest.bool (Printf.sprintf "tcp layer %s present" l) true
+        (List.mem l layers))
+    [ "shim"; "rpc"; "net"; "dispatch"; "gpu" ];
+  (* the executable stack path also exports a valid Chrome trace *)
+  let events = Obs.Trace_export.events_of_json (Obs.Trace_export.to_json obs) in
+  check Alcotest.bool "export is non-trivial" true (List.length events > 10)
+
+let test_run_without_obs_records_nothing () =
+  (* the default path must stay dark: no recorder, no events anywhere *)
+  let m =
+    Unikernel.Runner.run Unikernel.Config.rust_native
+      (Apps.Matrix_mul.run ~verify:true small_mm)
+  in
+  check Alcotest.bool "run still measures" true
+    (m.Unikernel.Runner.elapsed > 0L);
+  check Alcotest.int "null recorder untouched" 0
+    (List.length (Obs.Recorder.spans Obs.Recorder.null))
+
+let suite =
+  [
+    Alcotest.test_case "histogram basics" `Quick test_histogram_basics;
+    Alcotest.test_case "histogram clamps and extremes" `Quick
+      test_histogram_clamps_and_extremes;
+    Alcotest.test_case "histogram skew" `Quick test_histogram_skew;
+    Alcotest.test_case "disabled recorder is inert" `Quick
+      test_recorder_disabled_records_nothing;
+    Alcotest.test_case "span nesting and layer totals" `Quick
+      test_recorder_nesting_and_layers;
+    Alcotest.test_case "with_span closes on exceptions" `Quick
+      test_recorder_with_span_and_exceptions;
+    Alcotest.test_case "counters and reset" `Quick
+      test_recorder_counters_and_reset;
+    Alcotest.test_case "span cap and dropped accounting" `Quick
+      test_recorder_span_cap;
+    Alcotest.test_case "Chrome trace JSON round-trip" `Quick
+      test_trace_json_roundtrip;
+    Alcotest.test_case "trace JSON parser rejects garbage" `Quick
+      test_trace_json_rejects_garbage;
+    Alcotest.test_case "run layer decomposition" `Quick
+      test_run_layer_decomposition;
+    Alcotest.test_case "run_tcp layer decomposition" `Quick
+      test_run_tcp_layer_decomposition;
+    Alcotest.test_case "run without obs records nothing" `Quick
+      test_run_without_obs_records_nothing;
+  ]

@@ -625,6 +625,81 @@ let test_udp_size_limit () =
   Oncrpc.Udp.close_client client;
   Oncrpc.Udp.shutdown udp
 
+(* --- typed errors --- *)
+
+let test_tcp_connect_resolution_error () =
+  (* .invalid is reserved (RFC 2606): resolution must fail, and it must
+     fail as a typed error, not a stringly Failure *)
+  match Oncrpc.Transport.tcp_connect ~host:"no-such-host.invalid" ~port:1 with
+  | _ -> Alcotest.fail "expected Connect_error"
+  | exception
+      Oncrpc.Transport.Connect_error
+        (Oncrpc.Transport.Resolution_failed { host; port }) ->
+      check Alcotest.string "host" "no-such-host.invalid" host;
+      check Alcotest.int "port" 1 port
+
+let test_dispatch_reply_typed_error () =
+  let server = Oncrpc.Server.create () in
+  add_service server;
+  (* a well-formed REPLY where a CALL belongs: typed, with the xid *)
+  let reply =
+    let enc = E.create () in
+    Oncrpc.Message.encode enc
+      (Oncrpc.Message.reply_success ~xid:0x1234l ());
+    E.to_string enc
+  in
+  (match Oncrpc.Server.dispatch server reply with
+  | _ -> Alcotest.fail "expected Protocol_error"
+  | exception
+      Oncrpc.Server.Protocol_error (Oncrpc.Server.Unexpected_reply { xid }) ->
+      check Alcotest.int32 "xid" 0x1234l xid);
+  (* a record too short to even carry an xid: Unparseable_request *)
+  match Oncrpc.Server.dispatch server "\x00\x01" with
+  | _ -> Alcotest.fail "expected Protocol_error"
+  | exception
+      Oncrpc.Server.Protocol_error (Oncrpc.Server.Unparseable_request _) ->
+      ()
+
+(* --- UDP retry determinism under a seeded fault plan --- *)
+
+let test_udp_retry_determinism () =
+  (* two executions of the same workload with identically seeded plans
+     must report byte-identical stats and virtual clocks: the retry
+     machinery runs on the engine, never on Unix.gettimeofday *)
+  let run_once () =
+    let server = Oncrpc.Server.create () in
+    add_service server;
+    let udp = Oncrpc.Udp.serve server ~port:0 in
+    let engine = Simnet.Engine.create () in
+    let fault = Simnet.Fault.make (Simnet.Fault.drops ~seed:7 0.4) in
+    let client =
+      Oncrpc.Udp.connect ~timeout_s:0.05 ~retries:8 ~fault ~engine
+        ~host:"127.0.0.1" ~port:(Oncrpc.Udp.port udp) ~prog:300000 ~vers:1 ()
+    in
+    for i = 1 to 12 do
+      let s =
+        Oncrpc.Udp.call client ~proc:1
+          (fun enc -> E.int enc i; E.int enc 1)
+          D.int
+      in
+      check Alcotest.int "sum under faults" (i + 1) s
+    done;
+    let stats = Format.asprintf "%a" Oncrpc.Udp.pp_stats
+        (Oncrpc.Udp.stats client) in
+    let clock = Simnet.Engine.now engine in
+    Oncrpc.Udp.close_client client;
+    Oncrpc.Udp.shutdown udp;
+    (stats, clock)
+  in
+  let stats_a, clock_a = run_once () in
+  let stats_b, clock_b = run_once () in
+  check Alcotest.string "stats byte-identical" stats_a stats_b;
+  check Alcotest.int64 "virtual clocks identical" clock_a clock_b;
+  (* the plan at 40% loss over 12 calls certainly suppressed something,
+     so the determinism above exercised the virtual-time retry path *)
+  check Alcotest.bool "plan injected losses" true
+    (String.length stats_a > 0 && clock_a > 0L)
+
 (* --- portmapper --- *)
 
 let test_portmap_registry () =
@@ -695,6 +770,12 @@ let suite =
     Alcotest.test_case "UDP error reply" `Quick test_udp_error_reply;
     Alcotest.test_case "UDP timeout" `Quick test_udp_timeout;
     Alcotest.test_case "UDP size limit" `Quick test_udp_size_limit;
+    Alcotest.test_case "typed resolution error" `Quick
+      test_tcp_connect_resolution_error;
+    Alcotest.test_case "typed dispatch protocol errors" `Quick
+      test_dispatch_reply_typed_error;
+    Alcotest.test_case "UDP retry determinism (seeded faults)" `Quick
+      test_udp_retry_determinism;
     Alcotest.test_case "portmap registry" `Quick test_portmap_registry;
     Alcotest.test_case "portmap over RPC" `Quick test_portmap_rpc;
   ]
