@@ -268,10 +268,47 @@ let tcpstack_tests ~quick =
   in
   [ test_csum_bytewise; test_csum_folded; test_upload ]
 
+(* --- tenancy group ---
+
+   Host-time cost of the serving core's hot path: the admission gate
+   (two array ops per item) and a full DRR enqueue/next/charge cycle
+   across 64 tenants with costs that force ring rotations. These bound
+   the per-item scheduling overhead the 10k-client harness adds on top
+   of the simulated GPU work. *)
+
+let test_tenancy_admission =
+  let adm = Tenancy.Admission.create ~n_tenants:64 () in
+  let i = ref 0 in
+  Test.make ~name:"tenancy/admission-offer-complete"
+    (Staged.stage (fun () ->
+         let tenant = !i land 63 in
+         incr i;
+         match Tenancy.Admission.offer adm ~tenant with
+         | Ok () -> Tenancy.Admission.complete adm ~tenant
+         | Error _ -> ()))
+
+let test_tenancy_drr =
+  let tenants = Array.init 64 (Printf.sprintf "t%02d") in
+  let priorities = Array.make 64 0 in
+  let d =
+    Tenancy.Dispatch.create ~policy:Cricket.Sched.Round_robin
+      ~quantum_ns:1_000 ~tenants ~priorities ()
+  in
+  let i = ref 0 in
+  Test.make ~name:"tenancy/drr-enqueue-next-charge"
+    (Staged.stage (fun () ->
+         let tenant = !i land 63 in
+         incr i;
+         Tenancy.Dispatch.enqueue d ~tenant ();
+         match Tenancy.Dispatch.next d with
+         | Some (t, ()) -> Tenancy.Dispatch.charge d ~tenant:t ~cost_ns:700
+         | None -> ()))
+
 let all_tests =
   [
     test_table1; test_fig5a; test_fig5b; test_fig5c; test_fig6; test_fig7;
     test_xdr; test_record; test_lzss; test_netcost; test_sched;
+    test_tenancy_admission; test_tenancy_drr;
   ]
 
 let run ?(quick = false) () =

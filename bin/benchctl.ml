@@ -500,11 +500,87 @@ let trace_cmd =
       const run
       $ Arg.(value & opt int 5 & info [ "n"; "iterations" ] ~docv:"N"))
 
+(* --- tenants --- *)
+
+let tenants_cmd =
+  let policy_conv =
+    Arg.enum
+      [ ("fifo", Cricket.Sched.Fifo); ("rr", Cricket.Sched.Round_robin);
+        ("priority", Cricket.Sched.Priority) ]
+  in
+  let run smoke uniform tenants items seed policy mean_gap_us
+      per_tenant_window global_window high_water =
+    let base = if smoke then Tenancy.Loadgen.smoke else Tenancy.Loadgen.default in
+    let override v = function Some x -> x | None -> v in
+    let params =
+      {
+        base with
+        Tenancy.Loadgen.tenants = override base.Tenancy.Loadgen.tenants tenants;
+        items_per_tenant = override base.Tenancy.Loadgen.items_per_tenant items;
+        seed = override base.Tenancy.Loadgen.seed seed;
+        mean_gap =
+          (match mean_gap_us with
+          | Some us -> Simnet.Time.us us
+          | None -> base.Tenancy.Loadgen.mean_gap);
+        policies =
+          (match policy with
+          | Some p -> [ p ]
+          | None -> base.Tenancy.Loadgen.policies);
+        admission =
+          {
+            Tenancy.Admission.per_tenant_window =
+              override base.Tenancy.Loadgen.admission
+                .Tenancy.Admission.per_tenant_window per_tenant_window;
+            global_window =
+              override base.Tenancy.Loadgen.admission
+                .Tenancy.Admission.global_window global_window;
+            high_water =
+              override base.Tenancy.Loadgen.admission
+                .Tenancy.Admission.high_water high_water;
+          };
+        uniform = uniform || base.Tenancy.Loadgen.uniform;
+      }
+    in
+    print_string (Tenancy.Loadgen.to_string (Tenancy.Loadgen.run params))
+  in
+  Cmd.v
+    (Cmd.info "tenants"
+       ~doc:"multi-tenant serving-core load harness: thousands of simulated \
+             clients with Poisson arrivals and a mixed workload against one \
+             Cricket server, under leases, admission windows and fair-share \
+             dispatch; reports per-policy p50/p99 sojourn, typed rejection \
+             counts and the Jain fairness index. Seed-deterministic: equal \
+             seeds print byte-identical reports.")
+    Term.(
+      const run
+      $ Arg.(value & flag
+             & info [ "smoke" ]
+                 ~doc:"CI-sized run (1k tenants, tighter windows).")
+      $ Arg.(value & flag
+             & info [ "uniform" ]
+                 ~doc:"Identical cheap items for every tenant (fairness \
+                       baseline: DRR should push Jain toward 1).")
+      $ Arg.(value & opt (some int) None & info [ "tenants" ] ~docv:"N")
+      $ Arg.(value & opt (some int) None
+             & info [ "items" ] ~docv:"N" ~doc:"Work items per tenant.")
+      $ Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"SEED")
+      $ Arg.(value & opt (some policy_conv) None
+             & info [ "policy" ] ~docv:"POLICY"
+                 ~doc:"Run one policy only (fifo | rr | priority); default \
+                       runs all three.")
+      $ Arg.(value & opt (some int) None
+             & info [ "mean-gap-us" ] ~docv:"US"
+                 ~doc:"Per-tenant Poisson inter-arrival mean.")
+      $ Arg.(value & opt (some int) None
+             & info [ "per-tenant-window" ] ~docv:"N")
+      $ Arg.(value & opt (some int) None & info [ "global-window" ] ~docv:"N")
+      $ Arg.(value & opt (some int) None & info [ "high-water" ] ~docv:"N"))
+
 let main =
   Cmd.group
     (Cmd.info "benchctl" ~doc:"run individual paper experiments")
     [ table1_cmd; matrixmul_cmd; solver_cmd; histogram_cmd; micro_cmd;
-      bandwidth_cmd; pipeline_cmd; multitenant_cmd; trace_cmd; faults_cmd;
-      offloads_cmd; latency_cmd ]
+      bandwidth_cmd; pipeline_cmd; multitenant_cmd; tenants_cmd; trace_cmd;
+      faults_cmd; offloads_cmd; latency_cmd ]
 
 let () = exit (Cmd.eval main)

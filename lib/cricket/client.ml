@@ -169,11 +169,19 @@ let recover t =
       Fun.protect
         ~finally:(fun () -> r.recovering <- false)
         (fun () ->
-          if r.has_checkpoint then
-            check_void (P.rpc_restore t.rpc r.checkpoint_name);
-          Queue.iter (fun redo -> redo ()) r.journal;
-          r.replayed <- r.replayed + Queue.length r.journal;
-          r.recoveries <- r.recoveries + 1)
+          try
+            if r.has_checkpoint then
+              check_void (P.rpc_restore t.rpc r.checkpoint_name);
+            Queue.iter (fun redo -> redo ()) r.journal;
+            r.replayed <- r.replayed + Queue.length r.journal;
+            r.recoveries <- r.recoveries + 1
+          with
+          | Session_lost _ as e -> raise e
+          | e ->
+              (* the server refused the restore or part of the replay (an
+                 expired lease, a revoked credential): resuming would leave
+                 the session on partially replayed state, so it is lost *)
+              raise (lose t ("recovery refused: " ^ Printexc.to_string e)))
 
 let enable_recovery ?(retry = Oncrpc.Client.default_retry)
     ?(checkpoint_every = 64) ?(checkpoint_name = "session-auto") t ~now ~sleep

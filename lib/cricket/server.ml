@@ -1,5 +1,35 @@
 module P = Proto.Rpc_cd_prog_def_v1
 
+(* Multi-tenant serving hooks (installed by [Tenancy.Core]): the server
+   stays tenancy-agnostic but exposes the interception points a serving
+   core needs — an admission gate evaluated before dispatch, and
+   per-tenant accounting of device allocations and streams so leases can
+   cap and reclaim them. *)
+type reject = [ `Lease_expired | `Over_quota | `Overloaded ]
+
+let reject_to_auth_stat : reject -> Oncrpc.Message.auth_stat = function
+  | `Lease_expired -> Oncrpc.Message.Auth_rejectedcred
+  | `Over_quota -> Oncrpc.Message.Auth_tooweak
+  | `Overloaded -> Oncrpc.Message.Auth_failed
+
+let reject_of_auth_stat : Oncrpc.Message.auth_stat -> reject option = function
+  | Oncrpc.Message.Auth_rejectedcred -> Some `Lease_expired
+  | Oncrpc.Message.Auth_tooweak -> Some `Over_quota
+  | Oncrpc.Message.Auth_failed -> Some `Overloaded
+  | _ -> None
+
+type tenant_hooks = {
+  admit : tenant:string -> reject option;
+      (** evaluated once per dispatched request; [Some r] denies the call
+          with an auth rejection carrying [r] *)
+  malloc_allowed : tenant:string -> size:int64 -> bool;
+  note_malloc : tenant:string -> ptr:int64 -> size:int64 -> unit;
+  note_free : tenant:string -> ptr:int64 -> unit;
+  stream_allowed : tenant:string -> bool;
+  note_stream_create : tenant:string -> handle:int64 -> unit;
+  note_stream_destroy : tenant:string -> handle:int64 -> unit;
+}
+
 type t = {
   rpc : Oncrpc.Server.t;
   ctx : Cudasim.Context.t;
@@ -11,10 +41,50 @@ type t = {
   spawn_clock : Cudasim.Context.clock;
   mutable calls : int;
   per_proc : (int, int) Hashtbl.t;
+  per_tenant : (string, int) Hashtbl.t;
+  mutable current_tenant : string option;
+  mutable tenant_hooks : tenant_hooks option;
   trace : Trace.t;
   mutable last_proc : int;
   mutable last_arg_bytes : int;
 }
+
+(* The dispatch path is synchronous, so the tenant of the in-flight call
+   lives in a single mutable slot set by [dispatch_for]. *)
+let hooked t =
+  match (t.tenant_hooks, t.current_tenant) with
+  | Some h, Some tenant -> Some (h, tenant)
+  | _ -> None
+
+let tenant_malloc_allowed t size =
+  match hooked t with
+  | Some (h, tenant) -> h.malloc_allowed ~tenant ~size
+  | None -> true
+
+let tenant_note_malloc t ~ptr ~size =
+  match hooked t with
+  | Some (h, tenant) -> h.note_malloc ~tenant ~ptr ~size
+  | None -> ()
+
+let tenant_note_free t ~ptr =
+  match hooked t with
+  | Some (h, tenant) -> h.note_free ~tenant ~ptr
+  | None -> ()
+
+let tenant_stream_allowed t =
+  match hooked t with
+  | Some (h, tenant) -> h.stream_allowed ~tenant
+  | None -> true
+
+let tenant_note_stream_create t ~handle =
+  match hooked t with
+  | Some (h, tenant) -> h.note_stream_create ~tenant ~handle
+  | None -> ()
+
+let tenant_note_stream_destroy t ~handle =
+  match hooked t with
+  | Some (h, tenant) -> h.note_stream_destroy ~tenant ~handle
+  | None -> ()
 
 let err_of = Cudasim.Error.code
 
@@ -85,10 +155,23 @@ let implementation t : P.Server.implementation =
     rpc_cudaDeviceReset = (fun () -> void_result (Cudasim.Api.device_reset ctx));
     rpc_cudaMalloc =
       (fun size ->
-        match Cudasim.Api.malloc ctx size with
-        | Ok ptr -> u64_result_ok ptr
-        | Error e -> u64_result e);
-    rpc_cudaFree = (fun ptr -> void_result (Cudasim.Api.free ctx ptr));
+        (* the lease cap rejects like device OOM would: the tenant sees
+           cudaErrorMemoryAllocation, other tenants' memory stays safe *)
+        if not (tenant_malloc_allowed t size) then
+          u64_result Cudasim.Error.Memory_allocation
+        else
+          match Cudasim.Api.malloc ctx size with
+          | Ok ptr ->
+              tenant_note_malloc t ~ptr ~size;
+              u64_result_ok ptr
+          | Error e -> u64_result e);
+    rpc_cudaFree =
+      (fun ptr ->
+        let e = Cudasim.Api.free ctx ptr in
+        (match e with
+        | Cudasim.Error.Success -> tenant_note_free t ~ptr
+        | _ -> ());
+        void_result e);
     rpc_cudaMemcpyHtoD =
       (fun dst data -> void_result (Cudasim.Api.memcpy_h2d ctx ~dst data));
     rpc_cudaMemcpyDtoH =
@@ -115,9 +198,21 @@ let implementation t : P.Server.implementation =
         | Ok data -> mem_result_ok data
         | Error e -> mem_result e);
     rpc_cudaStreamCreate =
-      (fun () -> u64_result_ok (Cudasim.Api.stream_create ctx));
+      (fun () ->
+        if not (tenant_stream_allowed t) then
+          u64_result Cudasim.Error.Memory_allocation
+        else begin
+          let h = Cudasim.Api.stream_create ctx in
+          tenant_note_stream_create t ~handle:h;
+          u64_result_ok h
+        end);
     rpc_cudaStreamDestroy =
-      (fun h -> void_result (Cudasim.Api.stream_destroy ctx h));
+      (fun h ->
+        let e = Cudasim.Api.stream_destroy ctx h in
+        (match e with
+        | Cudasim.Error.Success -> tenant_note_stream_destroy t ~handle:h
+        | _ -> ());
+        void_result e);
     rpc_cudaStreamSynchronize =
       (fun h -> void_result (Cudasim.Api.stream_synchronize ctx h));
     rpc_cudaEventCreate = (fun () -> u64_result_ok (Cudasim.Api.event_create ctx));
@@ -312,6 +407,8 @@ let create ?devices ?memory_capacity ?(checkpoint_dir = ".") ~clock () =
     { rpc; ctx; checkpoint_dir; spawn_devices = devices;
       spawn_memory_capacity = memory_capacity; spawn_clock = clock;
       calls = 0; per_proc = Hashtbl.create 64;
+      per_tenant = Hashtbl.create 64; current_tenant = None;
+      tenant_hooks = None;
       trace = Trace.create (); last_proc = -1; last_arg_bytes = 0 }
   in
   P.Server.register (implementation t) rpc;
@@ -384,18 +481,60 @@ let rpc_server t = t.rpc
 let context t = t.ctx
 let trace t = t.trace
 
-let dispatch t request =
-  if not (Trace.enabled t.trace) then Oncrpc.Server.dispatch t.rpc request
+let dispatch_ident ?ident t request =
+  if not (Trace.enabled t.trace) then Oncrpc.Server.dispatch ?ident t.rpc request
   else begin
     let clock = Cudasim.Context.clock t.ctx in
     t.last_proc <- -1;
     let t0 = clock.Cudasim.Context.now () in
-    let reply = Oncrpc.Server.dispatch t.rpc request in
+    let reply = Oncrpc.Server.dispatch ?ident t.rpc request in
     if t.last_proc >= 0 then
       Trace.record t.trace ~now:t0 ~proc:t.last_proc
         ~proc_name:(proc_name t.last_proc) ~arg_bytes:t.last_arg_bytes
         ~duration:(Simnet.Time.sub (clock.Cudasim.Context.now ()) t0);
     reply
   end
+
+let dispatch t request = dispatch_ident t request
+
+(* Denied reply for a request refused at admission: parse just the header
+   (for the xid), answer with an auth rejection carrying the typed reason.
+   Requests too broken to parse fall through to normal dispatch, which
+   produces the proper protocol error. *)
+let denied_reply request (reason : reject) =
+  let dec = Xdr.Decode.of_string request in
+  match Oncrpc.Message.decode dec with
+  | { Oncrpc.Message.xid; body = Oncrpc.Message.Call _ } ->
+      let enc = Xdr.Encode.create () in
+      Oncrpc.Message.encode enc
+        (Oncrpc.Message.reply_denied ~xid
+           (Oncrpc.Message.Auth_error (reject_to_auth_stat reason)));
+      Some (Xdr.Encode.to_string enc)
+  | _ | (exception Xdr.Types.Error _) -> None
+
+let set_tenant_hooks t hooks = t.tenant_hooks <- Some hooks
+
+let clear_tenant_hooks t = t.tenant_hooks <- None
+
+let dispatch_for t ~tenant request =
+  Hashtbl.replace t.per_tenant tenant
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.per_tenant tenant));
+  let admit =
+    match t.tenant_hooks with Some h -> h.admit ~tenant | None -> None
+  in
+  match admit with
+  | Some reason -> (
+      match denied_reply request reason with
+      | Some reply -> reply
+      | None -> dispatch_ident ~ident:tenant t request)
+  | None ->
+      t.current_tenant <- Some tenant;
+      Fun.protect
+        ~finally:(fun () -> t.current_tenant <- None)
+        (fun () -> dispatch_ident ~ident:tenant t request)
+
+let tenant_calls t =
+  Hashtbl.fold (fun tenant n acc -> (tenant, n) :: acc) t.per_tenant []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let calls_served t = t.calls

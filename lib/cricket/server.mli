@@ -43,6 +43,50 @@ val context : t -> Cudasim.Context.t
 val dispatch : t -> string -> string
 (** Request record → reply record (convenience re-export). *)
 
+(** {1 Multi-tenant serving hooks}
+
+    The serving core ({!Tenancy.Core} in [lib/tenancy]) sits between the
+    transports and this server. The server itself stays tenancy-agnostic;
+    it only exposes the interception points the core needs: a per-request
+    admission gate and accounting callbacks for the calls that create or
+    release per-tenant device resources. *)
+
+type reject = [ `Lease_expired | `Over_quota | `Overloaded ]
+(** Typed admission rejections. On the wire they travel as RFC 5531 auth
+    rejections ([AUTH_REJECTEDCRED] / [AUTH_TOOWEAK] / [AUTH_FAILED]), so
+    an unmodified client raises a structured {!Oncrpc.Client.Rpc_error}
+    instead of hanging; {!reject_of_auth_stat} recovers the reason. *)
+
+val reject_to_auth_stat : reject -> Oncrpc.Message.auth_stat
+val reject_of_auth_stat : Oncrpc.Message.auth_stat -> reject option
+
+type tenant_hooks = {
+  admit : tenant:string -> reject option;
+      (** evaluated once per dispatched request; [Some r] denies the call
+          with an auth rejection carrying [r] *)
+  malloc_allowed : tenant:string -> size:int64 -> bool;
+      (** [false] fails the allocation with [cudaErrorMemoryAllocation]
+          (the lease cap feels like device OOM to the tenant) *)
+  note_malloc : tenant:string -> ptr:int64 -> size:int64 -> unit;
+  note_free : tenant:string -> ptr:int64 -> unit;
+  stream_allowed : tenant:string -> bool;
+  note_stream_create : tenant:string -> handle:int64 -> unit;
+  note_stream_destroy : tenant:string -> handle:int64 -> unit;
+}
+
+val set_tenant_hooks : t -> tenant_hooks -> unit
+val clear_tenant_hooks : t -> unit
+
+val dispatch_for : t -> tenant:string -> string -> string
+(** Like {!dispatch}, but on behalf of a named tenant: the admission hook
+    runs first (a rejection becomes a typed auth-denied reply), per-tenant
+    call accounting is updated, the tenant identity keys the at-most-once
+    duplicate-request cache (so tenants reusing the same xid space never
+    collide), and resource-creating calls report to the tenant hooks. *)
+
+val tenant_calls : t -> (string * int) list
+(** Per-tenant dispatched-call counts, sorted by tenant name. *)
+
 val calls_served : t -> int
 
 val trace : t -> Trace.t

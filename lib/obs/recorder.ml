@@ -139,6 +139,30 @@ let counters t =
   Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.counters []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
+(* Per-tenant counter labels: one canonical rendering so producers
+   (serving core, server) and consumers (reports, tests) agree on the
+   key. The label char set is unrestricted — "}" simply ends the value at
+   the last brace, and names never contain "{". *)
+let tenant_label name ~tenant = name ^ "{tenant=" ^ tenant ^ "}"
+
+let tenant_of_label label =
+  match String.index_opt label '{' with
+  | Some i
+    when String.length label > i + 8
+         && String.sub label i 8 = "{tenant="
+         && label.[String.length label - 1] = '}' ->
+      let start = i + 8 in
+      Some
+        ( String.sub label 0 i,
+          String.sub label start (String.length label - start - 1) )
+  | _ -> None
+
+let counters_prefixed t ~prefix =
+  let plen = String.length prefix in
+  counters t
+  |> List.filter (fun (name, _) ->
+         String.length name >= plen && String.sub name 0 plen = prefix)
+
 let observe t name v = if t.is_enabled then Histogram.record (hist t name) v
 
 let histogram t name = Hashtbl.find_opt t.histograms name

@@ -82,6 +82,24 @@ val counter : t -> string -> int
 val counters : t -> (string * int) list
 (** Sorted by name. *)
 
+(** {2 Per-tenant labels}
+
+    Multi-tenant layers emit one counter per (name, tenant) pair under a
+    canonical rendering, so producers and report code agree on the key
+    without a registry. *)
+
+val tenant_label : string -> tenant:string -> string
+(** [tenant_label "tenancy.served" ~tenant:"uk3"] is
+    ["tenancy.served{tenant=uk3}"]. *)
+
+val tenant_of_label : string -> (string * string) option
+(** Inverse of {!tenant_label}: [(name, tenant)] when the label carries a
+    tenant, [None] otherwise. *)
+
+val counters_prefixed : t -> prefix:string -> (string * int) list
+(** Counters whose name starts with [prefix], sorted by name — e.g. all
+    per-tenant instances of one logical counter. *)
+
 (** {1 Histograms} *)
 
 val observe : t -> string -> int64 -> unit

@@ -7,11 +7,14 @@ type handler = Xdr.Decode.t -> Xdr.Encode.t -> unit
 type service = { vers : int; procedures : (int, handler) Hashtbl.t }
 
 (* At-most-once duplicate-request cache: remembers the reply produced for
-   each (xid, prog, vers, proc), so a client retransmission of a call whose
-   reply was lost gets the original reply back instead of re-executing the
-   handler. Bounded FIFO; a live retransmission always targets a recent
+   each (ident, xid, prog, vers, proc), so a client retransmission of a
+   call whose reply was lost gets the original reply back instead of
+   re-executing the handler. The leading [ident] is the caller's
+   connection/tenant identity: two tenants reusing the same xid space must
+   never collide into each other's cached replies, so identity is part of
+   the key. Bounded FIFO; a live retransmission always targets a recent
    entry, so eviction of old xids is safe. *)
-type dup_key = int32 * int * int * int
+type dup_key = string * int32 * int * int * int
 
 type dup_cache = {
   capacity : int;
@@ -200,7 +203,7 @@ let dispatch_call t dec ~xid c =
                       in
                       if oneway then None else Some reply)))
 
-let dispatch_opt t request =
+let dispatch_opt ?(ident = "") t request =
   let dec = Xdr.Decode.of_string request in
   let msg =
     try Message.decode dec
@@ -211,7 +214,7 @@ let dispatch_opt t request =
   match msg.Message.body with
   | Message.Reply _ -> raise (Protocol_error (Unexpected_reply { xid }))
   | Message.Call c -> (
-      let key = (xid, c.Message.prog, c.Message.vers, c.Message.proc) in
+      let key = (ident, xid, c.Message.prog, c.Message.vers, c.Message.proc) in
       match t.dup_cache with
       | Some cache when Hashtbl.mem cache.entries key ->
           (* Retransmission of an already-executed call: serve the recorded
@@ -248,14 +251,31 @@ let dispatch_opt t request =
               Hashtbl.replace cache.entries key reply);
           reply)
 
-let dispatch t request = Option.value (dispatch_opt t request) ~default:""
+let dispatch ?ident t request =
+  Option.value (dispatch_opt ?ident t request) ~default:""
 
-let serve_transport t transport =
+(* Per-connection identity for transports that carry no explicit tenant:
+   each served connection gets a fresh ident, so concurrent clients with
+   overlapping xid spaces keep separate at-most-once cache entries. *)
+let conn_counter = ref 0
+let conn_counter_mutex = Mutex.create ()
+
+let fresh_conn_ident () =
+  Mutex.lock conn_counter_mutex;
+  incr conn_counter;
+  let n = !conn_counter in
+  Mutex.unlock conn_counter_mutex;
+  Printf.sprintf "conn-%d" n
+
+let serve_transport ?ident t transport =
+  let ident =
+    match ident with Some i -> i | None -> fresh_conn_ident ()
+  in
   let rec loop () =
     match Record.read_opt transport with
     | None -> ()
     | Some request ->
-        (match dispatch_opt t request with
+        (match dispatch_opt ~ident t request with
         | None -> ()
         | Some reply -> Record.write transport reply);
         loop ()

@@ -38,14 +38,18 @@ val set_auth_check : t -> (Auth.t -> Message.auth_stat option) -> unit
 
 val set_dup_cache : ?capacity:int -> t -> unit
 (** Enable the at-most-once duplicate-request cache. Every dispatched call
-    records its reply under [(xid, prog, vers, proc)]; a retransmission of
-    the same call — the client reuses the xid, see {!Client.call} — gets
-    the recorded reply back without re-executing the handler. This is what
-    makes retrying non-idempotent procedures (allocation, launch, free)
-    safe when a reply record is lost. For cached one-way calls the
-    duplicate is swallowed entirely. The cache is a bounded FIFO
-    ([capacity] entries, default 4096): a live retransmission always
-    targets a recent xid, so evicting old entries is safe. *)
+    records its reply under [(ident, xid, prog, vers, proc)] — the
+    caller's connection/tenant identity (see {!dispatch_opt}) plus the RFC
+    1831 duplicate key; a retransmission of the same call — the client
+    reuses the xid, see {!Client.call} — gets the recorded reply back
+    without re-executing the handler. This is what makes retrying
+    non-idempotent procedures (allocation, launch, free) safe when a reply
+    record is lost, and keying by identity means two tenants reusing the
+    same xid space can never collide into each other's cached replies. For
+    cached one-way calls the duplicate is swallowed entirely. The cache is
+    a bounded FIFO ([capacity] entries, default 4096): a live
+    retransmission always targets a recent xid, so evicting old entries is
+    safe. *)
 
 val dup_hits : t -> int
 (** Number of calls answered from the duplicate-request cache. *)
@@ -78,22 +82,27 @@ exception Protocol_error of protocol_error
     reply, so callers can match on the cause instead of parsing a
     [Failure] string. *)
 
-val dispatch_opt : t -> string -> string option
-(** Map one request record to at most one reply record. [None] means the
+val dispatch_opt : ?ident:string -> t -> string -> string option
+(** Map one request record to at most one reply record. [ident] (default
+    [""]) is the caller's connection/tenant identity, used to scope the
+    duplicate-request cache: calls from different identities never share
+    cache entries even when their xid spaces overlap. [None] means the
     call resolved to a one-way procedure (see {!set_oneway}) and must not
     be answered. Never raises for malformed or unauthorized calls — those
     become protocol error replies. Raises {!Protocol_error} only if the
     request is too broken to produce a reply (no parseable xid, or a REPLY
     where a CALL belongs). *)
 
-val dispatch : t -> string -> string
+val dispatch : ?ident:string -> t -> string -> string
 (** [dispatch t r] is [dispatch_opt t r] with [None] flattened to [""].
     The empty string is unambiguous — a real reply record is ≥ 12 bytes —
     and every transport adapter skips it rather than framing it. *)
 
-val serve_transport : t -> Transport.t -> unit
+val serve_transport : ?ident:string -> t -> Transport.t -> unit
 (** Read records and reply until the peer closes. Exceptions other than a
-    clean close are logged and terminate the loop. *)
+    clean close are logged and terminate the loop. [ident] defaults to a
+    fresh per-connection identity ([conn-<n>]), so concurrent connections
+    keep separate at-most-once cache entries. *)
 
 (** {1 TCP serving (real sockets)} *)
 

@@ -1,0 +1,271 @@
+module Time = Simnet.Time
+module Engine = Simnet.Engine
+module Rv = Simnet.Random_variate
+
+type params = {
+  tenants : int;
+  items_per_tenant : int;
+  seed : int;
+  mean_gap : Time.t;
+  policies : Cricket.Sched.policy list;
+  quantum_ns : int;
+  admission : Admission.config;
+  caps : Lease.caps;
+  heavy_every : int;
+  heavy_factor : int;
+  uniform : bool;
+}
+
+let default =
+  {
+    tenants = 10_000;
+    items_per_tenant = 4;
+    seed = 42;
+    (* Per-tenant Poisson arrivals; at 10k tenants this offered load keeps
+       the serving core moderately overloaded (~10-20% of items shed), so
+       the admission windows actually engage. *)
+    mean_gap = Time.ms 300;
+    policies = Cricket.Sched.[ Fifo; Round_robin; Priority ];
+    quantum_ns = Dispatch.default_quantum_ns;
+    admission =
+      { Admission.per_tenant_window = 3; global_window = 512; high_water = 448 };
+    caps = { Lease.default_caps with mem_bytes = 1 * 1024 * 1024 };
+    heavy_every = 10;
+    heavy_factor = 8;
+    uniform = false;
+  }
+
+let smoke =
+  {
+    default with
+    tenants = 1_000;
+    items_per_tenant = 4;
+    mean_gap = Time.ms 30;
+    admission =
+      { Admission.per_tenant_window = 3; global_window = 128; high_water = 112 };
+  }
+
+type percentiles = { p50_us : float; p99_us : float }
+
+type report = {
+  policy : Cricket.Sched.policy;
+  tenants : int;
+  items : int;
+  completed : int;
+  rejected_quota : int;
+  rejected_overload : int;
+  rejected_expired : int;
+  errors : int;
+  makespan_ms : float;
+  latency : percentiles;  (** aggregate sojourn *)
+  tenant_p99_min_us : float;  (** spread of per-tenant p99 sojourn *)
+  tenant_p99_med_us : float;
+  tenant_p99_max_us : float;
+  jain : float;
+}
+
+(* Small deterministic payload, shared across Transfer items. *)
+let payload =
+  lazy
+    (Bytes.init 32_768 (fun i -> Char.chr ((i * 131) land 0xff)))
+
+(* Three item shapes with distinct cost profiles:
+   - Small: 4 KiB scratch, memset, free (cheap control-plane traffic);
+   - Transfer: 32 KiB h2d + d2h round trip (PCIe bound);
+   - Compute: 32x32 sgemm through a transient cuBLAS handle (GPU bound). *)
+type kind = Small | Transfer | Compute
+
+let kind_of_draw u = if u < 0.6 then Small else if u < 0.9 then Transfer else Compute
+
+let run_item client kind ~repeat =
+  let module C = Cricket.Client in
+  for _ = 1 to repeat do
+    match kind with
+    | Small ->
+        let p = C.malloc client 4096 in
+        C.memset client ~ptr:p ~value:0 ~len:4096;
+        C.free client p
+    | Transfer ->
+        let data = Lazy.force payload in
+        let len = Bytes.length data in
+        let p = C.malloc client len in
+        C.memcpy_h2d client ~dst:p data;
+        ignore (C.memcpy_d2h client ~src:p ~len);
+        C.free client p
+    | Compute ->
+        let n = 32 in
+        let bytes = n * n * 4 in
+        let h = C.cublas_create client in
+        let a = C.malloc client bytes in
+        let b = C.malloc client bytes in
+        let c = C.malloc client bytes in
+        C.cublas_sgemm client ~handle:h ~m:n ~n ~k:n ~alpha:1.0 ~a ~lda:n
+          ~b ~ldb:n ~beta:0.0 ~c ~ldc:n;
+        C.free client a;
+        C.free client b;
+        C.free client c;
+        C.cublas_destroy client h
+  done
+
+let tenant_name i = Printf.sprintf "t%05d" i
+
+let run_policy (params : params) policy =
+  let engine = Engine.create () in
+  let server = Cricket.Server.create ~clock:(Cudasim.Context.engine_clock engine) () in
+  let specs =
+    Array.init params.tenants (fun i ->
+        {
+          Core.name = tenant_name i;
+          (* Three priority classes, round-robin over tenant index, so the
+             Priority policy has real classes to discriminate. *)
+          priority = i mod 3;
+          caps = Some params.caps;
+        })
+  in
+  let core =
+    Core.create ~engine ~server ~policy ~quantum_ns:params.quantum_ns
+      ~admission:params.admission ~tenants:specs ()
+  in
+  (* One lazily-created client per tenant, dispatching through the
+     tenant-aware server path (typed rejections, per-tenant dup cache). *)
+  let clients = Array.make params.tenants None in
+  let client_of i =
+    match clients.(i) with
+    | Some c -> c
+    | None ->
+        let transport =
+          Cricket.Local.transport_of_dispatch (fun record ->
+              Core.dispatch_for core ~tenant:i record)
+        in
+        let c =
+          Cricket.Client.create
+            ~charge:(fun ns -> Engine.advance engine (Time.ns ns))
+            ~transport ()
+        in
+        clients.(i) <- Some c;
+        c
+  in
+  let rv = Rv.create ~seed:params.seed in
+  let items = ref [] in
+  for i = params.tenants - 1 downto 0 do
+    let arrivals =
+      Rv.poisson_arrivals
+        (Rv.create ~seed:(params.seed + (7919 * i) + 1))
+        ~mean_gap:params.mean_gap ~count:params.items_per_tenant
+    in
+    let heavy =
+      (not params.uniform)
+      && params.heavy_every > 0
+      && i mod params.heavy_every = 0
+    in
+    List.iter
+      (fun arrival ->
+        let kind =
+          if params.uniform then Small else kind_of_draw (Rv.uniform rv)
+        in
+        let repeat = if heavy then params.heavy_factor else 1 in
+        items :=
+          {
+            Core.tenant = i;
+            arrival;
+            work = (fun () -> run_item (client_of i) kind ~repeat);
+          }
+          :: !items)
+      arrivals
+  done;
+  (* Stable order under equal arrivals must not depend on construction
+     order tricks: sort by (arrival, tenant). *)
+  let items =
+    List.stable_sort
+      (fun (a : Core.item) b ->
+        match Time.compare a.arrival b.arrival with
+        | 0 -> compare a.tenant b.tenant
+        | c -> c)
+      !items
+  in
+  let result = Core.run core items in
+  let q h p =
+    if Obs.Histogram.count h = 0 then 0.0
+    else Int64.to_float (Obs.Histogram.quantile h p) /. 1_000.0
+  in
+  let per_p99 =
+    Array.to_list result.tenants
+    |> List.filter_map (fun (tr : Core.tenant_result) ->
+           if Obs.Histogram.count tr.sojourn > 0 then
+             Some (q tr.sojourn 0.99)
+           else None)
+    |> List.sort compare
+  in
+  let nth_frac xs f =
+    match xs with
+    | [] -> 0.0
+    | xs ->
+        let n = List.length xs in
+        List.nth xs (min (n - 1) (int_of_float (f *. float_of_int n)))
+  in
+  let rejected_quota =
+    Array.fold_left
+      (fun a (tr : Core.tenant_result) -> a + tr.rejected_quota)
+      0 result.tenants
+  and rejected_overload =
+    Array.fold_left
+      (fun a (tr : Core.tenant_result) -> a + tr.rejected_overload)
+      0 result.tenants
+  and rejected_expired =
+    Array.fold_left
+      (fun a (tr : Core.tenant_result) -> a + tr.rejected_expired)
+      0 result.tenants
+  and errors =
+    Array.fold_left
+      (fun a (tr : Core.tenant_result) -> a + tr.errors)
+      0 result.tenants
+  in
+  {
+    policy;
+    tenants = params.tenants;
+    items = params.tenants * params.items_per_tenant;
+    completed = result.completed;
+    rejected_quota;
+    rejected_overload;
+    rejected_expired;
+    errors;
+    makespan_ms = Time.to_float_ms result.makespan;
+    latency =
+      { p50_us = q result.aggregate 0.5; p99_us = q result.aggregate 0.99 };
+    tenant_p99_min_us = (match per_p99 with [] -> 0.0 | x :: _ -> x);
+    tenant_p99_med_us = nth_frac per_p99 0.5;
+    tenant_p99_max_us = nth_frac per_p99 1.0;
+    jain = result.jain;
+  }
+
+let run params = List.map (run_policy params) params.policies
+
+let header =
+  Printf.sprintf "%-11s %8s %8s %6s %6s %6s %10s %9s %9s %9s %9s %6s"
+    "policy" "complete" "rej-load" "rej-q" "rej-ex" "errors" "makespan"
+    "p50us" "p99us" "t-p99med" "t-p99max" "jain"
+
+let row r =
+  Printf.sprintf
+    "%-11s %8d %8d %6d %6d %6d %8.1fms %9.1f %9.1f %9.1f %9.1f %.4f"
+    (Cricket.Sched.policy_to_string r.policy)
+    r.completed r.rejected_overload r.rejected_quota r.rejected_expired
+    r.errors r.makespan_ms r.latency.p50_us r.latency.p99_us
+    r.tenant_p99_med_us r.tenant_p99_max_us r.jain
+
+let to_string reports =
+  let b = Buffer.create 1024 in
+  (match reports with
+  | [] -> ()
+  | r :: _ ->
+      Buffer.add_string b
+        (Printf.sprintf "tenants=%d items=%d seed-deterministic\n" r.tenants
+           r.items));
+  Buffer.add_string b header;
+  Buffer.add_char b '\n';
+  List.iter
+    (fun r ->
+      Buffer.add_string b (row r);
+      Buffer.add_char b '\n')
+    reports;
+  Buffer.contents b

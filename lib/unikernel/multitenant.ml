@@ -23,15 +23,6 @@ type report = {
   makespan : Simnet.Time.t;
 }
 
-type tenant_state = {
-  spec : tenant_spec;
-  client : Cricket.Client.t;
-  mutable remaining : step list;
-  mutable steps_done : int;
-  mutable finished_at : Time.t option;
-  mutable last_turn : int;  (* round-robin bookkeeping *)
-}
-
 let run ?(policy = Cricket.Sched.Round_robin) ?devices ?memory_capacity
     ?(functional = true) specs =
   if specs = [] then invalid_arg "Multitenant.run: no tenants";
@@ -42,79 +33,80 @@ let run ?(policy = Cricket.Sched.Round_robin) ?devices ?memory_capacity
       ()
   in
   Cudasim.Context.set_functional (Cricket.Server.context server) functional;
-  let tenants =
-    List.map
-      (fun spec ->
+  let specs_a = Array.of_list specs in
+  let core =
+    Tenancy.Core.create ~engine ~server ~policy
+      (* Quantum of 1 virtual ns: any step with nonzero cost exhausts the
+         deficit, so DRR degenerates to one step per tenant per turn —
+         the historical Multitenant round-robin granularity. *)
+      ~quantum_ns:1
+      ~admission:Tenancy.Admission.unlimited
+      ~tenants:
+        (Array.map
+           (fun spec ->
+             { Tenancy.Core.name = spec.name; priority = spec.priority;
+               caps = None })
+           specs_a)
+      ()
+  in
+  (* Each tenant keeps its own RPC channel with its own host profile; the
+     channel dispatches through the tenant-aware server path, so tenants
+     get separate duplicate-request cache key spaces. *)
+  let clients =
+    Array.mapi
+      (fun i spec ->
         let channel =
           Simchannel.create ~engine ~client:spec.config.Config.profile
-            ~dispatch:(Cricket.Server.dispatch server)
+            ~dispatch:(fun req -> Tenancy.Core.dispatch_for core ~tenant:i req)
             ()
         in
-        let client =
-          Cricket.Client.create
-            ~launch_extra_ns:spec.config.Config.launch_extra_ns
-            ~charge:(fun ns -> Engine.advance engine (Time.ns ns))
-            ~transport:(Simchannel.transport channel)
-            ()
-        in
-        { spec; client; remaining = spec.work; steps_done = 0;
-          finished_at = None; last_turn = -1 })
+        Cricket.Client.create
+          ~launch_extra_ns:spec.config.Config.launch_extra_ns
+          ~charge:(fun ns -> Engine.advance engine (Time.ns ns))
+          ~transport:(Simchannel.transport channel)
+          ())
+      specs_a
+  in
+  let n = Array.length specs_a in
+  let steps_total = Array.map (fun s -> List.length s.work) specs_a in
+  let steps_done = Array.make n 0 in
+  let finished_at = Array.make n Time.zero in
+  let items =
+    List.concat
+      (List.mapi
+         (fun i spec ->
+           List.map
+             (fun step ->
+               {
+                 Tenancy.Core.tenant = i;
+                 arrival = Time.zero;
+                 work =
+                   (fun () ->
+                     step clients.(i);
+                     steps_done.(i) <- steps_done.(i) + 1;
+                     if steps_done.(i) = steps_total.(i) then
+                       finished_at.(i) <- Engine.now engine);
+               })
+             spec.work)
+         specs)
+  in
+  let result = Tenancy.Core.run core items in
+  let reports =
+    List.mapi
+      (fun i spec ->
+        {
+          tenant = spec.name;
+          steps = steps_done.(i);
+          api_calls = Cricket.Client.api_calls clients.(i);
+          finished_at =
+            (if steps_done.(i) = steps_total.(i) && steps_total.(i) > 0 then
+               finished_at.(i)
+             else Engine.now engine);
+        })
       specs
   in
-  (* pick the next tenant with work, per policy *)
-  let turn = ref 0 in
-  let next_tenant () =
-    let active = List.filter (fun t -> t.remaining <> []) tenants in
-    match active with
-    | [] -> None
-    | _ ->
-        Some
-          (match policy with
-          | Cricket.Sched.Fifo -> List.hd active
-          | Cricket.Sched.Priority ->
-              List.hd
-                (List.stable_sort
-                   (fun a b -> compare a.spec.priority b.spec.priority)
-                   active)
-          | Cricket.Sched.Round_robin ->
-              List.hd
-                (List.stable_sort
-                   (fun a b -> compare a.last_turn b.last_turn)
-                   active))
-  in
-  let rec drive () =
-    match next_tenant () with
-    | None -> ()
-    | Some t ->
-        (match t.remaining with
-        | step :: rest ->
-            step t.client;
-            t.steps_done <- t.steps_done + 1;
-            t.remaining <- rest;
-            t.last_turn <- !turn;
-            incr turn;
-            if rest = [] then t.finished_at <- Some (Engine.now engine)
-        | [] -> ());
-        drive ()
-  in
-  drive ();
-  let reports =
-    List.map
-      (fun t ->
-        {
-          tenant = t.spec.name;
-          steps = t.steps_done;
-          api_calls = Cricket.Client.api_calls t.client;
-          finished_at =
-            (match t.finished_at with Some x -> x | None -> Engine.now engine);
-        })
-      tenants
-  in
-  {
-    policy;
-    tenants = reports;
-    makespan = Engine.now engine;
-  }
+  ignore result.Tenancy.Core.completed;
+  { policy; tenants = reports; makespan = Engine.now engine }
 
 let pp_report ppf r =
   Format.fprintf ppf "policy %s, makespan %a@."

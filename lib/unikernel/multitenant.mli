@@ -17,7 +17,14 @@
 
     All tenants share one virtual clock, one server, one GPU — so a
     tenant's kernel executions and transfers delay the others exactly as
-    a shared physical device would. *)
+    a shared physical device would.
+
+    Since the serving core landed this harness is a thin veneer over
+    {!Tenancy.Core} (quantum 1 ns so DRR degenerates to one call per
+    tenant per turn, unlimited admission, no leases), kept because its
+    step-granularity reports are what EXPERIMENTS.md's §5 tables pin.
+    For overload behaviour, leases, and 10k-client scale use
+    [Tenancy.Loadgen] / [benchctl tenants]. *)
 
 type step = Cricket.Client.t -> unit
 (** One unit of tenant work (typically one or a few CUDA calls). *)

@@ -655,6 +655,64 @@ let prop_sched_conservation =
             placements)
         [ Cricket.Sched.Fifo; Cricket.Sched.Round_robin; Cricket.Sched.Priority ])
 
+let prop_rr_equal_history_name_order =
+  (* Round robin breaks ties between equally-deserving clients by name:
+     jobs that all arrive together from never-served clients must run in
+     client-name order regardless of submission order. Determinism is
+     what makes multi-tenant runs reproducible. *)
+  let gen =
+    QCheck.Gen.(
+      int_range 1 12 >>= fun n ->
+      shuffle_l (List.init n (Printf.sprintf "c%02d")))
+  in
+  QCheck.Test.make ~count:200
+    ~name:"round robin serves equal-history clients in name order"
+    (QCheck.make ~print:(String.concat ",") gen)
+    (fun names ->
+      let jobs = List.map (fun c -> job c 0 100 0) names in
+      let served =
+        Cricket.Sched.schedule Cricket.Sched.Round_robin jobs
+        |> List.map (fun p -> p.Cricket.Sched.job.Cricket.Sched.client)
+      in
+      served = List.sort compare names
+      && (* and the schedule itself is a pure function of the job set *)
+      Cricket.Sched.schedule Cricket.Sched.Round_robin jobs
+      = Cricket.Sched.schedule Cricket.Sched.Round_robin jobs)
+
+let prop_priority_starvation_bounded =
+  (* Strict priority can delay a low-priority job but never starve it:
+     with finite work every job finishes by (last arrival + total
+     duration), because the scheduler is work-conserving. *)
+  QCheck.Test.make ~count:200 ~name:"priority starvation is bounded"
+    QCheck.(
+      list_of_size (Gen.int_range 1 20)
+        (triple (int_range 0 1000) (int_range 1 500) (int_range 0 3)))
+    (fun specs ->
+      let jobs =
+        List.mapi
+          (fun i (arrival, duration, priority) ->
+            job (Printf.sprintf "c%d" (i mod 4)) arrival duration priority)
+          specs
+      in
+      let placements = Cricket.Sched.schedule Cricket.Sched.Priority jobs in
+      let last_arrival =
+        List.fold_left
+          (fun acc j ->
+            if Time.compare acc j.Cricket.Sched.arrival >= 0 then acc
+            else j.Cricket.Sched.arrival)
+          Time.zero jobs
+      in
+      let total =
+        List.fold_left
+          (fun acc j -> Time.add acc j.Cricket.Sched.duration)
+          Time.zero jobs
+      in
+      let bound = Time.add last_arrival total in
+      List.length placements = List.length jobs
+      && List.for_all
+           (fun p -> Time.compare p.Cricket.Sched.finish bound <= 0)
+           placements)
+
 let suite =
   [
     Alcotest.test_case "device forwarding" `Quick test_device_forwarding;
@@ -686,4 +744,8 @@ let suite =
     Alcotest.test_case "multi-GPU per-queue serialization" `Quick
       test_sched_multi_no_overlap_per_gpu;
   ]
-  @ [ QCheck_alcotest.to_alcotest prop_sched_conservation ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [
+        prop_sched_conservation; prop_rr_equal_history_name_order;
+        prop_priority_starvation_bounded;
+      ]

@@ -16,4 +16,5 @@ let () =
       ("fault", Test_fault.suite);
       ("fuzz", Test_fuzz.suite);
       ("obs", Test_obs.suite);
+      ("tenancy", Test_tenancy.suite);
     ]

@@ -660,6 +660,39 @@ let test_dispatch_reply_typed_error () =
       Oncrpc.Server.Protocol_error (Oncrpc.Server.Unparseable_request _) ->
       ()
 
+(* --- at-most-once cache keyed by connection/tenant identity --- *)
+
+let test_dup_cache_tenant_ident () =
+  (* two tenants reusing the same xid space must not collide in the
+     duplicate-request cache: same (xid, prog, vers, proc) from a
+     different identity is a fresh call, not a replay *)
+  let server = Oncrpc.Server.create () in
+  Oncrpc.Server.set_dup_cache server;
+  let executions = ref 0 in
+  Oncrpc.Server.register server ~prog:300001 ~vers:1
+    [ (1, fun dec enc -> incr executions; E.int enc (D.int dec)) ];
+  let request =
+    let enc = E.create () in
+    Oncrpc.Message.encode enc
+      (Oncrpc.Message.call ~xid:99l ~prog:300001 ~vers:1 ~proc:1 ());
+    E.int enc 5;
+    E.to_string enc
+  in
+  let r1 = Oncrpc.Server.dispatch ~ident:"tenant-a" server request in
+  let r2 = Oncrpc.Server.dispatch ~ident:"tenant-a" server request in
+  check Alcotest.int "same ident executes once" 1 !executions;
+  check Alcotest.string "cached reply replayed byte-identically" r1 r2;
+  check Alcotest.int "replay counted as dup hit" 1
+    (Oncrpc.Server.dup_hits server);
+  let r3 = Oncrpc.Server.dispatch ~ident:"tenant-b" server request in
+  check Alcotest.int "distinct ident executes again" 2 !executions;
+  check Alcotest.string "and computes the same answer" r1 r3;
+  check Alcotest.int "no spurious dup hit across idents" 1
+    (Oncrpc.Server.dup_hits server);
+  (* the anonymous (no-ident) key space is distinct from any tenant's *)
+  let (_ : string) = Oncrpc.Server.dispatch server request in
+  check Alcotest.int "anonymous ident distinct from tenants" 3 !executions
+
 (* --- UDP retry determinism under a seeded fault plan --- *)
 
 let test_udp_retry_determinism () =
@@ -774,6 +807,8 @@ let suite =
       test_tcp_connect_resolution_error;
     Alcotest.test_case "typed dispatch protocol errors" `Quick
       test_dispatch_reply_typed_error;
+    Alcotest.test_case "dup cache keyed by tenant ident" `Quick
+      test_dup_cache_tenant_ident;
     Alcotest.test_case "UDP retry determinism (seeded faults)" `Quick
       test_udp_retry_determinism;
     Alcotest.test_case "portmap registry" `Quick test_portmap_registry;
