@@ -576,11 +576,182 @@ let tenants_cmd =
       $ Arg.(value & opt (some int) None & info [ "global-window" ] ~docv:"N")
       $ Arg.(value & opt (some int) None & info [ "high-water" ] ~docv:"N"))
 
+(* --- migrate --- *)
+
+let migrate_cmd =
+  let run smoke seed buf_kib batches dirty_kib budget_us =
+    let module MH = Migrate.Harness in
+    let module ME = Migrate.Engine in
+    let buf_kib =
+      match buf_kib with Some b -> b | None -> if smoke then 256 else 1024
+    in
+    let batches =
+      match batches with Some b -> b | None -> if smoke then 12 else 24
+    in
+    let pre = batches / 3 in
+    let dirty_rates =
+      match dirty_kib with
+      | Some d -> [ d ]
+      | None -> if smoke then [ 16; 64 ] else [ 16; 64; 256 ]
+    in
+    let config =
+      { ME.default with ME.pause_budget = Simnet.Time.us budget_us }
+    in
+    let params profile dirty fault =
+      { MH.profile; buf_kib; batches; pre_batches = pre;
+        dirty_kib = min dirty buf_kib; seed; fault; config }
+    in
+    Printf.printf
+      "live session migration: pre-copy with incremental GPU checkpoints \
+       (seed %d)\n"
+      seed;
+    Printf.printf
+      "buffer %d KiB, %d write batches (%d before migration), stop \
+       threshold %d KiB, max %d rounds, pause budget %.0f us\n\n"
+      buf_kib batches pre
+      (config.ME.stop_bytes / 1024)
+      config.ME.max_rounds
+      (Simnet.Time.to_float_us config.ME.pause_budget);
+    Printf.printf "%-10s %11s %6s %9s %10s %10s %6s %9s %11s  %s\n" "profile"
+      "dirty/batch" "rounds" "base KiB" "delta KiB" "full KiB" "saved"
+      "pause us" "downtime ok" "state";
+    List.iter
+      (fun (cfg : Unikernel.Config.t) ->
+        List.iter
+          (fun dirty ->
+            let r = MH.run (params cfg dirty None) in
+            match r.MH.outcome with
+            | MH.Completed rep ->
+                let kib n = float_of_int n /. 1024. in
+                let saved =
+                  100.
+                  *. (1.
+                     -. float_of_int rep.ME.total_bytes
+                        /. float_of_int (max 1 rep.ME.full_total_bytes))
+                in
+                Printf.printf
+                  "%-10s %8d KiB %6d %9.1f %10.1f %10.1f %5.1f%% %9.1f %11s  %s\n"
+                  cfg.Unikernel.Config.name dirty
+                  (List.length rep.ME.rounds)
+                  (kib rep.ME.base_bytes)
+                  (kib (rep.ME.total_bytes - rep.ME.base_bytes))
+                  (kib rep.ME.full_total_bytes)
+                  saved
+                  (Simnet.Time.to_float_us rep.ME.pause)
+                  (if Simnet.Time.compare rep.ME.pause rep.ME.pause_budget <= 0
+                   then "yes"
+                   else "NO")
+                  (if r.MH.digest_ok then "digest ok" else "DIGEST MISMATCH")
+            | MH.Aborted { phase; reason } ->
+                Printf.printf "%-10s %8d KiB  aborted at %s: %s\n"
+                  cfg.Unikernel.Config.name dirty
+                  (ME.phase_to_string phase)
+                  reason)
+          dirty_rates)
+      Unikernel.Config.all;
+    (* Adversarial plans against the migration channel. Every scenario must
+       end in one of exactly two states: session handed off (destination
+       serving) or clean rollback (source serving) — never half-moved. *)
+    let chaos_dirty = List.nth dirty_rates (List.length dirty_rates - 1) in
+    Printf.printf
+      "\nfault injection on the migration channel (rust profile, %d \
+       KiB/batch):\n"
+      chaos_dirty;
+    let scenarios =
+      [
+        ("drop 20% of records", Simnet.Fault.drops ~seed 0.20);
+        ( "duplicate 20%, delay 30% by 200 us",
+          { Simnet.Fault.none with Simnet.Fault.seed; duplicate_rate = 0.2;
+            delay_rate = 0.3; delay = Simnet.Time.us 200 } );
+        ( "partition until t=2 ms, then heal",
+          { Simnet.Fault.none with Simnet.Fault.partitions =
+              [ (Simnet.Time.zero, Simnet.Time.ms 2) ] } );
+        ( "destination crash early (after 3 records)",
+          { Simnet.Fault.none with Simnet.Fault.crashes =
+              [ { Simnet.Fault.after_records = 3;
+                  down_for = Simnet.Time.us 300 } ] } );
+        ( "destination crash late (after 12 records)",
+          { Simnet.Fault.none with Simnet.Fault.crashes =
+              [ { Simnet.Fault.after_records = 12;
+                  down_for = Simnet.Time.us 300 } ] } );
+      ]
+    in
+    List.iter
+      (fun (name, plan) ->
+        let r =
+          MH.run (params Unikernel.Config.rust_native chaos_dirty (Some plan))
+        in
+        let injected =
+          match r.MH.fault_stats with
+          | Some s -> Simnet.Fault.injected s + s.Simnet.Fault.crashes_fired
+          | None -> 0
+        in
+        let state =
+          match r.MH.outcome with
+          | MH.Completed rep ->
+              Printf.sprintf "handed off in %d rounds, pause %.1f us"
+                (List.length rep.ME.rounds)
+                (Simnet.Time.to_float_us rep.ME.pause)
+          | MH.Aborted { phase; _ } ->
+              Printf.sprintf "rolled back at %s, source serving"
+                (ME.phase_to_string phase)
+        in
+        let authority =
+          match r.MH.outcome with
+          | MH.Completed _ ->
+              if r.MH.dst_audit.MH.lease_present
+                 && r.MH.dst_audit.MH.ledger_live
+                 && not r.MH.src_audit.MH.lease_present
+              then "lease on dst"
+              else "LEASE LEAK"
+          | MH.Aborted _ ->
+              if r.MH.src_audit.MH.lease_present
+                 && r.MH.src_audit.MH.ledger_live
+                 && not r.MH.dst_audit.MH.lease_present
+              then "lease on src"
+              else "LEASE LEAK"
+        in
+        Printf.printf "  %-42s %3d faults  %-38s %-12s %s\n" name injected
+          state authority
+          (if r.MH.digest_ok then "digest ok" else "DIGEST MISMATCH"))
+      scenarios
+  in
+  Cmd.v
+    (Cmd.info "migrate"
+       ~doc:
+         "live-migrate an active GPU session between two simulated Cricket \
+          servers using incremental (dirty-page) checkpoints: pre-copy \
+          delta rounds while the source keeps serving, stop-and-copy under \
+          a pause budget, lease handoff at commit. Sweeps downtime vs \
+          dirty-page rate across the Table 1 host profiles, then replays \
+          adversarial fault plans (loss, duplication, partition, \
+          mid-transfer destination crash) on the migration channel. \
+          Seed-deterministic: equal seeds print byte-identical reports.")
+    Term.(
+      const run
+      $ Arg.(value & flag
+             & info [ "smoke" ] ~doc:"CI-sized run (smaller buffer, fewer \
+                                      rates).")
+      $ Arg.(value & opt int 7 & info [ "seed" ] ~docv:"SEED")
+      $ Arg.(value & opt (some int) None
+             & info [ "buf-kib" ] ~docv:"KIB"
+                 ~doc:"Tenant device buffer size.")
+      $ Arg.(value & opt (some int) None
+             & info [ "batches" ] ~docv:"N" ~doc:"Total write batches.")
+      $ Arg.(value & opt (some int) None
+             & info [ "dirty-kib" ] ~docv:"KIB"
+                 ~doc:"Bytes rewritten per batch (one rate instead of the \
+                       sweep).")
+      $ Arg.(value & opt int 5000
+             & info [ "pause-budget-us" ] ~docv:"US"
+                 ~doc:"Abort instead of committing if stop-and-copy exceeds \
+                       this."))
+
 let main =
   Cmd.group
     (Cmd.info "benchctl" ~doc:"run individual paper experiments")
     [ table1_cmd; matrixmul_cmd; solver_cmd; histogram_cmd; micro_cmd;
       bandwidth_cmd; pipeline_cmd; multitenant_cmd; tenants_cmd; trace_cmd;
-      faults_cmd; offloads_cmd; latency_cmd ]
+      faults_cmd; offloads_cmd; latency_cmd; migrate_cmd ]
 
 let () = exit (Cmd.eval main)

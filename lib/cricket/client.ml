@@ -155,7 +155,12 @@ let journal t redo =
   | Some r when r.recovering || r.lost -> ()
   | Some r ->
       Queue.add redo r.journal;
-      if Queue.length r.journal >= r.checkpoint_every then take_checkpoint t r
+      (* Baseline at the first mutation: recovery is then always
+         restore-then-replay. Without a baseline, replay lands on whatever
+         state the server happens to hold — a duplicate recovery (lost ack,
+         crash mid-replay) would double-apply the journal. *)
+      if (not r.has_checkpoint) || Queue.length r.journal >= r.checkpoint_every
+      then take_checkpoint t r
 
 let recover t =
   match t.recovery with
@@ -689,3 +694,14 @@ let cusolver_sgetrs t ~handle ~n ~nrhs ~a ~lda ~ipiv ~b ~ldb =
 
 let checkpoint t name = check_void (P.rpc_checkpoint t.rpc name)
 let restore t name = check_void (P.rpc_restore t.rpc name)
+
+(* --- live migration (source side drives these at a destination) --- *)
+
+let migrate_begin t tenant = check_void (P.rpc_migrate_begin t.rpc tenant)
+let migrate_base t data = check_void (P.rpc_migrate_base t.rpc data)
+let migrate_delta t data = check_void (P.rpc_migrate_delta t.rpc data)
+
+let migrate_commit t ~tenant blob =
+  check_void (P.rpc_migrate_commit t.rpc tenant blob)
+
+let migrate_abort t tenant = check_void (P.rpc_migrate_abort t.rpc tenant)

@@ -92,6 +92,12 @@ val replayed_calls : t -> int
 val checkpoints_taken : t -> int
 (** Automatic checkpoints triggered by the journal cadence. *)
 
+val recover : t -> unit
+(** Restore the latest checkpoint and replay the journal tail. Runs
+    automatically on reconnect; exposed so a duplicate recovery (lost ack)
+    can be exercised directly — recovery is idempotent: running it twice
+    yields byte-identical server state. No-op without recovery enabled. *)
+
 (** {1 Statistics (per paper §4.1: API calls and transferred bytes)} *)
 
 val api_calls : t -> int
@@ -247,3 +253,25 @@ val checkpoint : t -> string -> unit
 (** [checkpoint t name]: server writes its GPU state under [name]. *)
 
 val restore : t -> string -> unit
+
+(** {1 Live migration}
+
+    Stubs for the destination side of a pre-copy migration; the source
+    server (via {!Migrate} in [lib/migrate]) drives them over an ordinary
+    RPC connection to the destination. *)
+
+val migrate_begin : t -> string -> unit
+(** [migrate_begin t tenant] opens an inbound migration. *)
+
+val migrate_base : t -> bytes -> unit
+(** Install the full base snapshot. *)
+
+val migrate_delta : t -> bytes -> unit
+(** Apply one dirty-page delta on top of the base. *)
+
+val migrate_commit : t -> tenant:string -> bytes -> unit
+(** Hand over the session; the bytes carry the serialized source lease
+    (empty if the tenant held none). *)
+
+val migrate_abort : t -> string -> unit
+(** Discard any half-copied inbound state for this tenant. *)

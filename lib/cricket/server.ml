@@ -30,6 +30,11 @@ type tenant_hooks = {
   note_stream_destroy : tenant:string -> handle:int64 -> unit;
 }
 
+(* An in-progress inbound migration (this server is the destination).
+   State installed before the base snapshot lands is refused; commit is
+   only honoured for the tenant that began the migration. *)
+type inbound = { in_tenant : string; mutable in_base : bool }
+
 type t = {
   rpc : Oncrpc.Server.t;
   ctx : Cudasim.Context.t;
@@ -44,6 +49,9 @@ type t = {
   per_tenant : (string, int) Hashtbl.t;
   mutable current_tenant : string option;
   mutable tenant_hooks : tenant_hooks option;
+  mutable inbound : inbound option;
+  mutable adopt_lease : (tenant:string -> blob:string -> bool) option;
+  mutable migrations_in : int;
   trace : Trace.t;
   mutable last_proc : int;
   mutable last_arg_bytes : int;
@@ -373,15 +381,22 @@ let implementation t : P.Server.implementation =
         match resolve_checkpoint_path t name with
         | None -> void_result Cudasim.Error.Invalid_value
         | Some path -> (
+            (* Crash-safe: write to a temp file, rename into place. A crash
+               mid-write leaves the previous checkpoint untouched; the stale
+               .tmp is simply overwritten by the next attempt. *)
+            let tmp = path ^ ".tmp" in
             match
               let data = Cudasim.Context.checkpoint ctx in
-              let oc = open_out_bin path in
+              let oc = open_out_bin tmp in
               Fun.protect
                 ~finally:(fun () -> close_out_noerr oc)
-                (fun () -> output_string oc data)
+                (fun () -> output_string oc data);
+              Sys.rename tmp path
             with
             | () -> void_result Cudasim.Error.Success
-            | exception Sys_error _ -> void_result Cudasim.Error.Unknown));
+            | exception Sys_error _ ->
+                (try Sys.remove tmp with Sys_error _ -> ());
+                void_result Cudasim.Error.Unknown));
     rpc_restore =
       (fun name ->
         match resolve_checkpoint_path t name with
@@ -398,6 +413,64 @@ let implementation t : P.Server.implementation =
                 match Cudasim.Context.restore ctx data with
                 | Ok () -> void_result Cudasim.Error.Success
                 | Error _ -> void_result Cudasim.Error.Unknown)));
+    rpc_migrate_begin =
+      (fun tenant ->
+        if String.length tenant = 0 then void_result Cudasim.Error.Invalid_value
+        else begin
+          (* A fresh begin supersedes any stale half-copied migration —
+             e.g. a source that crashed and started over. *)
+          t.inbound <- Some { in_tenant = tenant; in_base = false };
+          void_result Cudasim.Error.Success
+        end);
+    rpc_migrate_base =
+      (fun data ->
+        match t.inbound with
+        | None -> void_result Cudasim.Error.Invalid_value
+        | Some i -> (
+            match Cudasim.Context.restore ctx (Bytes.to_string data) with
+            | Ok () ->
+                i.in_base <- true;
+                void_result Cudasim.Error.Success
+            | Error _ -> void_result Cudasim.Error.Unknown));
+    rpc_migrate_delta =
+      (fun data ->
+        match t.inbound with
+        | Some i when i.in_base -> (
+            match Cudasim.Context.restore_delta ctx (Bytes.to_string data) with
+            | Ok () -> void_result Cudasim.Error.Success
+            | Error _ -> void_result Cudasim.Error.Unknown)
+        | Some _ | None -> void_result Cudasim.Error.Invalid_value);
+    rpc_migrate_commit =
+      (fun tenant blob ->
+        match t.inbound with
+        | Some i when i.in_base && i.in_tenant = tenant ->
+            let adopted =
+              match t.adopt_lease with
+              | None -> true
+              | Some adopt -> adopt ~tenant ~blob:(Bytes.to_string blob)
+            in
+            if adopted then begin
+              t.inbound <- None;
+              t.migrations_in <- t.migrations_in + 1;
+              void_result Cudasim.Error.Success
+            end
+            else begin
+              (* refused adoption aborts the migration server-side *)
+              Cudasim.Context.wipe ctx;
+              t.inbound <- None;
+              void_result Cudasim.Error.Invalid_value
+            end
+        | Some _ | None -> void_result Cudasim.Error.Invalid_value);
+    rpc_migrate_abort =
+      (fun tenant ->
+        (match t.inbound with
+        | Some i when i.in_tenant = tenant ->
+            Cudasim.Context.wipe ctx;
+            t.inbound <- None
+        | Some _ | None -> ());
+        (* aborting an unknown migration is a no-op, not an error: the
+           source may retry an abort whose first reply was lost *)
+        void_result Cudasim.Error.Success);
   }
 
 let create ?devices ?memory_capacity ?(checkpoint_dir = ".") ~clock () =
@@ -408,7 +481,8 @@ let create ?devices ?memory_capacity ?(checkpoint_dir = ".") ~clock () =
       spawn_memory_capacity = memory_capacity; spawn_clock = clock;
       calls = 0; per_proc = Hashtbl.create 64;
       per_tenant = Hashtbl.create 64; current_tenant = None;
-      tenant_hooks = None;
+      tenant_hooks = None; inbound = None; adopt_lease = None;
+      migrations_in = 0;
       trace = Trace.create (); last_proc = -1; last_arg_bytes = 0 }
   in
   P.Server.register (implementation t) rpc;
@@ -515,6 +589,12 @@ let denied_reply request (reason : reject) =
 let set_tenant_hooks t hooks = t.tenant_hooks <- Some hooks
 
 let clear_tenant_hooks t = t.tenant_hooks <- None
+
+let set_migration_adopt t f = t.adopt_lease <- Some f
+let migrations_in t = t.migrations_in
+
+let inbound_migration t =
+  match t.inbound with None -> None | Some i -> Some i.in_tenant
 
 let dispatch_for t ~tenant request =
   Hashtbl.replace t.per_tenant tenant

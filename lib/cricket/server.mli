@@ -87,6 +87,25 @@ val dispatch_for : t -> tenant:string -> string -> string
 val tenant_calls : t -> (string * int) list
 (** Per-tenant dispatched-call counts, sorted by tenant name. *)
 
+(** {1 Live migration (destination side)}
+
+    A source server drives the [rpc_migrate_*] procedures against this
+    server to move a tenant session here: begin → base snapshot →
+    dirty-page deltas → commit (or abort). The server accepts the copied
+    state mechanically; lease adoption is delegated to the hook below so
+    the server stays tenancy-agnostic. *)
+
+val set_migration_adopt : t -> (tenant:string -> blob:string -> bool) -> unit
+(** Called at commit with the serialized source lease ([blob] is [""] when
+    the tenant held no lease). Returning [false] refuses the commit: the
+    half-copied state is wiped and the source keeps the session. *)
+
+val inbound_migration : t -> string option
+(** Tenant of the in-progress inbound migration, if any. *)
+
+val migrations_in : t -> int
+(** Sessions successfully adopted by this server. *)
+
 val calls_served : t -> int
 
 val trace : t -> Trace.t

@@ -150,14 +150,17 @@ type snapshot = {
   snap_next_handle : int;
 }
 
-let checkpoint t =
-  (* Quiesce: let all queued GPU work finish before capturing memory. *)
+(* Quiesce: let all queued GPU work finish before capturing memory. *)
+let quiesce t =
   let now =
     Array.fold_left
       (fun acc g -> max acc (Gpusim.Gpu.synchronize g ~now:(t.clock.now ())))
       (t.clock.now ()) t.gpus
   in
-  t.clock.advance_to now;
+  t.clock.advance_to now
+
+let checkpoint t =
+  quiesce t;
   let snap =
     {
       snap_current = t.current_device;
@@ -179,6 +182,47 @@ let checkpoint t =
   in
   Marshal.to_string snap []
 
+(* Rebuild module images from raw data; fail cleanly if any is corrupt. *)
+let parse_modules raw_modules =
+  let rebuilt =
+    List.map
+      (fun (h, raw) ->
+        match Cubin.Image.parse raw with
+        | Ok image -> Ok (h, (raw, image))
+        | Error e -> Error (Printf.sprintf "module %d: %s" h e))
+      raw_modules
+  in
+  match List.find_opt (function Error _ -> true | Ok _ -> false) rebuilt with
+  | Some (Error e) -> Error e
+  | Some (Ok _) -> assert false
+  | None ->
+      Ok (List.filter_map (function Ok m -> Some m | Error _ -> None) rebuilt)
+
+let refill_tables t ~modules ~functions ~cublas ~cusolver ~globals ~next_handle
+    =
+  Hashtbl.reset t.modules;
+  List.iter (fun (h, entry) -> Hashtbl.add t.modules h entry) modules;
+  Hashtbl.reset t.functions;
+  List.iter
+    (fun (h, (module_handle, kernel_name)) ->
+      match
+        ( Hashtbl.find_opt t.modules module_handle,
+          Gpusim.Kernels.find kernel_name )
+      with
+      | Some (_, image), Some kernel -> (
+          match Cubin.Image.find_kernel image kernel_name with
+          | Some info -> Hashtbl.add t.functions h { module_handle; info; kernel }
+          | None -> ())
+      | _ -> ())
+    functions;
+  Hashtbl.reset t.cublas;
+  List.iter (fun h -> Hashtbl.add t.cublas h ()) cublas;
+  Hashtbl.reset t.cusolver;
+  List.iter (fun h -> Hashtbl.add t.cusolver h ()) cusolver;
+  Hashtbl.reset t.globals;
+  List.iter (fun (k, v) -> Hashtbl.add t.globals k v) globals;
+  t.next_handle <- next_handle
+
 let restore t data =
   match (Marshal.from_string data 0 : snapshot) with
   | exception _ -> Error "unreadable checkpoint"
@@ -186,57 +230,128 @@ let restore t data =
       if Array.length snap.snap_memories <> Array.length t.gpus then
         Error "checkpoint was taken on a different device configuration"
       else begin
-        (* Rebuild module images first; abort cleanly if any is corrupt. *)
-        let rebuilt =
-          List.map
-            (fun (h, raw) ->
-              match Cubin.Image.parse raw with
-              | Ok image -> Ok (h, (raw, image))
-              | Error e -> Error (Printf.sprintf "module %d: %s" h e))
-            snap.snap_modules
-        in
-        match
-          List.find_opt (function Error _ -> true | Ok _ -> false) rebuilt
-        with
-        | Some (Error e) -> Error e
-        | Some (Ok _) -> assert false
-        | None ->
+        match parse_modules snap.snap_modules with
+        | Error e -> Error e
+        | Ok modules ->
             Array.iteri
               (fun i g ->
+                (* Restored arenas start with a clean dirty set; any delta
+                   baseline predating the restore is invalid, so tracking
+                   restarts from this state. *)
+                let was_tracking =
+                  Gpusim.Memory.tracking (Gpusim.Gpu.memory g)
+                in
                 Gpusim.Gpu.reset g;
                 let restored = Gpusim.Memory.restore snap.snap_memories.(i) in
                 (* splice restored memory into the gpu *)
                 Gpusim.Gpu.set_memory g restored;
+                if was_tracking then Gpusim.Memory.set_tracking restored true;
                 Gpusim.Gpu.set_handles g snap.snap_handles.(i))
               t.gpus;
             t.current_device <- snap.snap_current;
-            Hashtbl.reset t.modules;
-            List.iter
-              (function
-                | Ok (h, entry) -> Hashtbl.add t.modules h entry
-                | Error _ -> ())
-              rebuilt;
-            Hashtbl.reset t.functions;
-            List.iter
-              (fun (h, (module_handle, kernel_name)) ->
-                match
-                  ( Hashtbl.find_opt t.modules module_handle,
-                    Gpusim.Kernels.find kernel_name )
-                with
-                | Some (_, image), Some kernel -> (
-                    match Cubin.Image.find_kernel image kernel_name with
-                    | Some info ->
-                        Hashtbl.add t.functions h
-                          { module_handle; info; kernel }
-                    | None -> ())
-                | _ -> ())
-              snap.snap_functions;
-            Hashtbl.reset t.cublas;
-            List.iter (fun h -> Hashtbl.add t.cublas h ()) snap.snap_cublas;
-            Hashtbl.reset t.cusolver;
-            List.iter (fun h -> Hashtbl.add t.cusolver h ()) snap.snap_cusolver;
-            Hashtbl.reset t.globals;
-            List.iter (fun (k, v) -> Hashtbl.add t.globals k v) snap.snap_globals;
-            t.next_handle <- snap.snap_next_handle;
+            refill_tables t ~modules ~functions:snap.snap_functions
+              ~cublas:snap.snap_cublas ~cusolver:snap.snap_cusolver
+              ~globals:snap.snap_globals ~next_handle:snap.snap_next_handle;
             Ok ()
       end
+
+(* --- incremental checkpoints (migration deltas) --- *)
+
+let set_dirty_tracking t on =
+  Array.iter
+    (fun g -> Gpusim.Memory.set_tracking (Gpusim.Gpu.memory g) on)
+    t.gpus
+
+let dirty_pages t =
+  Array.fold_left
+    (fun acc g -> acc + Gpusim.Memory.dirty_page_count (Gpusim.Gpu.memory g))
+    0 t.gpus
+
+let checkpoint_base t =
+  let data = checkpoint t in
+  (* The base snapshot is the delta baseline: subsequent deltas describe
+     changes relative to it. *)
+  Array.iter (fun g -> Gpusim.Memory.clear_dirty (Gpusim.Gpu.memory g)) t.gpus;
+  data
+
+(* A delta carries per-device memory deltas (dirty pages only) plus the
+   module/function/handle tables wholesale — those are tiny next to device
+   memory and rewriting them keeps apply idempotent. *)
+type delta = {
+  dl_current : int;
+  dl_memories : string array;
+  dl_modules : (int * string) list;
+  dl_functions : (int * (int * string)) list;
+  dl_cublas : int list;
+  dl_cusolver : int list;
+  dl_globals : ((int * string) * int) list;
+  dl_handles : Gpusim.Gpu.handles array;
+  dl_next_handle : int;
+}
+
+let checkpoint_delta t =
+  quiesce t;
+  let d =
+    {
+      dl_current = t.current_device;
+      dl_memories =
+        Array.map (fun g -> Gpusim.Memory.delta (Gpusim.Gpu.memory g)) t.gpus;
+      dl_modules =
+        Hashtbl.fold (fun h (data, _) acc -> (h, data) :: acc) t.modules [];
+      dl_functions =
+        Hashtbl.fold
+          (fun h entry acc ->
+            (h, (entry.module_handle, entry.info.Cubin.Image.name)) :: acc)
+          t.functions [];
+      dl_cublas = Hashtbl.fold (fun h () acc -> h :: acc) t.cublas [];
+      dl_cusolver = Hashtbl.fold (fun h () acc -> h :: acc) t.cusolver [];
+      dl_globals = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.globals [];
+      dl_handles = Array.map Gpusim.Gpu.handles t.gpus;
+      dl_next_handle = t.next_handle;
+    }
+  in
+  Marshal.to_string d []
+
+let restore_delta t data =
+  match (Marshal.from_string data 0 : delta) with
+  | exception _ -> Error "unreadable delta"
+  | d ->
+      if Array.length d.dl_memories <> Array.length t.gpus then
+        Error "delta was taken on a different device configuration"
+      else begin
+        match parse_modules d.dl_modules with
+        | Error e -> Error e
+        | Ok modules ->
+            let mem_err = ref None in
+            Array.iteri
+              (fun i g ->
+                if !mem_err = None then begin
+                  match
+                    Gpusim.Memory.apply_delta (Gpusim.Gpu.memory g)
+                      d.dl_memories.(i)
+                  with
+                  | Ok () -> Gpusim.Gpu.set_handles g d.dl_handles.(i)
+                  | Error e ->
+                      mem_err := Some (Printf.sprintf "device %d: %s" i e)
+                end)
+              t.gpus;
+            (match !mem_err with
+            | Some e -> Error e
+            | None ->
+                t.current_device <- d.dl_current;
+                refill_tables t ~modules ~functions:d.dl_functions
+                  ~cublas:d.dl_cublas ~cusolver:d.dl_cusolver
+                  ~globals:d.dl_globals ~next_handle:d.dl_next_handle;
+                Ok ())
+      end
+
+let wipe t =
+  Array.iter Gpusim.Gpu.reset t.gpus;
+  Hashtbl.reset t.modules;
+  Hashtbl.reset t.functions;
+  Hashtbl.reset t.cublas;
+  Hashtbl.reset t.cusolver;
+  Hashtbl.reset t.globals;
+  t.current_device <- 0;
+  t.next_handle <- 0x100;
+  t.async_error <- None

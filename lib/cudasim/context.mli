@@ -94,4 +94,34 @@ val checkpoint : t -> string
 
 val restore : t -> string -> (unit, string) result
 (** Replace this context's state with a checkpoint's. The clock keeps its
-    current value (restart happens later in virtual time). *)
+    current value (restart happens later in virtual time). Dirty-page
+    tracking, if enabled, restarts with a clean slate from the restored
+    state. *)
+
+(** {1 Incremental checkpoints (migration deltas)}
+
+    With dirty-page tracking enabled, [checkpoint_base] captures a full
+    snapshot and rebases the delta stream on it; each subsequent
+    [checkpoint_delta] carries only the pages written since the previous
+    base/delta plus the (tiny) module and handle tables. Applying the base
+    with {!restore} and then each delta with [restore_delta] in order
+    reconstructs the context. *)
+
+val set_dirty_tracking : t -> bool -> unit
+val dirty_pages : t -> int
+(** Pages written since the last base/delta, summed across devices. *)
+
+val checkpoint_base : t -> string
+(** Full {!checkpoint} that also clears the dirty sets, making this
+    snapshot the baseline for subsequent deltas. *)
+
+val checkpoint_delta : t -> string
+(** Quiesce and serialize only state changed since the last base/delta.
+    Raises [Invalid_argument] if dirty tracking is disabled. *)
+
+val restore_delta : t -> string -> (unit, string) result
+(** Apply a delta on top of previously restored state. *)
+
+val wipe : t -> unit
+(** Drop all state (devices reset, tables cleared) — used when an inbound
+    migration is aborted so no half-copied session lingers. *)

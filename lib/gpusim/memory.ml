@@ -24,6 +24,7 @@ let () =
 let fail e = raise (Error e)
 let base_address = 0x1000
 let alignment = 256
+let page_size = 4096
 
 module Imap = Map.Make (Int)
 
@@ -33,6 +34,8 @@ type t = {
   mutable allocations : int Imap.t;  (* base -> size *)
   mutable free_list : (int * int) list;  (* (base, size), sorted by base *)
   mutable used : int;
+  mutable tracking : bool;
+  mutable dirty : Bytes.t;  (* one byte per page; empty until tracking *)
 }
 
 let create ~capacity =
@@ -43,7 +46,42 @@ let create ~capacity =
     allocations = Imap.empty;
     free_list = [ (base_address, capacity) ];
     used = 0;
+    tracking = false;
+    dirty = Bytes.empty;
   }
+
+let page_count t = (base_address + t.capacity + page_size - 1) / page_size
+
+let set_tracking t on =
+  if on then begin
+    if Bytes.length t.dirty = 0 then t.dirty <- Bytes.make (page_count t) '\000';
+    t.tracking <- true
+  end
+  else t.tracking <- false
+
+let tracking t = t.tracking
+
+let clear_dirty t =
+  if Bytes.length t.dirty > 0 then
+    Bytes.fill t.dirty 0 (Bytes.length t.dirty) '\000'
+
+let dirty_page_count t =
+  let n = ref 0 in
+  Bytes.iter (fun c -> if c <> '\000' then incr n) t.dirty;
+  !n
+
+(* Mark the pages covering [addr, addr+len) dirty. Writes landing beyond
+   the tracked range (scalar stores past capacity) are clamped; those
+   bytes are outside any allocation and never checkpointed anyway. *)
+let mark t addr len =
+  if t.tracking && len > 0 then begin
+    let npages = Bytes.length t.dirty in
+    let first = addr / page_size in
+    let last = min ((addr + len - 1) / page_size) (npages - 1) in
+    for p = first to last do
+      if p >= 0 && p < npages then Bytes.unsafe_set t.dirty p '\001'
+    done
+  end
 
 let used_bytes t = t.used
 let free_bytes t = t.capacity - t.used
@@ -134,7 +172,8 @@ let write t ptr data =
   if len > 0 then begin
     check_range t ptr len;
     ensure_backing t (ptr + len);
-    Bytes.blit data 0 t.backing ptr len
+    Bytes.blit data 0 t.backing ptr len;
+    mark t ptr len
   end
 
 let read t ptr len =
@@ -150,14 +189,16 @@ let copy t ~src ~dst ~len =
     check_range t src len;
     check_range t dst len;
     ensure_backing t (max (src + len) (dst + len));
-    Bytes.blit t.backing src t.backing dst len
+    Bytes.blit t.backing src t.backing dst len;
+    mark t dst len
   end
 
 let memset t ptr byte len =
   if len > 0 then begin
     check_range t ptr len;
     ensure_backing t (ptr + len);
-    Bytes.fill t.backing ptr len (Char.chr (byte land 0xff))
+    Bytes.fill t.backing ptr len (Char.chr (byte land 0xff));
+    mark t ptr len
   end
 
 (* Scalar accessors: backing-bound checked only (kernel semantics). *)
@@ -168,7 +209,8 @@ let get_u8 t addr =
 
 let set_u8 t addr v =
   ensure_backing t (addr + 1);
-  Bytes.set t.backing addr (Char.chr (v land 0xff))
+  Bytes.set t.backing addr (Char.chr (v land 0xff));
+  mark t addr 1
 
 let get_i32 t addr =
   ensure_backing t (addr + 4);
@@ -176,7 +218,8 @@ let get_i32 t addr =
 
 let set_i32 t addr v =
   ensure_backing t (addr + 4);
-  Bytes.set_int32_le t.backing addr v
+  Bytes.set_int32_le t.backing addr v;
+  mark t addr 4
 
 let get_f32 t addr = Int32.float_of_bits (get_i32 t addr)
 let set_f32 t addr v = set_i32 t addr (Int32.bits_of_float v)
@@ -187,13 +230,17 @@ let get_f64 t addr =
 
 let set_f64 t addr v =
   ensure_backing t (addr + 8);
-  Bytes.set_int64_le t.backing addr (Int64.bits_of_float v)
+  Bytes.set_int64_le t.backing addr (Int64.bits_of_float v);
+  mark t addr 8
 
 let reset t =
   t.allocations <- Imap.empty;
   t.free_list <- [ (base_address, t.capacity) ];
   t.used <- 0;
-  Bytes.fill t.backing 0 (Bytes.length t.backing) '\000'
+  Bytes.fill t.backing 0 (Bytes.length t.backing) '\000';
+  (* Every page changed (to zero); a delta baseline taken before the
+     reset must resend them. *)
+  mark t 0 (Bytes.length t.backing)
 
 (* Checkpoint format: capacity, allocation table, and each live
    allocation's contents. *)
@@ -234,3 +281,63 @@ let restore s =
       Bytes.blit_string data 0 t.backing base (String.length data))
     d.snap_contents;
   t
+
+(* Delta format: allocator tables wholesale (they are tiny next to
+   contents) plus the raw bytes of each dirty page. Page contents all
+   come from one coherent arena state, so whole-page blits on apply
+   cannot tear an allocation. Taking a delta clears the dirty set —
+   the delta is the baseline for the next round. *)
+type delta_data = {
+  dl_capacity : int;
+  dl_allocs : (int * int) list;
+  dl_free : (int * int) list;
+  dl_pages : (int * string) list;  (* page index -> contents *)
+}
+
+let delta t =
+  if not t.tracking then invalid_arg "Memory.delta: tracking disabled";
+  let backing_len = Bytes.length t.backing in
+  let pages = ref [] in
+  for p = Bytes.length t.dirty - 1 downto 0 do
+    if Bytes.get t.dirty p <> '\000' then begin
+      let start = p * page_size in
+      if start < backing_len then
+        let len = min page_size (backing_len - start) in
+        pages := (p, Bytes.sub_string t.backing start len) :: !pages
+    end
+  done;
+  clear_dirty t;
+  Marshal.to_string
+    {
+      dl_capacity = t.capacity;
+      dl_allocs = Imap.bindings t.allocations;
+      dl_free = t.free_list;
+      dl_pages = !pages;
+    }
+    []
+
+let apply_delta t s =
+  match (Marshal.from_string s 0 : delta_data) with
+  | exception _ -> Stdlib.Error "unreadable memory delta"
+  | d ->
+      if d.dl_capacity <> t.capacity then
+        Stdlib.Error
+          (Printf.sprintf "delta capacity %d does not match arena capacity %d"
+             d.dl_capacity t.capacity)
+      else begin
+        t.allocations <-
+          List.fold_left
+            (fun m (b, sz) -> Imap.add b sz m)
+            Imap.empty d.dl_allocs;
+        t.free_list <- d.dl_free;
+        t.used <- List.fold_left (fun acc (_, sz) -> acc + sz) 0 d.dl_allocs;
+        List.iter
+          (fun (p, data) ->
+            let start = p * page_size in
+            let len = String.length data in
+            ensure_backing t (start + len);
+            Bytes.blit_string data 0 t.backing start len;
+            mark t start len)
+          d.dl_pages;
+        Ok ()
+      end

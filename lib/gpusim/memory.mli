@@ -66,7 +66,32 @@ val reset : t -> unit
 (** Free everything (cudaDeviceReset). *)
 
 val snapshot : t -> string
-(** Serialize allocator state + live memory contents (for checkpoint). *)
+(** Serialize allocator state + live memory contents (for checkpoint).
+    Leaves the dirty-page set untouched, so a recovery checkpoint taken
+    between migration rounds cannot silently rebase the delta stream. *)
 
 val restore : string -> t
-(** Rebuild from {!snapshot} output. *)
+(** Rebuild from {!snapshot} output. The restored arena has dirty-page
+    tracking disabled. *)
+
+(** {1 Dirty-page tracking and incremental deltas}
+
+    With tracking enabled every mutator marks the 4 KiB pages it touches.
+    [delta] serializes the allocator tables plus only the dirty pages and
+    clears the dirty set, so a stream of deltas applied on top of a full
+    {!snapshot} reconstructs the arena with transfer cost bounded by the
+    write rate, not the arena size. *)
+
+val page_size : int
+val set_tracking : t -> bool -> unit
+val tracking : t -> bool
+val clear_dirty : t -> unit
+val dirty_page_count : t -> int
+
+val delta : t -> string
+(** Serialize allocator tables + dirty pages, then clear the dirty set.
+    Raises [Invalid_argument] if tracking is disabled. *)
+
+val apply_delta : t -> string -> (unit, string) result
+(** Apply a {!delta} blob on top of this arena (typically restored from
+    the matching base snapshot). Fails if capacities differ. *)

@@ -231,6 +231,17 @@ program RPC_CD_PROG_DEF {
         /* checkpoint / restart of the server-side GPU state */
         void_result  rpc_checkpoint(str_t) = 60;
         void_result  rpc_restore(str_t)    = 61;
+
+        /* live migration (pre-copy): the source server drives these
+         * against the destination. begin opens an inbound migration for a
+         * tenant, base installs the full snapshot, delta applies a
+         * dirty-page increment, commit hands over the session (lease blob
+         * rides along), abort discards any half-copied state. */
+        void_result  rpc_migrate_begin(str_t)            = 70;
+        void_result  rpc_migrate_base(mem_data)          = 71;
+        void_result  rpc_migrate_delta(mem_data)         = 72;
+        void_result  rpc_migrate_commit(str_t, mem_data) = 73;
+        void_result  rpc_migrate_abort(str_t)            = 74;
     } = 1;
 } = 0x20000001;
 |x}

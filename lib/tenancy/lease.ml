@@ -48,6 +48,8 @@ type t = {
   mutable denied_mallocs : int;
   mutable denied_streams : int;
   mutable expired_denials : int;
+  mutable migrated_out : int;
+  mutable adopted : int;
 }
 
 let create ~now ~ctx () =
@@ -63,6 +65,8 @@ let create ~now ~ctx () =
     denied_mallocs = 0;
     denied_streams = 0;
     expired_denials = 0;
+    migrated_out = 0;
+    adopted = 0;
   }
 
 let find t tenant =
@@ -281,3 +285,104 @@ let stats t : stats =
 let leases t =
   Hashtbl.fold (fun _ (l, _) acc -> l :: acc) t.table []
   |> List.sort (fun a b -> compare a.tenant b.tenant)
+
+let allocs t ~tenant =
+  match Hashtbl.find_opt t.table tenant with
+  | None -> []
+  | Some (_, ledger) ->
+      Hashtbl.fold
+        (fun ptr (dev, size) acc -> (ptr, dev, size) :: acc)
+        ledger.allocs []
+      |> List.sort compare
+
+(* {1 Migration handoff}
+
+   A lease travels between registries as a self-contained blob: caps,
+   timing, and the resource ledger (which the destination needs so reclaim
+   keeps working after adoption — device memory was copied by the
+   migration, the accounting must follow it). *)
+
+type portable = {
+  p_tenant : string;
+  p_caps : caps;
+  p_granted_at : Time.t;
+  p_expires_at : Time.t;
+  p_renewals : int;
+  p_mem_used : int;
+  p_live_streams : int;
+  p_allocs : (int64 * (int * int)) list;
+  p_streams : (int64 * int) list;
+}
+
+let export t ~tenant =
+  match Hashtbl.find_opt t.table tenant with
+  | None -> Error `Unknown_tenant
+  | Some (lease, ledger) ->
+      if lease.state <> Active then Error `Not_active
+      else
+        Ok
+          (Marshal.to_string
+             {
+               p_tenant = tenant;
+               p_caps = lease.caps;
+               p_granted_at = lease.granted_at;
+               p_expires_at = lease.expires_at;
+               p_renewals = lease.renewals;
+               p_mem_used = lease.mem_used;
+               p_live_streams = lease.live_streams;
+               p_allocs =
+                 Hashtbl.fold (fun k v acc -> (k, v) :: acc) ledger.allocs []
+                 |> List.sort compare;
+               p_streams =
+                 Hashtbl.fold
+                   (fun k v acc -> (k, v) :: acc)
+                   ledger.stream_handles []
+                 |> List.sort compare;
+             }
+             [])
+
+let adopt t blob =
+  match (Marshal.from_string blob 0 : portable) with
+  | exception _ -> Error "unreadable lease blob"
+  | p ->
+      (* An adopted lease supersedes any lease this registry already holds
+         for the tenant; that one's resources belong to old local state,
+         which migration just overwrote, so drop it without reclaim. *)
+      Hashtbl.remove t.table p.p_tenant;
+      let lease =
+        {
+          tenant = p.p_tenant;
+          caps = p.p_caps;
+          granted_at = p.p_granted_at;
+          expires_at = p.p_expires_at;
+          state = Active;
+          mem_used = p.p_mem_used;
+          live_streams = p.p_live_streams;
+          renewals = p.p_renewals;
+        }
+      in
+      let ledger =
+        { allocs = Hashtbl.create 16; stream_handles = Hashtbl.create 8 }
+      in
+      List.iter (fun (k, v) -> Hashtbl.replace ledger.allocs k v) p.p_allocs;
+      List.iter
+        (fun (k, v) -> Hashtbl.replace ledger.stream_handles k v)
+        p.p_streams;
+      Hashtbl.replace t.table p.p_tenant (lease, ledger);
+      t.adopted <- t.adopted + 1;
+      Ok lease
+
+(* After a committed migration the source must forget the session without
+   freeing device resources: they now live (copied) on the destination,
+   and the source context will be dropped or reused for other tenants —
+   its copies are freed here so the source arena does not leak. *)
+let complete_handoff t ~tenant =
+  match Hashtbl.find_opt t.table tenant with
+  | None -> ()
+  | Some entry ->
+      reclaim t entry;
+      Hashtbl.remove t.table tenant;
+      t.migrated_out <- t.migrated_out + 1
+
+let migrated_out t = t.migrated_out
+let adopted t = t.adopted

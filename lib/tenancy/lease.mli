@@ -98,3 +98,40 @@ type stats = {
 val stats : t -> stats
 val leases : t -> lease list
 (** Sorted by tenant name. *)
+
+val allocs : t -> tenant:string -> (int64 * int * int) list
+(** The tenant's ledger of live device allocations as
+    [(ptr, device, size)], sorted — the ground truth migration tests
+    audit against the arena on both servers. *)
+
+(** {1 Live-migration handoff}
+
+    The lease follows the session: {!export} serializes it on the source
+    (a pure read — the source stays authoritative until commit), the blob
+    rides the migration commit RPC, {!adopt} installs it on the
+    destination, and only after the commit succeeded does the source call
+    {!complete_handoff} to reclaim its now-stale copies and forget the
+    tenant. An abort at any earlier point leaves the source lease
+    untouched. *)
+
+val export : t -> tenant:string -> (string, [ `Unknown_tenant | `Not_active ]) result
+(** Serialize an active lease + its resource ledger. Does not modify the
+    registry. *)
+
+val adopt : t -> string -> (lease, string) result
+(** Install an exported lease into this registry (destination side),
+    including its resource ledger so later reclaim frees the migrated
+    copies. Replaces any existing entry for the tenant without reclaim —
+    the migration has just overwritten the local device state it
+    described. *)
+
+val complete_handoff : t -> tenant:string -> unit
+(** Source side, after a committed migration: reclaim the source copies of
+    the tenant's device resources and drop the lease. Unknown tenants are
+    ignored. *)
+
+val migrated_out : t -> int
+(** Sessions handed off to another server. *)
+
+val adopted : t -> int
+(** Sessions adopted from another server. *)

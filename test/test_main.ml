@@ -17,4 +17,5 @@ let () =
       ("fuzz", Test_fuzz.suite);
       ("obs", Test_obs.suite);
       ("tenancy", Test_tenancy.suite);
+      ("migrate", Test_migrate.suite);
     ]

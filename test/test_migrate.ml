@@ -1,0 +1,401 @@
+(* Incremental GPU checkpoints and live session migration under fault
+   injection: dirty-page deltas at the arena and context layers, the
+   pre-copy engine end to end through the two-server harness, adversarial
+   fault plans on the migration channel (loss, partition, mid-transfer
+   destination crash), crash-safe server checkpoint writes, and the
+   journal-replay idempotence pin. The acceptance property throughout:
+   after any outcome exactly one server is authoritative — handed off or
+   rolled back, never half-moved — with the lease ledger consistent with
+   that server's arena and the tenant's data byte-identical to a
+   client-side mirror of every write. *)
+
+module Time = Simnet.Time
+module MH = Migrate.Harness
+module ME = Migrate.Engine
+
+let check = Alcotest.check
+
+let pattern seed len =
+  let b = Bytes.create len in
+  for i = 0 to len - 1 do
+    Bytes.set b i (Char.chr ((i * 131 + seed * 17 + (i lsr 8)) land 0xff))
+  done;
+  b
+
+(* --- arena-level dirty tracking and deltas --- *)
+
+let test_memory_delta () =
+  let open Gpusim.Memory in
+  let a = create ~capacity:(1 lsl 20) in
+  set_tracking a true;
+  let p = alloc a (64 * 1024) in
+  write a p (pattern 1 (64 * 1024));
+  let base = snapshot a in
+  clear_dirty a;
+  let b = restore base in
+  (* dirty a single region: the delta must carry pages, not the arena *)
+  write a (p + 4096) (pattern 2 300);
+  set_u8 a (p + 40000) 0x5a;
+  check Alcotest.bool "writes marked dirty" true (dirty_page_count a > 0);
+  let d = delta a in
+  check Alcotest.int "delta clears the dirty set" 0 (dirty_page_count a);
+  check Alcotest.bool "delta is smaller than a full snapshot" true
+    (String.length d < String.length (snapshot a));
+  (match apply_delta b d with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  check Alcotest.string "delta reproduces the source arena"
+    (Digest.to_hex (Digest.bytes (read a p (64 * 1024))))
+    (Digest.to_hex (Digest.bytes (read b p (64 * 1024))));
+  check Alcotest.int "allocation metadata followed" (allocation_size a p)
+    (allocation_size b p)
+
+let test_memory_snapshot_keeps_dirty () =
+  (* a recovery checkpoint must not rebase the delta stream *)
+  let open Gpusim.Memory in
+  let a = create ~capacity:(1 lsl 18) in
+  set_tracking a true;
+  let p = alloc a 8192 in
+  write a p (pattern 3 8192);
+  let before = dirty_page_count a in
+  ignore (snapshot a);
+  check Alcotest.int "snapshot leaves the dirty set alone" before
+    (dirty_page_count a)
+
+(* --- context-level base + delta checkpoints --- *)
+
+let make_server ?checkpoint_dir () =
+  Cricket.Server.create ?checkpoint_dir
+    ~clock:(Cudasim.Context.engine_clock (Simnet.Engine.create ()))
+    ()
+
+let test_context_delta () =
+  let src = make_server () in
+  let a = Cricket.Local.connect src in
+  let buf = 256 * 1024 in
+  let d = Cricket.Client.malloc a buf in
+  let mirror = pattern 4 buf in
+  Cricket.Client.memcpy_h2d a ~dst:d (Bytes.copy mirror);
+  let ctx = Cricket.Server.context src in
+  Cudasim.Context.set_dirty_tracking ctx true;
+  let base = Cudasim.Context.checkpoint_base ctx in
+  let dsts = make_server () in
+  let ctxd = Cricket.Server.context dsts in
+  (match Cudasim.Context.restore ctxd base with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (* keep mutating the source, then ship only the delta *)
+  let patch = pattern 5 2048 in
+  Cricket.Client.memcpy_h2d a ~dst:(Int64.add d 65536L) (Bytes.copy patch);
+  Bytes.blit patch 0 mirror 65536 2048;
+  Cricket.Client.memset a ~ptr:(Int64.add d 131072L) ~value:0x42 ~len:512;
+  Bytes.fill mirror 131072 512 '\x42';
+  check Alcotest.bool "context reports dirty pages" true
+    (Cudasim.Context.dirty_pages ctx > 0);
+  let delta = Cudasim.Context.checkpoint_delta ctx in
+  check Alcotest.int "delta drains the dirty set" 0
+    (Cudasim.Context.dirty_pages ctx);
+  check Alcotest.bool "delta is smaller than a full checkpoint" true
+    (String.length delta < String.length (Cudasim.Context.checkpoint ctx));
+  (match Cudasim.Context.restore_delta ctxd delta with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  let b = Cricket.Local.connect dsts in
+  let out = Cricket.Client.memcpy_d2h b ~src:d ~len:buf in
+  check Alcotest.string "destination context matches the mirror"
+    (Digest.to_hex (Digest.bytes mirror))
+    (Digest.to_hex (Digest.bytes out))
+
+(* --- the migration harness: shared invariant --- *)
+
+let quick ?fault ?(dirty_kib = 32) () =
+  {
+    MH.default_params with
+    MH.buf_kib = 128;
+    batches = 12;
+    pre_batches = 4;
+    dirty_kib;
+    fault;
+  }
+
+(* After any run exactly one server is authoritative, its lease ledger
+   matches its arena, and the tenant's bytes survived. *)
+let assert_single_authority (r : MH.report) =
+  check Alcotest.bool "digest matches client-side mirror" true r.MH.digest_ok;
+  match r.MH.outcome with
+  | MH.Completed _ ->
+      check Alcotest.bool "dst holds the lease" true
+        r.MH.dst_audit.MH.lease_present;
+      check Alcotest.bool "dst ledger live" true r.MH.dst_audit.MH.ledger_live;
+      check Alcotest.int "dst ledger has the buffer" 1
+        r.MH.dst_audit.MH.ledger_entries;
+      check Alcotest.bool "src lease gone" false
+        r.MH.src_audit.MH.lease_present;
+      check Alcotest.int "src ledger empty" 0
+        r.MH.src_audit.MH.ledger_entries;
+      check Alcotest.int "src arena reclaimed" 0 r.MH.src_audit.MH.arena_used;
+      check Alcotest.int "destination counted the adoption" 1 r.MH.migrations_in
+  | MH.Aborted _ ->
+      check Alcotest.bool "src still holds the lease" true
+        r.MH.src_audit.MH.lease_present;
+      check Alcotest.bool "src ledger live" true r.MH.src_audit.MH.ledger_live;
+      check Alcotest.int "src ledger has the buffer" 1
+        r.MH.src_audit.MH.ledger_entries;
+      check Alcotest.bool "dst lease absent" false
+        r.MH.dst_audit.MH.lease_present;
+      check Alcotest.int "dst ledger empty" 0 r.MH.dst_audit.MH.ledger_entries
+
+let test_migrate_clean () =
+  let r = MH.run (quick ()) in
+  (match r.MH.outcome with
+  | MH.Completed rep ->
+      check Alcotest.bool "pause within budget" true
+        (Time.compare rep.ME.pause rep.ME.pause_budget <= 0);
+      check Alcotest.bool "incremental beat full checkpoints" true
+        (rep.ME.total_bytes < rep.ME.full_total_bytes);
+      check Alcotest.bool "served during pre-copy" true (r.MH.served_during > 0)
+  | MH.Aborted { phase; reason } ->
+      Alcotest.fail
+        (Printf.sprintf "clean run aborted at %s: %s"
+           (ME.phase_to_string phase) reason));
+  assert_single_authority r
+
+let test_migrate_deterministic () =
+  let digest_of p =
+    let r = MH.run p in
+    (r.MH.digest, r.MH.elapsed, r.MH.mig_stats.Unikernel.Simchannel.messages)
+  in
+  let d1 = digest_of (quick ~fault:(Simnet.Fault.drops ~seed:5 0.2) ()) in
+  let d2 = digest_of (quick ~fault:(Simnet.Fault.drops ~seed:5 0.2) ()) in
+  check Alcotest.bool "same seed, same run" true (d1 = d2)
+
+let test_migrate_survives_drops () =
+  let r = MH.run (quick ~fault:(Simnet.Fault.drops ~seed:11 0.25) ()) in
+  (match r.MH.outcome with
+  | MH.Completed _ -> ()
+  | MH.Aborted { phase; reason } ->
+      Alcotest.fail
+        (Printf.sprintf "retries should absorb 25%% loss; aborted at %s: %s"
+           (ME.phase_to_string phase) reason));
+  (match r.MH.fault_stats with
+  | Some s -> check Alcotest.bool "faults actually fired" true
+                (s.Simnet.Fault.dropped > 0)
+  | None -> Alcotest.fail "no fault stats");
+  assert_single_authority r
+
+let test_migrate_survives_partition () =
+  (* the link is black-holed from t=0; the first migration RPCs land inside
+     the window and must be retried past the heal *)
+  let plan =
+    {
+      Simnet.Fault.none with
+      Simnet.Fault.partitions = [ (Time.zero, Time.ms 2) ];
+    }
+  in
+  let r = MH.run (quick ~fault:plan ()) in
+  assert_single_authority r
+
+let test_migrate_crash_rolls_back () =
+  let plan =
+    {
+      Simnet.Fault.none with
+      Simnet.Fault.crashes =
+        [ { Simnet.Fault.after_records = 3; down_for = Time.us 300 } ];
+    }
+  in
+  let r = MH.run (quick ~fault:plan ()) in
+  (match r.MH.outcome with
+  | MH.Aborted _ -> ()
+  | MH.Completed _ ->
+      Alcotest.fail "crash at record 3 kills the base transfer: must abort");
+  check Alcotest.bool "source kept serving after rollback" true
+    (r.MH.served_after > 0);
+  assert_single_authority r
+
+let test_migrate_crash_sweep () =
+  (* march the destination crash across the whole transfer — begin, base,
+     every delta round, stop-and-copy, commit. Whatever phase it lands in,
+     the run must end handed-off or rolled-back with consistent ledgers. *)
+  let outcomes = ref [] in
+  for k = 1 to 12 do
+    let plan =
+      {
+        Simnet.Fault.none with
+        Simnet.Fault.crashes =
+          [ { Simnet.Fault.after_records = k * 2; down_for = Time.us 300 } ];
+      }
+    in
+    let r = MH.run (quick ~fault:plan ~dirty_kib:16 ()) in
+    assert_single_authority r;
+    outcomes :=
+      (match r.MH.outcome with
+      | MH.Completed _ -> `Handoff
+      | MH.Aborted _ -> `Rollback)
+      :: !outcomes
+  done;
+  (* the sweep is only meaningful if it exercised both endings *)
+  check Alcotest.bool "some positions rolled back" true
+    (List.mem `Rollback !outcomes);
+  check Alcotest.bool "some positions survived to handoff" true
+    (List.mem `Handoff !outcomes)
+
+(* --- crash-safe server checkpoint writes --- *)
+
+let test_checkpoint_write_is_atomic () =
+  let dir = Filename.get_temp_dir_name () in
+  let name = Printf.sprintf "migrate-cksafe-%d.ckpt" (Unix.getpid ()) in
+  let path = Filename.concat dir name in
+  let tmp = path ^ ".tmp" in
+  (* a stale half-written temp from a previous crashed writer *)
+  let oc = open_out tmp in
+  output_string oc "garbage from a dead process";
+  close_out oc;
+  let server = make_server ~checkpoint_dir:dir () in
+  let client = Cricket.Local.connect server in
+  let d = Cricket.Client.malloc client 4096 in
+  let data = pattern 6 4096 in
+  Cricket.Client.memcpy_h2d client ~dst:d (Bytes.copy data);
+  Cricket.Client.checkpoint client name;
+  check Alcotest.bool "temp file renamed away" false (Sys.file_exists tmp);
+  (* the published checkpoint is complete: a fresh server restores it *)
+  let server2 = make_server ~checkpoint_dir:dir () in
+  let client2 = Cricket.Local.connect server2 in
+  Cricket.Client.restore client2 name;
+  let out = Cricket.Client.memcpy_d2h client2 ~src:d ~len:4096 in
+  check Alcotest.string "restored bytes intact"
+    (Digest.to_hex (Digest.bytes data))
+    (Digest.to_hex (Digest.bytes out));
+  Sys.remove path
+
+let test_checkpoint_failure_leaves_no_partial () =
+  let missing =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "migrate-no-such-dir-%d" (Unix.getpid ()))
+  in
+  let server = make_server ~checkpoint_dir:missing () in
+  let client = Cricket.Local.connect server in
+  ignore (Cricket.Client.malloc client 4096);
+  (match Cricket.Client.checkpoint client "x.ckpt" with
+  | () -> Alcotest.fail "checkpoint into a missing directory must fail"
+  | exception Cudasim.Error.Cuda_error _ -> ());
+  check Alcotest.bool "no partial checkpoint published" false
+    (Sys.file_exists (Filename.concat missing "x.ckpt"))
+
+let test_crash_during_checkpoint_recovers () =
+  (* sweep the crash point across a short checkpoint-heavy run; the window
+     includes the checkpoint RPC records themselves, so some iterations
+     kill the server mid-checkpoint-write. Every one must recover to the
+     clean digest (tmp+rename means a torn write never becomes the
+     restore source). *)
+  let cfg = Unikernel.Config.unikraft in
+  let app digest (env : Unikernel.Runner.env) =
+    let client = env.Unikernel.Runner.client in
+    let chunk = 512 and n = 8 in
+    let d = Cricket.Client.malloc client (chunk * n) in
+    for i = 0 to n - 1 do
+      Cricket.Client.memcpy_h2d client
+        ~dst:(Int64.add d (Int64.of_int (i * chunk)))
+        (pattern (7 + i) chunk)
+    done;
+    let out = Cricket.Client.memcpy_d2h client ~src:d ~len:(chunk * n) in
+    digest := Digest.to_hex (Digest.bytes out)
+  in
+  let clean = ref "" in
+  ignore (Unikernel.Runner.run ~functional:true cfg (app clean));
+  List.iter
+    (fun after_records ->
+      let faulty = ref "" in
+      let plan =
+        {
+          Simnet.Fault.none with
+          Simnet.Fault.crashes =
+            [ { Simnet.Fault.after_records; down_for = Time.ms 1 } ];
+        }
+      in
+      let report =
+        Unikernel.Runner.run_with_faults ~plan ~checkpoint_every:3 cfg
+          (app faulty)
+      in
+      check Alcotest.int
+        (Printf.sprintf "crash at %d fired" after_records)
+        1 report.Unikernel.Runner.crashes;
+      check Alcotest.string
+        (Printf.sprintf "digest intact after crash at %d" after_records)
+        !clean !faulty)
+    [ 6; 8; 10; 12; 14; 16 ]
+
+(* --- journal replay idempotence --- *)
+
+let test_recovery_replay_idempotent () =
+  let engine = Simnet.Engine.create () in
+  let clock = Cudasim.Context.engine_clock engine in
+  let ckpt = Filename.temp_file "migrate-idem" ".ckpt" in
+  let server =
+    Cricket.Server.create ~checkpoint_dir:(Filename.dirname ckpt) ~clock ()
+  in
+  let chan =
+    Unikernel.Simchannel.create ~engine
+      ~client:Unikernel.Config.server_profile
+      ~dispatch:(fun req -> Cricket.Server.dispatch server req)
+      ()
+  in
+  let client =
+    Cricket.Client.create ~transport:(Unikernel.Simchannel.transport chan) ()
+  in
+  Cricket.Client.enable_recovery ~checkpoint_every:64
+    ~checkpoint_name:(Filename.basename ckpt) client
+    ~now:(fun () -> Simnet.Engine.now engine)
+    ~sleep:(fun ns -> Simnet.Engine.advance engine ns)
+    ~reconnect:(fun () -> Unikernel.Simchannel.reconnect chan)
+    ();
+  let d = Cricket.Client.malloc client 8192 in
+  let data = pattern 8 8192 in
+  Cricket.Client.memcpy_h2d client ~dst:d (Bytes.copy data);
+  Cricket.Client.memset client ~ptr:(Int64.add d 1024L) ~value:0x7e ~len:256;
+  Bytes.fill data 1024 256 '\x7e';
+  let ctx = Cricket.Server.context server in
+  let ck0 = Cudasim.Context.checkpoint ctx in
+  (* a duplicate recovery — e.g. a lost ack forcing a second restore+replay
+     of the same journal — must be a no-op, not a double-apply *)
+  Cricket.Client.recover client;
+  let ck1 = Cudasim.Context.checkpoint ctx in
+  Cricket.Client.recover client;
+  let ck2 = Cudasim.Context.checkpoint ctx in
+  check Alcotest.bool "replay reproduces the live state" true
+    (String.equal ck0 ck1);
+  check Alcotest.bool "second replay is byte-identical" true
+    (String.equal ck1 ck2);
+  let out = Cricket.Client.memcpy_d2h client ~src:d ~len:8192 in
+  check Alcotest.string "data survives double recovery"
+    (Digest.to_hex (Digest.bytes data))
+    (Digest.to_hex (Digest.bytes out));
+  Sys.remove ckpt
+
+let suite =
+  [
+    Alcotest.test_case "memory: delta roundtrip" `Quick test_memory_delta;
+    Alcotest.test_case "memory: snapshot keeps dirty set" `Quick
+      test_memory_snapshot_keeps_dirty;
+    Alcotest.test_case "context: base+delta equals source" `Quick
+      test_context_delta;
+    Alcotest.test_case "migrate: clean handoff under pause budget" `Quick
+      test_migrate_clean;
+    Alcotest.test_case "migrate: seed-deterministic" `Quick
+      test_migrate_deterministic;
+    Alcotest.test_case "migrate: survives 25% record loss" `Quick
+      test_migrate_survives_drops;
+    Alcotest.test_case "migrate: survives an early partition" `Quick
+      test_migrate_survives_partition;
+    Alcotest.test_case "migrate: mid-transfer crash rolls back" `Quick
+      test_migrate_crash_rolls_back;
+    Alcotest.test_case "migrate: crash sweep never half-moves" `Quick
+      test_migrate_crash_sweep;
+    Alcotest.test_case "checkpoint: tmp+rename atomic publish" `Quick
+      test_checkpoint_write_is_atomic;
+    Alcotest.test_case "checkpoint: failed write leaves nothing" `Quick
+      test_checkpoint_failure_leaves_no_partial;
+    Alcotest.test_case "checkpoint: crash during write recovers" `Quick
+      test_crash_during_checkpoint_recovers;
+    Alcotest.test_case "recovery: journal replay idempotent" `Quick
+      test_recovery_replay_idempotent;
+  ]
