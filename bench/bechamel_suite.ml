@@ -304,11 +304,48 @@ let test_tenancy_drr =
          | Some (t, ()) -> Tenancy.Dispatch.charge d ~tenant:t ~cost_ns:700
          | None -> ()))
 
+let test_par_chan =
+  let q = Par.Chan.create () in
+  Test.make ~name:"par/chan-push-pop"
+    (Staged.stage (fun () ->
+         Par.Chan.push q 1;
+         ignore (Par.Chan.try_pop q : int option)))
+
+let test_par_merge =
+  (* 4 shards x 256 events, distinct interleaved timestamps: the k-way
+     merge cost the sharded loadgen pays per run *)
+  let streams =
+    Array.init 4 (fun shard ->
+        Array.init 256 (fun seq ->
+            { Par.Merge.vtime = Int64.of_int ((seq * 7) + shard);
+              shard; seq; payload = () }))
+  in
+  Test.make ~name:"par/merge-4x256"
+    (Staged.stage (fun () -> ignore (Par.Merge.merge streams)))
+
+let test_par_digest =
+  let merged =
+    Par.Merge.merge
+      [| Array.init 1024 (fun seq ->
+             { Par.Merge.vtime = Int64.of_int seq; shard = 0; seq;
+               payload = () }) |]
+  in
+  Test.make ~name:"par/digest-1024"
+    (Staged.stage (fun () -> ignore (Par.Merge.digest merged : int64)))
+
+let test_par_pool =
+  (* pool round-trip at domains:1 — the sequential-execution overhead the
+     deterministic contract rides on (spawn cost excluded by design) *)
+  Test.make ~name:"par/pool-32-jobs-1-domain"
+    (Staged.stage (fun () ->
+         ignore (Par.Pool.run ~domains:1 32 (fun i -> i * i) : int array)))
+
 let all_tests =
   [
     test_table1; test_fig5a; test_fig5b; test_fig5c; test_fig6; test_fig7;
     test_xdr; test_record; test_lzss; test_netcost; test_sched;
     test_tenancy_admission; test_tenancy_drr;
+    test_par_chan; test_par_merge; test_par_digest; test_par_pool;
   ]
 
 let run ?(quick = false) () =

@@ -4,6 +4,55 @@
 
 open Cmdliner
 
+(* Minimal JSON emission for bench artifacts (BENCH_*.json): enough for
+   flat objects/arrays of numbers and strings, no library needed. *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 32 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let j_str s = "\"" ^ json_escape s ^ "\""
+let j_int n = string_of_int n
+
+let j_float f =
+  if Float.is_finite f then Printf.sprintf "%.6g" f else j_str "nan"
+
+let j_list items = "[" ^ String.concat "," items ^ "]"
+
+let j_obj fields =
+  "{"
+  ^ String.concat ","
+      (List.map (fun (k, v) -> j_str k ^ ":" ^ v) fields)
+  ^ "}"
+
+let write_json path json =
+  let oc = open_out path in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  Printf.eprintf "wrote %s\n%!" path
+
+let domains_arg =
+  Arg.(value & opt int 1
+       & info [ "domains" ] ~docv:"N"
+           ~doc:"OCaml domains to execute shards/scenarios on. Never \
+                 changes stdout bytes, only wall-clock time.")
+
+let json_arg =
+  Arg.(value & opt (some string) None
+       & info [ "json" ] ~docv:"PATH"
+           ~doc:"Also write a machine-readable result summary (including \
+                 wall-clock throughput) to PATH.")
+
 let config_conv =
   let parse s =
     match Unikernel.Config.find s with
@@ -509,7 +558,7 @@ let tenants_cmd =
         ("priority", Cricket.Sched.Priority) ]
   in
   let run smoke uniform tenants items seed policy mean_gap_us
-      per_tenant_window global_window high_water =
+      per_tenant_window global_window high_water shards domains json_out =
     let base = if smoke then Tenancy.Loadgen.smoke else Tenancy.Loadgen.default in
     let override v = function Some x -> x | None -> v in
     let params =
@@ -539,9 +588,70 @@ let tenants_cmd =
                 .Tenancy.Admission.high_water high_water;
           };
         uniform = uniform || base.Tenancy.Loadgen.uniform;
+        shards = override base.Tenancy.Loadgen.shards shards;
+        domains;
       }
     in
-    print_string (Tenancy.Loadgen.to_string (Tenancy.Loadgen.run params))
+    (* Time each policy separately so calls/sec is per policy. Wall-clock
+       goes to stderr and the JSON file only: stdout must stay
+       byte-identical across --domains counts (CI diffs it). *)
+    let timed =
+      List.map
+        (fun p ->
+          let t0 = Unix.gettimeofday () in
+          let r = Tenancy.Loadgen.run_policy params p in
+          (r, Unix.gettimeofday () -. t0))
+        params.Tenancy.Loadgen.policies
+    in
+    print_string (Tenancy.Loadgen.to_string (List.map fst timed));
+    let throughput (r : Tenancy.Loadgen.report) wall =
+      if wall > 0. then float_of_int r.Tenancy.Loadgen.completed /. wall
+      else 0.
+    in
+    List.iter
+      (fun ((r : Tenancy.Loadgen.report), wall) ->
+        Printf.eprintf "wall: %-8s domains=%d %8.3f s %12.0f calls/s\n%!"
+          (Cricket.Sched.policy_to_string r.Tenancy.Loadgen.policy)
+          params.Tenancy.Loadgen.domains wall (throughput r wall))
+      timed;
+    match json_out with
+    | None -> ()
+    | Some path ->
+        let policy_obj ((r : Tenancy.Loadgen.report), wall) =
+          j_obj
+            [
+              ("policy",
+               j_str (Cricket.Sched.policy_to_string r.Tenancy.Loadgen.policy));
+              ("completed", j_int r.Tenancy.Loadgen.completed);
+              ("rejected_quota", j_int r.Tenancy.Loadgen.rejected_quota);
+              ("rejected_overload", j_int r.Tenancy.Loadgen.rejected_overload);
+              ("rejected_expired", j_int r.Tenancy.Loadgen.rejected_expired);
+              ("errors", j_int r.Tenancy.Loadgen.errors);
+              ("makespan_ms", j_float r.Tenancy.Loadgen.makespan_ms);
+              ("p50_us",
+               j_float r.Tenancy.Loadgen.latency.Tenancy.Loadgen.p50_us);
+              ("p99_us",
+               j_float r.Tenancy.Loadgen.latency.Tenancy.Loadgen.p99_us);
+              ("jain", j_float r.Tenancy.Loadgen.jain);
+              ("events", j_int r.Tenancy.Loadgen.events);
+              ("digest",
+               j_str (Printf.sprintf "%016Lx" r.Tenancy.Loadgen.digest));
+              ("wall_s", j_float wall);
+              ("calls_per_sec", j_float (throughput r wall));
+            ]
+        in
+        write_json path
+          (j_obj
+             [
+               ("bench", j_str "tenants");
+               ("tenants", j_int params.Tenancy.Loadgen.tenants);
+               ("items_per_tenant",
+                j_int params.Tenancy.Loadgen.items_per_tenant);
+               ("seed", j_int params.Tenancy.Loadgen.seed);
+               ("shards", j_int params.Tenancy.Loadgen.shards);
+               ("domains", j_int params.Tenancy.Loadgen.domains);
+               ("policies", j_list (List.map policy_obj timed));
+             ])
   in
   Cmd.v
     (Cmd.info "tenants"
@@ -574,12 +684,17 @@ let tenants_cmd =
       $ Arg.(value & opt (some int) None
              & info [ "per-tenant-window" ] ~docv:"N")
       $ Arg.(value & opt (some int) None & info [ "global-window" ] ~docv:"N")
-      $ Arg.(value & opt (some int) None & info [ "high-water" ] ~docv:"N"))
+      $ Arg.(value & opt (some int) None & info [ "high-water" ] ~docv:"N")
+      $ Arg.(value & opt (some int) None
+             & info [ "shards" ] ~docv:"N"
+                 ~doc:"Logical serving shards (part of the workload \
+                       definition; changing it changes the report).")
+      $ domains_arg $ json_arg)
 
 (* --- migrate --- *)
 
 let migrate_cmd =
-  let run smoke seed buf_kib batches dirty_kib budget_us =
+  let run smoke seed buf_kib batches dirty_kib budget_us domains json_out =
     let module MH = Migrate.Harness in
     let module ME = Migrate.Engine in
     let buf_kib =
@@ -615,40 +730,78 @@ let migrate_cmd =
     Printf.printf "%-10s %11s %6s %9s %10s %10s %6s %9s %11s  %s\n" "profile"
       "dirty/batch" "rounds" "base KiB" "delta KiB" "full KiB" "saved"
       "pause us" "downtime ok" "state";
-    List.iter
-      (fun (cfg : Unikernel.Config.t) ->
-        List.iter
-          (fun dirty ->
-            let r = MH.run (params cfg dirty None) in
-            match r.MH.outcome with
-            | MH.Completed rep ->
-                let kib n = float_of_int n /. 1024. in
-                let saved =
-                  100.
-                  *. (1.
-                     -. float_of_int rep.ME.total_bytes
-                        /. float_of_int (max 1 rep.ME.full_total_bytes))
-                in
-                Printf.printf
+    (* Every sweep point is an independent simulation: run them across
+       domains, then print rows in job order — stdout stays byte-identical
+       for any --domains (CI diffs it). Wall-clock goes only to the JSON
+       artifact. *)
+    let sweep_jobs =
+      List.concat_map
+        (fun (cfg : Unikernel.Config.t) ->
+          List.map (fun dirty -> (cfg, dirty)) dirty_rates)
+        Unikernel.Config.all
+    in
+    let sweep =
+      Par.Pool.map ~domains
+        (fun ((cfg : Unikernel.Config.t), dirty) ->
+          let t0 = Unix.gettimeofday () in
+          let r = MH.run (params cfg dirty None) in
+          let wall = Unix.gettimeofday () -. t0 in
+          match r.MH.outcome with
+          | MH.Completed rep ->
+              let kib n = float_of_int n /. 1024. in
+              let saved =
+                100.
+                *. (1.
+                   -. float_of_int rep.ME.total_bytes
+                      /. float_of_int (max 1 rep.ME.full_total_bytes))
+              in
+              let pause_us = Simnet.Time.to_float_us rep.ME.pause in
+              let downtime_ok =
+                Simnet.Time.compare rep.ME.pause rep.ME.pause_budget <= 0
+              in
+              ( Printf.sprintf
                   "%-10s %8d KiB %6d %9.1f %10.1f %10.1f %5.1f%% %9.1f %11s  %s\n"
                   cfg.Unikernel.Config.name dirty
                   (List.length rep.ME.rounds)
                   (kib rep.ME.base_bytes)
                   (kib (rep.ME.total_bytes - rep.ME.base_bytes))
                   (kib rep.ME.full_total_bytes)
-                  saved
-                  (Simnet.Time.to_float_us rep.ME.pause)
-                  (if Simnet.Time.compare rep.ME.pause rep.ME.pause_budget <= 0
-                   then "yes"
-                   else "NO")
-                  (if r.MH.digest_ok then "digest ok" else "DIGEST MISMATCH")
-            | MH.Aborted { phase; reason } ->
-                Printf.printf "%-10s %8d KiB  aborted at %s: %s\n"
+                  saved pause_us
+                  (if downtime_ok then "yes" else "NO")
+                  (if r.MH.digest_ok then "digest ok" else "DIGEST MISMATCH"),
+                j_obj
+                  [
+                    ("profile", j_str cfg.Unikernel.Config.name);
+                    ("dirty_kib", j_int dirty);
+                    ("outcome", j_str "completed");
+                    ("rounds", j_int (List.length rep.ME.rounds));
+                    ("base_kib", j_float (kib rep.ME.base_bytes));
+                    ("delta_kib",
+                     j_float (kib (rep.ME.total_bytes - rep.ME.base_bytes)));
+                    ("full_kib", j_float (kib rep.ME.full_total_bytes));
+                    ("saved_pct", j_float saved);
+                    ("pause_us", j_float pause_us);
+                    ("downtime_ok", if downtime_ok then "true" else "false");
+                    ("digest_ok", if r.MH.digest_ok then "true" else "false");
+                    ("wall_s", j_float wall);
+                  ] )
+          | MH.Aborted { phase; reason } ->
+              ( Printf.sprintf "%-10s %8d KiB  aborted at %s: %s\n"
                   cfg.Unikernel.Config.name dirty
                   (ME.phase_to_string phase)
-                  reason)
-          dirty_rates)
-      Unikernel.Config.all;
+                  reason,
+                j_obj
+                  [
+                    ("profile", j_str cfg.Unikernel.Config.name);
+                    ("dirty_kib", j_int dirty);
+                    ("outcome", j_str "aborted");
+                    ("phase", j_str (ME.phase_to_string phase));
+                    ("reason", j_str reason);
+                    ("wall_s", j_float wall);
+                  ] ))
+        sweep_jobs
+    in
+    List.iter (fun (row, _) -> print_string row) sweep;
     (* Adversarial plans against the migration channel. Every scenario must
        end in one of exactly two states: session handed off (destination
        serving) or clean rollback (source serving) — never half-moved. *)
@@ -676,45 +829,73 @@ let migrate_cmd =
                   down_for = Simnet.Time.us 300 } ] } );
       ]
     in
-    List.iter
-      (fun (name, plan) ->
-        let r =
-          MH.run (params Unikernel.Config.rust_native chaos_dirty (Some plan))
-        in
-        let injected =
-          match r.MH.fault_stats with
-          | Some s -> Simnet.Fault.injected s + s.Simnet.Fault.crashes_fired
-          | None -> 0
-        in
-        let state =
-          match r.MH.outcome with
-          | MH.Completed rep ->
-              Printf.sprintf "handed off in %d rounds, pause %.1f us"
-                (List.length rep.ME.rounds)
-                (Simnet.Time.to_float_us rep.ME.pause)
-          | MH.Aborted { phase; _ } ->
-              Printf.sprintf "rolled back at %s, source serving"
-                (ME.phase_to_string phase)
-        in
-        let authority =
-          match r.MH.outcome with
-          | MH.Completed _ ->
-              if r.MH.dst_audit.MH.lease_present
-                 && r.MH.dst_audit.MH.ledger_live
-                 && not r.MH.src_audit.MH.lease_present
-              then "lease on dst"
-              else "LEASE LEAK"
-          | MH.Aborted _ ->
-              if r.MH.src_audit.MH.lease_present
-                 && r.MH.src_audit.MH.ledger_live
-                 && not r.MH.dst_audit.MH.lease_present
-              then "lease on src"
-              else "LEASE LEAK"
-        in
-        Printf.printf "  %-42s %3d faults  %-38s %-12s %s\n" name injected
-          state authority
-          (if r.MH.digest_ok then "digest ok" else "DIGEST MISMATCH"))
-      scenarios
+    let chaos =
+      Par.Pool.map ~domains
+        (fun (name, plan) ->
+          let t0 = Unix.gettimeofday () in
+          let r =
+            MH.run (params Unikernel.Config.rust_native chaos_dirty (Some plan))
+          in
+          let wall = Unix.gettimeofday () -. t0 in
+          let injected =
+            match r.MH.fault_stats with
+            | Some s -> Simnet.Fault.injected s + s.Simnet.Fault.crashes_fired
+            | None -> 0
+          in
+          let state =
+            match r.MH.outcome with
+            | MH.Completed rep ->
+                Printf.sprintf "handed off in %d rounds, pause %.1f us"
+                  (List.length rep.ME.rounds)
+                  (Simnet.Time.to_float_us rep.ME.pause)
+            | MH.Aborted { phase; _ } ->
+                Printf.sprintf "rolled back at %s, source serving"
+                  (ME.phase_to_string phase)
+          in
+          let authority =
+            match r.MH.outcome with
+            | MH.Completed _ ->
+                if r.MH.dst_audit.MH.lease_present
+                   && r.MH.dst_audit.MH.ledger_live
+                   && not r.MH.src_audit.MH.lease_present
+                then "lease on dst"
+                else "LEASE LEAK"
+            | MH.Aborted _ ->
+                if r.MH.src_audit.MH.lease_present
+                   && r.MH.src_audit.MH.ledger_live
+                   && not r.MH.dst_audit.MH.lease_present
+                then "lease on src"
+                else "LEASE LEAK"
+          in
+          ( Printf.sprintf "  %-42s %3d faults  %-38s %-12s %s\n" name injected
+              state authority
+              (if r.MH.digest_ok then "digest ok" else "DIGEST MISMATCH"),
+            j_obj
+              [
+                ("scenario", j_str name);
+                ("faults", j_int injected);
+                ("state", j_str state);
+                ("authority", j_str authority);
+                ("digest_ok", if r.MH.digest_ok then "true" else "false");
+                ("wall_s", j_float wall);
+              ] ))
+        scenarios
+    in
+    List.iter (fun (row, _) -> print_string row) chaos;
+    match json_out with
+    | None -> ()
+    | Some path ->
+        write_json path
+          (j_obj
+             [
+               ("bench", j_str "migrate");
+               ("seed", j_int seed);
+               ("domains", j_int domains);
+               ("buf_kib", j_int buf_kib);
+               ("batches", j_int batches);
+               ("sweep", j_list (List.map snd sweep));
+               ("chaos", j_list (List.map snd chaos));
+             ])
   in
   Cmd.v
     (Cmd.info "migrate"
@@ -745,7 +926,8 @@ let migrate_cmd =
       $ Arg.(value & opt int 5000
              & info [ "pause-budget-us" ] ~docv:"US"
                  ~doc:"Abort instead of committing if stop-and-copy exceeds \
-                       this."))
+                       this.")
+      $ domains_arg $ json_arg)
 
 let main =
   Cmd.group

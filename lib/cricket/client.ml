@@ -57,15 +57,16 @@ type t = {
 
 (* Each client gets its own 16M-wide xid space: concurrent clients sharing
    one server (multi-tenancy) must never alias in the server's xid-keyed
-   duplicate-request cache. Real clients randomize the origin instead. *)
-let xid_space = ref 0
+   duplicate-request cache. Real clients randomize the origin instead.
+   Atomic: sharded harnesses create clients from several domains at once. *)
+let xid_space = Atomic.make 1
 
 let create ?(launch_extra_ns = 0) ?(charge = fun _ -> ()) ?fragment_size
     ~transport () =
   let rpc = P.create ?fragment_size ~transport () in
-  incr xid_space;
+  let space = Atomic.fetch_and_add xid_space 1 in
   Oncrpc.Client.set_xid_origin rpc
-    (Int32.mul (Int32.of_int !xid_space) 0x1000000l);
+    (Int32.mul (Int32.of_int space) 0x1000000l);
   {
     rpc;
     launch_extra_ns;

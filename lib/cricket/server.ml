@@ -517,8 +517,20 @@ let proc_names =
        (Rpcl.Check.programs env);
      table)
 
+(* [Lazy.force] from two domains at once raises [RacyLazy]; serialize the
+   first (and only) forcing. Reads after forcing are table lookups on a
+   frozen Hashtbl — safe without the lock, but the lock is cheap and the
+   call sites are cold (report rendering), so hold it throughout. *)
+let proc_names_lock = Mutex.create ()
+
+let forced_proc_names () =
+  Mutex.lock proc_names_lock;
+  let table = Lazy.force proc_names in
+  Mutex.unlock proc_names_lock;
+  table
+
 let proc_name proc =
-  match Hashtbl.find_opt (Lazy.force proc_names) proc with
+  match Hashtbl.find_opt (forced_proc_names ()) proc with
   | Some n -> n
   | None -> Printf.sprintf "proc_%d" proc
 
@@ -542,7 +554,7 @@ let proc_stats t =
   Hashtbl.fold
     (fun proc count acc ->
       let name =
-        match Hashtbl.find_opt (Lazy.force proc_names) proc with
+        match Hashtbl.find_opt (forced_proc_names ()) proc with
         | Some n -> n
         | None -> Printf.sprintf "proc_%d" proc
       in

@@ -27,10 +27,47 @@ let alignment = 256
 let page_size = 4096
 
 module Imap = Map.Make (Int)
+module BA1 = Bigarray.Array1
+
+(* The arena lives in a Bigarray, not Bytes: Bigarray data is malloc'd
+   outside the OCaml heap, so concurrent access from several domains
+   (each gpusim instance is owned by one shard, but snapshot/migration
+   tooling may read across) never races the GC's moving of heap blocks,
+   and large arenas add no marking pressure. *)
+type arena = (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) BA1.t
+
+let arena_create len : arena =
+  let a = BA1.create Bigarray.char Bigarray.c_layout len in
+  BA1.fill a '\000';  (* Bigarray.Array1.create does not zero-fill *)
+  a
+
+let arena_len (a : arena) = BA1.dim a
+
+(* Manual byte loops: Bytes/String <-> Bigarray have no stdlib blit.
+   Callers bound-check first, so unsafe accessors are fine. *)
+let blit_bytes_to_arena src srcoff (dst : arena) dstoff len =
+  for i = 0 to len - 1 do
+    BA1.unsafe_set dst (dstoff + i) (Bytes.unsafe_get src (srcoff + i))
+  done
+
+let blit_string_to_arena src srcoff (dst : arena) dstoff len =
+  for i = 0 to len - 1 do
+    BA1.unsafe_set dst (dstoff + i) (String.unsafe_get src (srcoff + i))
+  done
+
+let arena_sub_bytes (src : arena) off len =
+  let b = Bytes.create len in
+  for i = 0 to len - 1 do
+    Bytes.unsafe_set b i (BA1.unsafe_get src (off + i))
+  done;
+  b
+
+let arena_sub_string src off len =
+  Bytes.unsafe_to_string (arena_sub_bytes src off len)
 
 type t = {
   capacity : int;
-  mutable backing : Bytes.t;
+  mutable backing : arena;
   mutable allocations : int Imap.t;  (* base -> size *)
   mutable free_list : (int * int) list;  (* (base, size), sorted by base *)
   mutable used : int;
@@ -42,7 +79,7 @@ let create ~capacity =
   if capacity <= 0 then invalid_arg "Memory.create: capacity";
   {
     capacity;
-    backing = Bytes.create 4096;
+    backing = arena_create 4096;
     allocations = Imap.empty;
     free_list = [ (base_address, capacity) ];
     used = 0;
@@ -149,13 +186,14 @@ let find_allocation t addr =
   | _ -> None
 
 let ensure_backing t upto =
-  if upto > Bytes.length t.backing then begin
-    let capacity = ref (max 4096 (Bytes.length t.backing)) in
+  if upto > arena_len t.backing then begin
+    let capacity = ref (max 4096 (arena_len t.backing)) in
     while !capacity < upto do
       capacity := !capacity * 2
     done;
-    let grown = Bytes.make !capacity '\000' in
-    Bytes.blit t.backing 0 grown 0 (Bytes.length t.backing);
+    let grown = arena_create !capacity in
+    let old_len = arena_len t.backing in
+    BA1.blit t.backing (BA1.sub grown 0 old_len);
     t.backing <- grown
   end
 
@@ -172,7 +210,7 @@ let write t ptr data =
   if len > 0 then begin
     check_range t ptr len;
     ensure_backing t (ptr + len);
-    Bytes.blit data 0 t.backing ptr len;
+    blit_bytes_to_arena data 0 t.backing ptr len;
     mark t ptr len
   end
 
@@ -181,7 +219,7 @@ let read t ptr len =
   else begin
     check_range t ptr len;
     ensure_backing t (ptr + len);
-    Bytes.sub t.backing ptr len
+    arena_sub_bytes t.backing ptr len
   end
 
 let copy t ~src ~dst ~len =
@@ -189,7 +227,9 @@ let copy t ~src ~dst ~len =
     check_range t src len;
     check_range t dst len;
     ensure_backing t (max (src + len) (dst + len));
-    Bytes.blit t.backing src t.backing dst len;
+    (* Array1.blit is memmove: overlapping device-to-device copies keep
+       the same semantics the Bytes arena had. *)
+    BA1.blit (BA1.sub t.backing src len) (BA1.sub t.backing dst len);
     mark t dst len
   end
 
@@ -197,7 +237,7 @@ let memset t ptr byte len =
   if len > 0 then begin
     check_range t ptr len;
     ensure_backing t (ptr + len);
-    Bytes.fill t.backing ptr len (Char.chr (byte land 0xff));
+    BA1.fill (BA1.sub t.backing ptr len) (Char.chr (byte land 0xff));
     mark t ptr len
   end
 
@@ -205,42 +245,71 @@ let memset t ptr byte len =
 
 let get_u8 t addr =
   ensure_backing t (addr + 1);
-  Char.code (Bytes.get t.backing addr)
+  Char.code (BA1.get t.backing addr)
 
 let set_u8 t addr v =
   ensure_backing t (addr + 1);
-  Bytes.set t.backing addr (Char.chr (v land 0xff));
+  BA1.set t.backing addr (Char.chr (v land 0xff));
   mark t addr 1
 
+(* Multi-byte accessors assemble little-endian by hand: Bigarray has no
+   Bytes.get_int32_le equivalent for a char array. *)
 let get_i32 t addr =
   ensure_backing t (addr + 4);
-  Bytes.get_int32_le t.backing addr
+  let b = t.backing in
+  let byte i = Int32.of_int (Char.code (BA1.unsafe_get b (addr + i))) in
+  Int32.logor (byte 0)
+    (Int32.logor
+       (Int32.shift_left (byte 1) 8)
+       (Int32.logor (Int32.shift_left (byte 2) 16)
+          (Int32.shift_left (byte 3) 24)))
 
 let set_i32 t addr v =
   ensure_backing t (addr + 4);
-  Bytes.set_int32_le t.backing addr v;
+  let b = t.backing in
+  let put i x =
+    BA1.unsafe_set b (addr + i) (Char.unsafe_chr (Int32.to_int x land 0xff))
+  in
+  put 0 v;
+  put 1 (Int32.shift_right_logical v 8);
+  put 2 (Int32.shift_right_logical v 16);
+  put 3 (Int32.shift_right_logical v 24);
   mark t addr 4
 
 let get_f32 t addr = Int32.float_of_bits (get_i32 t addr)
 let set_f32 t addr v = set_i32 t addr (Int32.bits_of_float v)
 
-let get_f64 t addr =
+let get_i64 t addr =
   ensure_backing t (addr + 8);
-  Int64.float_of_bits (Bytes.get_int64_le t.backing addr)
+  let b = t.backing in
+  let byte i = Int64.of_int (Char.code (BA1.unsafe_get b (addr + i))) in
+  let acc = ref 0L in
+  for i = 7 downto 0 do
+    acc := Int64.logor (Int64.shift_left !acc 8) (byte i)
+  done;
+  !acc
 
-let set_f64 t addr v =
+let set_i64 t addr v =
   ensure_backing t (addr + 8);
-  Bytes.set_int64_le t.backing addr (Int64.bits_of_float v);
+  let b = t.backing in
+  for i = 0 to 7 do
+    BA1.unsafe_set b (addr + i)
+      (Char.unsafe_chr
+         (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xff))
+  done;
   mark t addr 8
+
+let get_f64 t addr = Int64.float_of_bits (get_i64 t addr)
+let set_f64 t addr v = set_i64 t addr (Int64.bits_of_float v)
 
 let reset t =
   t.allocations <- Imap.empty;
   t.free_list <- [ (base_address, t.capacity) ];
   t.used <- 0;
-  Bytes.fill t.backing 0 (Bytes.length t.backing) '\000';
+  BA1.fill t.backing '\000';
   (* Every page changed (to zero); a delta baseline taken before the
      reset must resend them. *)
-  mark t 0 (Bytes.length t.backing)
+  mark t 0 (arena_len t.backing)
 
 (* Checkpoint format: capacity, allocation table, and each live
    allocation's contents. *)
@@ -256,7 +325,7 @@ let snapshot t =
     Imap.fold
       (fun base size acc ->
         ensure_backing t (base + size);
-        (base, Bytes.sub_string t.backing base size) :: acc)
+        (base, arena_sub_string t.backing base size) :: acc)
       t.allocations []
   in
   Marshal.to_string
@@ -278,7 +347,7 @@ let restore s =
   List.iter
     (fun (base, data) ->
       ensure_backing t (base + String.length data);
-      Bytes.blit_string data 0 t.backing base (String.length data))
+      blit_string_to_arena data 0 t.backing base (String.length data))
     d.snap_contents;
   t
 
@@ -296,14 +365,14 @@ type delta_data = {
 
 let delta t =
   if not t.tracking then invalid_arg "Memory.delta: tracking disabled";
-  let backing_len = Bytes.length t.backing in
+  let backing_len = arena_len t.backing in
   let pages = ref [] in
   for p = Bytes.length t.dirty - 1 downto 0 do
     if Bytes.get t.dirty p <> '\000' then begin
       let start = p * page_size in
       if start < backing_len then
         let len = min page_size (backing_len - start) in
-        pages := (p, Bytes.sub_string t.backing start len) :: !pages
+        pages := (p, arena_sub_string t.backing start len) :: !pages
     end
   done;
   clear_dirty t;
@@ -336,7 +405,7 @@ let apply_delta t s =
             let start = p * page_size in
             let len = String.length data in
             ensure_backing t (start + len);
-            Bytes.blit_string data 0 t.backing start len;
+            blit_string_to_arena data 0 t.backing start len;
             mark t start len)
           d.dl_pages;
         Ok ()

@@ -30,8 +30,15 @@ type t = {
   mutable next_id : int;
   mutable dropped : int;
   mutable stack : span list;  (* open spans, innermost first *)
-  counters : (string, int ref) Hashtbl.t;
+  counters : (string, int Atomic.t) Hashtbl.t;
   histograms : (string, Histogram.t) Hashtbl.t;
+  tables_lock : Mutex.t;
+      (* guards the [counters]/[histograms] Hashtbl structure (find-or-
+         create, iteration, reset). Counter bumps themselves are atomic
+         fetch-and-adds outside the lock, so concurrent [incr] from many
+         domains is safe and sums exactly. Spans and histogram *contents*
+         remain owner-domain: only the domain that created a recorder may
+         open spans or record observations into a given histogram. *)
 }
 
 let make ~lockable ?(clock = fun () -> 0L) ?(max_spans = 1_000_000) () =
@@ -47,6 +54,7 @@ let make ~lockable ?(clock = fun () -> 0L) ?(max_spans = 1_000_000) () =
     stack = [];
     counters = Hashtbl.create 16;
     histograms = Hashtbl.create 16;
+    tables_lock = Mutex.create ();
   }
 
 let create ?clock ?max_spans () = make ~lockable:true ?clock ?max_spans ()
@@ -57,12 +65,17 @@ let enabled t = t.is_enabled
 let set_enabled t v = if t.lockable then t.is_enabled <- v
 
 let hist t name =
-  match Hashtbl.find_opt t.histograms name with
-  | Some h -> h
-  | None ->
-      let h = Histogram.create () in
-      Hashtbl.add t.histograms name h;
-      h
+  Mutex.lock t.tables_lock;
+  let h =
+    match Hashtbl.find_opt t.histograms name with
+    | Some h -> h
+    | None ->
+        let h = Histogram.create () in
+        Hashtbl.add t.histograms name h;
+        h
+  in
+  Mutex.unlock t.tables_lock;
+  h
 
 let retain t sp =
   if t.n_spans >= t.max_spans then t.dropped <- t.dropped + 1
@@ -126,18 +139,36 @@ let span_event ?(layer = "misc") ?(parent = null_span) t ~name ~start_ns
     observe_layer t sp
   end
 
+let counter_cell t name =
+  Mutex.lock t.tables_lock;
+  let cell =
+    match Hashtbl.find_opt t.counters name with
+    | Some c -> c
+    | None ->
+        let c = Atomic.make 0 in
+        Hashtbl.add t.counters name c;
+        c
+  in
+  Mutex.unlock t.tables_lock;
+  cell
+
 let incr t ?(by = 1) name =
   if t.is_enabled then
-    match Hashtbl.find_opt t.counters name with
-    | Some r -> r := !r + by
-    | None -> Hashtbl.add t.counters name (ref by)
+    ignore (Atomic.fetch_and_add (counter_cell t name) by)
 
 let counter t name =
-  match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+  Mutex.lock t.tables_lock;
+  let cell = Hashtbl.find_opt t.counters name in
+  Mutex.unlock t.tables_lock;
+  match cell with Some c -> Atomic.get c | None -> 0
 
 let counters t =
-  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.counters []
-  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  Mutex.lock t.tables_lock;
+  let snapshot =
+    Hashtbl.fold (fun name c acc -> (name, Atomic.get c) :: acc) t.counters []
+  in
+  Mutex.unlock t.tables_lock;
+  List.sort (fun (a, _) (b, _) -> compare a b) snapshot
 
 (* Per-tenant counter labels: one canonical rendering so producers
    (serving core, server) and consumers (reports, tests) agree on the
@@ -165,11 +196,19 @@ let counters_prefixed t ~prefix =
 
 let observe t name v = if t.is_enabled then Histogram.record (hist t name) v
 
-let histogram t name = Hashtbl.find_opt t.histograms name
+let histogram t name =
+  Mutex.lock t.tables_lock;
+  let h = Hashtbl.find_opt t.histograms name in
+  Mutex.unlock t.tables_lock;
+  h
 
 let histograms t =
-  Hashtbl.fold (fun name h acc -> (name, h) :: acc) t.histograms []
-  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  Mutex.lock t.tables_lock;
+  let snapshot =
+    Hashtbl.fold (fun name h acc -> (name, h) :: acc) t.histograms []
+  in
+  Mutex.unlock t.tables_lock;
+  List.sort (fun (a, _) (b, _) -> compare a b) snapshot
 
 let info (sp : span) : span_info =
   { id = sp.id; parent = sp.sp_parent; name = sp.sp_name;
@@ -208,5 +247,7 @@ let reset t =
   t.next_id <- 0;
   t.dropped <- 0;
   t.stack <- [];
+  Mutex.lock t.tables_lock;
   Hashtbl.reset t.counters;
-  Hashtbl.reset t.histograms
+  Hashtbl.reset t.histograms;
+  Mutex.unlock t.tables_lock

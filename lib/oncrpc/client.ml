@@ -56,7 +56,12 @@ type t = {
   vers : int;
   cred : Auth.t;
   fragment_size : int;
-  mutable next_xid : int32;
+  next_xid : int Atomic.t;
+      (* xid allocation is the one client-side operation multiple domains
+         may legitimately race on (pipelined callers sharing a client);
+         a fetch-and-add keeps xids unique without a lock. Stored as an
+         int and truncated to int32 on use, so the space wraps exactly
+         like the wire representation. *)
   mutable stats : stats;
   mutable retry : retry_policy option;
   mutable now : unit -> int64;  (* virtual-time clock, ns *)
@@ -77,7 +82,7 @@ let create ?(cred = Auth.none) ?(fragment_size = Record.default_fragment_size)
     vers;
     cred;
     fragment_size;
-    next_xid = first_xid;
+    next_xid = Atomic.make (Int32.to_int first_xid);
     stats = empty_stats;
     retry;
     now = (fun () -> 0L);
@@ -95,7 +100,8 @@ let set_obs ?proc_name t obs =
   match proc_name with Some f -> t.obs_proc_name <- f | None -> ()
 
 let set_retry t policy = t.retry <- policy
-let set_xid_origin t xid = t.next_xid <- xid
+let set_xid_origin t xid = Atomic.set t.next_xid (Int32.to_int xid)
+let alloc_xid t = Int32.of_int (Atomic.fetch_and_add t.next_xid 1)
 let set_clock t ~now ~sleep =
   t.now <- now;
   t.sleep <- sleep
@@ -181,8 +187,7 @@ let encode_call t ~xid ~proc encode_args =
   (request, Xdr.Iovec.length request - header_len)
 
 let call ?deadline_ns t ~proc encode_args decode_results =
-  let xid = t.next_xid in
-  t.next_xid <- Int32.add t.next_xid 1l;
+  let xid = alloc_xid t in
   let shim_sp =
     if Obs.Recorder.enabled t.obs then
       Obs.Recorder.span_begin t.obs ~layer:"shim" (t.obs_proc_name proc)
@@ -277,8 +282,7 @@ let call_void ?deadline_ns t ~proc encode_args =
    synchronous call flushes the connection, so N one-way calls followed by
    one blocking call cost a single round trip. *)
 let call_oneway t ~proc encode_args =
-  let xid = t.next_xid in
-  t.next_xid <- Int32.add t.next_xid 1l;
+  let xid = alloc_xid t in
   let shim_sp =
     if Obs.Recorder.enabled t.obs then
       Obs.Recorder.span_begin t.obs ~layer:"shim" (t.obs_proc_name proc)

@@ -83,6 +83,10 @@ val set_xid_origin : t -> int32 -> unit
     server's at-most-once duplicate-request cache is keyed by xid, so two
     clients counting from the same origin would alias each other's calls. *)
 
+val alloc_xid : t -> int32
+(** Reserve the next xid (atomic fetch-and-add): callers on any domain
+    get distinct values. Every call allocates through this. *)
+
 val set_clock : t -> now:(unit -> int64) -> sleep:(int64 -> unit) -> unit
 (** Install the virtual clock used for deadlines and backoff sleeps. The
     defaults ([now] constant [0], [sleep] a no-op) keep retries functional

@@ -12,7 +12,7 @@ type t = {
   send_lock : Mutex.t;
   table_lock : Mutex.t;
   pending : (int32, slot) Hashtbl.t;
-  mutable next_xid : int32;
+  next_xid : int Atomic.t;  (* lock-free; truncated to int32 on use *)
   mutable alive : bool;
   mutable receiver : Thread.t option;
 }
@@ -64,7 +64,7 @@ let create ~transport ~prog ~vers () =
       send_lock = Mutex.create ();
       table_lock = Mutex.create ();
       pending = Hashtbl.create 16;
-      next_xid = 1l;
+      next_xid = Atomic.make 1;
       alive = true;
       receiver = None;
     }
@@ -91,8 +91,7 @@ let call_pipelined t ~proc encode_args decode_results =
     Mutex.unlock t.table_lock;
     raise Transport.Closed
   end;
-  let xid = t.next_xid in
-  t.next_xid <- Int32.add t.next_xid 1l;
+  let xid = Int32.of_int (Atomic.fetch_and_add t.next_xid 1) in
   Hashtbl.add t.pending xid slot;
   Mutex.unlock t.table_lock;
   let enc = Xdr.Encode.create () in

@@ -21,6 +21,9 @@ type dup_cache = {
   entries : (dup_key, string option) Hashtbl.t;
   order : dup_key Queue.t;
   mutable hits : int;
+  lock : Mutex.t;
+      (* guards entries/order/hits — servers are shared across domains
+         by the sharded harnesses, and Hashtbl is not domain-safe *)
 }
 
 type protocol_error =
@@ -81,9 +84,17 @@ let set_dup_cache ?(capacity = 4096) t =
         entries = Hashtbl.create capacity;
         order = Queue.create ();
         hits = 0;
+        lock = Mutex.create ();
       }
 
-let dup_hits t = match t.dup_cache with None -> 0 | Some c -> c.hits
+let dup_hits t =
+  match t.dup_cache with
+  | None -> 0
+  | Some c ->
+      Mutex.lock c.lock;
+      let n = c.hits in
+      Mutex.unlock c.lock;
+      n
 
 let null_procedure (_ : Xdr.Decode.t) (_ : Xdr.Encode.t) = ()
 
@@ -215,17 +226,26 @@ let dispatch_opt ?(ident = "") t request =
   | Message.Reply _ -> raise (Protocol_error (Unexpected_reply { xid }))
   | Message.Call c -> (
       let key = (ident, xid, c.Message.prog, c.Message.vers, c.Message.proc) in
-      match t.dup_cache with
-      | Some cache when Hashtbl.mem cache.entries key ->
+      let cached =
+        match t.dup_cache with
+        | None -> None
+        | Some cache ->
+            Mutex.lock cache.lock;
+            let hit = Hashtbl.find_opt cache.entries key in
+            (match hit with Some _ -> cache.hits <- cache.hits + 1 | None -> ());
+            Mutex.unlock cache.lock;
+            hit
+      in
+      match cached with
+      | Some reply ->
           (* Retransmission of an already-executed call: serve the recorded
              reply (or, for a one-way call, suppress re-execution). *)
-          cache.hits <- cache.hits + 1;
           Obs.Recorder.incr t.obs "rpc.dup_hit";
           Log.debug (fun m ->
               m "%s: duplicate xid %ld proc %d — replaying cached reply" t.name
                 xid c.Message.proc);
-          Hashtbl.find cache.entries key
-      | _ ->
+          reply
+      | None ->
           let sp =
             if Obs.Recorder.enabled t.obs then
               Obs.Recorder.span_begin t.obs ~layer:"dispatch"
@@ -245,10 +265,12 @@ let dispatch_opt ?(ident = "") t request =
           (match t.dup_cache with
           | None -> ()
           | Some cache ->
+              Mutex.lock cache.lock;
               if Queue.length cache.order >= cache.capacity then
                 Hashtbl.remove cache.entries (Queue.pop cache.order);
               Queue.push key cache.order;
-              Hashtbl.replace cache.entries key reply);
+              Hashtbl.replace cache.entries key reply;
+              Mutex.unlock cache.lock);
           reply)
 
 let dispatch ?ident t request =

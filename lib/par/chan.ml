@@ -1,0 +1,32 @@
+(* Domain-safe work queue: the per-domain mailbox of the parallel
+   runtime. A queue belongs to one worker domain, which pops from the
+   front; idle workers steal from other queues through the same lock.
+   Plain Mutex + Queue — the queues hold coarse shard jobs (a handful of
+   entries each), so a lock-free deque would buy nothing over keeping the
+   implementation obviously correct. *)
+
+type 'a t = {
+  lock : Mutex.t;
+  items : 'a Queue.t;
+}
+
+let create () = { lock = Mutex.create (); items = Queue.create () }
+
+let push t x =
+  Mutex.lock t.lock;
+  Queue.add x t.items;
+  Mutex.unlock t.lock
+
+let try_pop t =
+  Mutex.lock t.lock;
+  let x = Queue.take_opt t.items in
+  Mutex.unlock t.lock;
+  x
+
+let length t =
+  Mutex.lock t.lock;
+  let n = Queue.length t.items in
+  Mutex.unlock t.lock;
+  n
+
+let is_empty t = length t = 0

@@ -1,0 +1,72 @@
+(* Domain pool: run n independent jobs across OCaml 5 domains.
+
+   Jobs are indexed 0..n-1 and dealt round-robin into domain-local work
+   queues ({!Chan}); each worker drains its own queue first and steals
+   from its neighbours when idle, so an unbalanced shard (one slow
+   tenant partition) does not leave the other domains parked. Results
+   land in a slot array keyed by job index, which is what makes the
+   pool safe to use under a determinism contract: the *values* returned
+   never depend on which domain ran which job or in what order — only
+   wall-clock time does.
+
+   Worker 0 is the calling domain, so [domains:1] spawns nothing and is
+   exactly a sequential loop — the reference execution the byte-identity
+   tests compare against. *)
+
+type 'a outcome = Done of 'a | Raised of exn * Printexc.raw_backtrace
+
+let run ~domains n job =
+  if n < 0 then invalid_arg "Par.Pool.run: negative job count";
+  let domains = max 1 (min domains (max 1 n)) in
+  let queues = Array.init domains (fun _ -> Chan.create ()) in
+  for i = 0 to n - 1 do
+    Chan.push queues.(i mod domains) i
+  done;
+  let slots = Array.make n None in
+  (* Each slot is written by exactly one domain (job indices are dealt
+     once and never duplicated), then read only after every worker has
+     joined — no two domains ever race on the same array element. *)
+  let rec steal w attempt =
+    if attempt >= domains then None
+    else
+      match Chan.try_pop queues.((w + attempt) mod domains) with
+      | Some _ as got -> got
+      | None -> steal w (attempt + 1)
+  in
+  let worker w () =
+    let rec loop () =
+      match steal w 0 with
+      | None -> ()
+      | Some i ->
+          let outcome =
+            match job i with
+            | v -> Done v
+            | exception e -> Raised (e, Printexc.get_raw_backtrace ())
+          in
+          slots.(i) <- Some outcome;
+          loop ()
+    in
+    loop ()
+  in
+  let spawned =
+    Array.init (domains - 1) (fun k -> Domain.spawn (worker (k + 1)))
+  in
+  worker 0 ();
+  Array.iter Domain.join spawned;
+  (* Re-raise the lowest-indexed failure so the surfaced exception does
+     not depend on scheduling. *)
+  Array.iteri
+    (fun i slot ->
+      match slot with
+      | Some (Raised (e, bt)) -> Printexc.raise_with_backtrace e bt
+      | Some (Done _) -> ()
+      | None ->
+          failwith (Printf.sprintf "Par.Pool.run: job %d never executed" i))
+    slots;
+  Array.map
+    (function Some (Done v) -> v | _ -> assert false (* checked above *))
+    slots
+
+let map ~domains f items =
+  let arr = Array.of_list items in
+  Array.to_list (run ~domains (Array.length arr) (fun i -> f arr.(i)))

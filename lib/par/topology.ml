@@ -1,0 +1,27 @@
+(* Shard topology: the *logical* decomposition of a workload, fixed
+   independently of how many domains execute it.
+
+   Determinism across --domains N hinges on this split: the assignment
+   of tenants (or any keyed work) to logical shards is a pure function
+   of the key and the shard count, so changing the domain count changes
+   only which domain runs a shard — never which shard owns what, and
+   therefore never a single byte of any shard's simulation. Scaling the
+   domain count up to the shard count adds parallelism; beyond it, the
+   extra domains idle. *)
+
+let default_shards = 4
+
+let owner ~shards key =
+  if shards < 1 then invalid_arg "Par.Topology.owner: shards < 1";
+  if key < 0 then invalid_arg "Par.Topology.owner: negative key";
+  key mod shards
+
+(* Members of shard [s] in ascending key order: s, s+shards, s+2*shards…
+   The inverse of [owner] restricted to [0, n). *)
+let members ~shards ~n s =
+  if s < 0 || s >= shards then invalid_arg "Par.Topology.members: shard id";
+  let rec collect k acc = if k >= n then List.rev acc else collect (k + shards) (k :: acc) in
+  Array.of_list (collect s [])
+
+let partition ~shards ~n =
+  Array.init (max 1 shards) (fun s -> members ~shards:(max 1 shards) ~n s)

@@ -4,6 +4,23 @@ let create ~seed =
   let seed64 = Int64.of_int seed in
   { state = (if Int64.equal seed64 0L then 0x9e3779b97f4a7c15L else seed64) }
 
+(* Derive the [index]-th independent substream of [seed] without
+   consuming any parent state: a splitmix64 finalizer over the
+   (seed, index) pair. This is how sharded workloads give every tenant
+   its own stream — the draw sequence of tenant i is a function of
+   (seed, i) alone, never of how many other tenants were generated
+   before it or on which shard or domain it landed. *)
+let substream ~seed ~index =
+  if index < 0 then invalid_arg "Random_variate.substream: negative index";
+  let z =
+    Int64.add (Int64.of_int seed)
+      (Int64.mul (Int64.of_int (index + 1)) 0x9E3779B97F4A7C15L)
+  in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+  { state = (if Int64.equal z 0L then 0x9e3779b97f4a7c15L else z) }
+
 (* xorshift64* *)
 let next_u64 t =
   let x = t.state in

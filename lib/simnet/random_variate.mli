@@ -12,6 +12,12 @@ type t
 val create : seed:int -> t
 (** Equal seeds yield equal streams; seed 0 is remapped internally. *)
 
+val substream : seed:int -> index:int -> t
+(** The [index]-th independent substream of [seed] (splitmix64-derived;
+    [index >= 0]). A pure function of the pair, so per-key streams in a
+    sharded workload do not depend on generation order, shard placement,
+    or domain count. *)
+
 val uniform : t -> float
 (** In [0, 1). *)
 

@@ -20,6 +20,21 @@ type tenant_result = {
   sojourn : Obs.Histogram.t;
 }
 
+(* One serving decision, stamped with the engine clock at the moment it
+   was made. The timeline is emitted in strictly increasing (time, seq)
+   order — seq is the tie-break for decisions made at the same virtual
+   instant — which is exactly the sortedness contract Par.Merge checks
+   when sharded runs are recombined. *)
+type ev_kind = Served | Shed of Admission.reject_reason
+
+type event = {
+  ev_time : Time.t;  (** completion (or rejection) instant *)
+  ev_arrival : Time.t;
+  ev_tenant : int;
+  ev_seq : int;
+  ev_kind : ev_kind;
+}
+
 type result = {
   policy : Cricket.Sched.policy;
   tenants : tenant_result array;
@@ -30,6 +45,7 @@ type result = {
   rejected : int;
   admission : Admission.stats;
   lease : Lease.stats;
+  timeline : event array;  (** every decision in (ev_time, ev_seq) order *)
 }
 
 type t = {
@@ -131,12 +147,22 @@ let run t items =
   let n_items = Array.length arrivals in
   let next_arrival = ref 0 in
   let start = Engine.now engine in
-  let record_reject tenant reason =
+  let events = ref [] in
+  let next_seq = ref 0 in
+  let emit ~arrival ~tenant kind =
+    events :=
+      { ev_time = Engine.now engine; ev_arrival = arrival; ev_tenant = tenant;
+        ev_seq = !next_seq; ev_kind = kind }
+      :: !events;
+    incr next_seq
+  in
+  let record_reject ~arrival tenant reason =
     let c = per.(tenant) in
     (match reason with
     | Admission.Over_quota -> c.rejected_quota <- c.rejected_quota + 1
     | Admission.Overloaded -> c.rejected_overload <- c.rejected_overload + 1
     | Admission.Lease_expired -> c.rejected_expired <- c.rejected_expired + 1);
+    emit ~arrival ~tenant (Shed reason);
     if obs_on then
       Obs.Recorder.incr t.obs
         (Obs.Recorder.tenant_label "tenancy.rejected"
@@ -152,7 +178,7 @@ let run t items =
       incr next_arrival;
       match Admission.offer admission ~tenant:item.tenant with
       | Ok () -> Dispatch.enqueue dispatch ~tenant:item.tenant item
-      | Error reason -> record_reject item.tenant reason
+      | Error reason -> record_reject ~arrival:item.arrival item.tenant reason
     done
   in
   let serving = ref true in
@@ -181,6 +207,7 @@ let run t items =
           let sojourn = Time.sub now item.arrival in
           Obs.Histogram.record c.sojourn sojourn;
           Obs.Histogram.record aggregate sojourn;
+          emit ~arrival:item.arrival ~tenant Served;
           if obs_on then
             Obs.Recorder.incr t.obs
               (Obs.Recorder.tenant_label "tenancy.served" ~tenant:name)
@@ -188,7 +215,7 @@ let run t items =
         else begin
           Dispatch.charge dispatch ~tenant ~cost_ns:0;
           Admission.complete admission ~tenant;
-          record_reject tenant Admission.Lease_expired
+          record_reject ~arrival:item.arrival tenant Admission.Lease_expired
         end
     | None ->
         if !next_arrival < n_items then
@@ -228,4 +255,5 @@ let run t items =
     rejected;
     admission = Admission.stats admission;
     lease = Lease.stats t.leases;
+    timeline = Array.of_list (List.rev !events);
   }

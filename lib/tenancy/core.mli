@@ -47,6 +47,19 @@ type tenant_result = {
   sojourn : Obs.Histogram.t;  (** completion − arrival, completed items *)
 }
 
+type ev_kind = Served | Shed of Admission.reject_reason
+
+type event = {
+  ev_time : Time.t;  (** engine clock when the decision was made *)
+  ev_arrival : Time.t;
+  ev_tenant : int;  (** index into the [tenants] array *)
+  ev_seq : int;  (** emission index; tie-break among same-instant events *)
+  ev_kind : ev_kind;
+}
+(** One serving decision. The timeline is emitted in strictly increasing
+    (ev_time, ev_seq) order — the sortedness contract [Par.Merge]
+    assumes when sharded runs are recombined into one global order. *)
+
 type result = {
   policy : Cricket.Sched.policy;
   tenants : tenant_result array;
@@ -57,6 +70,7 @@ type result = {
   rejected : int;
   admission : Admission.stats;
   lease : Lease.stats;
+  timeline : event array;  (** every decision, in (ev_time, ev_seq) order *)
 }
 
 type t
@@ -88,3 +102,8 @@ val run : t -> item list -> result
 (** Serve the items to completion. Items with equal arrival are served
     in list order (stable sort). Reusable: each [run] starts fresh
     per-run statistics but shares leases and the server. *)
+
+val jain_index : int64 array -> float
+(** Jain's fairness index over per-tenant service time; tenants with
+    zero service are excluded. Used by sharded harnesses to recompute
+    global fairness across shard-local results. *)

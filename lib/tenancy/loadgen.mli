@@ -10,7 +10,16 @@
     so a run's report is byte-reproducible: equal seeds give equal
     reports, which CI checks by diffing two runs.
 
-    A fresh engine + server pair is built per policy so the three
+    The tenant set is partitioned over [shards] logical shards — each a
+    complete, self-contained serving core (own engine, server, leases,
+    admission, DRR) — executed across [domains] OCaml domains by
+    {!Par.Pool} and recombined through the deterministic virtual-time
+    merge ({!Par.Merge}, ordered by (vtime, shard, seq)). The shard
+    split is a pure function of tenant id and shard count, so the
+    rendered report is byte-identical for any [domains]; only wall-clock
+    time changes.
+
+    A fresh engine + server set is built per policy so the three
     policies serve identical offered load. *)
 
 module Time = Simnet.Time
@@ -29,6 +38,12 @@ type params = {
   uniform : bool;
       (** all tenants run identical cheap items (no mix, no heavies) —
           the workload under which DRR's Jain index should approach 1 *)
+  shards : int;
+      (** logical serving shards the tenant set is partitioned over;
+          part of the workload definition, independent of [domains] *)
+  domains : int;
+      (** OCaml domains executing the shards (clamped to [1, shards]);
+          never affects report bytes, only wall-clock time *)
 }
 
 val default : params
@@ -44,17 +59,22 @@ type report = {
   policy : Cricket.Sched.policy;
   tenants : int;
   items : int;  (** offered (generated) items *)
+  shards : int;
   completed : int;
   rejected_quota : int;
   rejected_overload : int;
   rejected_expired : int;
   errors : int;
   makespan_ms : float;
-  latency : percentiles;  (** aggregate sojourn *)
+  latency : percentiles;  (** aggregate sojourn over the merged timeline *)
   tenant_p99_min_us : float;  (** spread of per-tenant p99 sojourn *)
   tenant_p99_med_us : float;
   tenant_p99_max_us : float;
   jain : float;
+  events : int;  (** merged timeline length (served + shed) *)
+  digest : int64;
+      (** FNV-1a over the merged (vtime, shard, seq, payload) order —
+          pinned byte-identical across --domains counts *)
 }
 
 val run_policy : params -> Cricket.Sched.policy -> report

@@ -18,4 +18,5 @@ let () =
       ("obs", Test_obs.suite);
       ("tenancy", Test_tenancy.suite);
       ("migrate", Test_migrate.suite);
+      ("par", Test_par.suite);
     ]
