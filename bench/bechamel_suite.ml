@@ -268,6 +268,66 @@ let tcpstack_tests ~quick =
   in
   [ test_csum_bytewise; test_csum_folded; test_upload ]
 
+(* --- RPC offload engine group ---
+
+   The header-parse pair is the acceptance comparison for the in-device
+   XDR parse: the device-model parser (fixed-offset reads, no decoder
+   allocation) vs the software [Oncrpc.Message.decode] path it replaces
+   on every small call. The doorbell test measures the host cost of
+   staging + flushing a full 32-record batch, i.e. the per-batch
+   overhead the syscall coalescing has to beat. *)
+
+let rpcacc_tests ~quick:_ =
+  let call_record =
+    let enc = Xdr.Encode.create () in
+    Oncrpc.Message.encode enc
+      (Oncrpc.Message.call ~xid:7l ~prog:0x2f00_0e01 ~vers:1 ~proc:1 ());
+    Xdr.Encode.opaque enc (Bytes.make 64 'x');
+    Xdr.Encode.to_string enc
+  in
+  let test_parse_device =
+    Test.make ~name:"rpcacc/parse-header-device"
+      (Staged.stage (fun () ->
+           ignore
+             (Tcpstack.Rpcdev.parse_call_header call_record
+               : (Tcpstack.Rpcdev.parsed, Tcpstack.Rpcdev.reject) result)))
+  in
+  let test_parse_software =
+    Test.make ~name:"rpcacc/parse-header-software"
+      (Staged.stage (fun () ->
+           let dec = Xdr.Decode.of_string call_record in
+           ignore (Oncrpc.Message.decode dec : Oncrpc.Message.t)))
+  in
+  let test_doorbell =
+    let sink =
+      Oncrpc.Transport.make
+        ~sendv:(fun iov ->
+          Xdr.Iovec.iter
+            (fun s -> ignore (Sys.opaque_identity s.Xdr.Iovec.len))
+            iov)
+        ~send:(fun _ _ _ -> ())
+        ~recv:(fun _ _ _ -> 0)
+        ~close:(fun () -> ())
+        ()
+    in
+    let bell =
+      Oncrpc.Doorbell.wrap
+        ~policy:
+          { Oncrpc.Doorbell.max_records = 32; max_bytes = 1 lsl 20;
+            deadline_ns = None }
+        sink
+    in
+    let t = Oncrpc.Doorbell.transport bell in
+    let iov = Xdr.Iovec.of_string call_record in
+    Test.make ~name:"rpcacc/doorbell-batch-32"
+      (Staged.stage (fun () ->
+           for _ = 1 to 32 do
+             Oncrpc.Record.writev t iov
+           done;
+           Oncrpc.Doorbell.flush bell))
+  in
+  [ test_parse_device; test_parse_software; test_doorbell ]
+
 (* --- tenancy group ---
 
    Host-time cost of the serving core's hot path: the admission gate
@@ -362,7 +422,8 @@ let run ?(quick = false) () =
   in
   let grouped =
     Test.make_grouped ~name:"repro" ~fmt:"%s %s"
-      (all_tests @ datapath_tests ~quick @ tcpstack_tests ~quick)
+      (all_tests @ datapath_tests ~quick @ tcpstack_tests ~quick
+      @ rpcacc_tests ~quick)
   in
   let raw = Benchmark.all cfg instances grouped in
   let results = Analyze.all ols Instance.monotonic_clock raw in

@@ -929,11 +929,159 @@ let migrate_cmd =
                        this.")
       $ domains_arg $ json_arg)
 
+(* --- rpcacc --- *)
+
+let rpcacc_cmd =
+  let run smoke calls arg_bytes window domains json_out =
+    let module RB = Unikernel.Rpcbench in
+    let calls =
+      match calls with Some c -> c | None -> if smoke then 384 else 2048
+    in
+    let offload_str o = Format.asprintf "%a" Simnet.Offload.pp o in
+    Printf.printf
+      "RPC small-call throughput: software parse vs device parse vs device \
+       parse + doorbell batching\n";
+    Printf.printf
+      "%d calls of %d-byte args, pipeline window %d, virtual-time \
+       throughput over the executable TCP stack\n\n"
+      calls arg_bytes window;
+    Printf.printf "%-12s %-22s %-42s %10s %8s %10s %8s %8s %9s\n" "profile"
+      "mode" "negotiated" "kcalls/s" "speedup" "parse-hit" "steered"
+      "flushes" "avg-batch";
+    (* Every cell is an independent simulation: run them across domains
+       and print in job order, so stdout is byte-identical for any
+       --domains value (CI diffs it). *)
+    let jobs =
+      List.concat_map
+        (fun profile -> List.map (fun mode -> (profile, mode)) RB.modes)
+        (RB.profiles ())
+    in
+    let cells =
+      Par.Pool.map ~domains
+        (fun (profile, mode) ->
+          let t0 = Unix.gettimeofday () in
+          let r = RB.run ~calls ~arg_bytes ~window ~profile ~mode () in
+          let wall = Unix.gettimeofday () -. t0 in
+          (r, wall))
+        jobs
+    in
+    let by_profile =
+      List.map
+        (fun (name, _) ->
+          ( name,
+            List.filter (fun (r, _) -> r.RB.profile = name) cells ))
+        (RB.profiles ())
+    in
+    let profile_objs =
+      List.map
+        (fun (name, cells) ->
+          let software =
+            List.find (fun (r, _) -> r.RB.mode = RB.Software) cells
+            |> fun (r, _) -> r.RB.calls_per_sec
+          in
+          let mode_objs =
+            List.map
+              (fun ((r : RB.result), wall) ->
+                let speedup =
+                  if software > 0. then r.RB.calls_per_sec /. software else 0.
+                in
+                let flushes, avg_batch =
+                  match r.RB.doorbell with
+                  | Some d when d.Oncrpc.Doorbell.flushes > 0 ->
+                      ( d.Oncrpc.Doorbell.flushes,
+                        float_of_int d.Oncrpc.Doorbell.batched
+                        /. float_of_int d.Oncrpc.Doorbell.flushes )
+                  | _ -> (0, 0.)
+                in
+                let parse_hits, steered =
+                  match r.RB.rpcdev with
+                  | Some s ->
+                      (s.Tcpstack.Rpcdev.parse_hits, s.Tcpstack.Rpcdev.steered)
+                  | None -> (0, 0)
+                in
+                Printf.printf
+                  "%-12s %-22s %-42s %10.1f %7.2fx %10d %8d %8d %9.1f\n"
+                  r.RB.profile (RB.mode_name r.RB.mode)
+                  (offload_str r.RB.negotiated)
+                  (r.RB.calls_per_sec /. 1e3)
+                  speedup parse_hits steered flushes avg_batch;
+                j_obj
+                  [
+                    ("mode", j_str (RB.mode_name r.RB.mode));
+                    ("negotiated", j_str (offload_str r.RB.negotiated));
+                    ("calls_per_sec", j_float r.RB.calls_per_sec);
+                    ("speedup", j_float speedup);
+                    ("elapsed_us",
+                     j_float (Simnet.Time.to_float_us r.RB.elapsed));
+                    ("parse_hits", j_int parse_hits);
+                    ("steered", j_int steered);
+                    ("flushes", j_int flushes);
+                    ("avg_batch", j_float avg_batch);
+                    ("dup_hits", j_int r.RB.dup_hits);
+                    ("admission_rejects", j_int r.RB.admission_rejects);
+                    ("reply_digest",
+                     j_str (Printf.sprintf "%016Lx" r.RB.reply_digest));
+                    ("wall_s", j_float wall);
+                  ])
+              cells
+          in
+          let digests =
+            List.map (fun (r, _) -> r.RB.reply_digest) cells
+          in
+          let parity =
+            match digests with
+            | [] -> true
+            | d :: rest -> List.for_all (Int64.equal d) rest
+          in
+          Printf.printf "%-12s %-22s reply streams byte-identical: %s\n" name
+            "(digest parity)"
+            (if parity then "yes" else "NO — MODES DIVERGE");
+          j_obj
+            [
+              ("profile", j_str name);
+              ("digest_parity", if parity then "true" else "false");
+              ("modes", j_list mode_objs);
+            ])
+        by_profile
+    in
+    match json_out with
+    | None -> ()
+    | Some path ->
+        write_json path
+          (j_obj
+             [
+               ("bench", j_str "rpcacc");
+               ("calls", j_int calls);
+               ("arg_bytes", j_int arg_bytes);
+               ("window", j_int window);
+               ("profiles", j_list profile_objs);
+             ])
+  in
+  Cmd.v
+    (Cmd.info "rpcacc"
+       ~doc:"small-call RPC throughput with the RPC-aware offload engine \
+             (RPCAcc direction): record framing, header parse and dispatch \
+             steering in the device, plus doorbell batching — software vs \
+             device ablation per host profile. Virtual-time numbers; \
+             byte-deterministic.")
+    Term.(
+      const run
+      $ Arg.(value & flag
+             & info [ "smoke" ] ~doc:"CI-sized run (384 calls).")
+      $ Arg.(value & opt (some int) None
+             & info [ "calls" ] ~docv:"N" ~doc:"Calls per (profile, mode).")
+      $ Arg.(value & opt int 64
+             & info [ "arg-bytes" ] ~docv:"B" ~doc:"Opaque argument size.")
+      $ Arg.(value & opt int 32
+             & info [ "window" ] ~docv:"N"
+                 ~doc:"Pipeline window / doorbell batch size.")
+      $ domains_arg $ json_arg)
+
 let main =
   Cmd.group
     (Cmd.info "benchctl" ~doc:"run individual paper experiments")
     [ table1_cmd; matrixmul_cmd; solver_cmd; histogram_cmd; micro_cmd;
       bandwidth_cmd; pipeline_cmd; multitenant_cmd; tenants_cmd; trace_cmd;
-      faults_cmd; offloads_cmd; latency_cmd; migrate_cmd ]
+      faults_cmd; offloads_cmd; latency_cmd; migrate_cmd; rpcacc_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -53,6 +53,8 @@ type t = {
   mutable memcpy_up : int;
   mutable memcpy_down : int;
   mutable recovery : recovery option;
+  doorbell : Oncrpc.Doorbell.t option;
+      (* present when this client batches small calls doorbell-style *)
 }
 
 (* Each client gets its own 16M-wide xid space: concurrent clients sharing
@@ -62,7 +64,21 @@ type t = {
 let xid_space = Atomic.make 1
 
 let create ?(launch_extra_ns = 0) ?(charge = fun _ -> ()) ?fragment_size
-    ~transport () =
+    ?doorbell ?doorbell_schedule ~transport () =
+  (* with a doorbell policy the RPC client talks through the batching
+     wrapper: N small calls coalesce into one wire submit, flushed by
+     count/bytes/deadline and always before a blocking receive *)
+  let doorbell =
+    Option.map
+      (fun policy ->
+        Oncrpc.Doorbell.wrap ~policy ?schedule:doorbell_schedule transport)
+      doorbell
+  in
+  let transport =
+    match doorbell with
+    | Some db -> Oncrpc.Doorbell.transport db
+    | None -> transport
+  in
   let rpc = P.create ?fragment_size ~transport () in
   let space = Atomic.fetch_and_add xid_space 1 in
   Oncrpc.Client.set_xid_origin rpc
@@ -75,13 +91,17 @@ let create ?(launch_extra_ns = 0) ?(charge = fun _ -> ()) ?fragment_size
     memcpy_up = 0;
     memcpy_down = 0;
     recovery = None;
+    doorbell;
   }
 
 let close t = Oncrpc.Client.close t.rpc
 let rpc t = t.rpc
+let doorbell_stats t = Option.map Oncrpc.Doorbell.stats t.doorbell
+let doorbell_flush t = Option.iter Oncrpc.Doorbell.flush t.doorbell
 
 let set_obs t obs =
-  Oncrpc.Client.set_obs ~proc_name:Server.proc_name t.rpc obs
+  Oncrpc.Client.set_obs ~proc_name:Server.proc_name t.rpc obs;
+  Option.iter (fun db -> Oncrpc.Doorbell.set_obs db obs) t.doorbell
 let api_calls t = (Oncrpc.Client.stats t.rpc).Oncrpc.Client.calls
 let bytes_to_server t = (Oncrpc.Client.stats t.rpc).Oncrpc.Client.bytes_sent
 

@@ -36,15 +36,26 @@ val create :
   ?launch_extra_ns:int ->
   ?charge:(int -> unit) ->
   ?fragment_size:int ->
+  ?doorbell:Oncrpc.Doorbell.policy ->
+  ?doorbell_schedule:(int64 -> (unit -> unit) -> unit) ->
   transport:Oncrpc.Transport.t ->
   unit ->
   t
+(** [doorbell] interposes an {!Oncrpc.Doorbell} batcher between the RPC
+    client and [transport]: small calls coalesce into one wire submit per
+    flush. [doorbell_schedule] clocks the flush deadline (pass
+    [Simnet.Engine.schedule_after] for virtual time). *)
 
 val close : t -> unit
 
 val rpc : t -> Oncrpc.Client.t
 (** The underlying RPC client (retry/timeout/reconnect counters live in
     its {!Oncrpc.Client.stats}). *)
+
+val doorbell_stats : t -> Oncrpc.Doorbell.stats option
+
+val doorbell_flush : t -> unit
+(** Ring the doorbell now (no-op without a doorbell). *)
 
 val set_obs : t -> Obs.Recorder.t -> unit
 (** Attach an observability recorder to the client shim: every forwarded

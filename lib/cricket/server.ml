@@ -625,6 +625,33 @@ let dispatch_for t ~tenant request =
         ~finally:(fun () -> t.current_tenant <- None)
         (fun () -> dispatch_ident ~ident:tenant t request)
 
+(* The device-steered fast path for tenant calls: same accounting and
+   admission as {!dispatch_for}, but the header was already parsed by the
+   RPC engine — admission rejections answer with the known xid (no
+   software re-parse), and admitted calls skip {!Oncrpc.Message.decode}
+   via {!Oncrpc.Server.dispatch_preparsed}. *)
+let dispatch_preparsed_for t ~tenant ~xid ~prog ~vers ~proc ~body_off request =
+  Hashtbl.replace t.per_tenant tenant
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.per_tenant tenant));
+  let admit =
+    match t.tenant_hooks with Some h -> h.admit ~tenant | None -> None
+  in
+  match admit with
+  | Some reason ->
+      let enc = Xdr.Encode.create () in
+      Oncrpc.Message.encode enc
+        (Oncrpc.Message.reply_denied ~xid
+           (Oncrpc.Message.Auth_error (reject_to_auth_stat reason)));
+      Xdr.Encode.to_string enc
+  | None ->
+      t.current_tenant <- Some tenant;
+      Fun.protect
+        ~finally:(fun () -> t.current_tenant <- None)
+        (fun () ->
+          Option.value ~default:""
+            (Oncrpc.Server.dispatch_preparsed ~ident:tenant t.rpc ~xid ~prog
+               ~vers ~proc ~body_off request))
+
 let tenant_calls t =
   Hashtbl.fold (fun tenant n acc -> (tenant, n) :: acc) t.per_tenant []
   |> List.sort (fun (a, _) (b, _) -> compare a b)

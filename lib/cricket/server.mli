@@ -84,6 +84,21 @@ val dispatch_for : t -> tenant:string -> string -> string
     duplicate-request cache (so tenants reusing the same xid space never
     collide), and resource-creating calls report to the tenant hooks. *)
 
+val dispatch_preparsed_for :
+  t ->
+  tenant:string ->
+  xid:int32 ->
+  prog:int ->
+  vers:int ->
+  proc:int ->
+  body_off:int ->
+  string ->
+  string
+(** {!dispatch_for} for a device-parsed call (see [Tcpstack.Rpcdev]): same
+    admission and per-tenant accounting, but an admission rejection is
+    answered directly from the known [xid] and an admitted call skips the
+    software header decode via {!Oncrpc.Server.dispatch_preparsed}. *)
+
 val tenant_calls : t -> (string * int) list
 (** Per-tenant dispatched-call counts, sorted by tenant name. *)
 

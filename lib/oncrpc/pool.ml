@@ -19,6 +19,13 @@ type t = {
   counts : int array;
   per_bin : int;
   max_buffer_size : int;
+  max_bin_cap : int;
+      (* pow2 ceiling of max_buffer_size: the largest capacity [acquire]
+         can actually hand out of a bin. [release] must accept up to this
+         bound, not [max_buffer_size] — with a non-power-of-two
+         [max_buffer_size], requests just under it round up to the next
+         pow2 bin, and rejecting those buffers on release would leak every
+         pooled buffer of the top bin to the GC, forever *)
   lock : Mutex.t;
   mutable hits : int;
   mutable misses : int;
@@ -39,6 +46,7 @@ let create ?(per_bin = 8) ?(max_buffer_size = 8 lsl 20) () =
     counts = Array.make (max_bin + 1) 0;
     per_bin;
     max_buffer_size;
+    max_bin_cap = 1 lsl log2_ceil max_buffer_size;
     lock = Mutex.create ();
     hits = 0;
     misses = 0;
@@ -73,9 +81,10 @@ let acquire t n =
 let release t b =
   let cap = Bytes.length b in
   (* Only buffers the pool itself would hand out re-enter it: exact
-     power-of-two capacity within bounds. Anything else is dropped to the
-     GC, which makes releasing a foreign or oversized buffer harmless. *)
-  if cap > 0 && cap <= t.max_buffer_size && cap land (cap - 1) = 0 then begin
+     power-of-two capacity up to the top bin's capacity. Anything else is
+     dropped to the GC, which makes releasing a foreign or oversized
+     buffer harmless. *)
+  if cap > 0 && cap <= t.max_bin_cap && cap land (cap - 1) = 0 then begin
     let bin = log2_ceil cap in
     Mutex.lock t.lock;
     if t.counts.(bin) < t.per_bin && not (List.memq b t.bins.(bin)) then begin

@@ -13,7 +13,9 @@ type stats = { hits : int; misses : int; releases : int; drops : int }
 val create : ?per_bin:int -> ?max_buffer_size:int -> unit -> t
 (** [per_bin] bounds retained buffers per size class (default 8);
     [max_buffer_size] bounds pooled capacity (default 8 MiB — larger
-    requests are plain allocations). *)
+    requests are plain allocations). When [max_buffer_size] is not a
+    power of two, requests just under it still round up to the next pow2
+    bin; the pool accepts those buffers back on release. *)
 
 val acquire : t -> int -> bytes
 (** [acquire t n] returns a buffer of capacity at least [n] (the next

@@ -49,6 +49,10 @@ type t = {
   programs : (int, service list ref) Hashtbl.t;
   oneway : (int * int * int, unit) Hashtbl.t;  (* (prog, vers, proc) *)
   mutable auth_check : Auth.t -> Message.auth_stat option;
+  mutable has_auth_check : bool;
+      (* whether a real auth hook is installed: the pre-parsed fast path
+         must fall back to the full software decode when it is, because
+         the device does not parse credentials *)
   mutable observer : prog:int -> vers:int -> proc:int -> arg_bytes:int -> unit;
   mutable dup_cache : dup_cache option;
   mutable obs : Obs.Recorder.t;
@@ -63,6 +67,7 @@ let create ?(name = "oncrpc") () =
     programs = Hashtbl.create 8;
     oneway = Hashtbl.create 8;
     auth_check = (fun _ -> None);
+    has_auth_check = false;
     observer = (fun ~prog:_ ~vers:_ ~proc:_ ~arg_bytes:_ -> ());
     dup_cache = None;
     obs = Obs.Recorder.null;
@@ -126,7 +131,9 @@ let set_oneway t ~prog ~vers procs =
 
 let is_oneway t ~prog ~vers ~proc = Hashtbl.mem t.oneway (prog, vers, proc)
 
-let set_auth_check t f = t.auth_check <- f
+let set_auth_check t f =
+  t.auth_check <- f;
+  t.has_auth_check <- true
 let set_observer t f = t.observer <- f
 
 let encode_reply msg results =
@@ -214,7 +221,61 @@ let dispatch_call t dec ~xid c =
                       in
                       if oneway then None else Some reply)))
 
-let dispatch_opt ?(ident = "") t request =
+let dup_lookup t key =
+  match t.dup_cache with
+  | None -> None
+  | Some cache ->
+      Mutex.lock cache.lock;
+      let hit = Hashtbl.find_opt cache.entries key in
+      (match hit with Some _ -> cache.hits <- cache.hits + 1 | None -> ());
+      Mutex.unlock cache.lock;
+      hit
+
+let dup_store t key reply =
+  match t.dup_cache with
+  | None -> ()
+  | Some cache ->
+      Mutex.lock cache.lock;
+      if Queue.length cache.order >= cache.capacity then
+        Hashtbl.remove cache.entries (Queue.pop cache.order);
+      Queue.push key cache.order;
+      Hashtbl.replace cache.entries key reply;
+      Mutex.unlock cache.lock
+
+(* The common tail of both dispatch paths: at-most-once cache around the
+   dispatch-layer span around {!dispatch_call}. *)
+let dispatch_cached ?(ident = "") t dec ~xid c =
+  let key = (ident, xid, c.Message.prog, c.Message.vers, c.Message.proc) in
+  match dup_lookup t key with
+  | Some reply ->
+      (* Retransmission of an already-executed call: serve the recorded
+         reply (or, for a one-way call, suppress re-execution). *)
+      Obs.Recorder.incr t.obs "rpc.dup_hit";
+      Log.debug (fun m ->
+          m "%s: duplicate xid %ld proc %d — replaying cached reply" t.name
+            xid c.Message.proc);
+      reply
+  | None ->
+      let sp =
+        if Obs.Recorder.enabled t.obs then
+          Obs.Recorder.span_begin t.obs ~layer:"dispatch"
+            (Printf.sprintf "%s xid=%ld"
+               (t.obs_proc_name ~prog:c.Message.prog ~vers:c.Message.vers
+                  ~proc:c.Message.proc)
+               xid)
+        else Obs.Recorder.null_span
+      in
+      let reply =
+        try dispatch_call t dec ~xid c
+        with e ->
+          Obs.Recorder.span_end t.obs sp;
+          raise e
+      in
+      Obs.Recorder.span_end t.obs sp;
+      dup_store t key reply;
+      reply
+
+let dispatch_opt ?ident t request =
   let dec = Xdr.Decode.of_string request in
   let msg =
     try Message.decode dec
@@ -224,54 +285,29 @@ let dispatch_opt ?(ident = "") t request =
   let xid = msg.Message.xid in
   match msg.Message.body with
   | Message.Reply _ -> raise (Protocol_error (Unexpected_reply { xid }))
-  | Message.Call c -> (
-      let key = (ident, xid, c.Message.prog, c.Message.vers, c.Message.proc) in
-      let cached =
-        match t.dup_cache with
-        | None -> None
-        | Some cache ->
-            Mutex.lock cache.lock;
-            let hit = Hashtbl.find_opt cache.entries key in
-            (match hit with Some _ -> cache.hits <- cache.hits + 1 | None -> ());
-            Mutex.unlock cache.lock;
-            hit
-      in
-      match cached with
-      | Some reply ->
-          (* Retransmission of an already-executed call: serve the recorded
-             reply (or, for a one-way call, suppress re-execution). *)
-          Obs.Recorder.incr t.obs "rpc.dup_hit";
-          Log.debug (fun m ->
-              m "%s: duplicate xid %ld proc %d — replaying cached reply" t.name
-                xid c.Message.proc);
-          reply
-      | None ->
-          let sp =
-            if Obs.Recorder.enabled t.obs then
-              Obs.Recorder.span_begin t.obs ~layer:"dispatch"
-                (Printf.sprintf "%s xid=%ld"
-                   (t.obs_proc_name ~prog:c.Message.prog ~vers:c.Message.vers
-                      ~proc:c.Message.proc)
-                   xid)
-            else Obs.Recorder.null_span
-          in
-          let reply =
-            try dispatch_call t dec ~xid c
-            with e ->
-              Obs.Recorder.span_end t.obs sp;
-              raise e
-          in
-          Obs.Recorder.span_end t.obs sp;
-          (match t.dup_cache with
-          | None -> ()
-          | Some cache ->
-              Mutex.lock cache.lock;
-              if Queue.length cache.order >= cache.capacity then
-                Hashtbl.remove cache.entries (Queue.pop cache.order);
-              Queue.push key cache.order;
-              Hashtbl.replace cache.entries key reply;
-              Mutex.unlock cache.lock);
-          reply)
+  | Message.Call c -> dispatch_cached ?ident t dec ~xid c
+
+(* Fast path for device-parsed calls: the RPC engine already framed the
+   record and parsed the header, so the host positions a decoder at the
+   body and skips {!Message.decode} entirely. Replies are byte-identical
+   to {!dispatch_opt} on the same record. When a real auth hook is
+   installed we fall back to the software path — the device does not parse
+   credentials, and the hook must see them. *)
+let dispatch_preparsed ?ident t ~xid ~prog ~vers ~proc ~body_off request =
+  if t.has_auth_check then dispatch_opt ?ident t request
+  else begin
+    if body_off < 0 || body_off > String.length request then
+      raise
+        (Protocol_error
+           (Unparseable_request
+              (Printf.sprintf "preparsed body offset %d out of bounds"
+                 body_off)));
+    let dec = Xdr.Decode.of_string ~pos:body_off request in
+    let c =
+      { Message.prog; vers; proc; cred = Auth.none; verf = Auth.none }
+    in
+    dispatch_cached ?ident t dec ~xid c
+  end
 
 let dispatch ?ident t request =
   Option.value (dispatch_opt ?ident t request) ~default:""

@@ -98,6 +98,25 @@ val dispatch : ?ident:string -> t -> string -> string
     The empty string is unambiguous — a real reply record is ≥ 12 bytes —
     and every transport adapter skips it rather than framing it. *)
 
+val dispatch_preparsed :
+  ?ident:string ->
+  t ->
+  xid:int32 ->
+  prog:int ->
+  vers:int ->
+  proc:int ->
+  body_off:int ->
+  string ->
+  string option
+(** Fast path for device-parsed calls (see [Tcpstack.Rpcdev]): the caller
+    supplies the already-parsed header fields and the byte offset of the
+    procedure arguments within [request], and the server skips the
+    software header decode entirely. Semantics — duplicate-request cache,
+    one-way suppression, observer, obs span, error replies — and reply
+    bytes are identical to {!dispatch_opt} on the same record. When an
+    auth hook is installed ({!set_auth_check}) this falls back to the full
+    software path, because the device does not parse credentials. *)
+
 val serve_transport : ?ident:string -> t -> Transport.t -> unit
 (** Read records and reply until the peer closes. Exceptions other than a
     clean close are logged and terminate the loop. [ident] defaults to a

@@ -5,21 +5,44 @@ type t = {
   scatter_gather : bool;
   mrg_rxbuf : bool;
   gro : bool;
+  (* RPC engine feature bits (RPCAcc direction): a NIC-adjacent offload
+     block that understands ONC RPC record marking. Off in every stock
+     profile — only an RPC-aware device offers them, and only guests with
+     the matching driver shim acknowledge them. *)
+  rpc_framing : bool;
+  rpc_parse : bool;
+  rpc_steer : bool;
+  rpc_doorbell : bool;
 }
 
 let all =
   { tso = true; tx_checksum = true; rx_checksum = true; scatter_gather = true;
-    mrg_rxbuf = true; gro = true }
+    mrg_rxbuf = true; gro = true; rpc_framing = false; rpc_parse = false;
+    rpc_steer = false; rpc_doorbell = false }
 
 let none =
   { tso = false; tx_checksum = false; rx_checksum = false;
-    scatter_gather = false; mrg_rxbuf = false; gro = false }
+    scatter_gather = false; mrg_rxbuf = false; gro = false;
+    rpc_framing = false; rpc_parse = false; rpc_steer = false;
+    rpc_doorbell = false }
 
 let disable_bulk t =
   { t with tso = false; tx_checksum = false; scatter_gather = false }
 
 let checksum_only =
   { none with tx_checksum = true; rx_checksum = true; mrg_rxbuf = true }
+
+let rpc_all t =
+  { t with
+    rpc_framing = true; rpc_parse = true; rpc_steer = true;
+    rpc_doorbell = true }
+
+let rpc_none t =
+  { t with
+    rpc_framing = false; rpc_parse = false; rpc_steer = false;
+    rpc_doorbell = false }
+
+let any_rpc t = t.rpc_framing || t.rpc_parse || t.rpc_steer || t.rpc_doorbell
 
 (* virtio feature negotiation: the device offers a feature set, the guest
    driver acknowledges the subset it implements; only bits present on both
@@ -32,6 +55,10 @@ let negotiate ~device ~guest =
     scatter_gather = device.scatter_gather && guest.scatter_gather;
     mrg_rxbuf = device.mrg_rxbuf && guest.mrg_rxbuf;
     gro = device.gro && guest.gro;
+    rpc_framing = device.rpc_framing && guest.rpc_framing;
+    rpc_parse = device.rpc_parse && guest.rpc_parse;
+    rpc_steer = device.rpc_steer && guest.rpc_steer;
+    rpc_doorbell = device.rpc_doorbell && guest.rpc_doorbell;
   }
 
 let pp ppf t =
@@ -42,6 +69,8 @@ let pp ppf t =
         flag "tso" t.tso; flag "tx-csum" t.tx_checksum;
         flag "rx-csum" t.rx_checksum; flag "sg" t.scatter_gather;
         flag "mrg-rxbuf" t.mrg_rxbuf; flag "gro" t.gro;
+        flag "rpc-frame" t.rpc_framing; flag "rpc-parse" t.rpc_parse;
+        flag "rpc-steer" t.rpc_steer; flag "rpc-bell" t.rpc_doorbell;
       ]
   in
   Format.fprintf ppf "[%s]" (String.concat " " on)

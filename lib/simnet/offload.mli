@@ -4,7 +4,14 @@
     identifies as the decisive difference between the Linux VM and the
     unikernels: TCP segmentation offload, transmit/receive checksum offload
     (VIRTIO_NET_F_CSUM / VIRTIO_NET_F_GUEST_CSUM), scatter-gather transmit
-    and mergeable receive buffers (VIRTIO_NET_F_MRG_RXBUF). *)
+    and mergeable receive buffers (VIRTIO_NET_F_MRG_RXBUF).
+
+    The [rpc_*] bits extend the model in the RPCAcc direction: an RPC-aware
+    offload engine next to the NIC that understands ONC RPC record marking.
+    They are off in every stock feature set ([all]/[none]/[checksum_only])
+    so existing negotiations are unchanged — an RPC-capable device opts in
+    with {!rpc_all}, and each guest profile acknowledges the subset its
+    driver shim implements. *)
 
 type t = {
   tso : bool;  (** TCP segmentation offload: guest hands over 64 KiB frames *)
@@ -16,10 +23,23 @@ type t = {
       (** receive coalescing (GRO/LRO): the stack traverses one aggregate
           instead of every wire packet — present in Linux guests, absent in
           the unikernel stacks *)
+  rpc_framing : bool;
+      (** device performs record-mark framing/reassembly: the host receives
+          whole RPC records, not a byte stream *)
+  rpc_parse : bool;
+      (** device parses the ONC RPC call header (xid, prog/vers/proc) and
+          hands the host a pre-parsed descriptor; requires [rpc_framing] *)
+  rpc_steer : bool;
+      (** device steers parsed calls into per-(proc, tenant) dispatch
+          queues so the host skips routing; requires [rpc_parse] *)
+  rpc_doorbell : bool;
+      (** doorbell batching: the guest coalesces N small call records into
+          one wire record / one submit, rung by a flush policy *)
 }
 
 val all : t
-(** Everything on — a ConnectX-5 under native Linux. *)
+(** Everything on — a ConnectX-5 under native Linux. RPC bits stay off:
+    a stock NIC has no RPC engine. *)
 
 val none : t
 
@@ -30,6 +50,15 @@ val disable_bulk : t -> t
 val checksum_only : t
 (** Checksum offloads and mergeable rx buffers only — the feature set the
     paper's RustyHermit work implemented (no TSO, no GRO, no SG). *)
+
+val rpc_all : t -> t
+(** Offer/acknowledge every RPC-engine feature on top of [t]. *)
+
+val rpc_none : t -> t
+(** Strip the RPC-engine features from [t]. *)
+
+val any_rpc : t -> bool
+(** True when at least one RPC-engine bit is set. *)
 
 val negotiate : device:t -> guest:t -> t
 (** virtio feature negotiation: the bitwise intersection of what the

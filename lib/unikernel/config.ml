@@ -28,7 +28,12 @@ let rust_rng_ns_per_byte = 0.6
    Rust is ≈6.3 % faster on launch microbenchmarks). *)
 let c_launch_extra_ns = 3_400
 
-let native_profile = H.bare_metal_linux
+(* Native Linux acknowledges the whole RPC-engine feature set: the host
+   kernel can map the device's steering queues and doorbell pages
+   directly. Whether any rpc bit is actually negotiated still depends on
+   the device offering them (a stock NIC does not). *)
+let native_profile =
+  H.with_offloads H.bare_metal_linux (O.rpc_all O.all)
 
 (* Fedora guest over virtio-net with all offloads negotiated. Guest
    syscalls, scheduler wakeups and interrupt injection through QEMU/KVM
@@ -51,7 +56,11 @@ let linux_vm_profile =
     per_packet_tx_ns = 1_200;
     per_packet_rx_ns = 1_000;
     interrupt_ns = 9_500;
-    offloads = O.all;
+    (* The VM's virtio shim acknowledges framing/parse/doorbell, but not
+       steering: the guest cannot map the device's dispatch queues through
+       QEMU, so routing stays in guest software. *)
+    offloads =
+      { (O.rpc_all O.all) with O.rpc_steer = false };
   }
 
 (* RustyHermit with smoltcp: single address space (no syscall/context
@@ -76,9 +85,14 @@ let hermit_profile =
     per_packet_tx_ns = 2_500;
     per_packet_rx_ns = 7_500;
     interrupt_ns = 3_750;
+    (* smoltcp's driver shim implements the framing and doorbell halves of
+       the RPC engine (they sit on the tx/rx ring it already owns) but not
+       header parse/steering descriptors. *)
     offloads =
       { O.tso = false; tx_checksum = true; rx_checksum = true;
-        scatter_gather = false; mrg_rxbuf = true; gro = false };
+        scatter_gather = false; mrg_rxbuf = true; gro = false;
+        rpc_framing = true; rpc_parse = false; rpc_steer = false;
+        rpc_doorbell = true };
   }
 
 (* Unikraft with lwIP: a thin syscall shim remains, and checksum offload
@@ -101,9 +115,13 @@ let unikraft_profile =
     per_packet_tx_ns = 4_500;
     per_packet_rx_ns = 8_500;
     interrupt_ns = 4_500;
+    (* lwIP predates the RPC engine entirely: no rpc bits acknowledged,
+       every call is framed/parsed/routed in guest software. *)
     offloads =
       { O.tso = false; tx_checksum = false; rx_checksum = false;
-        scatter_gather = false; mrg_rxbuf = false; gro = false };
+        scatter_gather = false; mrg_rxbuf = false; gro = false;
+        rpc_framing = false; rpc_parse = false; rpc_steer = false;
+        rpc_doorbell = false };
   }
 
 let c_native =

@@ -40,6 +40,17 @@ type t = {
   server_ep : EP.t;
   netdev : Tcpstack.Netdev.t;
   dispatch : string -> string;
+  dispatch_parsed :
+    (ident:string -> Tcpstack.Rpcdev.parsed -> string -> string) option;
+  (* the RPC engine (RPCAcc direction): present when the channel was
+     created with an rpc device offer; its negotiated feature bits decide
+     whether framing/parse/steer run as device or host-software work *)
+  rpcdev : Tcpstack.Rpcdev.t option;
+  negotiated_rpc : Simnet.Offload.t;
+  mutable doorbell : Oncrpc.Doorbell.t option;
+  (* server-side reply coalescing under rpc_doorbell: replies produced in
+     one rx burst leave as one submit *)
+  reply_batch : Buffer.t;
   mutable transport : Oncrpc.Transport.t;
   (* client-side reply byte stream *)
   inbox : Buffer.t;
@@ -63,7 +74,9 @@ let set_obs t obs =
   t.obs <- obs;
   EP.set_obs t.client_ep obs;
   EP.set_obs t.server_ep obs;
-  Tcpstack.Netdev.set_obs t.netdev obs
+  Tcpstack.Netdev.set_obs t.netdev obs;
+  Option.iter (fun r -> Tcpstack.Rpcdev.set_obs r obs) t.rpcdev;
+  Option.iter (fun d -> Oncrpc.Doorbell.set_obs d obs) t.doorbell
 
 (* The socket-layer cost Netcost charges per 64 KiB io chunk; the NIC-side
    costs are the netdev's business. *)
@@ -83,6 +96,19 @@ let reply_out t reply =
     t.stats <-
       { t.stats with
         bytes_from_server = t.stats.bytes_from_server + String.length wire };
+    if t.negotiated_rpc.Simnet.Offload.rpc_doorbell then
+      (* coalesce: every reply of this rx burst rides one submit *)
+      Buffer.add_string t.reply_batch wire
+    else begin
+      charge_syscalls t t.server_prof (String.length wire);
+      EP.send_string t.server_ep wire
+    end
+  end
+
+let flush_replies t =
+  if Buffer.length t.reply_batch > 0 then begin
+    let wire = Buffer.contents t.reply_batch in
+    Buffer.clear t.reply_batch;
     charge_syscalls t t.server_prof (String.length wire);
     EP.send_string t.server_ep wire
   end
@@ -128,8 +154,39 @@ let feed_server t chunk =
     end
   done
 
+(* Server rx through the RPC engine: the device (or its host-software
+   fallback, per negotiated bits) frames, parses and steers; the host
+   dispatches each drained entry. The whole burst — device charges
+   included — counts as dispatched time, so the recv wait span cannot
+   double-count rpcdev spans against net.wait. *)
+let feed_server_rpc t rdev chunk =
+  let t0 = Engine.now t.engine in
+  Tcpstack.Rpcdev.feed rdev chunk;
+  let entries = Tcpstack.Rpcdev.drain rdev in
+  List.iter
+    (fun (e : Tcpstack.Rpcdev.entry) ->
+      t.stats <- { t.stats with messages = t.stats.messages + 1 };
+      let reply =
+        match (e.Tcpstack.Rpcdev.parse, t.dispatch_parsed) with
+        | Some (Ok p), Some f -> f ~ident:e.Tcpstack.Rpcdev.ident p e.record
+        | _ ->
+            (* no parse negotiated, a device punt, or no fast-path
+               dispatcher installed: full software dispatch *)
+            t.dispatch e.Tcpstack.Rpcdev.record
+      in
+      reply_out t reply)
+    entries;
+  t.dispatched_ns <-
+    Time.add t.dispatched_ns (Time.sub (Engine.now t.engine) t0);
+  flush_replies t
+
 let drain t =
-  if EP.recv_length t.server_ep > 0 then feed_server t (EP.recv t.server_ep);
+  if EP.recv_length t.server_ep > 0 then begin
+    let chunk = EP.recv t.server_ep in
+    match t.rpcdev with
+    | Some rdev -> feed_server_rpc t rdev chunk
+    | None -> feed_server t chunk
+  end;
   if EP.recv_length t.client_ep > 0 then begin
     let b = EP.recv t.client_ep in
     Buffer.add_bytes t.inbox b
@@ -138,7 +195,32 @@ let drain t =
 let default_rto = Time.us 200
 
 let create ~engine ~client ?(server = Config.server_profile)
-    ?(link = Config.link) ?fault ?device ?(rto = default_rto) ~dispatch () =
+    ?(link = Config.link) ?fault ?device ?(rto = default_rto) ?rpc
+    ?(ident = "") ?dispatch_parsed
+    ?(doorbell_policy = Oncrpc.Doorbell.default_policy) ~dispatch () =
+  (* RPC-engine negotiation: the device offer intersected with what the
+     client guest's driver shim acknowledges, then dependency-clamped.
+     No [rpc] offer means no engine at all — the legacy byte-stream path,
+     charged exactly as before. *)
+  let negotiated_rpc =
+    match rpc with
+    | None -> Simnet.Offload.none
+    | Some offer ->
+        Tcpstack.Rpcdev.effective
+          (Simnet.Offload.negotiate ~device:offer
+             ~guest:client.Simnet.Hostprofile.offloads)
+  in
+  let rpcdev =
+    match rpc with
+    | None -> None
+    | Some _ ->
+        Some
+          (Tcpstack.Rpcdev.create ~engine ~profile:server
+             ~features:negotiated_rpc
+             ~alloc:(Oncrpc.Pool.acquire Oncrpc.Pool.default)
+             ~free:(Oncrpc.Pool.release Oncrpc.Pool.default)
+             ~ident ())
+  in
   let mss = Simnet.Link.mss link in
   let window = 64 lsl 20 in
   let client_ep =
@@ -155,7 +237,8 @@ let create ~engine ~client ?(server = Config.server_profile)
   in
   let t =
     { engine; client_prof = client; server_prof = server; client_ep;
-      server_ep; netdev; dispatch;
+      server_ep; netdev; dispatch; dispatch_parsed; rpcdev; negotiated_rpc;
+      doorbell = None; reply_batch = Buffer.create 4096;
       transport =
         Oncrpc.Transport.make
           ~send:(fun _ _ _ -> ())
@@ -239,10 +322,25 @@ let create ~engine ~client ?(server = Config.server_profile)
   in
   t.transport <-
     Oncrpc.Transport.make ~sendv ~send ~recv ~close:(fun () -> ()) ();
+  if negotiated_rpc.Simnet.Offload.rpc_doorbell then begin
+    (* doorbell batching negotiated: the client's calls stage into one
+       wire submit; deadlines run on the engine's virtual clock *)
+    let db =
+      Oncrpc.Doorbell.wrap ~policy:doorbell_policy
+        ~schedule:(fun delay k -> Engine.schedule_after engine delay k)
+        t.transport
+    in
+    t.doorbell <- Some db;
+    t.transport <- Oncrpc.Doorbell.transport db
+  end;
   t
 
 let transport t = t.transport
 let stats t = t.stats
+let negotiated_rpc t = t.negotiated_rpc
+let rpcdev_stats t = Option.map Tcpstack.Rpcdev.stats t.rpcdev
+let doorbell_stats t = Option.map Oncrpc.Doorbell.stats t.doorbell
+let doorbell_flush t = Option.iter Oncrpc.Doorbell.flush t.doorbell
 let netdev_stats t = Tcpstack.Netdev.stats t.netdev
 let negotiated_client t = Tcpstack.Netdev.negotiated_a t.netdev
 let endpoint_stats t = (EP.stats t.client_ep, EP.stats t.server_ep)

@@ -37,13 +37,30 @@ val create :
   ?fault:Simnet.Fault.t ->
   ?device:Simnet.Offload.t ->
   ?rto:Simnet.Time.t ->
+  ?rpc:Simnet.Offload.t ->
+  ?ident:string ->
+  ?dispatch_parsed:
+    (ident:string -> Tcpstack.Rpcdev.parsed -> string -> string) ->
+  ?doorbell_policy:Oncrpc.Doorbell.policy ->
   dispatch:(string -> string) ->
   unit ->
   t
 (** Create both endpoints, negotiate offloads against [device] (default
     {!Simnet.Offload.all}) and run the three-way handshake to completion
     in virtual time. [server] defaults to {!Config.server_profile},
-    [link] to {!Config.link}. *)
+    [link] to {!Config.link}.
+
+    [rpc] offers the RPC-engine feature bits (see {!Tcpstack.Rpcdev});
+    they are negotiated against the client profile's acknowledged bits and
+    dependency-clamped. Without [rpc] the channel behaves exactly as
+    before — byte-stream framing in the channel, no extra charges. With it,
+    server rx runs through the engine (device or host-software costs per
+    negotiated bit); device-parsed calls go to [dispatch_parsed] (falling
+    back to [dispatch] for punts or when absent) carrying [ident], the
+    tenant identity stamped on steered entries. When [rpc_doorbell] is
+    negotiated the client transport batches calls under [doorbell_policy]
+    (deadlines on the virtual clock) and the server coalesces each rx
+    burst's replies into one submit. *)
 
 val transport : t -> Oncrpc.Transport.t
 (** Client-side transport ([sendv] performs the single sk_buff staging
@@ -67,3 +84,12 @@ val endpoint_stats : t -> Tcpstack.Endpoint.stats * Tcpstack.Endpoint.stats
 (** (client, server) endpoint counters — retransmissions etc. *)
 
 val fault_stats : t -> Simnet.Fault.stats option
+
+val negotiated_rpc : t -> Simnet.Offload.t
+(** RPC-engine bits actually negotiated (all-off without [?rpc]). *)
+
+val rpcdev_stats : t -> Tcpstack.Rpcdev.stats option
+val doorbell_stats : t -> Oncrpc.Doorbell.stats option
+
+val doorbell_flush : t -> unit
+(** Ring the client doorbell now (no-op without a negotiated doorbell). *)

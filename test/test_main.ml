@@ -19,4 +19,5 @@ let () =
       ("tenancy", Test_tenancy.suite);
       ("migrate", Test_migrate.suite);
       ("par", Test_par.suite);
+      ("rpcacc", Test_rpcacc.suite);
     ]

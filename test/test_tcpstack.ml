@@ -565,8 +565,8 @@ module H = Simnet.Hostprofile
 let test_offload_negotiation () =
   let device = O.all in
   let guest =
-    { O.tso = true; tx_checksum = false; rx_checksum = true;
-      scatter_gather = true; mrg_rxbuf = false; gro = true }
+    { O.none with
+      O.tso = true; rx_checksum = true; scatter_gather = true; gro = true }
   in
   let n = O.negotiate ~device ~guest in
   check Alcotest.bool "intersection" true

@@ -45,8 +45,12 @@ let test_unikernel_offload_gaps () =
   check Alcotest.bool "hermit mrg_rxbuf" true hermit.Simnet.Offload.mrg_rxbuf;
   check Alcotest.bool "unikraft lacks csum offload" false
     unikraft.Simnet.Offload.tx_checksum;
-  check Alcotest.bool "vm has everything" true
-    (vm = Simnet.Offload.all)
+  check Alcotest.bool "vm has every classic offload" true
+    (Simnet.Offload.rpc_none vm = Simnet.Offload.all);
+  check Alcotest.bool "vm acks rpc engine except steering" true
+    (vm.Simnet.Offload.rpc_framing && vm.Simnet.Offload.rpc_parse
+    && vm.Simnet.Offload.rpc_doorbell
+    && not vm.Simnet.Offload.rpc_steer)
 
 (* --- simchannel --- *)
 
