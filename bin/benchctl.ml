@@ -1077,11 +1077,372 @@ let rpcacc_cmd =
                  ~doc:"Pipeline window / doorbell batch size.")
       $ domains_arg $ json_arg)
 
+(* --- fleet: heterogeneous multi-GPU superoptimizer sweep --- *)
+
+let fleet_cmd =
+  let run smoke max_len batch domains json_out =
+    let max_len = match max_len with Some l -> l | None -> if smoke then 4 else 6 in
+    let batch = match batch with Some b -> b | None -> if smoke then 256 else 2048 in
+    let specs =
+      if smoke then
+        List.filter
+          (fun s -> s.Apps.Superopt.spec_name <> "deep2")
+          Apps.Superopt.demo_specs
+      else Apps.Superopt.demo_specs
+    in
+    let mixes =
+      [
+        ("node", Gpusim.Device.gpu_node);
+        ("a100x4", [ Gpusim.Device.a100; Gpusim.Device.a100;
+                     Gpusim.Device.a100; Gpusim.Device.a100 ]);
+        ("t4-p40", [ Gpusim.Device.t4; Gpusim.Device.t4;
+                     Gpusim.Device.p40; Gpusim.Device.p40 ]);
+      ]
+    in
+    let policies = [ Fleet.Cluster.Round_robin; Fleet.Cluster.Cost_aware ] in
+    Printf.printf
+      "heterogeneous GPU fleet: exhaustive superoptimizer search\n\
+       %d specs, program length <= %d, %d candidates per launch, %d device \
+       mixes x %d policies\n\n"
+      (List.length specs) max_len batch (List.length mixes)
+      (List.length policies);
+
+    (* Compatibility routing on display: a fat binary holding only sm_52
+       and sm_70 images. Under the cross-major rule the T4s (7.5) can run
+       the sm_70 image; the A100 (8.0) and P40 (6.1) cannot run anything
+       in it — and a fleet with no eligible device is a typed reject. *)
+    Printf.printf "compat routing (fatbin with sm_52 + sm_70 images only):\n";
+    let legacy =
+      Apps.Superopt.fatbin ~archs:[ (5, 2); (7, 0) ] ()
+    in
+    List.iter
+      (fun (mix_name, devices) ->
+        let cluster = Fleet.Cluster.create devices in
+        match Fleet.Cluster.load_module cluster legacy with
+        | Ok m ->
+            let devs =
+              Fleet.Cluster.eligible m
+              |> List.map (fun i ->
+                     Printf.sprintf "%d (cc %d.%d)" i
+                       (Fleet.Cluster.device cluster i).Gpusim.Device.compute_major
+                       (Fleet.Cluster.device cluster i).Gpusim.Device.compute_minor)
+              |> String.concat ", "
+            in
+            Printf.printf "  %-7s -> eligible devices: %s\n" mix_name devs
+        | Error e ->
+            Printf.printf "  %-7s -> typed reject: %s\n" mix_name
+              (Fleet.Cluster.error_message e))
+      mixes;
+    print_newline ();
+
+    (* Every (mix, policy) cell is an independent simulation; run the
+       cells across domains and print in job order so stdout is
+       byte-identical for any --domains. Wall-clock goes only to JSON. *)
+    let cells =
+      List.concat_map
+        (fun mix -> List.map (fun p -> (mix, p)) policies)
+        mixes
+    in
+    let results =
+      Par.Pool.map ~domains
+        (fun ((mix_name, devices), policy) ->
+          let t0 = Unix.gettimeofday () in
+          let cluster = Fleet.Cluster.create ~policy devices in
+          let findings =
+            List.map
+              (fun spec ->
+                match
+                  Apps.Superopt.search ~cluster ~batch ~max_len spec
+                with
+                | Ok r -> (spec, r)
+                | Error e ->
+                    failwith
+                      (Printf.sprintf "fleet %s/%s: %s" mix_name
+                         (Fleet.Cluster.policy_name policy)
+                         (Fleet.Cluster.error_message e)))
+              specs
+          in
+          let makespan = Fleet.Cluster.barrier cluster in
+          let wall = Unix.gettimeofday () -. t0 in
+          ( mix_name, policy, findings, makespan,
+            Fleet.Cluster.stats cluster,
+            Fleet.Cluster.total_launches cluster,
+            Fleet.Cluster.incompatible_launches cluster,
+            Fleet.Cluster.digest cluster, wall ))
+        cells
+    in
+
+    (* The search result is a property of the spec, not of the fleet: every
+       cell must find the same programs. *)
+    let reference_findings =
+      match results with
+      | (_, _, f, _, _, _, _, _, _) :: _ -> f
+      | [] -> []
+    in
+    let parity =
+      List.for_all
+        (fun (_, _, f, _, _, _, _, _, _) ->
+          List.for_all2
+            (fun (_, a) (_, b) ->
+              a.Apps.Superopt.program = b.Apps.Superopt.program)
+            reference_findings f)
+        results
+    in
+    Printf.printf "found programs (%s across all %d cells):\n"
+      (if parity then "identical" else "NOT IDENTICAL")
+      (List.length results);
+    List.iter
+      (fun (spec, (r : Apps.Superopt.search_result)) ->
+        let found =
+          match r.Apps.Superopt.program with
+          | Some p ->
+              Printf.sprintf "%s (len %d)"
+                (Apps.Superopt.program_to_string p)
+                (List.length p)
+          | None -> Printf.sprintf "none of length <= %d" max_len
+        in
+        Printf.printf "  %-8s %-24s -> %s\n" spec.Apps.Superopt.spec_name
+          (Apps.Superopt.program_to_string spec.Apps.Superopt.reference)
+          found)
+      reference_findings;
+    print_newline ();
+
+    let cell_objs =
+      List.map
+        (fun (mix_name, policy, findings, makespan, stats, launches, incompat,
+              digest, wall) ->
+          let candidates =
+            List.fold_left
+              (fun acc (_, r) -> acc + r.Apps.Superopt.candidates)
+              0 findings
+          in
+          Printf.printf
+            "%-7s %-4s  makespan %8.3f ms  %6d launches  %8d candidates  \
+             incompat %d  digest %016Lx\n"
+            mix_name
+            (Fleet.Cluster.policy_name policy)
+            (Simnet.Time.to_float_ms makespan)
+            launches candidates incompat digest;
+          List.iter
+            (fun (s : Fleet.Cluster.device_stats) ->
+              Printf.printf
+                "        dev %d %-22s %6d launches  busy %8.3f ms  util %5.1f%%\n"
+                s.Fleet.Cluster.ds_id
+                s.Fleet.Cluster.ds_name s.Fleet.Cluster.ds_launches
+                (Simnet.Time.to_float_ms s.Fleet.Cluster.ds_busy)
+                (100. *. s.Fleet.Cluster.ds_utilization))
+            stats;
+          j_obj
+            [
+              ("mix", j_str mix_name);
+              ("policy", j_str (Fleet.Cluster.policy_name policy));
+              ("makespan_ms", j_float (Simnet.Time.to_float_ms makespan));
+              ("launches", j_int launches);
+              ("candidates", j_int candidates);
+              ("incompatible", j_int incompat);
+              ("digest", j_str (Printf.sprintf "%016Lx" digest));
+              ( "devices",
+                j_list
+                  (List.map
+                     (fun (s : Fleet.Cluster.device_stats) ->
+                       j_obj
+                         [
+                           ("id", j_int s.Fleet.Cluster.ds_id);
+                           ("name", j_str s.Fleet.Cluster.ds_name);
+                           ("launches", j_int s.Fleet.Cluster.ds_launches);
+                           ( "busy_ms",
+                             j_float
+                               (Simnet.Time.to_float_ms s.Fleet.Cluster.ds_busy) );
+                           ( "utilization",
+                             j_float s.Fleet.Cluster.ds_utilization );
+                         ])
+                     stats) );
+              ("wall_s", j_float wall);
+            ])
+        results
+    in
+    print_newline ();
+    let makespan_of mix policy =
+      List.find_map
+        (fun (m, p, _, makespan, _, _, _, _, _) ->
+          if m = mix && p = policy then Some makespan else None)
+        results
+    in
+    List.iter
+      (fun (mix_name, _) ->
+        match
+          (makespan_of mix_name Fleet.Cluster.Round_robin,
+           makespan_of mix_name Fleet.Cluster.Cost_aware)
+        with
+        | Some rr, Some cost when Simnet.Time.compare cost Simnet.Time.zero > 0
+          ->
+            Printf.printf
+              "%-7s cost-aware vs round-robin makespan: %.2fx\n" mix_name
+              (Int64.to_float rr /. Int64.to_float cost)
+        | _ -> ())
+      mixes;
+    print_newline ();
+
+    (* The same fleet discipline over real RPC: one Cricket server holding
+       the whole node, a tenant-routed transport, a multi-device session
+       steering launches with cudaSetDevice. The fatbin carries sm_70 +
+       sm_80 images, so the P40 (6.1) is ineligible — its launch count and
+       per-device RPC traffic must stay at the discovery-time baseline. *)
+    Printf.printf "multi-device session over RPC (gpu_node, tenant \"uk0\"):\n";
+    let engine = Simnet.Engine.create () in
+    let clock = Cudasim.Context.engine_clock engine in
+    let server =
+      Cricket.Server.create ~devices:Gpusim.Device.gpu_node ~clock ()
+    in
+    let registry =
+      Tenancy.Lease.create
+        ~now:(fun () -> clock.Cudasim.Context.now ())
+        ~ctx:(fun () -> Cricket.Server.context server)
+        ()
+    in
+    Tenancy.Lease.install registry server;
+    ignore
+      (Tenancy.Lease.grant registry ~tenant:"uk0" Tenancy.Lease.default_caps);
+    let client = Cricket.Local.connect_for server ~tenant:"uk0" in
+    let session = Fleet.Session.connect client in
+    let rpc_fatbin = Apps.Superopt.fatbin ~archs:[ (7, 0); (8, 0) ] () in
+    (match Fleet.Session.load_module session rpc_fatbin with
+    | Error e ->
+        Printf.printf "  load_module: %s\n" (Fleet.Cluster.error_message e)
+    | Ok m -> (
+        Printf.printf "  eligible devices: %s\n"
+          (String.concat ", "
+             (List.map string_of_int (Fleet.Session.eligible m)));
+        match Fleet.Session.get_function session m Apps.Superopt.kernel_name with
+        | Error e ->
+            Printf.printf "  get_function: %s\n"
+              (Fleet.Cluster.error_message e)
+        | Ok func ->
+            let spec_table =
+              Apps.Superopt.table_of_program [ 0; 6; 2; 7; 1; 5 ]
+            in
+            let rpc_batch = 64 in
+            let bufs =
+              List.map
+                (fun dev ->
+                  Cricket.Client.set_device client dev;
+                  let d_table = Cricket.Client.malloc client 256 in
+                  let d_flags = Cricket.Client.malloc client rpc_batch in
+                  Cricket.Client.memcpy_h2d client ~dst:d_table spec_table;
+                  (dev, (d_table, d_flags)))
+                (Fleet.Session.eligible m)
+            in
+            let matches = ref 0 in
+            for len = 1 to 3 do
+              let total = int_of_float (8. ** float_of_int len) in
+              let base = ref 0 in
+              while !base < total do
+                let n = min rpc_batch (total - !base) in
+                let b = !base in
+                (match
+                   Fleet.Session.launch session func
+                     ~grid:{ Cricket.Client.x = (n + 127) / 128; y = 1; z = 1 }
+                     ~block:{ Cricket.Client.x = 128; y = 1; z = 1 }
+                     (fun dev ->
+                       let d_table, d_flags = List.assoc dev bufs in
+                       [|
+                         Gpusim.Kernels.Ptr (Int64.to_int d_table);
+                         Gpusim.Kernels.Ptr (Int64.to_int d_flags);
+                         Gpusim.Kernels.I64 (Int64.of_int b);
+                         Gpusim.Kernels.I32 (Int32.of_int n);
+                         Gpusim.Kernels.I32 (Int32.of_int len);
+                       |])
+                 with
+                | Error e ->
+                    failwith
+                      (Printf.sprintf "session launch: %s"
+                         (Fleet.Cluster.error_message e))
+                | Ok dev ->
+                    let _, d_flags = List.assoc dev bufs in
+                    let flags =
+                      Cricket.Client.memcpy_d2h client ~src:d_flags ~len:n
+                    in
+                    Bytes.iter
+                      (fun c -> if c = '\001' then incr matches)
+                      flags);
+                base := !base + rpc_batch
+              done
+            done;
+            Fleet.Session.synchronize session;
+            Printf.printf
+              "  searched lengths 1-3 for a depth-6 spec: %d matches \
+               (expected 0)\n"
+              !matches;
+            Printf.printf "  session launches per device:%s\n"
+              (String.concat ""
+                 (List.map
+                    (fun (d, n) -> Printf.sprintf " %d:%d" d n)
+                    (Fleet.Session.launches session)));
+            Printf.printf "  server RPC calls per device:%s\n"
+              (String.concat ""
+                 (List.map
+                    (fun (d, n) -> Printf.sprintf " %d:%d" d n)
+                    (Cricket.Server.device_calls server)));
+            List.iter
+              (fun (dev, (d_table, d_flags)) ->
+                Cricket.Client.set_device client dev;
+                Cricket.Client.free client d_table;
+                Cricket.Client.free client d_flags)
+              bufs;
+            (match Tenancy.Lease.find registry "uk0" with
+            | Some lease ->
+                Printf.printf
+                  "  tenant calls: %s  lease mem in use after frees: %d B\n"
+                  (String.concat ", "
+                     (List.map
+                        (fun (t, n) -> Printf.sprintf "%s=%d" t n)
+                        (Cricket.Server.tenant_calls server)))
+                  lease.Tenancy.Lease.mem_used
+            | None -> ());
+            (match Cricket.Client.set_device client (-1) with
+            | () -> Printf.printf "  set_device(-1): unexpectedly succeeded\n"
+            | exception Cudasim.Error.Cuda_error e ->
+                Printf.printf "  set_device(-1): typed CUDA error (%s)\n"
+                  (Cudasim.Error.to_string e))));
+    (match json_out with
+    | None -> ()
+    | Some path ->
+        write_json path
+          (j_obj
+             [
+               ("bench", j_str "fleet");
+               ("max_len", j_int max_len);
+               ("batch", j_int batch);
+               ("specs", j_int (List.length specs));
+               ("parity", if parity then "true" else "false");
+               ("cells", j_list cell_objs);
+             ]))
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:"heterogeneous multi-GPU fleet running the exhaustive \
+             shortest-program superoptimizer: device-mix x scheduler-policy \
+             sweep with compatibility routing (cross-major SASS images are \
+             never executed), per-device utilization, and a multi-device \
+             RPC session with tenancy accounting. Virtual-time numbers; \
+             byte-deterministic.")
+    Term.(
+      const run
+      $ Arg.(value & flag
+             & info [ "smoke" ] ~doc:"CI-sized run (length <= 4).")
+      $ Arg.(value & opt (some int) None
+             & info [ "max-len" ] ~docv:"L"
+                 ~doc:"Longest program length to search.")
+      $ Arg.(value & opt (some int) None
+             & info [ "batch" ] ~docv:"N" ~doc:"Candidates per launch.")
+      $ domains_arg $ json_arg)
+
 let main =
   Cmd.group
     (Cmd.info "benchctl" ~doc:"run individual paper experiments")
     [ table1_cmd; matrixmul_cmd; solver_cmd; histogram_cmd; micro_cmd;
       bandwidth_cmd; pipeline_cmd; multitenant_cmd; tenants_cmd; trace_cmd;
-      faults_cmd; offloads_cmd; latency_cmd; migrate_cmd; rpcacc_cmd ]
+      faults_cmd; offloads_cmd; latency_cmd; migrate_cmd; rpcacc_cmd;
+      fleet_cmd ]
 
 let () = exit (Cmd.eval main)

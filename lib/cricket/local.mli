@@ -13,5 +13,13 @@ val transport : Server.t -> Oncrpc.Transport.t
 val transport_of_dispatch : (string -> string) -> Oncrpc.Transport.t
 (** Same, over any record-level dispatch function. *)
 
+val transport_for : Server.t -> tenant:string -> Oncrpc.Transport.t
+(** Like {!transport}, but every record goes through
+    {!Server.dispatch_for} on behalf of [tenant] — admission, per-tenant
+    accounting and lease hooks apply. *)
+
 val connect : Server.t -> Client.t
 (** [Client.create] over {!transport}. *)
+
+val connect_for : Server.t -> tenant:string -> Client.t
+(** [Client.create] over {!transport_for}. *)

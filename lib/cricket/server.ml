@@ -43,9 +43,11 @@ type t = {
      same kind of process (fresh state, same GPUs, clock and checkpoints) *)
   spawn_devices : Gpusim.Device.t list option;
   spawn_memory_capacity : int option;
+  spawn_capacity_clamp : int option;
   spawn_clock : Cudasim.Context.clock;
   mutable calls : int;
   per_proc : (int, int) Hashtbl.t;
+  per_device : (int, int) Hashtbl.t;
   per_tenant : (string, int) Hashtbl.t;
   mutable current_tenant : string option;
   mutable tenant_hooks : tenant_hooks option;
@@ -473,13 +475,18 @@ let implementation t : P.Server.implementation =
         void_result Cudasim.Error.Success);
   }
 
-let create ?devices ?memory_capacity ?(checkpoint_dir = ".") ~clock () =
-  let ctx = Cudasim.Context.create ?devices ?memory_capacity clock in
+let create ?devices ?memory_capacity ?capacity_clamp ?(checkpoint_dir = ".")
+    ~clock () =
+  let ctx =
+    Cudasim.Context.create ?devices ?memory_capacity ?capacity_clamp clock
+  in
   let rpc = Oncrpc.Server.create ~name:"cricket" () in
   let t =
     { rpc; ctx; checkpoint_dir; spawn_devices = devices;
-      spawn_memory_capacity = memory_capacity; spawn_clock = clock;
+      spawn_memory_capacity = memory_capacity;
+      spawn_capacity_clamp = capacity_clamp; spawn_clock = clock;
       calls = 0; per_proc = Hashtbl.create 64;
+      per_device = Hashtbl.create 8;
       per_tenant = Hashtbl.create 64; current_tenant = None;
       tenant_hooks = None; inbound = None; adopt_lease = None;
       migrations_in = 0;
@@ -495,7 +502,12 @@ let create ?devices ?memory_capacity ?(checkpoint_dir = ".") ~clock () =
       t.last_proc <- proc;
       t.last_arg_bytes <- arg_bytes;
       Hashtbl.replace t.per_proc proc
-        (1 + Option.value ~default:0 (Hashtbl.find_opt t.per_proc proc)));
+        (1 + Option.value ~default:0 (Hashtbl.find_opt t.per_proc proc));
+      (* Attribute the call to the device selected when it arrived — the
+         fleet report's per-device RPC traffic. *)
+      let d = Cudasim.Context.current t.ctx in
+      Hashtbl.replace t.per_device d
+        (1 + Option.value ~default:0 (Hashtbl.find_opt t.per_device d)));
   t
 
 (* procedure number -> name, from the RPCL spec itself *)
@@ -546,7 +558,8 @@ let set_obs t obs =
 
 let respawn t =
   create ?devices:t.spawn_devices ?memory_capacity:t.spawn_memory_capacity
-    ~checkpoint_dir:t.checkpoint_dir ~clock:t.spawn_clock ()
+    ?capacity_clamp:t.spawn_capacity_clamp ~checkpoint_dir:t.checkpoint_dir
+    ~clock:t.spawn_clock ()
 
 let dup_hits t = Oncrpc.Server.dup_hits t.rpc
 
@@ -655,5 +668,9 @@ let dispatch_preparsed_for t ~tenant ~xid ~prog ~vers ~proc ~body_off request =
 let tenant_calls t =
   Hashtbl.fold (fun tenant n acc -> (tenant, n) :: acc) t.per_tenant []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let device_calls t =
+  List.init (Cudasim.Context.device_count t.ctx) (fun d ->
+      (d, Option.value ~default:0 (Hashtbl.find_opt t.per_device d)))
 
 let calls_served t = t.calls

@@ -16,13 +16,15 @@ type t
 val create :
   ?devices:Gpusim.Device.t list ->
   ?memory_capacity:int ->
+  ?capacity_clamp:int ->
   ?checkpoint_dir:string ->
   clock:Cudasim.Context.clock ->
   unit ->
   t
 (** [checkpoint_dir] (default ["."]) is where [rpc_checkpoint] writes
     state files; paths in checkpoint RPCs are interpreted relative to it
-    and may not escape it. *)
+    and may not escape it. [memory_capacity] / [capacity_clamp] are
+    forwarded to {!Cudasim.Context.create} (and survive {!respawn}). *)
 
 val respawn : t -> t
 (** A fresh server process of the same kind: same GPUs, clock and
@@ -101,6 +103,12 @@ val dispatch_preparsed_for :
 
 val tenant_calls : t -> (string * int) list
 (** Per-tenant dispatched-call counts, sorted by tenant name. *)
+
+val device_calls : t -> (int * int) list
+(** Per-device dispatched-call counts, one entry per device index in
+    order. Each call is attributed to the device that was selected when
+    it arrived, so a multi-device session's RPC traffic shows up against
+    the devices it steered to. *)
 
 (** {1 Live migration (destination side)}
 

@@ -80,12 +80,15 @@ let parse s =
     | None -> fail "truncated version"
   end
 
-let best_image t ~cc:(want_major, want_minor) =
+(* SASS is only compatible within one major architecture: an sm_70 image
+   does not run on an sm_80 device. Candidates must match the device's
+   major exactly and not exceed its minor. *)
+let image_compatible ~cc:(want_major, want_minor) (major, minor) =
+  major = want_major && minor <= want_minor
+
+let best_image t ~cc =
   let candidates =
-    List.filter
-      (fun ((major, minor), _) ->
-        major < want_major || (major = want_major && minor <= want_minor))
-      t.images
+    List.filter (fun (arch, _) -> image_compatible ~cc arch) t.images
   in
   match List.sort (fun (a, _) (b, _) -> compare b a) candidates with
   | (_, image) :: _ -> Some image

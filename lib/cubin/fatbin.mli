@@ -15,8 +15,17 @@ type t = { images : ((int * int) * string) list }
 val build : t -> string
 val parse : string -> (t, string) result
 
+val image_compatible : cc:int * int -> int * int -> bool
+(** [image_compatible ~cc arch]: can a device of compute capability [cc]
+    run an image built for [arch]? True iff the majors are equal and the
+    image's minor does not exceed the device's — real SASS is not
+    forward-compatible across major architectures (an sm_70 image does
+    not run on an sm_80 device). *)
+
 val best_image : t -> cc:int * int -> string option
 (** The image with the highest architecture not exceeding [cc] — CUDA's
-    compatibility rule within a major architecture. *)
+    compatibility rule within a major architecture: only images with
+    [major = cc's major] and [minor <= cc's minor] are candidates; [None]
+    when the container holds no image of the device's major. *)
 
 val is_fatbin : string -> bool

@@ -28,12 +28,15 @@ type t = {
   mutable async_error : Error.t option;  (* sticky, cudaGetLastError-style *)
 }
 
-let create ?(devices = Gpusim.Device.gpu_node) ?memory_capacity clock =
+let create ?(devices = Gpusim.Device.gpu_node) ?memory_capacity
+    ?capacity_clamp clock =
   if devices = [] then invalid_arg "Context.create: no devices";
   {
     gpus =
       Array.of_list
-        (List.map (fun d -> Gpusim.Gpu.create ?memory_capacity d) devices);
+        (List.map
+           (fun d -> Gpusim.Gpu.create ?memory_capacity ?capacity_clamp d)
+           devices);
     clock;
     current_device = 0;
     is_functional = true;
@@ -229,6 +232,9 @@ let restore t data =
   | snap ->
       if Array.length snap.snap_memories <> Array.length t.gpus then
         Error "checkpoint was taken on a different device configuration"
+      else if
+        snap.snap_current < 0 || snap.snap_current >= Array.length t.gpus
+      then Error "checkpoint selects an out-of-range device"
       else begin
         match parse_modules snap.snap_modules with
         | Error e -> Error e
@@ -318,6 +324,8 @@ let restore_delta t data =
   | d ->
       if Array.length d.dl_memories <> Array.length t.gpus then
         Error "delta was taken on a different device configuration"
+      else if d.dl_current < 0 || d.dl_current >= Array.length t.gpus then
+        Error "delta selects an out-of-range device"
       else begin
         match parse_modules d.dl_modules with
         | Error e -> Error e

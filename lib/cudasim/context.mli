@@ -31,9 +31,14 @@ type t
 val create :
   ?devices:Gpusim.Device.t list ->
   ?memory_capacity:int ->
+  ?capacity_clamp:int ->
   clock ->
   t
-(** Defaults to the evaluation machine's GPU node (A100 + 2×T4 + P40). *)
+(** Defaults to the evaluation machine's GPU node (A100 + 2×T4 + P40).
+    [memory_capacity] and [capacity_clamp] are forwarded to
+    {!Gpusim.Gpu.create} for every device; pass [~capacity_clamp:max_int]
+    when per-device OOM behaviour must track the catalog's
+    [total_global_mem]. *)
 
 val clock : t -> clock
 val device_count : t -> int

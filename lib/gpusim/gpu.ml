@@ -13,14 +13,15 @@ type t = {
 let default_stream = 0
 let default_capacity_clamp = 2 lsl 30
 
-let create ?memory_capacity device =
+let create ?memory_capacity ?(capacity_clamp = default_capacity_clamp) device
+    =
   let capacity =
     match memory_capacity with
     | Some c -> c
     | None ->
         let mem = device.Device.total_global_mem in
-        if Int64.compare mem (Int64.of_int default_capacity_clamp) > 0 then
-          default_capacity_clamp
+        if Int64.compare mem (Int64.of_int capacity_clamp) > 0 then
+          capacity_clamp
         else Int64.to_int mem
   in
   let t =

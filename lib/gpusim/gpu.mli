@@ -13,11 +13,19 @@ module Time = Simnet.Time
 
 type t
 
-val create : ?memory_capacity:int -> Device.t -> t
+val default_capacity_clamp : int
+(** 2 GiB — the default bound applied to [total_global_mem] when no
+    explicit capacity is given. *)
+
+val create : ?memory_capacity:int -> ?capacity_clamp:int -> Device.t -> t
 (** [memory_capacity] defaults to the device's [total_global_mem] clamped
-    to 2 GiB to keep host memory bounded (the backing store only grows as
-    touched; allocations beyond the clamp fail with OOM, as on a smaller
-    device). *)
+    to [capacity_clamp] (default {!default_capacity_clamp}, 2 GiB) to keep
+    host memory bounded. The backing store only grows as touched, so a
+    fleet that needs per-device OOM behaviour to match the catalog (a
+    16 GiB T4 must OOM before a 40 GiB A100) can pass a clamp of
+    [max_int] and pay host memory only for bytes actually written;
+    allocations beyond the effective capacity fail with OOM, as on a
+    smaller device. *)
 
 val device : t -> Device.t
 val memory : t -> Memory.t

@@ -19,10 +19,13 @@ type lease = {
 }
 
 (* Per-lease resource ledger: which device each allocation/stream lives
-   on, so reclaim can free it even after the tenant switched devices. *)
+   on, so reclaim can free it even after the tenant switched devices.
+   Keyed by (device, ptr), not bare ptr: each device's arena hands out
+   its own pointer values, so the same ptr can be live on two devices at
+   once in a multi-device session. *)
 type ledger = {
-  allocs : (int64, int * int) Hashtbl.t;  (* ptr -> device, size *)
-  stream_handles : (int64, int) Hashtbl.t;  (* handle -> device *)
+  allocs : (int * int64, int) Hashtbl.t;  (* device, ptr -> size *)
+  stream_handles : (int * int64, unit) Hashtbl.t;  (* device, handle *)
 }
 
 type stats = {
@@ -85,7 +88,7 @@ let reclaim t (lease, ledger) =
     f ()
   in
   Hashtbl.iter
-    (fun ptr (dev, size) ->
+    (fun (dev, ptr) size ->
       on_device dev (fun () ->
           match Cudasim.Api.free ctx ptr with
           | Cudasim.Error.Success ->
@@ -94,7 +97,7 @@ let reclaim t (lease, ledger) =
     ledger.allocs;
   Hashtbl.reset ledger.allocs;
   Hashtbl.iter
-    (fun handle dev ->
+    (fun (dev, handle) () ->
       on_device dev (fun () ->
           match Cudasim.Api.stream_destroy ctx handle with
           | Cudasim.Error.Success ->
@@ -229,17 +232,18 @@ let hooks t : Cricket.Server.tenant_hooks =
         | None -> ()
         | Some (lease, ledger) ->
             let dev = Cudasim.Context.current (t.ctx ()) in
-            Hashtbl.replace ledger.allocs ptr (dev, Int64.to_int size);
+            Hashtbl.replace ledger.allocs (dev, ptr) (Int64.to_int size);
             lease.mem_used <- lease.mem_used + Int64.to_int size);
     note_free =
       (fun ~tenant ~ptr ->
         match entry_if_active t tenant with
         | None -> ()
         | Some (lease, ledger) -> (
-            match Hashtbl.find_opt ledger.allocs ptr with
+            let dev = Cudasim.Context.current (t.ctx ()) in
+            match Hashtbl.find_opt ledger.allocs (dev, ptr) with
             | None -> ()
-            | Some (_, size) ->
-                Hashtbl.remove ledger.allocs ptr;
+            | Some size ->
+                Hashtbl.remove ledger.allocs (dev, ptr);
                 lease.mem_used <- lease.mem_used - size));
     stream_allowed =
       (fun ~tenant ->
@@ -255,15 +259,16 @@ let hooks t : Cricket.Server.tenant_hooks =
         | None -> ()
         | Some (lease, ledger) ->
             let dev = Cudasim.Context.current (t.ctx ()) in
-            Hashtbl.replace ledger.stream_handles handle dev;
+            Hashtbl.replace ledger.stream_handles (dev, handle) ();
             lease.live_streams <- lease.live_streams + 1);
     note_stream_destroy =
       (fun ~tenant ~handle ->
         match entry_if_active t tenant with
         | None -> ()
         | Some (lease, ledger) ->
-            if Hashtbl.mem ledger.stream_handles handle then begin
-              Hashtbl.remove ledger.stream_handles handle;
+            let dev = Cudasim.Context.current (t.ctx ()) in
+            if Hashtbl.mem ledger.stream_handles (dev, handle) then begin
+              Hashtbl.remove ledger.stream_handles (dev, handle);
               lease.live_streams <- lease.live_streams - 1
             end);
   }
@@ -291,7 +296,7 @@ let allocs t ~tenant =
   | None -> []
   | Some (_, ledger) ->
       Hashtbl.fold
-        (fun ptr (dev, size) acc -> (ptr, dev, size) :: acc)
+        (fun (dev, ptr) size acc -> (ptr, dev, size) :: acc)
         ledger.allocs []
       |> List.sort compare
 
@@ -331,11 +336,13 @@ let export t ~tenant =
                p_mem_used = lease.mem_used;
                p_live_streams = lease.live_streams;
                p_allocs =
-                 Hashtbl.fold (fun k v acc -> (k, v) :: acc) ledger.allocs []
+                 Hashtbl.fold
+                   (fun (dev, ptr) size acc -> (ptr, (dev, size)) :: acc)
+                   ledger.allocs []
                  |> List.sort compare;
                p_streams =
                  Hashtbl.fold
-                   (fun k v acc -> (k, v) :: acc)
+                   (fun (dev, handle) () acc -> (handle, dev) :: acc)
                    ledger.stream_handles []
                  |> List.sort compare;
              }
@@ -364,9 +371,13 @@ let adopt t blob =
       let ledger =
         { allocs = Hashtbl.create 16; stream_handles = Hashtbl.create 8 }
       in
-      List.iter (fun (k, v) -> Hashtbl.replace ledger.allocs k v) p.p_allocs;
       List.iter
-        (fun (k, v) -> Hashtbl.replace ledger.stream_handles k v)
+        (fun (ptr, (dev, size)) ->
+          Hashtbl.replace ledger.allocs (dev, ptr) size)
+        p.p_allocs;
+      List.iter
+        (fun (handle, dev) ->
+          Hashtbl.replace ledger.stream_handles (dev, handle) ())
         p.p_streams;
       Hashtbl.replace t.table p.p_tenant (lease, ledger);
       t.adopted <- t.adopted + 1;

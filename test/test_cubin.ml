@@ -222,12 +222,96 @@ let test_fatbin_best_image () =
   in
   check (Alcotest.option Alcotest.string) "exact" (Some "a100")
     (Cubin.Fatbin.best_image fb ~cc:(8, 0));
-  check (Alcotest.option Alcotest.string) "newer device" (Some "a100")
+  (* SASS does not carry forward across majors: an sm_90 device cannot
+     run any of these images even though they are all "older". *)
+  check (Alcotest.option Alcotest.string) "newer major" None
     (Cubin.Fatbin.best_image fb ~cc:(9, 0));
-  check (Alcotest.option Alcotest.string) "between" (Some "t4")
+  check (Alcotest.option Alcotest.string) "within major" (Some "t4")
     (Cubin.Fatbin.best_image fb ~cc:(7, 9));
+  check (Alcotest.option Alcotest.string) "minor too new" None
+    (Cubin.Fatbin.best_image fb ~cc:(7, 4));
+  check (Alcotest.option Alcotest.string) "same major, higher minor"
+    (Some "p40")
+    (Cubin.Fatbin.best_image fb ~cc:(6, 9));
   check (Alcotest.option Alcotest.string) "too old" None
     (Cubin.Fatbin.best_image fb ~cc:(5, 2))
+
+(* The regression that motivated the fix: a container holding only sm_52
+   and sm_70 images must NOT hand the sm_70 image to an sm_80 device. The
+   pre-fix rule (any [arch <= cc]) returned [Some "sm_70"] here. *)
+let test_fatbin_no_cross_major () =
+  let fb = { Cubin.Fatbin.images = [ ((5, 2), "sm_52"); ((7, 0), "sm_70") ] } in
+  check (Alcotest.option Alcotest.string) "sm_80 device" None
+    (Cubin.Fatbin.best_image fb ~cc:(8, 0));
+  check (Alcotest.option Alcotest.string) "sm_70 device" (Some "sm_70")
+    (Cubin.Fatbin.best_image fb ~cc:(7, 0));
+  check (Alcotest.option Alcotest.string) "sm_52 device" (Some "sm_52")
+    (Cubin.Fatbin.best_image fb ~cc:(5, 2));
+  check Alcotest.bool "compat predicate" false
+    (Cubin.Fatbin.image_compatible ~cc:(8, 0) (7, 0))
+
+let arch_gen = QCheck.Gen.(pair (int_range 3 9) (int_range 0 9))
+
+let prop_best_image_compatible =
+  (* whatever best_image selects satisfies the compatibility predicate,
+     and is the highest-arch image that does *)
+  QCheck.Test.make ~count:500 ~name:"best_image picks a compatible maximum"
+    QCheck.(
+      pair
+        (list_of_size (QCheck.Gen.int_range 0 8) (make arch_gen))
+        (make arch_gen))
+    (fun (archs, cc) ->
+      let images =
+        List.map (fun (mj, mn) -> ((mj, mn), Printf.sprintf "%d.%d" mj mn)) archs
+      in
+      let fb = { Cubin.Fatbin.images } in
+      let compat = List.filter (Cubin.Fatbin.image_compatible ~cc) archs in
+      match Cubin.Fatbin.best_image fb ~cc with
+      | None -> compat = []
+      | Some img ->
+          let arch = Scanf.sscanf img "%d.%d" (fun a b -> (a, b)) in
+          Cubin.Fatbin.image_compatible ~cc arch
+          && List.for_all (fun a -> compare a arch <= 0) compat)
+
+(* Mixed-architecture fleet round-trip: build real images for each arch in
+   the gpu_node catalog, serialize, parse back, and check best_image routes
+   every catalog device to its own-major image — then corrupt the wire. *)
+let test_fatbin_fleet_roundtrip () =
+  let archs = [ (6, 1); (7, 5); (8, 0) ] in
+  let images =
+    List.map
+      (fun arch ->
+        (arch, Cubin.Image.build { (sample_image ()) with Cubin.Image.arch = arch }))
+      archs
+  in
+  let fb = { Cubin.Fatbin.images } in
+  let wire = Cubin.Fatbin.build fb in
+  (match Cubin.Fatbin.parse wire with
+  | Error e -> Alcotest.fail e
+  | Ok fb' ->
+      check Alcotest.bool "roundtrip equal" true (fb = fb');
+      List.iter
+        (fun dev ->
+          let cc = dev.Gpusim.Device.compute_major, dev.Gpusim.Device.compute_minor in
+          match Cubin.Fatbin.best_image fb' ~cc with
+          | None -> Alcotest.failf "no image for %s" dev.Gpusim.Device.name
+          | Some img -> (
+              match Cubin.Image.parse img with
+              | Error e -> Alcotest.fail e
+              | Ok parsed ->
+                  check Alcotest.int "image major matches device"
+                    dev.Gpusim.Device.compute_major
+                    (fst parsed.Cubin.Image.arch)))
+        Gpusim.Device.gpu_node);
+  (* every strict prefix must fail to parse; so must trailing garbage *)
+  for cut = 0 to String.length wire - 1 do
+    match Cubin.Fatbin.parse (String.sub wire 0 cut) with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "accepted truncation at %d" cut
+  done;
+  match Cubin.Fatbin.parse (wire ^ "\x00") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted trailing byte"
 
 let test_fatbin_malformed () =
   List.iter
@@ -255,7 +339,16 @@ let suite =
     Alcotest.test_case "param packing errors" `Quick test_param_packing_errors;
     Alcotest.test_case "fatbin roundtrip" `Quick test_fatbin_roundtrip;
     Alcotest.test_case "fatbin best image" `Quick test_fatbin_best_image;
+    Alcotest.test_case "fatbin no cross-major selection" `Quick
+      test_fatbin_no_cross_major;
+    Alcotest.test_case "fatbin fleet roundtrip + corruption" `Quick
+      test_fatbin_fleet_roundtrip;
     Alcotest.test_case "fatbin malformed" `Quick test_fatbin_malformed;
   ]
   @ List.map QCheck_alcotest.to_alcotest
-      [ prop_lzss_roundtrip; prop_lzss_roundtrip_structured; prop_param_roundtrip ]
+      [
+        prop_lzss_roundtrip;
+        prop_lzss_roundtrip_structured;
+        prop_param_roundtrip;
+        prop_best_image_compatible;
+      ]

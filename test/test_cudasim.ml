@@ -41,6 +41,32 @@ let test_device_management () =
   | Error Cudasim.Error.Invalid_device -> ()
   | _ -> Alcotest.fail "expected Invalid_device"
 
+(* Out-of-range device selection — negative or past the catalog — is a
+   typed [Invalid_device] at both the API and context layer, never an
+   exception, and never moves the current-device cursor. *)
+let test_device_selection_bounds () =
+  let _, ctx = make_ctx () in
+  success (Cudasim.Api.set_device ctx 1);
+  List.iter
+    (fun bad ->
+      (match Cudasim.Api.set_device ctx bad with
+      | Cudasim.Error.Invalid_device -> ()
+      | e ->
+          Alcotest.failf "Api.set_device %d: expected Invalid_device, got %s"
+            bad (Cudasim.Error.to_string e));
+      (match Cudasim.Context.set_current ctx bad with
+      | Error Cudasim.Error.Invalid_device -> ()
+      | Ok () -> Alcotest.failf "Context.set_current %d accepted" bad
+      | Error e ->
+          Alcotest.failf "Context.set_current %d: expected Invalid_device, got %s"
+            bad (Cudasim.Error.to_string e));
+      check Alcotest.bool
+        (Printf.sprintf "gpu_at %d is None" bad)
+        true
+        (Cudasim.Context.gpu_at ctx bad = None);
+      check Alcotest.int "cursor unmoved" 1 (Cudasim.Api.get_device ctx))
+    [ -1; min_int; 4; 99 ]
+
 let test_error_code_mapping () =
   List.iter
     (fun e ->
@@ -487,6 +513,8 @@ let test_checkpoint_restore () =
 let suite =
   [
     Alcotest.test_case "device management" `Quick test_device_management;
+    Alcotest.test_case "device selection bounds" `Quick
+      test_device_selection_bounds;
     Alcotest.test_case "error code mapping" `Quick test_error_code_mapping;
     Alcotest.test_case "memory API" `Quick test_memory_api;
     Alcotest.test_case "mem_get_info" `Quick test_mem_get_info;

@@ -1,0 +1,282 @@
+(* Tests for the heterogeneous fleet scheduler: compatibility routing
+   with typed rejects, cost-aware vs round-robin placement, the
+   superoptimizer workload, determinism, and the same discipline driven
+   over Cricket RPC as a multi-device session. *)
+
+module Cluster = Fleet.Cluster
+module Session = Fleet.Session
+module Device = Gpusim.Device
+
+let check = Alcotest.check
+
+(* The acceptance test for the best_image fix: a fat binary holding only
+   sm_52 and sm_70 images must be a typed reject on an A100-only (sm_80)
+   cluster. Under the pre-fix rule (any arch <= cc) the sm_70 image
+   would have been selected and the module would have loaded. *)
+let test_cross_major_typed_reject () =
+  let cluster = Cluster.create [ Device.a100 ] in
+  let data = Apps.Superopt.fatbin ~archs:[ (5, 2); (7, 0) ] () in
+  (match Cluster.load_module cluster data with
+  | Error Cluster.No_compatible_image -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Cluster.error_message e)
+  | Ok _ -> Alcotest.fail "sm_70 image must not load on an sm_80 device");
+  (* garbage bytes get the parse error, not the compatibility one *)
+  match Cluster.load_module cluster "not a container" with
+  | Error (Cluster.Bad_module _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Cluster.error_message e)
+  | Ok _ -> Alcotest.fail "garbage module must not load"
+
+(* A (7,5)-only fatbin on the mixed node: exactly the two T4s are
+   eligible, every launch lands on one of them, and the compatibility
+   backstop counter stays zero. *)
+let test_only_eligible_devices_launch () =
+  let cluster = Cluster.create Device.gpu_node in
+  let data = Apps.Superopt.fatbin ~archs:[ (7, 5) ] () in
+  match Cluster.load_module cluster data with
+  | Error e -> Alcotest.failf "load: %s" (Cluster.error_message e)
+  | Ok m -> (
+      check (Alcotest.list Alcotest.int) "eligible = the two T4s" [ 1; 2 ]
+        (Cluster.eligible m);
+      match Cluster.get_function cluster m Apps.Superopt.kernel_name with
+      | Error e -> Alcotest.failf "get_function: %s" (Cluster.error_message e)
+      | Ok func ->
+          let bufs =
+            List.map
+              (fun dev ->
+                let mem = Gpusim.Gpu.memory (Cluster.gpu cluster dev) in
+                ( dev,
+                  (Gpusim.Memory.alloc mem 256, Gpusim.Memory.alloc mem 64) ))
+              (Cluster.eligible m)
+          in
+          for i = 0 to 9 do
+            let mk dev =
+              let d_table, d_flags = List.assoc dev bufs in
+              {
+                Gpusim.Kernels.grid = { x = 1; y = 1; z = 1 };
+                block = { x = 64; y = 1; z = 1 };
+                shared_mem = 0;
+                args =
+                  [|
+                    Gpusim.Kernels.Ptr d_table;
+                    Gpusim.Kernels.Ptr d_flags;
+                    Gpusim.Kernels.I64 (Int64.of_int (i * 64));
+                    Gpusim.Kernels.I32 64l;
+                    Gpusim.Kernels.I32 2l;
+                  |];
+              }
+            in
+            match Cluster.launch cluster func mk with
+            | Error e -> Alcotest.failf "launch: %s" (Cluster.error_message e)
+            | Ok (dev, _) ->
+                check Alcotest.bool "placed on a T4" true (dev = 1 || dev = 2)
+          done;
+          ignore (Cluster.barrier cluster);
+          check Alcotest.int "no incompatible launches" 0
+            (Cluster.incompatible_launches cluster);
+          check Alcotest.int "all launches accounted" 10
+            (Cluster.total_launches cluster);
+          List.iter
+            (fun s ->
+              let expected_idle =
+                s.Cluster.ds_id = 0 || s.Cluster.ds_id = 3
+              in
+              if expected_idle then
+                check Alcotest.int
+                  (Printf.sprintf "device %d idle" s.Cluster.ds_id)
+                  0 s.Cluster.ds_launches
+              else
+                check Alcotest.bool
+                  (Printf.sprintf "device %d used" s.Cluster.ds_id)
+                  true
+                  (s.Cluster.ds_launches > 0))
+            (Cluster.stats cluster))
+
+let run_search policy spec ~max_len =
+  let cluster = Cluster.create ~policy Device.gpu_node in
+  match Apps.Superopt.search ~cluster ~max_len spec with
+  | Error e -> Alcotest.failf "search: %s" (Cluster.error_message e)
+  | Ok r -> (cluster, r)
+
+(* The searches with known answers: the fleet discovers the shortest
+   equivalent program, not merely some equivalent. *)
+let test_superopt_finds_shortest () =
+  let expect spec program =
+    let _, r = run_search Cluster.Cost_aware spec ~max_len:3 in
+    check
+      (Alcotest.option (Alcotest.list Alcotest.int))
+      spec.Apps.Superopt.spec_name program r.Apps.Superopt.program;
+    check Alcotest.bool "evaluated candidates" true
+      (r.Apps.Superopt.candidates > 0)
+  in
+  (* NOT;INC is two's complement: NEG. Four ROLs are a nibble swap. *)
+  expect { Apps.Superopt.spec_name = "neg"; reference = [ 2; 0 ] } (Some [ 3 ]);
+  expect
+    { Apps.Superopt.spec_name = "swap"; reference = [ 6; 6; 6; 6 ] }
+    (Some [ 7 ]);
+  (* -a-2 has no length-1 equivalent; NOT;DEC is the shortest. *)
+  expect
+    { Apps.Superopt.spec_name = "negsub2"; reference = [ 2; 1 ] }
+    (Some [ 2; 1 ]);
+  (* depth-6 pipeline: nothing of length <= 3 matches *)
+  let _, r =
+    run_search Cluster.Cost_aware
+      { Apps.Superopt.spec_name = "deep"; reference = [ 0; 6; 2; 7; 1; 5 ] }
+      ~max_len:3
+  in
+  check
+    (Alcotest.option (Alcotest.list Alcotest.int))
+    "deep not found below length 4" None r.Apps.Superopt.program
+
+(* Cost-aware placement must beat round-robin on makespan for the mixed
+   A100/T4/T4/P40 node: round-robin hands the slow P40 an equal share and
+   it gates completion; the cost model starves it proportionally. *)
+let test_cost_aware_beats_round_robin () =
+  let deep =
+    { Apps.Superopt.spec_name = "deep"; reference = [ 0; 6; 2; 7; 1; 5 ] }
+  in
+  let run policy =
+    let cluster, r = run_search policy deep ~max_len:4 in
+    (Cluster.makespan cluster, r)
+  in
+  let rr_makespan, rr = run Cluster.Round_robin in
+  let cost_makespan, cost = run Cluster.Cost_aware in
+  check Alcotest.bool "same search outcome" true
+    (rr.Apps.Superopt.program = cost.Apps.Superopt.program
+    && rr.Apps.Superopt.candidates = cost.Apps.Superopt.candidates);
+  check Alcotest.bool
+    (Printf.sprintf "cost %Ld < rr %Ld" cost_makespan rr_makespan)
+    true
+    (Int64.compare cost_makespan rr_makespan < 0)
+
+(* Same cluster, same workload, run twice: identical merge digests and
+   per-device stats — the determinism benchctl's byte-diff CI leg rests
+   on. *)
+let test_deterministic_digest () =
+  let deep =
+    { Apps.Superopt.spec_name = "deep"; reference = [ 0; 6; 2; 7; 1; 5 ] }
+  in
+  let run () =
+    let cluster, r = run_search Cluster.Cost_aware deep ~max_len:3 in
+    (Cluster.digest cluster, Cluster.stats cluster, r.Apps.Superopt.launches)
+  in
+  let d1, s1, l1 = run () in
+  let d2, s2, l2 = run () in
+  check Alcotest.int64 "digest" d1 d2;
+  check Alcotest.int "launches" l1 l2;
+  check Alcotest.bool "stats" true (s1 = s2)
+
+(* The fleet discipline over real RPC: eligibility steering, per-device
+   server-side accounting, lease ledger draining to zero across devices,
+   and the typed set_device error. *)
+let test_session_over_rpc () =
+  let engine = Simnet.Engine.create () in
+  let clock = Cudasim.Context.engine_clock engine in
+  let server = Cricket.Server.create ~devices:Device.gpu_node ~clock () in
+  let registry =
+    Tenancy.Lease.create
+      ~now:(fun () -> clock.Cudasim.Context.now ())
+      ~ctx:(fun () -> Cricket.Server.context server)
+      ()
+  in
+  Tenancy.Lease.install registry server;
+  ignore (Tenancy.Lease.grant registry ~tenant:"t0" Tenancy.Lease.default_caps);
+  let client = Cricket.Local.connect_for server ~tenant:"t0" in
+  let session = Session.connect client in
+  check Alcotest.int "device count over RPC" 4 (Session.device_count session);
+  let data = Apps.Superopt.fatbin ~archs:[ (7, 0); (8, 0) ] () in
+  match Session.load_module session data with
+  | Error e -> Alcotest.failf "load: %s" (Cluster.error_message e)
+  | Ok m -> (
+      (* P40 is sm_61: ineligible for an sm_70+sm_80 container *)
+      check (Alcotest.list Alcotest.int) "eligible" [ 0; 1; 2 ]
+        (Session.eligible m);
+      match Session.get_function session m Apps.Superopt.kernel_name with
+      | Error e -> Alcotest.failf "get_function: %s" (Cluster.error_message e)
+      | Ok func ->
+          let table = Apps.Superopt.table_of_program [ 2; 0 ] in
+          let bufs =
+            List.map
+              (fun dev ->
+                Cricket.Client.set_device client dev;
+                let d_table = Cricket.Client.malloc client 256 in
+                let d_flags = Cricket.Client.malloc client 64 in
+                Cricket.Client.memcpy_h2d client ~dst:d_table table;
+                (dev, (d_table, d_flags)))
+              (Session.eligible m)
+          in
+          for i = 0 to 7 do
+            match
+              Session.launch session func
+                ~grid:{ Cricket.Client.x = 1; y = 1; z = 1 }
+                ~block:{ Cricket.Client.x = 64; y = 1; z = 1 }
+                (fun dev ->
+                  let d_table, d_flags = List.assoc dev bufs in
+                  [|
+                    Gpusim.Kernels.Ptr (Int64.to_int d_table);
+                    Gpusim.Kernels.Ptr (Int64.to_int d_flags);
+                    Gpusim.Kernels.I64 (Int64.of_int (i * 8));
+                    Gpusim.Kernels.I32 8l;
+                    Gpusim.Kernels.I32 1l;
+                  |])
+            with
+            | Error e -> Alcotest.failf "launch: %s" (Cluster.error_message e)
+            | Ok dev ->
+                check Alcotest.bool "launched on eligible device" true
+                  (List.mem dev (Session.eligible m))
+          done;
+          Session.synchronize session;
+          check Alcotest.int "session launch total" 8
+            (List.fold_left (fun a (_, n) -> a + n) 0 (Session.launches session));
+          check Alcotest.int "no session launches on the P40" 0
+            (List.assoc 3 (Session.launches session));
+          (* device 3 saw only the discovery-time property query *)
+          let dev_calls = Cricket.Server.device_calls server in
+          check Alcotest.bool "per-device RPC traffic on eligible devices"
+            true
+            (List.for_all (fun d -> List.assoc d dev_calls > 0) [ 0; 1; 2 ]);
+          (* the lease ledger must account allocations per (device, ptr):
+             the three devices' arenas hand out identical pointer values,
+             and all of them must drain on free *)
+          (match Tenancy.Lease.find registry "t0" with
+          | None -> Alcotest.fail "lease missing"
+          | Some lease ->
+              check Alcotest.int "lease charges all devices"
+                (3 * (256 + 64))
+                lease.Tenancy.Lease.mem_used);
+          List.iter
+            (fun (dev, (d_table, d_flags)) ->
+              Cricket.Client.set_device client dev;
+              Cricket.Client.free client d_table;
+              Cricket.Client.free client d_flags)
+            bufs;
+          (match Tenancy.Lease.find registry "t0" with
+          | None -> Alcotest.fail "lease missing"
+          | Some lease ->
+              check Alcotest.int "lease drains to zero after frees" 0
+                lease.Tenancy.Lease.mem_used);
+          (* out-of-range device selection is a typed CUDA error over the
+             wire, never a crash *)
+          (match Cricket.Client.set_device client (-1) with
+          | () -> Alcotest.fail "set_device(-1) must fail"
+          | exception Cudasim.Error.Cuda_error Cudasim.Error.Invalid_device ->
+              ());
+          match Cricket.Client.set_device client 99 with
+          | () -> Alcotest.fail "set_device(99) must fail"
+          | exception Cudasim.Error.Cuda_error Cudasim.Error.Invalid_device ->
+              ())
+
+let suite =
+  [
+    Alcotest.test_case "cross-major module is a typed reject" `Quick
+      test_cross_major_typed_reject;
+    Alcotest.test_case "launches land only on eligible devices" `Quick
+      test_only_eligible_devices_launch;
+    Alcotest.test_case "superopt finds shortest programs" `Quick
+      test_superopt_finds_shortest;
+    Alcotest.test_case "cost-aware beats round-robin makespan" `Quick
+      test_cost_aware_beats_round_robin;
+    Alcotest.test_case "deterministic digest and stats" `Quick
+      test_deterministic_digest;
+    Alcotest.test_case "multi-device session over RPC" `Quick
+      test_session_over_rpc;
+  ]

@@ -21,6 +21,40 @@ let test_device_catalog () =
     (Gpusim.Device.effective_flops a100 `F64
     < Gpusim.Device.effective_flops a100 `F32)
 
+(* GPU capacity honours the catalog when the host-friendly 2 GiB clamp is
+   lifted: under one identical allocation stream a 16 GiB T4 runs out of
+   memory strictly before a 40 GiB A100 — the ordering a fleet scheduler
+   (which creates its GPUs with [~capacity_clamp:max_int]) depends on.
+   The backing store grows lazily, so the capacities are never touched. *)
+let test_capacity_clamp_ordering () =
+  check Alcotest.int "default clamp is 2 GiB" (2 * 1024 * 1024 * 1024)
+    Gpusim.Gpu.default_capacity_clamp;
+  let clamped = Gpusim.Gpu.create Gpusim.Device.t4 in
+  check Alcotest.int "clamped T4 arena" Gpusim.Gpu.default_capacity_clamp
+    (M.total_bytes (Gpusim.Gpu.memory clamped));
+  let t4 = Gpusim.Gpu.create ~capacity_clamp:max_int Gpusim.Device.t4 in
+  let a100 = Gpusim.Gpu.create ~capacity_clamp:max_int Gpusim.Device.a100 in
+  check Alcotest.int "unclamped T4 arena"
+    (Int64.to_int Gpusim.Device.t4.Gpusim.Device.total_global_mem)
+    (M.total_bytes (Gpusim.Gpu.memory t4));
+  let chunk = 4 * 1024 * 1024 * 1024 in
+  let allocs_before_oom gpu =
+    let m = Gpusim.Gpu.memory gpu in
+    let n = ref 0 in
+    (try
+       while !n < 32 do
+         ignore (M.alloc m chunk);
+         incr n
+       done
+     with M.Error (M.Out_of_memory _) -> ());
+    !n
+  in
+  let t4_allocs = allocs_before_oom t4 in
+  let a100_allocs = allocs_before_oom a100 in
+  check Alcotest.int "T4 fits 4 chunks of 4 GiB" 4 t4_allocs;
+  check Alcotest.int "A100 fits 10 chunks of 4 GiB" 10 a100_allocs;
+  check Alcotest.bool "T4 OOMs before the A100" true (t4_allocs < a100_allocs)
+
 (* --- memory allocator --- *)
 
 let test_alloc_free () =
@@ -350,6 +384,8 @@ let test_gpu_reset () =
 let suite =
   [
     Alcotest.test_case "device catalog" `Quick test_device_catalog;
+    Alcotest.test_case "capacity clamp ordering" `Quick
+      test_capacity_clamp_ordering;
     Alcotest.test_case "alloc/free" `Quick test_alloc_free;
     Alcotest.test_case "reuse after free" `Quick test_alloc_reuse_after_free;
     Alcotest.test_case "out of memory" `Quick test_oom;

@@ -20,4 +20,5 @@ let () =
       ("migrate", Test_migrate.suite);
       ("par", Test_par.suite);
       ("rpcacc", Test_rpcacc.suite);
+      ("fleet", Test_fleet.suite);
     ]
